@@ -1,0 +1,125 @@
+//! MKL-like CSR SpMV on an out-of-order desktop CPU (paper Fig 8's
+//! "CPU": Intel i7-6700K running MKL 2018.3).
+//!
+//! MKL's `mkl_scsrmv` streams the whole CSR structure and gathers the
+//! dense input vector regardless of the vector's sparsity — the model
+//! therefore does *not* improve as the frontier thins, which is exactly
+//! why CoSPARSE's relative gain grows toward low densities in Fig 8.
+
+use crate::platform::{roofline_seconds, BaselineCost};
+
+/// Analytical model of a desktop CPU running a vendor SpMV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Sustained memory bandwidth (bytes/s).
+    pub mem_bw: f64,
+    /// Sustained SpMV flop rate (flops/s) — far below peak because of
+    /// the gather-dominated inner loop.
+    pub flops: f64,
+    /// Last-level cache capacity (bytes), for the vector-gather reuse
+    /// estimate.
+    pub llc_bytes: f64,
+    /// Per-call overhead (threading fork/join, dispatch).
+    pub call_overhead_s: f64,
+    /// Sustained package power under load (watts).
+    pub power_w: f64,
+}
+
+impl CpuModel {
+    /// The paper's CPU: i7-6700K (4C/8T Skylake @ 4.0 GHz, ~34 GB/s
+    /// dual-channel DDR4, 8 MB LLC), MKL 2018.3.
+    pub fn i7_6700k() -> Self {
+        CpuModel {
+            mem_bw: 30.0e9,
+            flops: 8.0e9,
+            llc_bytes: 8.0e6,
+            call_overhead_s: 5.0e-6,
+            power_w: 65.0,
+        }
+    }
+
+    /// Cost of one `y = A * x` with an `rows x cols` matrix of `nnz`
+    /// nonzeros. The input-vector density is accepted for interface
+    /// symmetry but does not speed MKL up (dense-vector kernel).
+    pub fn spmv(&self, rows: usize, cols: usize, nnz: usize, _vector_density: f64) -> BaselineCost {
+        // CSR traffic: col index (4 B) + value (4 B) per nnz, row
+        // pointers, output write.
+        let structure_bytes = nnz as f64 * 8.0 + (rows as f64 + 1.0) * 4.0 + rows as f64 * 4.0;
+        // Vector gather: x is reused only to the extent it fits in LLC.
+        let x_bytes = cols as f64 * 4.0;
+        let reuse = (self.llc_bytes / x_bytes).clamp(0.05, 1.0);
+        // Each gather touches a 64 B line; reuse shrinks the miss share.
+        let gather_bytes = nnz as f64 * 64.0 * (1.0 - reuse) + x_bytes;
+        let flops = nnz as f64 * 2.0;
+        let seconds = roofline_seconds(
+            structure_bytes + gather_bytes,
+            self.mem_bw,
+            flops,
+            self.flops,
+            self.call_overhead_s,
+        );
+        BaselineCost::from_power(seconds, self.power_w)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel::i7_6700k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_with_nnz() {
+        let m = CpuModel::i7_6700k();
+        let small = m.spmv(1 << 17, 1 << 17, 1_000_000, 1.0);
+        let large = m.spmv(1 << 17, 1 << 17, 8_000_000, 1.0);
+        assert!(large.seconds > small.seconds * 4.0);
+    }
+
+    #[test]
+    fn vector_density_does_not_help_mkl() {
+        let m = CpuModel::i7_6700k();
+        let dense = m.spmv(1 << 20, 1 << 20, 4_000_000, 1.0);
+        let sparse = m.spmv(1 << 20, 1 << 20, 4_000_000, 0.001);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn small_vectors_benefit_from_llc_reuse() {
+        let m = CpuModel::i7_6700k();
+        // Same nnz; a vector fitting in LLC should gather much faster.
+        let fits = m.spmv(1 << 14, 1 << 14, 2_000_000, 1.0);
+        let thrashes = m.spmv(1 << 22, 1 << 22, 2_000_000, 1.0);
+        assert!(thrashes.seconds > 2.0 * fits.seconds);
+    }
+
+    #[test]
+    fn plausible_absolute_time() {
+        // 4M-nnz SpMV on a desktop: order 1–100 ms.
+        let m = CpuModel::i7_6700k();
+        let c = m.spmv(1 << 20, 1 << 20, 4_000_000, 1.0);
+        assert!(c.seconds > 1e-4 && c.seconds < 0.5, "{}", c.seconds);
+        assert!(c.joules > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    #[test]
+    fn overhead_floors_tiny_calls() {
+        let m = CpuModel::i7_6700k();
+        let c = m.spmv(16, 16, 32, 1.0);
+        assert!(c.seconds >= m.call_overhead_s);
+    }
+
+    #[test]
+    fn default_is_the_paper_cpu() {
+        assert_eq!(CpuModel::default(), CpuModel::i7_6700k());
+    }
+}

@@ -1,0 +1,37 @@
+//! Comparison baselines for the CoSPARSE reproduction.
+//!
+//! The paper evaluates against three platforms that are unavailable
+//! offline; each is replaced by a model that preserves the comparison's
+//! *shape* (see DESIGN.md §2):
+//!
+//! * [`cpu::CpuModel`] — MKL-like CSR SpMV on an i7-6700K (Fig 8);
+//! * [`gpu::GpuModel`] — cuSPARSE-like CSR SpMV on a V100 (Fig 8);
+//! * [`ligra::Ligra`] — a *functional* Ligra push/pull engine (real
+//!   results, real per-iteration edge counts, the `|E|/20` direction
+//!   threshold) timed by [`xeon::XeonModel`] (Fig 10).
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::ligra::Ligra;
+//! use baselines::xeon::XeonModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let adj = sparse::generate::rmat(10, 8_000, Default::default(), 42)?;
+//! let ligra = Ligra::new(&adj, XeonModel::e7_4860());
+//! let run = ligra.bfs(0);
+//! println!("ligra bfs: {} iterations, {:.3e} s", run.iterations.len(), run.total().seconds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod ligra;
+pub mod platform;
+pub mod xeon;
+
+pub use platform::BaselineCost;

@@ -1,0 +1,81 @@
+//! Shared types for the baseline platform models.
+//!
+//! The paper measures SpMV against MKL on an i7-6700K and cuSPARSE on a
+//! V100, and graph algorithms against Ligra on a 48-core Xeon E7-4860.
+//! None of those are available offline, so the baselines are analytical
+//! roofline-style models driven by the same workload statistics the
+//! simulator sees (DESIGN.md §2 explains why this preserves the
+//! paper's comparison shapes). Power numbers are sustained package
+//! power under load, not TDP.
+
+/// Cost of one baseline execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BaselineCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Energy in joules.
+    pub joules: f64,
+}
+
+impl BaselineCost {
+    /// Builds a cost from time and sustained power.
+    pub fn from_power(seconds: f64, watts: f64) -> Self {
+        BaselineCost { seconds, joules: seconds * watts }
+    }
+
+    /// Field-wise sum (for multi-iteration totals).
+    pub fn accumulate(&mut self, other: BaselineCost) {
+        self.seconds += other.seconds;
+        self.joules += other.joules;
+    }
+
+    /// Average power in watts.
+    pub fn watts(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.joules / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Roofline helper: execution time of a phase moving `bytes` at
+/// `bw_bytes_per_s` while executing `flops` at `flops_per_s`, plus a
+/// fixed `overhead_s`.
+pub fn roofline_seconds(bytes: f64, bw_bytes_per_s: f64, flops: f64, flops_per_s: f64, overhead_s: f64) -> f64 {
+    let mem = bytes / bw_bytes_per_s.max(1.0);
+    let cmp = flops / flops_per_s.max(1.0);
+    mem.max(cmp) + overhead_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_accumulates() {
+        let mut a = BaselineCost::from_power(1.0, 50.0);
+        a.accumulate(BaselineCost::from_power(2.0, 50.0));
+        assert_eq!(a.seconds, 3.0);
+        assert_eq!(a.joules, 150.0);
+        assert!((a.watts() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofline_takes_the_max() {
+        // Memory-bound case.
+        let t = roofline_seconds(1e9, 1e10, 1e6, 1e12, 0.0);
+        assert!((t - 0.1).abs() < 1e-9);
+        // Compute-bound case.
+        let t = roofline_seconds(1e3, 1e10, 1e12, 1e12, 0.0);
+        assert!((t - 1.0).abs() < 1e-6);
+        // Overhead adds.
+        let t = roofline_seconds(0.0, 1e10, 0.0, 1e12, 0.5);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_watts_is_zero() {
+        assert_eq!(BaselineCost::default().watts(), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the host-side kernel machinery: stream
+//! generation, functional evaluation, format conversion and
+//! partitioning. These measure the *reproduction's* own performance
+//! (how fast the harness can generate and evaluate workloads), not the
+//! simulated machine — simulated-cycle results come from the `fig*`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cosparse::balance::{ip_partitions, op_tile_partitions, Balancing};
+use cosparse::kernels::{ip, op};
+use cosparse::{apply, Layout, OpProfile, SpmvOp};
+use sparse::partition::{RowPartition, VBlocks};
+use sparse::{CooMatrix, CscMatrix, Idx};
+use transmuter::Geometry;
+
+const N: usize = 1 << 13;
+const NNZ: usize = 80_000;
+
+fn matrix() -> CooMatrix {
+    sparse::generate::uniform(N, N, NNZ, 7).unwrap()
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let m = matrix();
+    let csc = CscMatrix::from(&m);
+    let g = Geometry::new(2, 4);
+    let layout = Layout::new(N, N, NNZ, g, 1);
+    let part = ip_partitions(&m.row_counts(), g, Balancing::NnzBalanced);
+    let tiles = op_tile_partitions(&m.row_counts(), g, Balancing::NnzBalanced);
+    let vblocks = VBlocks::new(N, 2048);
+    let frontier: Vec<Idx> = sparse::generate::random_sparse_vector(N, 0.02, 3)
+        .unwrap()
+        .iter()
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut group = c.benchmark_group("stream-generation");
+    group.sample_size(20);
+    group.bench_function("ip_streams_80k_nnz", |b| {
+        b.iter(|| {
+            let params = ip::IpParams {
+                layout: &layout,
+                partition: &part,
+                vblocks: &vblocks,
+                use_spm: false,
+                active: None,
+                profile: OpProfile::scalar(),
+            };
+            black_box(ip::streams(&m, g, params));
+        })
+    });
+    group.bench_function("op_streams_2pct_frontier", |b| {
+        b.iter(|| {
+            let params = op::OpParams {
+                layout: &layout,
+                tile_parts: &tiles,
+                frontier: &frontier,
+                heap_in_spm: true,
+                spm_node_cap: 512,
+                profile: OpProfile::scalar(),
+            };
+            black_box(op::streams(&csc, g, params));
+        })
+    });
+    group.finish();
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let m = matrix();
+    let csc = CscMatrix::from(&m);
+    let degrees: Vec<u32> = m.col_counts().into_iter().map(|x| x as u32).collect();
+    let state = vec![0.0f32; N];
+    let active: Vec<(Idx, f32)> = sparse::generate::random_sparse_vector(N, 0.05, 9)
+        .unwrap()
+        .iter()
+        .collect();
+
+    let mut group = c.benchmark_group("functional");
+    group.sample_size(30);
+    group.bench_function("apply_spmv_5pct", |b| {
+        b.iter(|| black_box(apply(&SpmvOp, &csc, &active, &state, &degrees)))
+    });
+    group.bench_function("reference_spmv_dense", |b| {
+        let x = sparse::generate::random_dense_vector(N, 4);
+        b.iter(|| black_box(m.spmv_dense(&x).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let m = matrix();
+    let mut group = c.benchmark_group("formats");
+    group.sample_size(20);
+    group.bench_function("coo_to_csc", |b| b.iter(|| black_box(CscMatrix::from(&m))));
+    group.bench_function("transpose", |b| b.iter(|| black_box(m.transpose())));
+    group.bench_function("nnz_balanced_partition_256", |b| {
+        let counts = m.row_counts();
+        b.iter(|| black_box(RowPartition::nnz_balanced(&counts, 256)))
+    });
+    group.bench_function("generate_uniform_80k", |b| {
+        b.iter(|| black_box(sparse::generate::uniform(N, N, NNZ, 5).unwrap()))
+    });
+    group.bench_function("generate_rmat_80k", |b| {
+        b.iter(|| black_box(sparse::generate::rmat(13, NNZ, Default::default(), 5).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_vector_conversion(c: &mut Criterion) {
+    let dense = sparse::generate::random_sparse_vector(1 << 16, 0.02, 2)
+        .unwrap()
+        .to_dense(0.0);
+    let mut group = c.benchmark_group("frontier-conversion");
+    group.sample_size(30);
+    group.bench_function("dense_to_sparse_64k", |b| {
+        b.iter_batched(
+            || dense.clone(),
+            |d| black_box(d.to_sparse(|v| *v != 0.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_functional,
+    bench_formats,
+    bench_vector_conversion
+);
+criterion_main!(benches);

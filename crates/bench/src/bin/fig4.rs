@@ -1,0 +1,86 @@
+//! Figure 4: speedup of OP (PC) over IP (SC) versus vector density,
+//! across matrix dimensions and system sizes — the experiment that
+//! calibrates the software-reconfiguration threshold (CVD).
+//!
+//! Paper shape to reproduce: OP wins at low densities (up to ~6×), IP
+//! wins at high densities; the crossover density falls from ~2% to
+//! ~0.5% as PEs per tile grow from 8 to 32, and rises slightly for
+//! sparser matrices.
+//!
+//! Usage: `cargo run --release -p bench --bin fig4`
+//! (`COSPARSE_SCALE=1` for paper-scale matrices).
+
+use bench::{
+    crossover_density, fig4_geometries, fig_matrix_dims, fig_nnz, print_table, run_spmv_fixed,
+};
+use cosparse::SwConfig;
+use transmuter::HwConfig;
+
+/// The paper's five densities plus two extended points so the crossover
+/// stays measurable at reduced scales (smaller matrices keep the merge
+/// heaps cache-resident, shifting the crossover right).
+const DENSITIES: [f64; 7] = [0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16];
+
+fn main() {
+    let nnz = fig_nnz();
+    println!("fig4: OP(PC) vs IP(SC); nnz = {nnz}, scale = {}", bench::scale());
+    let mut cvd_rows: Vec<Vec<String>> = Vec::new();
+
+    for n in fig_matrix_dims() {
+        let matrix = sparse::generate::uniform(n, n, nnz, 0xF16_4).expect("generator");
+        let r = matrix.density();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for geometry in fig4_geometries() {
+            // IP with a dense-stored vector touches every nonzero, but
+            // §IV-C.1 skipping makes its time mildly density-dependent,
+            // so it is rerun per density point.
+            let mut speedups = Vec::new();
+            let mut row = vec![geometry.to_string()];
+            for (i, &d) in DENSITIES.iter().enumerate() {
+                let ip = run_spmv_fixed(
+                    &matrix,
+                    geometry,
+                    SwConfig::InnerProduct,
+                    HwConfig::Sc,
+                    d,
+                    42 + i as u64,
+                );
+                let op = run_spmv_fixed(
+                    &matrix,
+                    geometry,
+                    SwConfig::OuterProduct,
+                    HwConfig::Pc,
+                    d,
+                    42 + i as u64,
+                );
+                let s = ip.cycles as f64 / op.cycles.max(1) as f64;
+                speedups.push(s);
+                row.push(format!("{s:.2}"));
+            }
+            let cvd = crossover_density(&DENSITIES, &speedups);
+            row.push(cvd.map_or("-".into(), |c| format!("{:.2}%", c * 100.0)));
+            cvd_rows.push(vec![
+                format!("N={n}"),
+                geometry.to_string(),
+                cvd.map_or("> 4% or < 0.25%".into(), |c| format!("{:.2}%", c * 100.0)),
+            ]);
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("system".to_string())
+            .chain(DENSITIES.iter().map(|d| format!("d={d}")))
+            .chain(std::iter::once("CVD".to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!("Fig 4 | N={n}, r={r:.1e} | speedup of OP(PC) vs IP(SC)"),
+            &headers_ref,
+            &rows,
+        );
+    }
+
+    print_table(
+        "Fig 4 summary | crossover vector density (paper: ~2% at B=8 → ~0.5% at B=32)",
+        &["matrix", "system", "CVD"],
+        &cvd_rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! §III-C.3's scaling observation: "As the number of cores doubles by
+//! switching from a 4x8 to an 8x8 system, the PC mode achieves an
+//! average speedup of 1.80× and PS mode achieves 1.96×" — doubling
+//! tiles (not PEs per tile) scales the outer product well because each
+//! tile merges shorter column sub-runs.
+//!
+//! Also prints the complementary IP scaling and the PE-per-tile
+//! direction (4x8 → 4x16), which the paper says scales OP *worse*.
+//!
+//! Usage: `cargo run --release -p bench --bin scaling`
+
+use bench::{fig_matrix_dims, fig_nnz, geomean, print_table, run_spmv_fixed, DENSITIES};
+use cosparse::SwConfig;
+use transmuter::{Geometry, HwConfig};
+
+fn main() {
+    let nnz = fig_nnz();
+    println!("scaling study; nnz = {nnz}, scale = {}", bench::scale());
+
+    let pairs = [
+        ("4x8 → 8x8 (2x tiles)", Geometry::new(4, 8), Geometry::new(8, 8)),
+        ("4x8 → 4x16 (2x PEs/tile)", Geometry::new(4, 8), Geometry::new(4, 16)),
+    ];
+    let configs = [
+        (SwConfig::OuterProduct, HwConfig::Pc, "OP/PC"),
+        (SwConfig::OuterProduct, HwConfig::Ps, "OP/PS"),
+        (SwConfig::InnerProduct, HwConfig::Sc, "IP/SC"),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, small, large) in pairs {
+        for &(sw, hw, name) in &configs {
+            let mut speedups = Vec::new();
+            for n in fig_matrix_dims() {
+                let matrix = sparse::generate::uniform(n, n, nnz, 0x5CA1).expect("generator");
+                for (i, &d) in DENSITIES.iter().enumerate() {
+                    // IP timing is near density-independent; one point
+                    // suffices there.
+                    if sw == SwConfig::InnerProduct && i > 0 {
+                        continue;
+                    }
+                    let a = run_spmv_fixed(&matrix, small, sw, hw, d, 31 + i as u64);
+                    let b = run_spmv_fixed(&matrix, large, sw, hw, d, 31 + i as u64);
+                    speedups.push(a.cycles as f64 / b.cycles.max(1) as f64);
+                }
+            }
+            rows.push(vec![
+                label.to_string(),
+                name.to_string(),
+                format!("{:.2}x", geomean(&speedups)),
+            ]);
+        }
+    }
+    print_table(
+        "§III-C.3 | geomean speedup from doubling cores (paper: 4x8→8x8 gives PC 1.80x, PS 1.96x)",
+        &["direction", "config", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,124 @@
+//! Generic calibration sweep: evaluates all five software/hardware
+//! combinations over a density grid and prints CSV — the tool to
+//! re-derive decision-tree thresholds for a new matrix family or
+//! geometry (the paper's §III-C methodology, packaged).
+//!
+//! ```text
+//! sweep [--n <dim>] [--nnz <count>] [--family uniform|powerlaw|rmat]
+//!       [--geometry AxB] [--densities d1,d2,...] [--seed n]
+//! ```
+//!
+//! Output columns: density, config, cycles, l1_hit, l2_hit, hbm_lines,
+//! joules. Pipe to a file for plotting.
+
+use bench::run_spmv_fixed;
+use cosparse::SwConfig;
+use sparse::CooMatrix;
+use transmuter::{Geometry, HwConfig};
+
+struct Args {
+    n: usize,
+    nnz: usize,
+    family: String,
+    geometry: Geometry,
+    densities: Vec<f64>,
+    seed: u64,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args {
+        n: 1 << 16,
+        nnz: 1_000_000,
+        family: "uniform".to_string(),
+        geometry: Geometry::new(4, 8),
+        densities: vec![0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16],
+        seed: 42,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut val = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--n" => args.n = val()?.parse().map_err(|_| "bad --n")?,
+            "--nnz" => args.nnz = val()?.parse().map_err(|_| "bad --nnz")?,
+            "--family" => args.family = val()?,
+            "--geometry" => {
+                let v = val()?;
+                let (a, b) = v.split_once('x').ok_or("geometry must be AxB")?;
+                args.geometry = Geometry::new(
+                    a.parse().map_err(|_| "bad tiles")?,
+                    b.parse().map_err(|_| "bad PEs")?,
+                );
+            }
+            "--densities" => {
+                args.densities = val()?
+                    .split(',')
+                    .map(|d| d.parse().map_err(|_| format!("bad density {d}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => args.seed = val()?.parse().map_err(|_| "bad seed")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn generate(args: &Args) -> Result<CooMatrix, String> {
+    match args.family.as_str() {
+        "uniform" => sparse::generate::uniform(args.n, args.n, args.nnz, args.seed),
+        "powerlaw" => sparse::generate::power_law(args.n, args.n, args.nnz, 1.0, args.seed),
+        "rmat" => {
+            let scale = (usize::BITS - (args.n.max(2) - 1).leading_zeros()).max(4);
+            sparse::generate::rmat(scale, args.nnz, Default::default(), args.seed)
+        }
+        other => return Err(format!("unknown family {other}")),
+    }
+    .map_err(|e| e.to_string())
+}
+
+const CONFIGS: [(SwConfig, HwConfig, &str); 5] = [
+    (SwConfig::InnerProduct, HwConfig::Sc, "IP/SC"),
+    (SwConfig::InnerProduct, HwConfig::Scs, "IP/SCS"),
+    (SwConfig::OuterProduct, HwConfig::Sc, "OP/SC"),
+    (SwConfig::OuterProduct, HwConfig::Pc, "OP/PC"),
+    (SwConfig::OuterProduct, HwConfig::Ps, "OP/PS"),
+];
+
+fn main() -> std::process::ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let matrix = match generate(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# sweeping {}x{} {} matrix ({} nnz) on {}",
+        matrix.rows(),
+        matrix.cols(),
+        args.family,
+        matrix.nnz(),
+        args.geometry
+    );
+    println!("density,config,cycles,l1_hit,l2_hit,hbm_lines,joules");
+    for &d in &args.densities {
+        for &(sw, hw, name) in &CONFIGS {
+            let r = run_spmv_fixed(&matrix, args.geometry, sw, hw, d, args.seed);
+            println!(
+                "{d},{name},{},{:.4},{:.4},{},{:.4e}",
+                r.cycles,
+                r.stats.l1_hit_rate(),
+                r.stats.l2_hit_rate(),
+                r.stats.hbm_line_reads + r.stats.hbm_line_writes,
+                r.joules()
+            );
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -1,0 +1,48 @@
+//! Table II: the microarchitectural parameters of the simulated
+//! machine, printed from the single source of truth
+//! ([`transmuter::MicroArch::paper`]).
+//!
+//! Usage: `cargo run --release -p bench --bin table2`
+
+use bench::print_table;
+use transmuter::MicroArch;
+
+fn main() {
+    let ua = MicroArch::paper();
+    let rows = vec![
+        vec!["PE/LCP".into(), format!("in-order core @ {:.1} GHz", ua.freq_hz / 1e9)],
+        vec![
+            "RCache (per bank)".into(),
+            format!(
+                "{} kB, {}-way, {} B lines, word-granular, stride prefetcher: {}",
+                ua.bank_bytes / 1024,
+                ua.ways,
+                ua.line_bytes,
+                if ua.prefetch { "on" } else { "off" }
+            ),
+        ],
+        vec![
+            "RXBar".into(),
+            format!(
+                "{}-cycle response; shared: +{}-cycle arbitration + 0..Nsrc-1 serialization; private: direct",
+                ua.xbar_latency, ua.arbitration_latency
+            ),
+        ],
+        vec![
+            "Main memory".into(),
+            format!(
+                "1 HBM2 stack: {} pseudo-channels @ {} B/cycle, {}-{} cycle latency",
+                ua.hbm_channels, ua.hbm_bytes_per_cycle, ua.hbm_latency_min, ua.hbm_latency_max
+            ),
+        ],
+        vec![
+            "Reconfiguration".into(),
+            format!("{} cycles + dirty-line drain", ua.reconfig_cycles),
+        ],
+        vec![
+            "L1/L2 latency".into(),
+            format!("{} / {} cycles per bank access", ua.l1_latency, ua.l2_latency),
+        ],
+    ];
+    print_table("Table II | gem5-model microarchitectural parameters", &["module", "parameters"], &rows);
+}

@@ -1,0 +1,229 @@
+//! Online refinement of the reconfiguration decision (an extension
+//! beyond the paper).
+//!
+//! The paper's thresholds come from offline calibration sweeps
+//! (§III-C); they can misfire when the deployed matrix or machine
+//! deviates from the calibration set. [`AdaptiveState`] keeps the
+//! decision tree as a prior and refines it from the costs the runtime
+//! actually observes, bucketing frontier densities on a log scale:
+//!
+//! * far from the crossover boundary the tree is trusted outright;
+//! * near the boundary (within [`AdaptiveState::EXPLORE_BAND`]× of the
+//!   CVD) both dataflows are tried once per bucket, then the observed
+//!   argmin wins;
+//! * the hardware sibling of the chosen dataflow (SC↔SCS, PC↔PS) is
+//!   always cheap to explore, so it is probed once per bucket too.
+//!
+//! Iterative algorithms revisit the same density buckets many times
+//! (PageRank every iteration, BFS/SSSP on the ramp up and down), so a
+//! handful of probes amortizes quickly.
+
+use crate::heuristics::{Decision, SwConfig};
+use std::collections::HashMap;
+use transmuter::HwConfig;
+
+/// Log₂-scale density bucket.
+fn bucket_of(density: f64) -> i32 {
+    density.clamp(1e-9, 1.0).log2().floor() as i32
+}
+
+/// The hardware sibling explored alongside a choice.
+fn sibling(hw: HwConfig) -> HwConfig {
+    match hw {
+        HwConfig::Sc => HwConfig::Scs,
+        HwConfig::Scs => HwConfig::Sc,
+        HwConfig::Pc => HwConfig::Ps,
+        HwConfig::Ps => HwConfig::Pc,
+    }
+}
+
+/// Default hardware for the *other* dataflow when probing across the
+/// software boundary.
+fn default_hw(sw: SwConfig) -> HwConfig {
+    match sw {
+        SwConfig::InnerProduct => HwConfig::Sc,
+        SwConfig::OuterProduct => HwConfig::Pc,
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Observation {
+    runs: u32,
+    mean_cycles: f64,
+}
+
+impl Observation {
+    fn record(&mut self, cycles: u64) {
+        self.runs += 1;
+        // Running mean; recent iterations of an algorithm have similar
+        // frontiers within a bucket, so plain averaging suffices.
+        self.mean_cycles += (cycles as f64 - self.mean_cycles) / self.runs as f64;
+    }
+}
+
+/// Online cost observations per density bucket and configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveState {
+    buckets: HashMap<i32, HashMap<(SwConfig, HwConfig), Observation>>,
+}
+
+impl AdaptiveState {
+    /// Density ratio around the CVD inside which the alternate dataflow
+    /// is worth probing (the tree's uncertainty region).
+    pub const EXPLORE_BAND: f64 = 8.0;
+
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        AdaptiveState::default()
+    }
+
+    /// Chooses a configuration for a frontier of `density`, given the
+    /// decision tree's `prior` (which carries the CVD it used).
+    pub fn choose(&self, density: f64, prior: Decision) -> Decision {
+        let bucket = self.buckets.get(&bucket_of(density));
+        let near_boundary = prior.cvd.is_finite()
+            && prior.cvd > 0.0
+            && (density / prior.cvd).max(prior.cvd / density.max(1e-12))
+                <= Self::EXPLORE_BAND;
+
+        // Candidate set: the prior, its hardware sibling, and — near the
+        // boundary — the other dataflow with its default hardware and
+        // sibling.
+        let mut candidates = vec![
+            (prior.software, prior.hardware),
+            (prior.software, sibling(prior.hardware)),
+        ];
+        if near_boundary {
+            let other = match prior.software {
+                SwConfig::InnerProduct => SwConfig::OuterProduct,
+                SwConfig::OuterProduct => SwConfig::InnerProduct,
+            };
+            candidates.push((other, default_hw(other)));
+            candidates.push((other, sibling(default_hw(other))));
+        }
+
+        // Unexplored candidates first (in candidate order), then argmin.
+        if let Some(obs) = bucket {
+            for &(sw, hw) in &candidates {
+                if !obs.contains_key(&(sw, hw)) {
+                    return Decision { software: sw, hardware: hw, cvd: prior.cvd };
+                }
+            }
+            let best = candidates
+                .iter()
+                .filter_map(|&(sw, hw)| {
+                    obs.get(&(sw, hw)).map(|o| ((sw, hw), o.mean_cycles))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"));
+            if let Some(((sw, hw), _)) = best {
+                return Decision { software: sw, hardware: hw, cvd: prior.cvd };
+            }
+        }
+        prior
+    }
+
+    /// Records the observed cost of running `(sw, hw)` at `density`.
+    pub fn record(&mut self, density: f64, sw: SwConfig, hw: HwConfig, cycles: u64) {
+        self.buckets
+            .entry(bucket_of(density))
+            .or_default()
+            .entry((sw, hw))
+            .or_default()
+            .record(cycles);
+    }
+
+    /// Number of `(bucket, config)` cells observed so far.
+    pub fn observations(&self) -> usize {
+        self.buckets.values().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prior(sw: SwConfig, hw: HwConfig, cvd: f64) -> Decision {
+        Decision { software: sw, hardware: hw, cvd }
+    }
+
+    #[test]
+    fn trusts_prior_with_no_data() {
+        let st = AdaptiveState::new();
+        let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.01);
+        assert_eq!(st.choose(0.5, p), p);
+    }
+
+    #[test]
+    fn explores_sibling_then_converges() {
+        let mut st = AdaptiveState::new();
+        let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.001);
+        let d = 0.5; // far from boundary: only IP candidates
+        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        // Sibling unexplored → probe SCS next.
+        let c = st.choose(d, p);
+        assert_eq!(c.hardware, HwConfig::Scs);
+        // SCS observed worse → settle on SC.
+        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 2000);
+        assert_eq!(st.choose(d, p).hardware, HwConfig::Sc);
+        // New evidence can flip it.
+        for _ in 0..8 {
+            st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 100);
+        }
+        assert_eq!(st.choose(d, p).hardware, HwConfig::Scs);
+    }
+
+    #[test]
+    fn probes_other_dataflow_only_near_boundary() {
+        let mut st = AdaptiveState::new();
+        let d = 0.02;
+        let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.01); // within 4x
+        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 1200);
+        let c = st.choose(d, p);
+        assert_eq!(c.software, SwConfig::OuterProduct, "should probe OP near the CVD");
+
+        // Far from the boundary the other dataflow is never probed.
+        let mut st = AdaptiveState::new();
+        let far = 0.9;
+        st.record(far, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        st.record(far, SwConfig::InnerProduct, HwConfig::Scs, 1200);
+        let c = st.choose(far, prior(SwConfig::InnerProduct, HwConfig::Sc, 0.01));
+        assert_eq!(c.software, SwConfig::InnerProduct);
+    }
+
+    #[test]
+    fn overrides_a_wrong_prior_after_probing() {
+        let mut st = AdaptiveState::new();
+        let d = 0.015;
+        let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.02); // tree says IP
+        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 10_000);
+        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 11_000);
+        st.record(d, SwConfig::OuterProduct, HwConfig::Pc, 800);
+        st.record(d, SwConfig::OuterProduct, HwConfig::Ps, 900);
+        let c = st.choose(d, p);
+        assert_eq!((c.software, c.hardware), (SwConfig::OuterProduct, HwConfig::Pc));
+    }
+
+    #[test]
+    fn buckets_are_independent() {
+        let mut st = AdaptiveState::new();
+        st.record(0.5, SwConfig::InnerProduct, HwConfig::Sc, 100);
+        assert_eq!(st.observations(), 1);
+        st.record(0.001, SwConfig::OuterProduct, HwConfig::Pc, 100);
+        assert_eq!(st.observations(), 2);
+        // Data at 0.5 does not leak into the 0.001 bucket's choice.
+        let p = prior(SwConfig::OuterProduct, HwConfig::Pc, 0.02);
+        let c = st.choose(0.001, p);
+        assert_eq!(c.software, SwConfig::OuterProduct);
+    }
+
+    #[test]
+    fn running_mean_is_stable() {
+        let mut o = Observation::default();
+        for c in [100u64, 200, 300] {
+            o.record(c);
+        }
+        assert_eq!(o.runs, 3);
+        assert!((o.mean_cycles - 200.0).abs() < 1e-9);
+    }
+}

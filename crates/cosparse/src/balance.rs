@@ -1,0 +1,119 @@
+//! Workload-balancing strategies (paper §III-B): static nnz-balanced
+//! row partitioning for both dataflows, plus the LCP's dynamic
+//! distribution of frontier nonzeros for the outer product.
+
+use sparse::partition::RowPartition;
+use std::ops::Range;
+use transmuter::Geometry;
+
+/// How rows are split across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Balancing {
+    /// Static nnz-balanced partitioning (the paper's scheme).
+    #[default]
+    NnzBalanced,
+    /// Naive equal-row partitioning (Figure 7's "w/o partition"
+    /// ablation).
+    EqualRows,
+}
+
+/// Inner product: one row partition per PE (`tiles * pes_per_tile`
+/// parts). PE `(t, p)` owns part `t * B + p`.
+pub fn ip_partitions(
+    row_counts: &[usize],
+    geometry: Geometry,
+    balancing: Balancing,
+) -> RowPartition {
+    match balancing {
+        Balancing::NnzBalanced => RowPartition::nnz_balanced(row_counts, geometry.total_pes()),
+        Balancing::EqualRows => RowPartition::equal_rows(row_counts, geometry.total_pes()),
+    }
+}
+
+/// Outer product: one row partition per tile; PEs within a tile then
+/// split the frontier dynamically (see [`distribute_frontier`]).
+pub fn op_tile_partitions(
+    row_counts: &[usize],
+    geometry: Geometry,
+    balancing: Balancing,
+) -> RowPartition {
+    match balancing {
+        Balancing::NnzBalanced => RowPartition::nnz_balanced(row_counts, geometry.tiles()),
+        Balancing::EqualRows => RowPartition::equal_rows(row_counts, geometry.tiles()),
+    }
+}
+
+/// The LCP's dynamic distribution: splits `frontier_nnz` nonzero vector
+/// entries into `pes` contiguous chunks of near-equal count, so each
+/// PE's sorted-list storage is roughly the same (§III-B).
+///
+/// Returns `pes` ranges that tile `0..frontier_nnz`.
+pub fn distribute_frontier(frontier_nnz: usize, pes: usize) -> Vec<Range<usize>> {
+    assert!(pes > 0, "cannot distribute to zero PEs");
+    (0..pes)
+        .map(|p| (frontier_nnz * p / pes)..(frontier_nnz * (p + 1) / pes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_partition_count_matches_pes() {
+        let counts = vec![3usize; 64];
+        let g = Geometry::new(2, 4);
+        let p = ip_partitions(&counts, g, Balancing::NnzBalanced);
+        assert_eq!(p.len(), 8);
+        assert!(p.imbalance() < 1.2);
+    }
+
+    #[test]
+    fn op_partition_count_matches_tiles() {
+        let counts = vec![1usize; 30];
+        let g = Geometry::new(3, 8);
+        let p = op_tile_partitions(&counts, g, Balancing::NnzBalanced);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn equal_rows_ignores_skew() {
+        let mut counts = vec![0usize; 100];
+        for c in counts.iter_mut().take(10) {
+            *c = 100;
+        }
+        let g = Geometry::new(2, 2);
+        let naive = ip_partitions(&counts, g, Balancing::EqualRows);
+        let balanced = ip_partitions(&counts, g, Balancing::NnzBalanced);
+        assert!(naive.imbalance() > balanced.imbalance());
+    }
+
+    #[test]
+    fn frontier_chunks_tile_exactly() {
+        let chunks = distribute_frontier(10, 4);
+        assert_eq!(chunks.len(), 4);
+        let mut covered = Vec::new();
+        for c in &chunks {
+            covered.extend(c.clone());
+        }
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+        // Near-equal: sizes differ by at most 1.
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn frontier_smaller_than_pes() {
+        let chunks = distribute_frontier(2, 8);
+        let nonempty = chunks.iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(nonempty, 2);
+        let covered: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn empty_frontier() {
+        let chunks = distribute_frontier(0, 4);
+        assert!(chunks.iter().all(|c| c.is_empty()));
+    }
+}

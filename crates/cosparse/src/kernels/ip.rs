@@ -1,0 +1,336 @@
+//! Inner-product (IP) SpMV kernel: dense frontier, row-major COO
+//! streaming (Figure 3, top).
+//!
+//! Each PE owns one nnz-balanced row partition and streams its triplets
+//! sequentially. The input vector is accessed randomly — from the shared
+//! L1 SPM after a cooperative per-vblock preload (SCS) or straight from
+//! the shared caches (SC). Output accumulation happens in a register and
+//! is written back once per (row, vblock) run.
+
+use crate::layout::Layout;
+use crate::ops::OpProfile;
+use sparse::partition::{RowPartition, VBlocks};
+use sparse::CooMatrix;
+use transmuter::{Geometry, Op, StreamSet};
+
+/// Configuration of one IP invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct IpParams<'a> {
+    /// Structure layout in the simulated address space.
+    pub layout: &'a Layout,
+    /// Per-PE row partitions (exactly `geometry.total_pes()` parts).
+    pub partition: &'a RowPartition,
+    /// Vertical (column) tiling; use [`VBlocks::whole`] to disable.
+    pub vblocks: &'a VBlocks,
+    /// True for SCS (vector in shared SPM); false for SC (cached).
+    pub use_spm: bool,
+    /// Per-column activity mask (`None` = fully dense). IP must load
+    /// every vector element to inspect it, but "skips computation and
+    /// accesses to the output vector if the vector element is zero"
+    /// (§IV-C.1) — so inactive columns cost a load and nothing else.
+    pub active: Option<&'a [bool]>,
+    /// Per-edge cost profile of the graph op.
+    pub profile: OpProfile,
+}
+
+/// Compiles the IP kernel into per-PE op streams.
+///
+/// Every PE iterates the same vblock sequence (with tile barriers
+/// around SPM preloads in SCS mode), so barrier counts always match.
+///
+/// # Panics
+///
+/// Panics if `partition.len() != geometry.total_pes()`.
+pub fn streams(
+    coo_t: &CooMatrix,
+    geometry: Geometry,
+    params: IpParams<'_>,
+) -> StreamSet<'static> {
+    assert_eq!(
+        params.partition.len(),
+        geometry.total_pes(),
+        "ip needs one row partition per PE"
+    );
+    let vw = params.profile.value_words;
+    let mac_cost = 2 + params.profile.extra_compute_per_edge;
+    let b = geometry.pes_per_tile();
+    let mut set = StreamSet::new(geometry);
+
+    for tile in 0..geometry.tiles() {
+        for pe in 0..b {
+            let part = geometry.pe_id(tile, pe);
+            let trange = params.partition.triplet_range(coo_t, part);
+            let part_start = trange.start;
+            // Bucket this PE's triplets by vblock, preserving row-major
+            // order inside each bucket (this is the reordered storage
+            // layout of §III-B).
+            let mut bucketed: Vec<(usize, u32, u32)> = coo_t.entries()[trange]
+                .iter()
+                .map(|t| (params.vblocks.block_of(t.col as usize), t.row, t.col))
+                .collect();
+            bucketed.sort_by_key(|&(vb, _, _)| vb);
+
+            let mut ops: Vec<Op> = Vec::with_capacity(bucketed.len() * 5 + 16);
+            let mut cursor = 0usize; // index into bucketed
+            let mut seq = 0usize; // storage order within the partition
+            for vb in 0..params.vblocks.len() {
+                let vb_range = params.vblocks.range(vb);
+                if params.use_spm {
+                    // Cooperative preload: the tile's PEs stripe the
+                    // vector segment into the shared SPM.
+                    let words = vb_range.len() * vw;
+                    let lo = words * pe / b;
+                    let hi = words * (pe + 1) / b;
+                    for w in lo..hi {
+                        let elem = vb_range.start + w / vw;
+                        ops.push(Op::Load(params.layout.x_elem(elem, w % vw)));
+                        ops.push(Op::SpmStore((w * 4) as u32));
+                    }
+                    ops.push(Op::TileBarrier);
+                }
+                // Process this PE's entries of the vblock.
+                let mut prev_row: Option<u32> = None;
+                while cursor < bucketed.len() && bucketed[cursor].0 == vb {
+                    let (_, row, col) = bucketed[cursor];
+                    ops.push(Op::Load(params.layout.coo_entry(part_start + seq)));
+                    ops.push(Op::Compute(1));
+                    let is_active =
+                        params.active.is_none_or(|mask| mask[col as usize]);
+                    // The first vector word must always be inspected; the
+                    // remaining words and the MAC only happen for active
+                    // elements.
+                    let words = if is_active { vw } else { 1 };
+                    for w in 0..words {
+                        if params.use_spm {
+                            let local = (col as usize - vb_range.start) * vw + w;
+                            ops.push(Op::SpmLoad((local * 4) as u32));
+                        } else {
+                            ops.push(Op::Load(params.layout.x_elem(col as usize, w)));
+                        }
+                    }
+                    if is_active {
+                        ops.push(Op::Compute(mac_cost));
+                        if let Some(p) = prev_row {
+                            if p != row {
+                                for w in 0..vw {
+                                    ops.push(Op::Store(params.layout.y_elem(p as usize, w)));
+                                }
+                            }
+                        }
+                        prev_row = Some(row);
+                    }
+                    cursor += 1;
+                    seq += 1;
+                }
+                if let Some(p) = prev_row {
+                    for w in 0..vw {
+                        ops.push(Op::Store(params.layout.y_elem(p as usize, w)));
+                    }
+                }
+                if params.use_spm {
+                    // Drain barrier: nobody overwrites the SPM while a
+                    // sibling PE is still reading this vblock's segment.
+                    ops.push(Op::TileBarrier);
+                }
+            }
+            set.set_pe(tile, pe, ops.into_iter());
+        }
+    }
+    set
+}
+
+/// Total ops a dense-frontier IP pass will issue, cheap estimate used by
+/// tests and budgeting (not a timing model).
+pub fn op_count_estimate(nnz: usize, profile: &OpProfile) -> usize {
+    nnz * (3 + profile.value_words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{ip_partitions, Balancing};
+    use transmuter::{HwConfig, Machine, MicroArch};
+
+    fn setup(n: usize, nnz: usize) -> (CooMatrix, Layout, Geometry) {
+        let g = Geometry::new(2, 4);
+        let m = sparse::generate::uniform(n, n, nnz, 42).unwrap();
+        let l = Layout::new(n, n, nnz, g, 1);
+        (m, l, g)
+    }
+
+    fn run(
+        m: &CooMatrix,
+        l: &Layout,
+        g: Geometry,
+        hw: HwConfig,
+        use_spm: bool,
+        vblocks: VBlocks,
+    ) -> transmuter::SimReport {
+        let part = ip_partitions(&m.row_counts(), g, Balancing::NnzBalanced);
+        let mut machine = Machine::new(g, MicroArch::paper());
+        machine.reconfigure(hw);
+        let params = IpParams {
+            layout: l,
+            partition: &part,
+            vblocks: &vblocks,
+            use_spm,
+            active: None,
+            profile: OpProfile::scalar(),
+        };
+        machine.run(streams(m, g, params)).unwrap()
+    }
+
+    #[test]
+    fn sc_runs_and_touches_all_nnz() {
+        let (m, l, g) = setup(512, 4000);
+        let r = run(&m, &l, g, HwConfig::Sc, false, VBlocks::whole(512));
+        // One matrix load per entry at least.
+        assert!(r.stats.loads as usize >= m.nnz());
+        assert!(r.cycles > 0);
+        assert_eq!(r.stats.spm_accesses, 0);
+    }
+
+    #[test]
+    fn scs_uses_spm_for_vector() {
+        let (m, l, g) = setup(512, 4000);
+        let spm_words = 2 * 4096 / 4; // SCS on 2x4: 2 SPM banks per tile
+        let r = run(&m, &l, g, HwConfig::Scs, true, VBlocks::new(512, spm_words));
+        assert!(r.stats.spm_accesses as usize > m.nnz(), "vector reads + preload stores");
+        assert!(r.stats.barrier_stall_cycles < r.cycles * 8);
+    }
+
+    #[test]
+    fn empty_partitions_still_synchronize() {
+        // A matrix whose nonzeros all live in one row: most PEs get
+        // empty partitions but must still match barriers in SCS mode.
+        let g = Geometry::new(2, 4);
+        let m = CooMatrix::from_triplets(
+            64,
+            64,
+            (0..64u32).map(|c| (0u32, c, 1.0f32)).collect(),
+        )
+        .unwrap();
+        let l = Layout::new(64, 64, 64, g, 1);
+        let r = run(&m, &l, g, HwConfig::Scs, true, VBlocks::new(64, 32));
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn vblocking_changes_access_order_not_count() {
+        let (m, l, g) = setup(256, 3000);
+        let whole = run(&m, &l, g, HwConfig::Sc, false, VBlocks::whole(256));
+        let tiled = run(&m, &l, g, HwConfig::Sc, false, VBlocks::new(256, 64));
+        assert_eq!(whole.stats.loads, tiled.stats.loads);
+    }
+
+    #[test]
+    fn larger_matrices_take_longer() {
+        let g = Geometry::new(2, 4);
+        let small = {
+            let m = sparse::generate::uniform(256, 256, 2000, 1).unwrap();
+            let l = Layout::new(256, 256, 2000, g, 1);
+            run(&m, &l, g, HwConfig::Sc, false, VBlocks::whole(256)).cycles
+        };
+        let large = {
+            let m = sparse::generate::uniform(256, 256, 20_000, 1).unwrap();
+            let l = Layout::new(256, 256, 20_000, g, 1);
+            run(&m, &l, g, HwConfig::Sc, false, VBlocks::whole(256)).cycles
+        };
+        assert!(large > small * 5, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn value_words_multiply_vector_traffic() {
+        let (m, l, g) = setup(256, 2000);
+        let part = ip_partitions(&m.row_counts(), g, Balancing::NnzBalanced);
+        let vb = VBlocks::whole(256);
+        let mut machine = Machine::new(g, MicroArch::paper());
+        let wide_layout = Layout::new(256, 256, 2000, g, 4);
+        let scalar = machine
+            .run(streams(
+                &m,
+                g,
+                IpParams {
+                    layout: &l,
+                    partition: &part,
+                    vblocks: &vb,
+                    use_spm: false,
+                    active: None,
+                    profile: OpProfile::scalar(),
+                },
+            ))
+            .unwrap();
+        let wide_profile =
+            OpProfile { value_words: 4, extra_compute_per_edge: 4, vector_op_compute: 0 };
+        let wide = machine
+            .run(streams(
+                &m,
+                g,
+                IpParams {
+                    layout: &wide_layout,
+                    partition: &part,
+                    vblocks: &vb,
+                    use_spm: false,
+                    active: None,
+                    profile: wide_profile,
+                },
+            ))
+            .unwrap();
+        assert!(wide.stats.loads > scalar.stats.loads * 2);
+    }
+
+    #[test]
+    fn op_count_estimate_orders() {
+        assert!(op_count_estimate(100, &OpProfile::scalar()) >= 300);
+    }
+}
+
+#[cfg(test)]
+mod mask_tests {
+    use super::*;
+    use crate::balance::{ip_partitions, Balancing};
+    use sparse::partition::VBlocks;
+    use transmuter::{HwConfig, Machine, MicroArch};
+
+    /// §IV-C.1: zero vector elements skip the MAC and output accesses,
+    /// so a sparser active mask must strictly reduce IP's work.
+    #[test]
+    fn sparse_mask_reduces_ip_cost() {
+        let g = Geometry::new(2, 4);
+        let n = 2048;
+        let m = sparse::generate::uniform(n, n, 30_000, 9).unwrap();
+        let l = Layout::new(n, n, 30_000, g, 1);
+        let part = ip_partitions(&m.row_counts(), g, Balancing::NnzBalanced);
+        let vb = VBlocks::whole(n);
+        let run = |active: Option<&[bool]>| {
+            let mut machine = Machine::new(g, MicroArch::paper());
+            machine.reconfigure(HwConfig::Sc);
+            let params = IpParams {
+                layout: &l,
+                partition: &part,
+                vblocks: &vb,
+                use_spm: false,
+                active,
+                profile: OpProfile::scalar(),
+            };
+            machine.run(streams(&m, g, params)).unwrap()
+        };
+        let dense = run(None);
+        let mask = vec![false; n]; // nothing active
+        let empty = run(Some(&mask));
+        let mut half_mask = vec![false; n];
+        for (i, slot) in half_mask.iter_mut().enumerate() {
+            *slot = i % 2 == 0;
+        }
+        let half = run(Some(&half_mask));
+        // Every element is still inspected (scalar values: one matrix
+        // load + one vector load per entry regardless of the mask)...
+        assert_eq!(dense.stats.loads, empty.stats.loads);
+        // ...but stores and MACs shrink with the active set.
+        assert!(empty.stats.stores < half.stats.stores);
+        assert!(half.stats.stores < dense.stats.stores);
+        assert!(empty.stats.compute_cycles < half.stats.compute_cycles);
+        assert!(half.stats.compute_cycles < dense.stats.compute_cycles);
+        assert!(empty.cycles < dense.cycles);
+    }
+}

@@ -1,0 +1,65 @@
+//! Op-stream generators: compile an SpMV workload into per-worker
+//! [`transmuter::Op`] streams for the simulator.
+//!
+//! Two dataflows, matching §III-A of the paper:
+//!
+//! * [`ip`] — inner product: dense frontier, row-major COO streaming,
+//!   vector pinned in shared SPM (SCS) or cached (SC), vblock tiling.
+//! * [`op`] — outer product: sparse frontier, CSC column merge through a
+//!   per-PE heap held in private SPM (PS) or cache (PC/SC), results
+//!   forwarded to the tile's LCP.
+
+pub mod convert;
+pub mod ip;
+pub mod op;
+
+use transmuter::Op;
+
+/// Emits the access pattern of one sift (up or down) through a binary
+/// heap of current size `len`: one node visit per level, each a
+/// read-modify-write of the node storage.
+///
+/// `node_addr(level_node_index)` maps the touched node index to ops;
+/// levels touch nodes `0, 1, 3, 7, ...` (the canonical root-to-leaf
+/// path), so with the heap stored breadth-first the shallow levels stay
+/// in fast storage and deep levels spill — exactly the paper's
+/// "the tree nature of heap ensures that the majority of comparisons
+/// and swaps still happen in the SPM" (§III-A).
+pub(crate) fn heap_sift_ops(
+    len: usize,
+    ops: &mut Vec<Op>,
+    mut node_ops: impl FnMut(usize, &mut Vec<Op>),
+) {
+    let levels = (usize::BITS - len.max(1).leading_zeros()) as usize;
+    for l in 0..levels.max(1) {
+        let node = (1usize << l) - 1;
+        node_ops(node, ops);
+        ops.push(Op::Compute(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sift_depth_grows_logarithmically() {
+        let count = |len: usize| {
+            let mut v = Vec::new();
+            heap_sift_ops(len, &mut v, |_, ops| ops.push(Op::Compute(1)));
+            v.len()
+        };
+        assert_eq!(count(1), 2); // one level: node op + compare
+        assert!(count(8) > count(2));
+        assert!(count(1024) >= 10 * 2);
+        assert!(count(0) >= 2, "empty heap still charges one step");
+    }
+
+    #[test]
+    fn sift_touches_root_to_leaf_path() {
+        let mut nodes = Vec::new();
+        let mut v = Vec::new();
+        heap_sift_ops(7, &mut v, |n, _| nodes.push(n));
+        assert_eq!(nodes, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated-address-space layout of the SpMV data structures.
+//!
+//! The runtime keeps two copies of the (transposed) adjacency matrix in
+//! main memory — row-major COO for the inner-product dataflow and CSC
+//! for the outer-product dataflow — "to avoid matrix conversion
+//! overhead, similar to Ligra" (§III-D.2), plus the dense/sparse
+//! frontier, the output vector, per-PE merge heaps and per-PE output
+//! FIFOs. Kernels translate structural positions into these addresses;
+//! the data itself never exists in the simulator (see DESIGN.md §2).
+
+use transmuter::{Addr, Geometry};
+
+/// Word size in bytes (matches `MicroArch::word_bytes`).
+pub const WORD: u64 = 4;
+/// Bytes per interleaved COO entry: `(row, col, value)`.
+pub const COO_ENTRY_BYTES: u64 = 3 * WORD;
+/// Bytes per interleaved CSC entry: `(row, value)`.
+pub const CSC_ENTRY_BYTES: u64 = 2 * WORD;
+/// Bytes per sparse-vector entry: `(index, value)`.
+pub const SV_ENTRY_BYTES: u64 = 2 * WORD;
+/// Bytes per merge-heap node: `(row, column cursor)`.
+pub const HEAP_NODE_BYTES: u64 = 2 * WORD;
+
+/// Base addresses of every simulated data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Row-major COO triplets of the transposed adjacency matrix.
+    pub coo_base: Addr,
+    /// CSC column-pointer array of the transposed matrix.
+    pub csc_ptr_base: Addr,
+    /// CSC `(row, value)` pairs of the transposed matrix.
+    pub csc_data_base: Addr,
+    /// Dense input vector `x` (frontier), `value_words` words per element.
+    pub x_base: Addr,
+    /// Dense output vector `y`, `value_words` words per element.
+    pub y_base: Addr,
+    /// Sparse input vector `(index, value)` entries.
+    pub sv_base: Addr,
+    /// Per-PE output FIFO regions (PE→LCP channel), `fifo_stride` apart.
+    pub fifo_base: Addr,
+    /// Stride between consecutive PEs' FIFO regions.
+    pub fifo_stride: u64,
+    /// Per-PE spilled-heap regions (outer product), `heap_stride` apart.
+    pub heap_base: Addr,
+    /// Stride between consecutive PEs' heap regions.
+    pub heap_stride: u64,
+    /// Words per vector element (1 for scalar algorithms, K for CF).
+    pub value_words: u64,
+}
+
+impl Layout {
+    /// Lays out structures for an `rows x cols` transposed matrix with
+    /// `nnz` nonzeros on `geometry`, with `value_words` words per vector
+    /// element.
+    ///
+    /// Regions are line-aligned and padded so distinct structures never
+    /// share a cache line.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        geometry: Geometry,
+        value_words: usize,
+    ) -> Self {
+        const LINE: u64 = 64;
+        let align = |a: u64| a.div_ceil(LINE) * LINE;
+        let value_words = value_words.max(1) as u64;
+        let mut cursor: u64 = 0x1_0000; // leave page zero unused
+        let mut take = |bytes: u64| {
+            let base = cursor;
+            cursor = align(cursor + bytes.max(1)) + LINE;
+            base
+        };
+        let coo_base = take(nnz as u64 * COO_ENTRY_BYTES);
+        let csc_ptr_base = take((cols as u64 + 1) * WORD);
+        let csc_data_base = take(nnz as u64 * CSC_ENTRY_BYTES);
+        let x_base = take(cols as u64 * WORD * value_words);
+        let y_base = take(rows as u64 * WORD * value_words);
+        let sv_base = take(cols as u64 * SV_ENTRY_BYTES);
+        // FIFOs and heaps: size for the worst case (every output/new
+        // column belongs to one PE).
+        let fifo_stride = align(rows as u64 * SV_ENTRY_BYTES / geometry.total_pes() as u64 + LINE);
+        let fifo_base = take(fifo_stride * geometry.total_pes() as u64);
+        let heap_stride = align(cols as u64 * HEAP_NODE_BYTES + LINE);
+        let heap_base = take(heap_stride * geometry.total_pes() as u64);
+        Layout {
+            coo_base,
+            csc_ptr_base,
+            csc_data_base,
+            x_base,
+            y_base,
+            sv_base,
+            fifo_base,
+            fifo_stride,
+            heap_base,
+            heap_stride,
+            value_words,
+        }
+    }
+
+    /// Address of COO entry `k` (in the kernel's streaming order).
+    pub fn coo_entry(&self, k: usize) -> Addr {
+        self.coo_base + k as u64 * COO_ENTRY_BYTES
+    }
+
+    /// Address of CSC column pointer `j`.
+    pub fn csc_ptr(&self, j: usize) -> Addr {
+        self.csc_ptr_base + j as u64 * WORD
+    }
+
+    /// Address of CSC data entry `k`.
+    pub fn csc_entry(&self, k: usize) -> Addr {
+        self.csc_data_base + k as u64 * CSC_ENTRY_BYTES
+    }
+
+    /// Address of word `w` of dense-vector element `j`.
+    pub fn x_elem(&self, j: usize, w: usize) -> Addr {
+        self.x_base + (j as u64 * self.value_words + w as u64) * WORD
+    }
+
+    /// Address of word `w` of output element `i`.
+    pub fn y_elem(&self, i: usize, w: usize) -> Addr {
+        self.y_base + (i as u64 * self.value_words + w as u64) * WORD
+    }
+
+    /// Address of sparse-vector entry `k`.
+    pub fn sv_entry(&self, k: usize) -> Addr {
+        self.sv_base + k as u64 * SV_ENTRY_BYTES
+    }
+
+    /// Address of slot `k` in global PE `pe`'s output FIFO.
+    pub fn fifo_slot(&self, pe: usize, k: usize) -> Addr {
+        self.fifo_base + pe as u64 * self.fifo_stride + (k as u64 * SV_ENTRY_BYTES) % self.fifo_stride
+    }
+
+    /// Address of spilled heap node `node` for global PE `pe`.
+    pub fn heap_node(&self, pe: usize, node: usize) -> Addr {
+        self.heap_base + pe as u64 * self.heap_stride
+            + (node as u64 * HEAP_NODE_BYTES) % self.heap_stride
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let g = Geometry::new(2, 4);
+        let l = Layout::new(1000, 1000, 5000, g, 1);
+        let regions = [
+            (l.coo_base, 5000 * COO_ENTRY_BYTES),
+            (l.csc_ptr_base, 1001 * WORD),
+            (l.csc_data_base, 5000 * CSC_ENTRY_BYTES),
+            (l.x_base, 1000 * WORD),
+            (l.y_base, 1000 * WORD),
+            (l.sv_base, 1000 * SV_ENTRY_BYTES),
+            (l.fifo_base, l.fifo_stride * 8),
+            (l.heap_base, l.heap_stride * 8),
+        ];
+        for (i, &(a, alen)) in regions.iter().enumerate() {
+            for &(b, blen) in regions.iter().skip(i + 1) {
+                assert!(a + alen <= b || b + blen <= a, "regions {i} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_addresses_stride_correctly() {
+        let l = Layout::new(10, 10, 10, Geometry::new(1, 1), 1);
+        assert_eq!(l.coo_entry(1) - l.coo_entry(0), 12);
+        assert_eq!(l.csc_entry(3) - l.csc_entry(2), 8);
+        assert_eq!(l.x_elem(5, 0) - l.x_elem(4, 0), 4);
+        assert_eq!(l.sv_entry(1) - l.sv_entry(0), 8);
+    }
+
+    #[test]
+    fn value_words_scale_vector_strides() {
+        let l = Layout::new(10, 10, 10, Geometry::new(1, 1), 16);
+        assert_eq!(l.x_elem(1, 0) - l.x_elem(0, 0), 64);
+        assert_eq!(l.x_elem(0, 15) - l.x_elem(0, 0), 60);
+        assert_eq!(l.y_elem(2, 0) - l.y_elem(1, 0), 64);
+    }
+
+    #[test]
+    fn per_pe_regions_disjoint() {
+        let g = Geometry::new(2, 2);
+        let l = Layout::new(100, 100, 400, g, 1);
+        assert!(l.fifo_slot(1, 0) >= l.fifo_slot(0, 0) + l.fifo_stride);
+        assert!(l.heap_node(3, 0) > l.heap_node(2, 0));
+        // FIFO wrap-around stays inside the PE's region.
+        let far = l.fifo_slot(0, 1_000_000);
+        assert!(far < l.fifo_base + l.fifo_stride);
+    }
+
+    #[test]
+    fn zero_nnz_is_fine() {
+        let l = Layout::new(4, 4, 0, Geometry::new(1, 1), 1);
+        assert!(l.csc_ptr_base > l.coo_base);
+    }
+}

@@ -1,0 +1,224 @@
+//! The `Matrix_Op` / `Vector_Op` abstraction (paper Table I).
+//!
+//! A graph algorithm is defined by how an edge combines the source's
+//! frontier value with the destination's state (`matrix_op`), how
+//! contributions reduce (`reduce`), and an optional element-wise
+//! post-step (`vector_op`). CoSPARSE schedules the same access pattern
+//! regardless of the op; only the host-side functional evaluation and
+//! the per-edge compute cost differ.
+
+use sparse::{CscMatrix, Idx};
+use std::collections::HashMap;
+
+/// A graph-algorithm definition in CoSPARSE's SpMV abstraction.
+///
+/// `Value` is the per-vertex state (a level for BFS, a distance for
+/// SSSP, a rank for PR, a latent-feature vector for CF).
+pub trait GraphOp {
+    /// Per-vertex value type.
+    type Value: Copy + PartialEq + std::fmt::Debug;
+
+    /// `Matrix_Op(Sp, V)`: the contribution of edge `src → dst` with
+    /// weight `weight`, given the source's frontier value and the
+    /// destination's current state. `src_degree` is the source's
+    /// out-degree in the original graph (PageRank divides by it).
+    fn matrix_op(
+        &self,
+        weight: f32,
+        src_value: Self::Value,
+        dst_state: Self::Value,
+        src_degree: u32,
+    ) -> Self::Value;
+
+    /// Reduction over contributions to the same destination (sum for
+    /// SpMV/PR/CF, min for BFS/SSSP). Must be associative and
+    /// commutative.
+    fn reduce(&self, a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// `Vector_Op(V)`: element-wise post-step on the reduced value
+    /// (identity for SpMV/BFS/SSSP; damping for PR; the gradient step
+    /// for CF).
+    fn vector_op(&self, updated: Self::Value, old_state: Self::Value) -> Self::Value {
+        let _ = old_state;
+        updated
+    }
+
+    /// Whether the new value constitutes an update that should activate
+    /// `dst` in the next frontier (strict improvement for BFS/SSSP;
+    /// always true for PR/CF which run dense).
+    fn is_update(&self, new_value: Self::Value, old_state: Self::Value) -> bool {
+        new_value != old_state
+    }
+
+    /// Structural cost profile for the timing model.
+    fn profile(&self) -> OpProfile {
+        OpProfile::scalar()
+    }
+}
+
+/// Structural properties of an op that the timing kernels need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Words per vector element (1 for scalars, K for CF's features).
+    pub value_words: usize,
+    /// Extra compute cycles per processed matrix element beyond the
+    /// baseline multiply-accumulate.
+    pub extra_compute_per_edge: u32,
+    /// Compute cycles for `Vector_Op` per updated element (0 when not
+    /// applicable).
+    pub vector_op_compute: u32,
+}
+
+impl OpProfile {
+    /// Scalar op: one word per value, plain MAC, no vector op.
+    pub fn scalar() -> Self {
+        OpProfile { value_words: 1, extra_compute_per_edge: 0, vector_op_compute: 0 }
+    }
+}
+
+/// One state update produced by an SpMV step: `dst` takes `value`.
+pub type Update<V> = (Idx, V);
+
+/// Functionally evaluates one SpMV step over the *transposed* adjacency
+/// matrix in CSC form (`csc_t.col(src)` lists the destinations of
+/// `src`'s out-edges).
+///
+/// `active` holds `(src, frontier value)` pairs; `state` is the full
+/// per-vertex state vector; `degrees[src]` is the out-degree. Returns
+/// the updates that passed [`GraphOp::is_update`], sorted by
+/// destination.
+///
+/// This is the golden model that drives algorithm iteration; the
+/// simulator times the equivalent access pattern separately.
+///
+/// # Panics
+///
+/// Panics if an active index or a matrix row index is out of bounds of
+/// `state`/`degrees`.
+pub fn apply<O: GraphOp>(
+    op: &O,
+    csc_t: &CscMatrix,
+    active: &[(Idx, O::Value)],
+    state: &[O::Value],
+    degrees: &[u32],
+) -> Vec<Update<O::Value>> {
+    let mut acc: HashMap<Idx, O::Value> = HashMap::new();
+    for &(src, fval) in active {
+        let deg = degrees[src as usize];
+        let (dsts, weights) = csc_t.col(src as usize);
+        for (dst, w) in dsts.iter().zip(weights) {
+            let contrib = op.matrix_op(*w, fval, state[*dst as usize], deg);
+            acc.entry(*dst)
+                .and_modify(|a| *a = op.reduce(*a, contrib))
+                .or_insert(contrib);
+        }
+    }
+    let mut updates: Vec<Update<O::Value>> = acc
+        .into_iter()
+        .filter_map(|(dst, reduced)| {
+            let old = state[dst as usize];
+            let new = op.vector_op(reduced, old);
+            op.is_update(new, old).then_some((dst, new))
+        })
+        .collect();
+    updates.sort_unstable_by_key(|&(dst, _)| dst);
+    updates
+}
+
+/// Plain SpMV (Table I, first row): `y = Σ Sp[src,dst] * V[src]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpmvOp;
+
+impl GraphOp for SpmvOp {
+    type Value = f32;
+
+    fn matrix_op(&self, weight: f32, src_value: f32, _dst: f32, _deg: u32) -> f32 {
+        weight * src_value
+    }
+
+    fn reduce(&self, a: f32, b: f32) -> f32 {
+        a + b
+    }
+
+    fn is_update(&self, new_value: f32, _old: f32) -> bool {
+        new_value != 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::{CooMatrix, DenseVector};
+
+    fn csc_t_of(adj: &CooMatrix) -> CscMatrix {
+        CscMatrix::from(&adj.transpose())
+    }
+
+    #[test]
+    fn spmv_op_matches_reference() {
+        let adj = sparse::generate::uniform(64, 64, 400, 3).unwrap();
+        let t = adj.transpose();
+        let csc_t = CscMatrix::from(&t);
+        let x = sparse::generate::random_dense_vector(64, 7);
+        let want = t.spmv_dense(&x).unwrap();
+
+        let active: Vec<(Idx, f32)> =
+            (0..64).map(|i| (i as Idx, x[i])).filter(|&(_, v)| v != 0.0).collect();
+        let state = vec![0.0f32; 64];
+        let degrees = vec![0u32; 64];
+        let updates = apply(&SpmvOp, &csc_t, &active, &state, &degrees);
+
+        let mut got = DenseVector::filled(64, 0.0f32);
+        for (dst, v) in updates {
+            got[dst as usize] = v;
+        }
+        for i in 0..64 {
+            assert!(
+                (got[i] - want[i]).abs() < 1e-3 * want[i].abs().max(1.0),
+                "row {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn apply_skips_inactive_columns() {
+        let adj = CooMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)],
+        )
+        .unwrap();
+        let csc_t = csc_t_of(&adj);
+        // Only vertex 0 active: its lone out-edge 0→1 contributes.
+        let updates = apply(&SpmvOp, &csc_t, &[(0, 1.0)], &[0.0; 3], &[1, 1, 1]);
+        assert_eq!(updates, vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn reductions_combine_parallel_edges() {
+        // Two sources converge on dst 2.
+        let adj =
+            CooMatrix::from_triplets(3, 3, vec![(0, 2, 1.0), (1, 2, 10.0)]).unwrap();
+        let csc_t = csc_t_of(&adj);
+        let updates =
+            apply(&SpmvOp, &csc_t, &[(0, 2.0), (1, 3.0)], &[0.0; 3], &[1, 1, 1]);
+        assert_eq!(updates, vec![(2, 32.0)]);
+    }
+
+    #[test]
+    fn zero_results_filtered_for_spmv() {
+        let adj = CooMatrix::from_triplets(2, 2, vec![(0, 1, 0.0)]).unwrap();
+        let csc_t = csc_t_of(&adj);
+        let updates = apply(&SpmvOp, &csc_t, &[(0, 5.0)], &[0.0; 2], &[1, 1]);
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn scalar_profile_defaults() {
+        let p = SpmvOp.profile();
+        assert_eq!(p.value_words, 1);
+        assert_eq!(p.extra_compute_per_edge, 0);
+    }
+}

@@ -1,0 +1,633 @@
+//! The CoSPARSE runtime: owns the dual-format matrix, drives the
+//! decision tree, triggers hardware reconfiguration, generates kernel
+//! streams, and pairs the simulated timing with the functional result.
+
+use crate::adaptive::AdaptiveState;
+use crate::balance::{self, Balancing};
+use crate::heuristics::{decide, Decision, MatrixSummary, SwConfig, Thresholds};
+use crate::kernels::convert::{self, Direction};
+use crate::kernels::{ip, op};
+use crate::layout::Layout;
+use crate::ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
+use sparse::partition::VBlocks;
+use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
+use transmuter::{HwConfig, Machine, SimError, SimReport};
+
+/// A frontier (input vector) in one of the two representations the
+/// runtime converts between.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frontier {
+    /// Dense representation (inner-product dataflow).
+    Dense(DenseVector<f32>),
+    /// Sparse representation (outer-product dataflow).
+    Sparse(SparseVector<f32>),
+}
+
+impl Frontier {
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        match self {
+            Frontier::Dense(v) => v.len(),
+            Frontier::Sparse(v) => v.dim(),
+        }
+    }
+
+    /// Number of nonzero (active) elements.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Frontier::Dense(v) => v.iter().filter(|x| **x != 0.0).count(),
+            Frontier::Sparse(v) => v.nnz(),
+        }
+    }
+
+    /// Active fraction — the quantity the decision tree keys on.
+    pub fn density(&self) -> f64 {
+        let d = self.dim();
+        if d == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / d as f64
+        }
+    }
+
+    /// Sorted `(index, value)` pairs of the active elements.
+    pub fn active_entries(&self) -> Vec<(Idx, f32)> {
+        match self {
+            Frontier::Dense(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| **x != 0.0)
+                .map(|(i, x)| (i as Idx, *x))
+                .collect(),
+            Frontier::Sparse(v) => v.iter().collect(),
+        }
+    }
+
+    /// True for the sparse representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Frontier::Sparse(_))
+    }
+}
+
+/// How the runtime chooses configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's automatic decision tree (the default).
+    Auto,
+    /// A fixed software/hardware pair — used for baselines and for the
+    /// per-configuration columns of Figure 9.
+    Fixed(SwConfig, HwConfig),
+    /// The decision tree refined online from observed iteration costs
+    /// (see [`crate::adaptive::AdaptiveState`]; extension beyond the
+    /// paper).
+    Adaptive,
+}
+
+/// Outcome of one plain SpMV invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvOutcome {
+    /// Chosen dataflow.
+    pub software: SwConfig,
+    /// Chosen memory configuration.
+    pub hardware: HwConfig,
+    /// Simulated timing/energy (reconfiguration and any frontier
+    /// conversion included).
+    pub report: SimReport,
+    /// The product vector, in the representation the dataflow produces
+    /// (dense for IP, sparse for OP).
+    pub result: Frontier,
+}
+
+/// Outcome of one generic graph-op step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome<V> {
+    /// Chosen dataflow.
+    pub software: SwConfig,
+    /// Chosen memory configuration.
+    pub hardware: HwConfig,
+    /// Simulated timing/energy.
+    pub report: SimReport,
+    /// State updates that passed [`GraphOp::is_update`], sorted by
+    /// destination.
+    pub updates: Vec<Update<V>>,
+}
+
+/// The CoSPARSE runtime for one operand matrix.
+///
+/// Computes `y = M * x` under the generalized semiring of a
+/// [`GraphOp`]. Graph engines pass the *transposed* adjacency matrix so
+/// that `y[dst]` reduces over in-edges (`f_next = SpMV(G.T, f)`,
+/// §III).
+#[derive(Debug)]
+pub struct CoSparse {
+    coo: CooMatrix,
+    csc: CscMatrix,
+    /// Out-degree of each frontier index in the original graph
+    /// (= column counts of the operand matrix).
+    degrees: Vec<u32>,
+    row_counts: Vec<usize>,
+    machine: Machine,
+    thresholds: Thresholds,
+    balancing: Balancing,
+    policy: Policy,
+    prev_sw: Option<SwConfig>,
+    adaptive: AdaptiveState,
+}
+
+impl CoSparse {
+    /// Creates a runtime for `matrix` on `machine`, storing the COO and
+    /// CSC copies (§III-D.2) and precomputing partitioning metadata.
+    pub fn new(matrix: &CooMatrix, machine: Machine) -> Self {
+        let csc = CscMatrix::from(matrix);
+        let degrees = matrix.col_counts().into_iter().map(|c| c as u32).collect();
+        let row_counts = matrix.row_counts();
+        CoSparse {
+            coo: matrix.clone(),
+            csc,
+            degrees,
+            row_counts,
+            machine,
+            thresholds: Thresholds::paper(),
+            balancing: Balancing::NnzBalanced,
+            policy: Policy::Auto,
+            prev_sw: None,
+            adaptive: AdaptiveState::new(),
+        }
+    }
+
+    /// Overrides the decision thresholds.
+    pub fn set_thresholds(&mut self, thresholds: Thresholds) {
+        self.thresholds = thresholds;
+    }
+
+    /// Selects the workload-balancing scheme (default: nnz-balanced).
+    pub fn set_balancing(&mut self, balancing: Balancing) {
+        self.balancing = balancing;
+    }
+
+    /// Selects the configuration policy (default: [`Policy::Auto`]).
+    /// Switching policy clears any adaptive observations.
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+        self.prev_sw = None;
+        self.adaptive = AdaptiveState::new();
+    }
+
+    /// Observations collected so far under [`Policy::Adaptive`].
+    pub fn adaptive_observations(&self) -> usize {
+        self.adaptive.observations()
+    }
+
+    /// The operand matrix (COO copy).
+    pub fn matrix(&self) -> &CooMatrix {
+        &self.coo
+    }
+
+    /// The operand matrix (CSC copy).
+    pub fn matrix_csc(&self) -> &CscMatrix {
+        &self.csc
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Structural summary used by the decision tree.
+    pub fn summary(&self) -> MatrixSummary {
+        MatrixSummary { rows: self.coo.rows(), cols: self.coo.cols(), nnz: self.coo.nnz() }
+    }
+
+    /// Runs the decision tree for a frontier of the given density
+    /// (respecting a fixed policy when one is set).
+    pub fn decide(&self, vector_density: f64, profile: &OpProfile) -> Decision {
+        let tree = || {
+            decide(
+                self.summary(),
+                vector_density,
+                self.machine.geometry(),
+                self.machine.uarch(),
+                &self.thresholds,
+                profile,
+            )
+        };
+        match self.policy {
+            Policy::Auto => tree(),
+            Policy::Fixed(sw, hw) => Decision { software: sw, hardware: hw, cvd: f64::NAN },
+            Policy::Adaptive => self.adaptive.choose(vector_density, tree()),
+        }
+    }
+
+    /// Simulates one SpMV's access pattern for the given active indices
+    /// under `decision`, including reconfiguration and (when the
+    /// dataflow changed representation) frontier conversion cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`SimError`]).
+    pub fn execute(
+        &mut self,
+        decision: Decision,
+        active: &[Idx],
+        profile: &OpProfile,
+    ) -> Result<SimReport, SimError> {
+        let geometry = self.machine.geometry();
+        let layout = Layout::new(
+            self.coo.rows(),
+            self.coo.cols(),
+            self.coo.nnz(),
+            geometry,
+            profile.value_words,
+        );
+        self.machine.reconfigure(decision.hardware);
+
+        // Frontier representation conversion (§III-D.2) when the
+        // dataflow changed since the previous invocation.
+        let conversion = match (self.prev_sw, decision.software) {
+            (Some(SwConfig::InnerProduct), SwConfig::OuterProduct) => {
+                Some(Direction::DenseToSparse)
+            }
+            (Some(SwConfig::OuterProduct), SwConfig::InnerProduct) => {
+                Some(Direction::SparseToDense)
+            }
+            _ => None,
+        };
+        let mut conversion_report = None;
+        if let Some(direction) = conversion {
+            let streams = convert::streams(
+                &layout,
+                geometry,
+                self.coo.cols(),
+                active.len(),
+                direction,
+                *profile,
+            );
+            conversion_report = Some(self.machine.run(streams)?);
+        }
+        self.prev_sw = Some(decision.software);
+
+        let mut report = match decision.software {
+            SwConfig::InnerProduct => {
+                let partition = balance::ip_partitions(&self.row_counts, geometry, self.balancing);
+                let use_spm = decision.hardware == HwConfig::Scs;
+                let vblocks = self.ip_vblocks(use_spm, profile);
+                // §IV-C.1: IP inspects every vector element but skips the
+                // MAC and output accesses for zeros.
+                let mask: Option<Vec<bool>> = if active.len() < self.coo.cols() {
+                    let mut m = vec![false; self.coo.cols()];
+                    for &i in active {
+                        m[i as usize] = true;
+                    }
+                    Some(m)
+                } else {
+                    None
+                };
+                let params = ip::IpParams {
+                    layout: &layout,
+                    partition: &partition,
+                    vblocks: &vblocks,
+                    use_spm,
+                    active: mask.as_deref(),
+                    profile: *profile,
+                };
+                self.machine.run(ip::streams(&self.coo, geometry, params))?
+            }
+            SwConfig::OuterProduct => {
+                let tile_parts =
+                    balance::op_tile_partitions(&self.row_counts, geometry, self.balancing);
+                let heap_in_spm = decision.hardware == HwConfig::Ps;
+                let spm_node_cap = self.machine.uarch().bank_bytes / 8;
+                let params = op::OpParams {
+                    layout: &layout,
+                    tile_parts: &tile_parts,
+                    frontier: active,
+                    heap_in_spm,
+                    spm_node_cap,
+                    profile: *profile,
+                };
+                self.machine.run(op::streams(&self.csc, geometry, params))?
+            }
+        };
+        if let Some(conv) = conversion_report {
+            report.accumulate(&conv);
+        }
+        Ok(report)
+    }
+
+    /// Picks the vblock width for an IP pass: the SPM capacity per tile
+    /// in SCS mode, or the L1 cache capacity in SC mode (vertical
+    /// partitioning "is not required for the SC mode but can still be
+    /// beneficial", §III-B).
+    fn ip_vblocks(&self, use_spm: bool, profile: &OpProfile) -> VBlocks {
+        let ua = self.machine.uarch();
+        let b = self.machine.geometry().pes_per_tile();
+        let bytes = if use_spm {
+            ua.spm_bytes_per_tile(b, HwConfig::Scs.l1())
+        } else {
+            // SC: all B banks are cache.
+            b * ua.bank_bytes
+        };
+        let elems = (bytes / 4 / profile.value_words).max(1);
+        if elems >= self.coo.cols() {
+            VBlocks::whole(self.coo.cols())
+        } else {
+            VBlocks::new(self.coo.cols(), elems)
+        }
+    }
+
+    /// One reconfigured SpMV: decides configurations from the frontier's
+    /// density, simulates the access pattern, and computes `y = M * x`
+    /// functionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frontier dimension does not match the matrix
+    /// column count.
+    pub fn spmv(&mut self, frontier: &Frontier) -> Result<SpmvOutcome, SimError> {
+        assert_eq!(frontier.dim(), self.coo.cols(), "frontier dimension mismatch");
+        let profile = OpProfile::scalar();
+        let density = frontier.density();
+        let decision = self.decide(density, &profile);
+        let entries = frontier.active_entries();
+        let active: Vec<Idx> = entries.iter().map(|&(i, _)| i).collect();
+        let report = self.execute(decision, &active, &profile)?;
+        if self.policy == Policy::Adaptive {
+            self.adaptive.record(density, decision.software, decision.hardware, report.cycles);
+        }
+
+        // Functional product (golden model).
+        let state = vec![0.0f32; self.coo.rows()];
+        let updates = apply(&SpmvOp, &self.csc, &entries, &state, &self.degrees);
+        let result = match decision.software {
+            SwConfig::InnerProduct => {
+                let mut y = DenseVector::filled(self.coo.rows(), 0.0f32);
+                for (dst, v) in updates {
+                    y[dst as usize] = v;
+                }
+                Frontier::Dense(y)
+            }
+            SwConfig::OuterProduct => Frontier::Sparse(
+                SparseVector::from_sorted(self.coo.rows(), updates)
+                    .expect("apply returns sorted unique destinations"),
+            ),
+        };
+        Ok(SpmvOutcome {
+            software: decision.software,
+            hardware: decision.hardware,
+            report,
+            result,
+        })
+    }
+
+    /// One reconfigured step of a graph algorithm: `active` holds the
+    /// frontier's `(index, value)` pairs, `state` the per-vertex state.
+    /// Returns the updates and the simulated timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn step<O: GraphOp>(
+        &mut self,
+        op: &O,
+        active: &[(Idx, O::Value)],
+        state: &[O::Value],
+    ) -> Result<StepOutcome<O::Value>, SimError> {
+        let profile = op.profile();
+        let density = if self.coo.cols() == 0 {
+            0.0
+        } else {
+            active.len() as f64 / self.coo.cols() as f64
+        };
+        let decision = self.decide(density, &profile);
+        let indices: Vec<Idx> = active.iter().map(|&(i, _)| i).collect();
+        let report = self.execute(decision, &indices, &profile)?;
+        if self.policy == Policy::Adaptive {
+            self.adaptive.record(density, decision.software, decision.hardware, report.cycles);
+        }
+        let updates = apply(op, &self.csc, active, state, &self.degrees);
+        Ok(StepOutcome {
+            software: decision.software,
+            hardware: decision.hardware,
+            report,
+            updates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmuter::{Geometry, MicroArch};
+
+    fn runtime(n: usize, nnz: usize) -> CoSparse {
+        let m = sparse::generate::uniform(n, n, nnz, 21).unwrap();
+        let machine = Machine::new(Geometry::new(2, 4), MicroArch::paper());
+        CoSparse::new(&m, machine)
+    }
+
+    #[test]
+    fn dense_frontier_runs_ip() {
+        let mut rt = runtime(512, 8000);
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(512, 3));
+        let out = rt.spmv(&x).unwrap();
+        assert_eq!(out.software, SwConfig::InnerProduct);
+        assert!(matches!(out.result, Frontier::Dense(_)));
+        assert!(out.report.cycles > 0);
+    }
+
+    #[test]
+    fn sparse_frontier_runs_op() {
+        let mut rt = runtime(4096, 40_000);
+        let x = Frontier::Sparse(
+            sparse::generate::random_sparse_vector(4096, 0.002, 5).unwrap(),
+        );
+        let out = rt.spmv(&x).unwrap();
+        assert_eq!(out.software, SwConfig::OuterProduct);
+        assert!(matches!(out.result, Frontier::Sparse(_)));
+    }
+
+    #[test]
+    fn result_matches_reference() {
+        let m = sparse::generate::uniform(256, 256, 4000, 9).unwrap();
+        let machine = Machine::new(Geometry::new(2, 4), MicroArch::paper());
+        let mut rt = CoSparse::new(&m, machine);
+        let xd = sparse::generate::random_dense_vector(256, 1);
+        let want = m.spmv_dense(&xd).unwrap();
+        let out = rt.spmv(&Frontier::Dense(xd)).unwrap();
+        match out.result {
+            Frontier::Dense(y) => {
+                for i in 0..256 {
+                    assert!((y[i] - want[i]).abs() < 1e-3 * want[i].abs().max(1.0));
+                }
+            }
+            other => panic!("expected dense result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_policy_is_respected() {
+        let mut rt = runtime(512, 8000);
+        rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Ps));
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(512, 3));
+        let out = rt.spmv(&x).unwrap();
+        assert_eq!(out.software, SwConfig::OuterProduct);
+        assert_eq!(out.hardware, HwConfig::Ps);
+    }
+
+    #[test]
+    fn dataflow_switch_charges_conversion() {
+        let mut rt = runtime(4096, 40_000);
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        let dense = Frontier::Dense(sparse::generate::random_dense_vector(4096, 3));
+        let first = rt.spmv(&dense).unwrap();
+        // Switch to OP: the frontier must be converted dense→sparse.
+        rt.policy = Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc);
+        let sparse_f = Frontier::Sparse(
+            sparse::generate::random_sparse_vector(4096, 0.01, 2).unwrap(),
+        );
+        let second = rt.spmv(&sparse_f).unwrap();
+        // Conversion adds ≥ dim loads on top of OP's own work.
+        assert!(
+            second.report.stats.loads >= 4096,
+            "conversion loads missing: {}",
+            second.report.stats.loads
+        );
+        assert!(first.report.stats.reconfigurations <= 1);
+        assert_eq!(second.report.stats.reconfigurations, 1);
+    }
+
+    #[test]
+    fn op_cheaper_than_ip_for_very_sparse_frontier() {
+        let mut rt = runtime(8192, 80_000);
+        let sparse_f = sparse::generate::random_sparse_vector(8192, 0.001, 7).unwrap();
+        rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+        let op_time = rt.spmv(&Frontier::Sparse(sparse_f.clone())).unwrap().report.cycles;
+        let mut rt2 = runtime(8192, 80_000);
+        rt2.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        let ip_time = rt2
+            .spmv(&Frontier::Dense(sparse_f.to_dense(0.0)))
+            .unwrap()
+            .report
+            .cycles;
+        assert!(
+            op_time * 3 < ip_time,
+            "OP ({op_time}) should dominate IP ({ip_time}) at 0.1% density"
+        );
+    }
+
+    #[test]
+    fn step_with_custom_op() {
+        // Min-plus (SSSP-like) op over a tiny graph.
+        #[derive(Debug)]
+        struct MinPlus;
+        impl GraphOp for MinPlus {
+            type Value = f32;
+            fn matrix_op(&self, w: f32, src: f32, _dst: f32, _deg: u32) -> f32 {
+                src + w
+            }
+            fn reduce(&self, a: f32, b: f32) -> f32 {
+                a.min(b)
+            }
+            fn is_update(&self, new: f32, old: f32) -> bool {
+                new < old
+            }
+        }
+        let mut rt = runtime(256, 2000);
+        let state = vec![f32::INFINITY; 256];
+        let out = rt.step(&MinPlus, &[(0, 0.0)], &state).unwrap();
+        // Source 0's neighbours get finite distances.
+        let expected: usize = rt.matrix_csc().col_nnz(0);
+        assert_eq!(out.updates.len(), expected);
+        assert!(out.report.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let mut rt = runtime(128, 500);
+        let x = Frontier::Dense(DenseVector::filled(64, 1.0f32));
+        let _ = rt.spmv(&x);
+    }
+}
+
+#[cfg(test)]
+mod frontier_tests {
+    use super::*;
+
+    #[test]
+    fn frontier_accessors() {
+        let d = Frontier::Dense(DenseVector::from(vec![0.0f32, 2.0, 0.0, 3.0]));
+        assert_eq!(d.dim(), 4);
+        assert_eq!(d.nnz(), 2);
+        assert_eq!(d.density(), 0.5);
+        assert!(!d.is_sparse());
+        assert_eq!(d.active_entries(), vec![(1, 2.0), (3, 3.0)]);
+
+        let s = Frontier::Sparse(
+            SparseVector::from_entries(4, vec![(1, 2.0f32), (3, 3.0)]).unwrap(),
+        );
+        assert!(s.is_sparse());
+        assert_eq!(s.active_entries(), d.active_entries());
+        assert_eq!(s.density(), 0.5);
+    }
+
+    #[test]
+    fn zero_dim_frontier() {
+        let d = Frontier::Dense(DenseVector::from(Vec::<f32>::new()));
+        assert_eq!(d.density(), 0.0);
+        assert_eq!(d.nnz(), 0);
+    }
+
+    #[test]
+    fn empty_sparse_frontier_runs() {
+        let m = sparse::generate::uniform(128, 128, 500, 3).unwrap();
+        let machine = Machine::new(transmuter::Geometry::new(1, 2), transmuter::MicroArch::paper());
+        let mut rt = CoSparse::new(&m, machine);
+        let out = rt.spmv(&Frontier::Sparse(SparseVector::new(128))).unwrap();
+        assert_eq!(out.software, SwConfig::OuterProduct);
+        match out.result {
+            Frontier::Sparse(v) => assert_eq!(v.nnz(), 0),
+            other => panic!("expected sparse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_records_via_spmv() {
+        let m = sparse::generate::uniform(1024, 1024, 8000, 5).unwrap();
+        let machine = Machine::new(transmuter::Geometry::new(2, 4), transmuter::MicroArch::paper());
+        let mut rt = CoSparse::new(&m, machine);
+        rt.set_policy(Policy::Adaptive);
+        assert_eq!(rt.adaptive_observations(), 0);
+        for i in 0..3 {
+            let sv = sparse::generate::random_sparse_vector(1024, 0.02, i).unwrap();
+            let _ = rt.spmv(&Frontier::Sparse(sv)).unwrap();
+        }
+        assert!(rt.adaptive_observations() >= 2, "adaptive should explore");
+        // Switching policy resets the observations.
+        rt.set_policy(Policy::Auto);
+        assert_eq!(rt.adaptive_observations(), 0);
+    }
+
+    #[test]
+    fn repeated_spmv_reuses_warm_machine() {
+        let m = sparse::generate::uniform(2048, 2048, 30_000, 4).unwrap();
+        let machine = Machine::new(transmuter::Geometry::new(2, 4), transmuter::MicroArch::paper());
+        let mut rt = CoSparse::new(&m, machine);
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(2048, 1));
+        let first = rt.spmv(&x).unwrap().report;
+        let second = rt.spmv(&x).unwrap().report;
+        assert!(
+            second.cycles < first.cycles,
+            "warm caches should help: {} vs {}",
+            second.cycles,
+            first.cycles
+        );
+        // No reconfiguration between same-config runs.
+        assert_eq!(second.stats.reconfigurations, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Breadth-First Search on the SpMV abstraction.
+//!
+//! Table I: `Matrix_Op = min(V_src)`, no `Vector_Op`. The frontier
+//! carries each frontier vertex's own id; an unvisited destination
+//! adopts the smallest frontier id as its parent. The frontier is the
+//! classic sparse→dense→sparse shape that drives reconfiguration.
+
+use crate::engine::Algorithm;
+use cosparse::{GraphOp, OpProfile};
+use sparse::Idx;
+
+/// Sentinel for "not yet visited".
+pub const UNVISITED: u32 = u32::MAX;
+
+/// The BFS op: parents via `min` over frontier ids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsOp;
+
+impl GraphOp for BfsOp {
+    type Value = u32;
+
+    fn matrix_op(&self, _w: f32, src_value: u32, _dst: u32, _deg: u32) -> u32 {
+        src_value
+    }
+
+    fn reduce(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn is_update(&self, _new: u32, old: u32) -> bool {
+        old == UNVISITED
+    }
+
+    fn profile(&self) -> OpProfile {
+        OpProfile { value_words: 1, extra_compute_per_edge: 0, vector_op_compute: 0 }
+    }
+}
+
+/// BFS from a root vertex; state is the parent array (root's parent is
+/// itself, unreached vertices stay [`UNVISITED`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    root: Idx,
+    op: BfsOp,
+}
+
+impl Bfs {
+    /// BFS from `root`.
+    pub fn new(root: Idx) -> Self {
+        Bfs { root, op: BfsOp }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> Idx {
+        self.root
+    }
+}
+
+impl Algorithm for Bfs {
+    type Op = BfsOp;
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn op(&self, _vertices: usize) -> BfsOp {
+        self.op
+    }
+
+    fn initial_state(&self, vertices: usize) -> Vec<u32> {
+        let mut s = vec![UNVISITED; vertices];
+        if (self.root as usize) < vertices {
+            s[self.root as usize] = self.root;
+        }
+        s
+    }
+
+    fn initial_frontier(&self, vertices: usize) -> Vec<(Idx, u32)> {
+        if (self.root as usize) < vertices {
+            vec![(self.root, self.root)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn frontier_value(&self, vertex: Idx, _new_value: u32) -> u32 {
+        // The next frontier advertises the vertex's own id as parent.
+        vertex
+    }
+
+    fn max_iterations(&self, vertices: usize) -> usize {
+        vertices.max(1)
+    }
+}
+
+/// Host reference BFS: returns `(parents, levels)` with the same
+/// min-parent tie-break as the SpMV formulation.
+pub fn reference(adjacency: &sparse::CsrMatrix, root: Idx) -> (Vec<u32>, Vec<u32>) {
+    let n = adjacency.rows();
+    let mut parent = vec![UNVISITED; n];
+    let mut level = vec![UNVISITED; n];
+    if (root as usize) >= n {
+        return (parent, level);
+    }
+    parent[root as usize] = root;
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut seen: Vec<(Idx, Idx)> = Vec::new(); // (dst, candidate parent)
+        for &u in &frontier {
+            let (dsts, _) = adjacency.row(u as usize);
+            for &v in dsts {
+                if parent[v as usize] == UNVISITED {
+                    seen.push((v, u));
+                }
+            }
+        }
+        // min-parent tie-break, matching the SpMV reduce.
+        seen.sort_unstable();
+        let mut next = Vec::new();
+        for (v, u) in seen {
+            if parent[v as usize] == UNVISITED {
+                parent[v as usize] = u;
+                level[v as usize] = depth;
+                next.push(v);
+            } else if u < parent[v as usize] && level[v as usize] == depth {
+                parent[v as usize] = u;
+            }
+        }
+        frontier = next;
+    }
+    (parent, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use sparse::{CooMatrix, CsrMatrix};
+    use transmuter::{Geometry, Machine, MicroArch};
+
+    fn engine(adj: &CooMatrix) -> Engine {
+        Engine::new(adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()))
+    }
+
+    #[test]
+    fn chain_graph_visits_in_order() {
+        // 0 → 1 → 2 → 3
+        let adj = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let mut e = engine(&adj);
+        let r = e.run(&Bfs::new(0)).unwrap();
+        assert_eq!(r.state, vec![0, 0, 1, 2]);
+        // Three discovery iterations plus the final empty-probe one.
+        assert_eq!(r.iterations.len(), 4);
+        assert_eq!(r.iterations.last().unwrap().updates, 0);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        let adj = sparse::generate::uniform(512, 512, 3000, 33).unwrap();
+        let csr = CsrMatrix::from(&adj);
+        let (want_parent, _) = reference(&csr, 0);
+        let mut e = engine(&adj);
+        let r = e.run(&Bfs::new(0)).unwrap();
+        assert_eq!(r.state, want_parent);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unvisited() {
+        // Two components: {0,1} and {2,3}.
+        let adj =
+            CooMatrix::from_triplets(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut e = engine(&adj);
+        let r = e.run(&Bfs::new(0)).unwrap();
+        assert_eq!(r.state[2], UNVISITED);
+        assert_eq!(r.state[3], UNVISITED);
+        assert_eq!(r.state[1], 0);
+    }
+
+    #[test]
+    fn frontier_density_rises_then_falls() {
+        // R-MAT analogue: BFS frontier should peak mid-run.
+        let adj = sparse::generate::rmat(11, 30_000, Default::default(), 3).unwrap();
+        let mut e = engine(&adj);
+        let r = e.run(&Bfs::new(0)).unwrap();
+        let densities: Vec<f64> = r.iterations.iter().map(|i| i.frontier_density).collect();
+        let peak = densities.iter().cloned().fold(0.0, f64::max);
+        assert!(peak > densities[0], "frontier should grow from the root");
+        assert!(
+            peak > *densities.last().unwrap(),
+            "frontier should shrink at the end"
+        );
+    }
+
+    #[test]
+    fn reconfiguration_happens_for_social_graphs() {
+        let adj = sparse::generate::rmat(12, 60_000, Default::default(), 9).unwrap();
+        let mut e = engine(&adj);
+        let r = e.run(&Bfs::new(0)).unwrap();
+        let sws: std::collections::HashSet<_> =
+            r.iterations.iter().map(|i| i.software).collect();
+        assert!(
+            sws.len() > 1,
+            "BFS on a social graph should use both dataflows: {sws:?}"
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Connected Components via label propagation — an extension beyond the
+//! paper's four algorithms, expressed in the same `Matrix_Op` /
+//! `Vector_Op` abstraction: `Matrix_Op = min(V_src)`, no `Vector_Op`,
+//! starting from an all-active frontier that thins as labels converge.
+//!
+//! On undirected graphs this computes connected components; on directed
+//! graphs it computes the components of the underlying undirected graph
+//! only if the input was symmetrized first (see
+//! [`crate::cc::symmetrize`]).
+//!
+//! The frontier trajectory is the *reverse* of BFS/SSSP — it starts
+//! fully dense and sparsifies — so CC exercises the IP→OP
+//! reconfiguration direction the Figure 9 trace only shows briefly.
+
+use crate::engine::Algorithm;
+use cosparse::{GraphOp, OpProfile};
+use sparse::{CooMatrix, Idx};
+
+/// The CC op: minimum label propagation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcOp;
+
+impl GraphOp for CcOp {
+    type Value = u32;
+
+    fn matrix_op(&self, _w: f32, src_value: u32, _dst: u32, _deg: u32) -> u32 {
+        src_value
+    }
+
+    fn reduce(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn is_update(&self, new: u32, old: u32) -> bool {
+        new < old
+    }
+
+    fn profile(&self) -> OpProfile {
+        OpProfile::scalar()
+    }
+}
+
+/// Connected components by iterative min-label propagation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectedComponents {
+    op: CcOp,
+}
+
+impl ConnectedComponents {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        ConnectedComponents::default()
+    }
+}
+
+impl Algorithm for ConnectedComponents {
+    type Op = CcOp;
+
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn op(&self, _vertices: usize) -> CcOp {
+        self.op
+    }
+
+    fn initial_state(&self, vertices: usize) -> Vec<u32> {
+        (0..vertices as u32).collect()
+    }
+
+    fn initial_frontier(&self, vertices: usize) -> Vec<(Idx, u32)> {
+        (0..vertices as u32).map(|v| (v, v)).collect()
+    }
+
+    fn frontier_value(&self, _vertex: Idx, new_value: u32) -> u32 {
+        new_value
+    }
+
+    fn max_iterations(&self, vertices: usize) -> usize {
+        vertices.max(1)
+    }
+}
+
+/// Symmetrizes a directed adjacency matrix (adds the reverse of every
+/// edge) so CC components match the underlying undirected graph.
+pub fn symmetrize(adjacency: &CooMatrix) -> CooMatrix {
+    let mut triplets = Vec::with_capacity(adjacency.nnz() * 2);
+    for (u, v, w) in adjacency.iter() {
+        triplets.push((u, v, w));
+        if u != v {
+            triplets.push((v, u, w));
+        }
+    }
+    CooMatrix::from_triplets(adjacency.rows(), adjacency.cols(), triplets)
+        .expect("symmetrizing preserves bounds")
+}
+
+/// Host reference: union-find over the (symmetrized) edge list.
+pub fn reference(adjacency: &CooMatrix) -> Vec<u32> {
+    let n = adjacency.rows();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (u, v, _) in adjacency.iter() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            let (lo, hi) = (ru.min(rv), ru.max(rv));
+            parent[hi as usize] = lo;
+        }
+    }
+    // Canonical labels: minimum vertex id in each component.
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Number of distinct labels in a component assignment.
+pub fn component_count(labels: &[u32]) -> usize {
+    let mut sorted: Vec<u32> = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use transmuter::{Geometry, Machine, MicroArch};
+
+    fn engine(adj: &CooMatrix) -> Engine {
+        Engine::new(adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()))
+    }
+
+    #[test]
+    fn two_components() {
+        // {0,1,2} ring and {3,4} pair, symmetrized.
+        let adj = symmetrize(
+            &CooMatrix::from_triplets(
+                5,
+                5,
+                vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (3, 4, 1.0)],
+            )
+            .unwrap(),
+        );
+        let mut e = engine(&adj);
+        let r = e.run(&ConnectedComponents::new()).unwrap();
+        assert_eq!(r.state, vec![0, 0, 0, 3, 3]);
+        assert_eq!(component_count(&r.state), 2);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        let adj = symmetrize(&sparse::generate::uniform(600, 600, 1200, 3).unwrap());
+        let want = reference(&adj);
+        let mut e = engine(&adj);
+        let r = e.run(&ConnectedComponents::new()).unwrap();
+        assert_eq!(r.state, want);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let adj = CooMatrix::from_triplets(4, 4, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let mut e = engine(&adj);
+        let r = e.run(&ConnectedComponents::new()).unwrap();
+        assert_eq!(r.state[2], 2);
+        assert_eq!(r.state[3], 3);
+        assert_eq!(component_count(&r.state), 3);
+    }
+
+    #[test]
+    fn frontier_starts_dense_and_sparsifies() {
+        let adj = symmetrize(&sparse::generate::rmat(10, 6_000, Default::default(), 8).unwrap());
+        let mut e = engine(&adj);
+        let r = e.run(&ConnectedComponents::new()).unwrap();
+        assert_eq!(r.iterations[0].frontier_density, 1.0);
+        let last = r.iterations.last().unwrap();
+        assert!(last.frontier_density < 0.5, "frontier should thin out");
+        // The dense start must use IP, the sparse tail OP.
+        assert_eq!(r.iterations[0].software, cosparse::SwConfig::InnerProduct);
+    }
+
+    #[test]
+    fn chain_takes_many_iterations() {
+        // A path graph propagates the min label one hop per iteration.
+        let n = 32;
+        let mut t = Vec::new();
+        for v in 0..n - 1 {
+            t.push((v as u32, v as u32 + 1, 1.0));
+            t.push((v as u32 + 1, v as u32, 1.0));
+        }
+        let adj = CooMatrix::from_triplets(n, n, t).unwrap();
+        let mut e = engine(&adj);
+        let r = e.run(&ConnectedComponents::new()).unwrap();
+        assert!(r.state.iter().all(|&l| l == 0));
+        assert!(r.iterations.len() >= n - 2, "label must walk the chain");
+    }
+}

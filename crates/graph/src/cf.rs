@@ -1,0 +1,276 @@
+//! Collaborative Filtering on the SpMV abstraction.
+//!
+//! Table I: `Matrix_Op = Σ ((Sp_{src,dst} − V_src·V_dst)·V_src − λ·V_dst)`,
+//! `Vector_Op = β·V_updated + V_dst` — one gradient-descent step of
+//! matrix factorization per SpMV, with per-vertex latent feature
+//! vectors. The frontier is always dense, and the wide value type
+//! (`K` words per vertex) exercises the runtime's multi-word vector
+//! traffic.
+
+use crate::engine::Algorithm;
+use cosparse::{GraphOp, OpProfile};
+use sparse::Idx;
+
+/// Latent feature dimension (compile-time, so values stay `Copy`).
+pub const FEATURES: usize = 8;
+
+/// A latent feature vector.
+pub type FeatureVec = [f32; FEATURES];
+
+fn dot(a: &FeatureVec, b: &FeatureVec) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Deterministic initial features for vertex `v` (shared by the engine
+/// and the host reference so results are comparable).
+pub fn initial_features(v: Idx) -> FeatureVec {
+    let mut f = [0.0f32; FEATURES];
+    let mut z = (v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    for slot in &mut f {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        *slot = 0.1 + 0.1 * ((z >> 40) as f32 / (1u64 << 24) as f32);
+    }
+    f
+}
+
+/// The CF op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfOp {
+    /// Regularization constant λ.
+    pub lambda: f32,
+    /// Learning rate β.
+    pub beta: f32,
+}
+
+impl GraphOp for CfOp {
+    type Value = FeatureVec;
+
+    fn matrix_op(
+        &self,
+        weight: f32,
+        src_value: FeatureVec,
+        dst_state: FeatureVec,
+        _deg: u32,
+    ) -> FeatureVec {
+        let err = weight - dot(&src_value, &dst_state);
+        let mut g = [0.0f32; FEATURES];
+        for k in 0..FEATURES {
+            g[k] = err * src_value[k] - self.lambda * dst_state[k];
+        }
+        g
+    }
+
+    fn reduce(&self, a: FeatureVec, b: FeatureVec) -> FeatureVec {
+        let mut s = a;
+        for k in 0..FEATURES {
+            s[k] += b[k];
+        }
+        s
+    }
+
+    fn vector_op(&self, updated: FeatureVec, old_state: FeatureVec) -> FeatureVec {
+        let mut s = old_state;
+        for k in 0..FEATURES {
+            s[k] += self.beta * updated[k];
+        }
+        s
+    }
+
+    fn is_update(&self, _new: FeatureVec, _old: FeatureVec) -> bool {
+        true
+    }
+
+    fn profile(&self) -> OpProfile {
+        OpProfile {
+            value_words: FEATURES,
+            // dot product + axpy per edge: ~3 ops per feature.
+            extra_compute_per_edge: (3 * FEATURES) as u32,
+            vector_op_compute: (2 * FEATURES) as u32,
+        }
+    }
+}
+
+/// Collaborative filtering: fixed-round gradient descent.
+#[derive(Debug, Clone, Copy)]
+pub struct Cf {
+    lambda: f32,
+    beta: f32,
+    iterations: usize,
+}
+
+impl Cf {
+    /// CF with regularization `lambda`, learning rate `beta`, for
+    /// `iterations` gradient steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0` or the constants are not positive.
+    pub fn new(lambda: f32, beta: f32, iterations: usize) -> Self {
+        assert!(lambda >= 0.0 && beta > 0.0, "constants must be non-negative");
+        assert!(iterations > 0, "need at least one iteration");
+        Cf { lambda, beta, iterations }
+    }
+}
+
+impl Default for Cf {
+    /// `λ = 0.01`, `β = 0.05`, 10 iterations.
+    fn default() -> Self {
+        Cf::new(0.01, 0.05, 10)
+    }
+}
+
+impl Algorithm for Cf {
+    type Op = CfOp;
+
+    fn name(&self) -> &'static str {
+        "cf"
+    }
+
+    fn op(&self, _vertices: usize) -> CfOp {
+        CfOp { lambda: self.lambda, beta: self.beta }
+    }
+
+    fn initial_state(&self, vertices: usize) -> Vec<FeatureVec> {
+        (0..vertices).map(|v| initial_features(v as Idx)).collect()
+    }
+
+    fn initial_frontier(&self, vertices: usize) -> Vec<(Idx, FeatureVec)> {
+        (0..vertices)
+            .map(|v| (v as Idx, initial_features(v as Idx)))
+            .collect()
+    }
+
+    fn frontier_value(&self, _vertex: Idx, new_value: FeatureVec) -> FeatureVec {
+        new_value
+    }
+
+    fn dense_frontier(&self) -> bool {
+        true
+    }
+
+    fn max_iterations(&self, _vertices: usize) -> usize {
+        self.iterations
+    }
+}
+
+/// Host reference: the same Jacobi-style gradient step applied directly
+/// to the adjacency triplets.
+pub fn reference(
+    adjacency: &sparse::CooMatrix,
+    lambda: f32,
+    beta: f32,
+    iterations: usize,
+) -> Vec<FeatureVec> {
+    let n = adjacency.rows().max(adjacency.cols());
+    let mut x: Vec<FeatureVec> = (0..n).map(|v| initial_features(v as Idx)).collect();
+    for _ in 0..iterations {
+        let mut grad: Vec<FeatureVec> = vec![[0.0; FEATURES]; n];
+        for (u, v, w) in adjacency.iter() {
+            let (u, v) = (u as usize, v as usize);
+            let err = w - dot(&x[u], &x[v]);
+            for k in 0..FEATURES {
+                grad[v][k] += err * x[u][k] - lambda * x[v][k];
+            }
+        }
+        for v in 0..n {
+            for k in 0..FEATURES {
+                x[v][k] += beta * grad[v][k];
+            }
+        }
+    }
+    x
+}
+
+/// Mean squared rating-reconstruction error, the quantity CF minimizes.
+pub fn training_error(adjacency: &sparse::CooMatrix, features: &[FeatureVec]) -> f64 {
+    let mut err = 0.0f64;
+    for (u, v, w) in adjacency.iter() {
+        let e = w - dot(&features[u as usize], &features[v as usize]);
+        err += (e * e) as f64;
+    }
+    err / adjacency.nnz().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use transmuter::{Geometry, Machine, MicroArch};
+
+    fn ratings(n: usize, nnz: usize, seed: u64) -> sparse::CooMatrix {
+        // Symmetrized ratings so both "users" and "items" update.
+        let base = sparse::generate::uniform(n, n, nnz, seed).unwrap();
+        let mut t: Vec<(u32, u32, f32)> = Vec::new();
+        for (u, v, w) in base.iter() {
+            t.push((u, v, w));
+            if u != v {
+                t.push((v, u, w));
+            }
+        }
+        sparse::CooMatrix::from_triplets(n, n, t).unwrap()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let adj = ratings(64, 300, 5);
+        let want = reference(&adj, 0.01, 0.05, 4);
+        let mut e = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+        let r = e.run(&Cf::new(0.01, 0.05, 4)).unwrap();
+        for v in 0..64 {
+            for k in 0..FEATURES {
+                assert!(
+                    (r.state[v][k] - want[v][k]).abs() < 1e-4,
+                    "vertex {v} feature {k}: {} vs {}",
+                    r.state[v][k],
+                    want[v][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_error_decreases() {
+        let adj = ratings(128, 800, 9);
+        let before = training_error(&adj, &Cf::default().initial_state(128));
+        let mut e = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+        let r = e.run(&Cf::new(0.01, 0.05, 10)).unwrap();
+        let after = training_error(&adj, &r.state);
+        assert!(after < before, "error should drop: {before} → {after}");
+    }
+
+    #[test]
+    fn stays_dense_and_inner_product() {
+        let adj = ratings(64, 300, 2);
+        let mut e = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+        let r = e.run(&Cf::new(0.01, 0.05, 3)).unwrap();
+        assert_eq!(r.iterations.len(), 3);
+        assert!(r
+            .iterations
+            .iter()
+            .all(|i| i.software == cosparse::SwConfig::InnerProduct));
+    }
+
+    #[test]
+    fn wide_values_move_more_data_than_scalar_ops() {
+        let adj = ratings(64, 300, 2);
+        let mut e = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+        let cf = e.run(&Cf::new(0.01, 0.05, 1)).unwrap();
+        let mut e2 = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+        let pr = e2.run(&crate::pagerank::PageRank::new(0.15, 1)).unwrap();
+        assert!(
+            cf.iterations[0].report.stats.loads > 2 * pr.iterations[0].report.stats.loads,
+            "CF ({}) should move ≫ data than PR ({})",
+            cf.iterations[0].report.stats.loads,
+            pr.iterations[0].report.stats.loads
+        );
+    }
+
+    #[test]
+    fn initial_features_deterministic_and_bounded() {
+        let a = initial_features(42);
+        let b = initial_features(42);
+        assert_eq!(a, b);
+        assert_ne!(initial_features(1), initial_features(2));
+        assert!(a.iter().all(|x| (0.05..0.3).contains(x)));
+    }
+}

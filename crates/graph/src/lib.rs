@@ -1,0 +1,53 @@
+//! Graph analytics on the CoSPARSE SpMV abstraction (paper §III-D).
+//!
+//! Four algorithms, each defined by its Table I `Matrix_Op`/`Vector_Op`
+//! pair and driven by the iterative [`Engine`]:
+//!
+//! | algorithm | op | frontier |
+//! |---|---|---|
+//! | [`bfs::Bfs`] | `min(V_src)` | sparse → dense → sparse |
+//! | [`sssp::Sssp`] | `min(V_src + Sp, V_dst)` | sparse → dense → sparse |
+//! | [`pagerank::PageRank`] | `Σ V_src/deg(src)`, damped | always dense |
+//! | [`cf::Cf`] | factorization gradient | always dense |
+//! | [`cc::ConnectedComponents`] | `min(V_src)` label propagation | dense → sparse (extension beyond the paper) |
+//! | [`kbfs::KBfs`] | bitwise-OR mask propagation | sparse → dense → sparse (extension) |
+//! | [`bc::betweenness`] | two-phase Brandes over per-level frontiers | forward + backward sweeps (extension) |
+//!
+//! Each iteration the CoSPARSE runtime re-decides the dataflow and
+//! memory configuration from the frontier density; the engine records
+//! the per-iteration decisions and simulated costs (the machinery
+//! behind the paper's Figure 9 case study). Host reference
+//! implementations (`reference` in each module) validate every result.
+//!
+//! # Example
+//!
+//! ```
+//! use graph::{bfs::Bfs, Engine};
+//! use transmuter::{Geometry, Machine, MicroArch};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let adj = sparse::generate::rmat(10, 8_000, Default::default(), 42)?;
+//! let mut engine = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+//! let run = engine.run(&Bfs::new(0))?;
+//! println!(
+//!     "bfs finished in {} iterations, {} cycles",
+//!     run.iterations.len(),
+//!     run.total_cycles()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bfs;
+pub mod bc;
+pub mod cc;
+pub mod cf;
+mod engine;
+pub mod kbfs;
+pub mod pagerank;
+pub mod sssp;
+
+pub use engine::{Algorithm, Engine, IterationRecord, RunResult, Value};

@@ -1,0 +1,303 @@
+use crate::{CooMatrix, DenseVector, Idx, Result, SparseError, SparseVector};
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// This is the storage format CoSPARSE's outer-product (OP) dataflow uses:
+/// a sparse frontier selects a subset of columns, and each PE merge-sorts
+/// the selected columns by row index (§III-A). `col_ptr` gives O(1) access
+/// to each column's contiguous `(row, value)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<Idx>,
+    values: Vec<f32>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `col_ptr` does not have `cols + 1` monotone
+    /// entries ending at `row_idx.len()`, if `row_idx` and `values`
+    /// lengths differ, or if any row index is out of bounds.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Idx>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if col_ptr.len() != cols + 1 {
+            return Err(SparseError::ShapeMismatch {
+                expected: cols + 1,
+                actual: col_ptr.len(),
+                context: "csc col_ptr length",
+            });
+        }
+        if row_idx.len() != values.len() {
+            return Err(SparseError::ShapeMismatch {
+                expected: row_idx.len(),
+                actual: values.len(),
+                context: "csc values length",
+            });
+        }
+        if col_ptr.first() != Some(&0) || col_ptr.last() != Some(&row_idx.len()) {
+            return Err(SparseError::ShapeMismatch {
+                expected: row_idx.len(),
+                actual: *col_ptr.last().unwrap_or(&0),
+                context: "csc col_ptr bounds",
+            });
+        }
+        if col_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::UnsortedEntries { position: 0 });
+        }
+        if let Some(&bad) = row_idx.iter().find(|&&r| r as usize >= rows) {
+            return Err(SparseError::IndexOutOfBounds {
+                row: bad as usize,
+                col: 0,
+                rows,
+                cols,
+            });
+        }
+        Ok(CscMatrix { rows, cols, col_ptr, row_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Fraction of cells that are stored.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The column pointer array (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices, column-major.
+    pub fn row_idx(&self) -> &[Idx] {
+        &self.row_idx
+    }
+
+    /// Values, column-major.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Row indices and values of column `c`, sorted by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> (&[Idx], &[f32]) {
+        let (lo, hi) = (self.col_ptr[c], self.col_ptr[c + 1]);
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Nonzero count of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Reference dense SpMV: `y = A * x` (golden model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn spmv_dense(&self, x: &DenseVector<f32>) -> Result<DenseVector<f32>> {
+        if x.len() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                context: "csc spmv",
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for c in 0..self.cols {
+            let xv = x[c];
+            if xv == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(c);
+            for (r, v) in rows.iter().zip(vals) {
+                y[*r as usize] += v * xv;
+            }
+        }
+        Ok(DenseVector::from(y))
+    }
+
+    /// Reference sparse-vector SpMV: `y = A * x` with sparse `x`, sparse `y`.
+    ///
+    /// Only columns selected by `x`'s nonzeros are touched — exactly the
+    /// work-skipping property that makes the outer-product dataflow win
+    /// for sparse frontiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `x.dim() != self.cols()`.
+    pub fn spmv_sparse(&self, x: &SparseVector<f32>) -> Result<SparseVector<f32>> {
+        if x.dim() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                expected: self.cols,
+                actual: x.dim(),
+                context: "csc sparse spmv",
+            });
+        }
+        let mut acc: Vec<(Idx, f32)> = Vec::new();
+        for (c, xv) in x.iter() {
+            let (rows, vals) = self.col(c as usize);
+            for (r, v) in rows.iter().zip(vals) {
+                acc.push((*r, v * xv));
+            }
+        }
+        acc.sort_unstable_by_key(|&(r, _)| r);
+        let mut merged: Vec<(Idx, f32)> = Vec::with_capacity(acc.len());
+        for (r, v) in acc {
+            match merged.last_mut() {
+                Some((lr, lv)) if *lr == r => *lv += v,
+                _ => merged.push((r, v)),
+            }
+        }
+        SparseVector::from_sorted(self.rows, merged)
+    }
+}
+
+impl From<&CooMatrix> for CscMatrix {
+    fn from(coo: &CooMatrix) -> Self {
+        let cols = coo.cols();
+        let mut col_ptr = vec![0usize; cols + 1];
+        for (_, c, _) in coo.iter() {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..cols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0 as Idx; coo.nnz()];
+        let mut values = vec![0.0f32; coo.nnz()];
+        // Row-major input order means each column receives its rows in
+        // increasing row order: columns come out sorted by row.
+        for (r, c, v) in coo.iter() {
+            let slot = cursor[c as usize];
+            row_idx[slot] = r;
+            values[slot] = v;
+            cursor[c as usize] += 1;
+        }
+        CscMatrix { rows: coo.rows(), cols, col_ptr, row_idx, values }
+    }
+}
+
+impl From<&CscMatrix> for CooMatrix {
+    fn from(csc: &CscMatrix) -> Self {
+        let mut triplets = Vec::with_capacity(csc.nnz());
+        for c in 0..csc.cols() {
+            let (rows, vals) = csc.col(c);
+            for (r, v) in rows.iter().zip(vals) {
+                triplets.push((*r, c as Idx, *v));
+            }
+        }
+        CooMatrix::from_triplets(csc.rows(), csc.cols(), triplets)
+            .expect("csc indices are in bounds by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_coo() -> CooMatrix {
+        CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(2, 1, 1.0), (0, 0, 2.0), (0, 3, 3.0), (1, 2, 4.0), (2, 3, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let coo = small_coo();
+        let csc = CscMatrix::from(&coo);
+        assert_eq!(CooMatrix::from(&csc), coo);
+    }
+
+    #[test]
+    fn columns_sorted_by_row() {
+        let csc = CscMatrix::from(&small_coo());
+        for c in 0..csc.cols() {
+            let (rows, _) = csc.col(c);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "column {c} unsorted");
+        }
+    }
+
+    #[test]
+    fn col_access() {
+        let csc = CscMatrix::from(&small_coo());
+        let (rows, vals) = csc.col(3);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[3.0, 5.0]);
+        assert_eq!(csc.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn dense_spmv_matches_coo() {
+        let coo = small_coo();
+        let csc = CscMatrix::from(&coo);
+        let x = DenseVector::from(vec![1.0f32, -1.0, 0.5, 2.0]);
+        assert_eq!(
+            csc.spmv_dense(&x).unwrap().as_slice(),
+            coo.spmv_dense(&x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn sparse_spmv_matches_dense() {
+        let coo = small_coo();
+        let csc = CscMatrix::from(&coo);
+        let xs = SparseVector::from_entries(4, vec![(1, 2.0f32), (3, -1.0)]).unwrap();
+        let xd = xs.to_dense(0.0);
+        let yd = csc.spmv_dense(&xd).unwrap();
+        let ys = csc.spmv_sparse(&xs).unwrap().to_dense(0.0);
+        assert_eq!(yd.as_slice(), ys.as_slice());
+    }
+
+    #[test]
+    fn sparse_spmv_skips_untouched_columns() {
+        let csc = CscMatrix::from(&small_coo());
+        let xs = SparseVector::from_entries(4, Vec::<(Idx, f32)>::new()).unwrap();
+        let ys = csc.spmv_sparse(&xs).unwrap();
+        assert_eq!(ys.nnz(), 0);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 9], vec![1.0, 1.0]).is_err());
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+    }
+}

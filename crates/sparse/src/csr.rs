@@ -1,0 +1,253 @@
+use crate::{CooMatrix, DenseVector, Idx, Result, SparseError};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// Used by the CPU/Ligra-style baselines (MKL and Ligra both consume CSR)
+/// and as the workhorse format for row partitioning: `row_ptr` makes the
+/// nnz-balanced prefix-scan partitioning of §III-B an `O(P log nnz)`
+/// operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Idx>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row_ptr` does not have `rows + 1` monotone
+    /// entries ending at `col_idx.len()`, if `col_idx` and `values`
+    /// lengths differ, or if any column index is out of bounds.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Idx>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::ShapeMismatch {
+                expected: rows + 1,
+                actual: row_ptr.len(),
+                context: "csr row_ptr length",
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::ShapeMismatch {
+                expected: col_idx.len(),
+                actual: values.len(),
+                context: "csr values length",
+            });
+        }
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&col_idx.len()) {
+            return Err(SparseError::ShapeMismatch {
+                expected: col_idx.len(),
+                actual: *row_ptr.last().unwrap_or(&0),
+                context: "csr row_ptr bounds",
+            });
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::UnsortedEntries { position: 0 });
+        }
+        if let Some(&bad) = col_idx.iter().find(|&&c| c as usize >= cols) {
+            return Err(SparseError::IndexOutOfBounds {
+                row: 0,
+                col: bad as usize,
+                rows,
+                cols,
+            });
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of cells that are stored.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, row-major.
+    pub fn col_idx(&self) -> &[Idx] {
+        &self.col_idx
+    }
+
+    /// Values, row-major.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> (&[Idx], &[f32]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Nonzero count of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Out-degree of every row (alias for per-row nnz), used by PageRank's
+    /// `V[src] / deg(src)` matrix op.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Reference dense SpMV: `y = A * x` (golden model; not on a timing path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn spmv_dense(&self, x: &DenseVector<f32>) -> Result<DenseVector<f32>> {
+        if x.len() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                context: "csr spmv",
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0f32;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            y[r] = acc;
+        }
+        Ok(DenseVector::from(y))
+    }
+}
+
+impl From<&CooMatrix> for CsrMatrix {
+    fn from(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let mut row_ptr = vec![0usize; rows + 1];
+        for (r, _, _) in coo.iter() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        // COO is canonically row-major sorted, so a single pass suffices.
+        let mut col_idx = Vec::with_capacity(coo.nnz());
+        let mut values = Vec::with_capacity(coo.nnz());
+        for (_, c, v) in coo.iter() {
+            col_idx.push(c);
+            values.push(v);
+        }
+        CsrMatrix { rows, cols: coo.cols(), row_ptr, col_idx, values }
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        let mut triplets = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.rows() {
+            let (cols, vals) = csr.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                triplets.push(crate::Triplet { row: r as Idx, col: *c, val: *v });
+            }
+        }
+        CooMatrix::from_sorted_triplets(csr.rows(), csr.cols(), triplets)
+            .expect("csr rows are sorted by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_coo() -> CooMatrix {
+        CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(2, 1, 1.0), (0, 0, 2.0), (0, 3, 3.0), (1, 2, 4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let coo = small_coo();
+        let csr = CsrMatrix::from(&coo);
+        assert_eq!(CooMatrix::from(&csr), coo);
+    }
+
+    #[test]
+    fn row_access() {
+        let csr = CsrMatrix::from(&small_coo());
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[0, 3]);
+        assert_eq!(vals, &[2.0, 3.0]);
+        assert_eq!(csr.row_nnz(1), 1);
+        assert_eq!(csr.out_degrees(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn spmv_matches_coo() {
+        let coo = small_coo();
+        let csr = CsrMatrix::from(&coo);
+        let x = DenseVector::from(vec![1.0f32, -1.0, 0.5, 2.0]);
+        assert_eq!(
+            csr.spmv_dense(&x).unwrap().as_slice(),
+            coo.spmv_dense(&x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // row_ptr ending short of nnz.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // trailing empty row is perfectly legal.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).is_ok());
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err());
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let coo = CooMatrix::from_triplets(4, 4, vec![(3, 0, 1.0)]).unwrap();
+        let csr = CsrMatrix::from(&coo);
+        assert_eq!(csr.row_nnz(0), 0);
+        assert_eq!(csr.row_nnz(3), 1);
+    }
+}

@@ -1,0 +1,112 @@
+use std::fmt;
+
+/// Error type for sparse-matrix construction, conversion and IO.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A row or column index was outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// Operand shapes are incompatible (e.g. SpMV with a wrong-length vector).
+    ShapeMismatch {
+        /// Shape expected by the operation, e.g. the matrix column count.
+        expected: usize,
+        /// Shape actually supplied.
+        actual: usize,
+        /// What the operation was doing.
+        context: &'static str,
+    },
+    /// A vector entry index was outside the declared dimension.
+    VectorIndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Declared dimension.
+        dim: usize,
+    },
+    /// Sparse vector entries were not strictly increasing by index.
+    UnsortedEntries {
+        /// Position of the first violation.
+        position: usize,
+    },
+    /// Matrix Market parsing failed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying IO error.
+    Io(std::io::Error),
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more nonzeros than cells).
+    InvalidGenerator(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
+            ),
+            SparseError::ShapeMismatch { expected, actual, context } => {
+                write!(f, "shape mismatch in {context}: expected {expected}, got {actual}")
+            }
+            SparseError::VectorIndexOutOfBounds { index, dim } => {
+                write!(f, "vector index {index} is outside dimension {dim}")
+            }
+            SparseError::UnsortedEntries { position } => {
+                write!(f, "sparse vector entries are not strictly increasing at position {position}")
+            }
+            SparseError::Parse { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            SparseError::Io(e) => write!(f, "io error: {e}"),
+            SparseError::InvalidGenerator(msg) => write!(f, "invalid generator request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SparseError::ShapeMismatch { expected: 4, actual: 3, context: "spmv" };
+        let s = e.to_string();
+        assert!(s.contains("spmv"));
+        assert!(s.contains('4') && s.contains('3'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = SparseError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,106 @@
+use super::{sample_cdf, sample_distinct, zipf_cdf};
+use crate::{CooMatrix, Idx, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a power-law `rows x cols` matrix with (up to) `nnz` distinct
+/// nonzeros: endpoint popularity follows a Zipf(`alpha`) distribution
+/// over randomly permuted vertex ids, so a few rows/columns are very
+/// dense and most are near-empty — the skew that motivates the paper's
+/// workload-balancing scheme (§III-B, Figure 7).
+///
+/// `alpha` around `0.8..1.2` gives realistic social-network-like skew;
+/// larger values concentrate harder. Heavy-tailed sampling resamples
+/// popular cells often, so for extreme `alpha` the returned matrix may
+/// hold slightly fewer than `nnz` entries; the achieved count is
+/// `matrix.nnz()`.
+///
+/// # Errors
+///
+/// Returns [`crate::SparseError::InvalidGenerator`] if `nnz` exceeds the
+/// number of cells.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), sparse::SparseError> {
+/// let m = sparse::generate::power_law(1 << 12, 1 << 12, 40_000, 1.0, 42)?;
+/// // A power-law matrix concentrates nonzeros in a few heavy rows.
+/// let max_row = m.row_counts().into_iter().max().unwrap();
+/// assert!(max_row > 40_000 / (1 << 12) * 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn power_law(
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    alpha: f64,
+    seed: u64,
+) -> Result<CooMatrix> {
+    let row_cdf = zipf_cdf(rows, alpha);
+    let col_cdf = zipf_cdf(cols, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Permute ids so the heavy vertices are not 0..k (which would give
+    // artificial spatial locality the paper's real graphs do not have).
+    let mut row_perm: Vec<Idx> = (0..rows as Idx).collect();
+    row_perm.shuffle(&mut rng);
+    let mut col_perm: Vec<Idx> = (0..cols as Idx).collect();
+    col_perm.shuffle(&mut rng);
+
+    let cells = sample_distinct(rows, cols, nnz, || {
+        let r = row_perm[sample_cdf(&row_cdf, rng.gen::<f64>())];
+        let c = col_perm[sample_cdf(&col_cdf, rng.gen::<f64>())];
+        (r, c)
+    })?;
+    let mut wrng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+    let triplets = cells
+        .into_iter()
+        .map(|(r, c)| (r, c, 1.0 - wrng.gen::<f32>()))
+        .collect();
+    CooMatrix::from_triplets(rows, cols, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_skewed_compared_to_uniform() {
+        let n = 1 << 10;
+        let nnz = 8_000;
+        let pl = power_law(n, n, nnz, 1.0, 5).unwrap();
+        let un = crate::generate::uniform(n, n, nnz, 5).unwrap();
+        let max_pl = pl.row_counts().into_iter().max().unwrap();
+        let max_un = un.row_counts().into_iter().max().unwrap();
+        assert!(
+            max_pl > 3 * max_un,
+            "power-law max row {max_pl} not ≫ uniform max row {max_un}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = power_law(256, 256, 1000, 1.1, 9).unwrap();
+        let b = power_law(256, 256, 1000, 1.1, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_shape() {
+        let m = power_law(100, 60, 500, 0.9, 1).unwrap();
+        assert_eq!((m.rows(), m.cols()), (100, 60));
+        assert!(m.nnz() <= 500);
+        // Mild skew should still reach the target count.
+        assert!(m.nnz() >= 490, "achieved {}", m.nnz());
+    }
+
+    #[test]
+    fn alpha_zero_degenerates_to_uniformish() {
+        let n = 512;
+        let m = power_law(n, n, 4000, 0.0, 3).unwrap();
+        let max = m.row_counts().into_iter().max().unwrap();
+        assert!(max < 40, "alpha=0 should be near-uniform, max row {max}");
+    }
+}

@@ -1,0 +1,149 @@
+use super::sample_distinct;
+use crate::{CooMatrix, Idx, Result, SparseError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities for the R-MAT recursive matrix generator.
+///
+/// The classic Graph500 parameters are `a=0.57, b=0.19, c=0.19, d=0.05`,
+/// which produce the heavy-tailed degree distributions of real social
+/// networks. Probabilities must sum to 1 (within 1e-6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    fn validate(&self) -> Result<()> {
+        let sum = self.a + self.b + self.c + self.d;
+        if (sum - 1.0).abs() > 1e-6 || [self.a, self.b, self.c, self.d].iter().any(|p| *p < 0.0) {
+            return Err(SparseError::InvalidGenerator(format!(
+                "rmat quadrant probabilities must be non-negative and sum to 1, got {self:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams::GRAPH500
+    }
+}
+
+/// Generates an R-MAT matrix of dimension `2^scale x 2^scale` with (up
+/// to) `nnz` distinct nonzeros.
+///
+/// R-MAT recursively drops each nonzero into one of four quadrants with
+/// probabilities [`RmatParams`]; the self-similar recursion yields
+/// power-law in/out degrees, community structure, and the skew that
+/// stresses CoSPARSE's workload balancing.
+///
+/// Like [`super::power_law`], extreme skew can saturate below `nnz`;
+/// check `matrix.nnz()` when the exact count matters.
+///
+/// # Errors
+///
+/// Returns [`crate::SparseError::InvalidGenerator`] for invalid quadrant
+/// probabilities, a `scale` that overflows `u32` indices (> 31), or an
+/// impossible `nnz`.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::generate::{rmat, RmatParams};
+/// # fn main() -> Result<(), sparse::SparseError> {
+/// let m = rmat(10, 8_000, RmatParams::GRAPH500, 42)?;
+/// assert_eq!(m.rows(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rmat(scale: u32, nnz: usize, params: RmatParams, seed: u64) -> Result<CooMatrix> {
+    params.validate()?;
+    if scale > 31 {
+        return Err(SparseError::InvalidGenerator(format!(
+            "rmat scale {scale} exceeds u32 index space"
+        )));
+    }
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells = sample_distinct(n, n, nnz, || {
+        let (mut r, mut c) = (0u32, 0u32);
+        for _ in 0..scale {
+            let u: f64 = rng.gen();
+            let (dr, dc) = if u < params.a {
+                (0, 0)
+            } else if u < params.a + params.b {
+                (0, 1)
+            } else if u < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r = (r << 1) | dr;
+            c = (c << 1) | dc;
+        }
+        (r as Idx, c as Idx)
+    })?;
+    let mut wrng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+    let triplets = cells
+        .into_iter()
+        .map(|(r, c)| (r, c, 1.0 - wrng.gen::<f32>()))
+        .collect();
+    CooMatrix::from_triplets(n, n, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_power_of_two() {
+        let m = rmat(8, 1000, RmatParams::default(), 1).unwrap();
+        assert_eq!((m.rows(), m.cols()), (256, 256));
+    }
+
+    #[test]
+    fn skewed_toward_low_ids() {
+        // With Graph500 parameters, quadrant (0,0) dominates, so the
+        // first half of rows should hold clearly more than half the mass.
+        let m = rmat(10, 20_000, RmatParams::GRAPH500, 2).unwrap();
+        let counts = m.row_counts();
+        let first_half: usize = counts[..512].iter().sum();
+        assert!(first_half as f64 > 0.6 * m.nnz() as f64);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad = RmatParams { a: 0.9, b: 0.3, c: 0.0, d: 0.0 };
+        assert!(rmat(4, 10, bad, 0).is_err());
+        assert!(rmat(40, 10, RmatParams::default(), 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(9, 3000, RmatParams::default(), 77).unwrap();
+        let b = rmat(9, 3000, RmatParams::default(), 77).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_params_give_balanced_quadrants() {
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let m = rmat(9, 10_000, p, 3).unwrap();
+        let counts = m.row_counts();
+        let first_half: usize = counts[..256].iter().sum();
+        let frac = first_half as f64 / m.nnz() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "quadrants unbalanced: {frac}");
+    }
+}

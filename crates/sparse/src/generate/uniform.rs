@@ -1,0 +1,77 @@
+use super::sample_distinct;
+use crate::{CooMatrix, Idx, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniformly random `rows x cols` matrix with exactly `nnz`
+/// distinct nonzeros (an Erdős–Rényi `G(n, m)` pattern), weights in
+/// `(0, 1]`.
+///
+/// This is the matrix family behind the paper's threshold-calibration
+/// sweeps (Figures 4–6): `N ∈ {131k, 262k, 524k, 1M}` with a fixed
+/// nonzero budget, so the largest matrix is also the sparsest.
+///
+/// # Errors
+///
+/// Returns [`crate::SparseError::InvalidGenerator`] if `nnz` exceeds the
+/// number of cells.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), sparse::SparseError> {
+/// let m = sparse::generate::uniform(1000, 1000, 5000, 42)?;
+/// assert_eq!(m.nnz(), 5000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> Result<CooMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells = sample_distinct(rows, cols, nnz, || {
+        (rng.gen_range(0..rows) as Idx, rng.gen_range(0..cols) as Idx)
+    })?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let triplets = cells
+        .into_iter()
+        .map(|(r, c)| (r, c, 1.0 - rng.gen::<f32>()))
+        .collect();
+    CooMatrix::from_triplets(rows, cols, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz_and_shape() {
+        let m = uniform(64, 32, 100, 7).unwrap();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (64, 32, 100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform(50, 50, 200, 3).unwrap(), uniform(50, 50, 200, 3).unwrap());
+        assert_ne!(uniform(50, 50, 200, 3).unwrap(), uniform(50, 50, 200, 4).unwrap());
+    }
+
+    #[test]
+    fn weights_positive() {
+        let m = uniform(30, 30, 50, 1).unwrap();
+        assert!(m.iter().all(|(_, _, v)| v > 0.0 && v <= 1.0));
+    }
+
+    #[test]
+    fn full_matrix_possible() {
+        let m = uniform(8, 8, 64, 0).unwrap();
+        assert_eq!(m.nnz(), 64);
+    }
+
+    #[test]
+    fn rows_are_roughly_balanced() {
+        // Uniform sampling should not concentrate mass: with 100 rows and
+        // 10k nonzeros, the max row should stay well under 10x the mean.
+        let m = uniform(100, 100, 5000, 11).unwrap();
+        let max = m.row_counts().into_iter().max().unwrap();
+        assert!(max < 150, "max row nnz {max} too skewed for uniform");
+    }
+}

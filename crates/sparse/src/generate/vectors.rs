@@ -1,0 +1,95 @@
+use crate::{DenseVector, Idx, Result, SparseVector};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+/// Generates a sparse vector of dimension `dim` with exactly
+/// `round(dim * density)` nonzero entries at uniformly random indices,
+/// values in `(0, 1]`.
+///
+/// This is the input-vector generator behind the density sweeps of
+/// Figures 4–6 and 8 (densities 0.0025–0.04 and 0.001–1.0).
+///
+/// # Errors
+///
+/// Returns [`crate::SparseError::InvalidGenerator`] if `density` is not
+/// in `[0, 1]` or is not finite.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), sparse::SparseError> {
+/// let v = sparse::generate::random_sparse_vector(10_000, 0.01, 7)?;
+/// assert_eq!(v.nnz(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_sparse_vector(dim: usize, density: f64, seed: u64) -> Result<SparseVector<f32>> {
+    if !(0.0..=1.0).contains(&density) {
+        return Err(crate::SparseError::InvalidGenerator(format!(
+            "vector density {density} outside [0, 1]"
+        )));
+    }
+    let nnz = ((dim as f64 * density).round() as usize).min(dim);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = sample(&mut rng, dim.max(1), nnz).into_vec();
+    indices.sort_unstable();
+    let entries: Vec<(Idx, f32)> = indices
+        .into_iter()
+        .map(|i| (i as Idx, 1.0 - rng.gen::<f32>()))
+        .collect();
+    SparseVector::from_sorted(dim, entries)
+}
+
+/// Generates a fully dense random vector with values in `(0, 1]`.
+pub fn random_dense_vector(dim: usize, seed: u64) -> DenseVector<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..dim).map(|_| 1.0 - rng.gen::<f32>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz() {
+        let v = random_sparse_vector(1000, 0.05, 1).unwrap();
+        assert_eq!(v.nnz(), 50);
+        assert!((v.density() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_bounds_checked() {
+        assert!(random_sparse_vector(10, -0.1, 0).is_err());
+        assert!(random_sparse_vector(10, 1.5, 0).is_err());
+        assert!(random_sparse_vector(10, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn density_one_is_full() {
+        let v = random_sparse_vector(64, 1.0, 2).unwrap();
+        assert_eq!(v.nnz(), 64);
+    }
+
+    #[test]
+    fn density_zero_is_empty() {
+        let v = random_sparse_vector(64, 0.0, 2).unwrap();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let a = random_sparse_vector(500, 0.1, 9).unwrap();
+        let b = random_sparse_vector(500, 0.1, 9).unwrap();
+        assert_eq!(a, b);
+        let idx: Vec<_> = a.iter().map(|(i, _)| i).collect();
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dense_vector_values_in_range() {
+        let d = random_dense_vector(100, 3);
+        assert_eq!(d.len(), 100);
+        assert!(d.iter().all(|v| *v > 0.0 && *v <= 1.0));
+    }
+}

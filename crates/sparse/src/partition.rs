@@ -1,0 +1,338 @@
+//! Static workload-balancing partitions (§III-B of the paper).
+//!
+//! Both SpMV dataflows first split the matrix into *row partitions with
+//! the same number of nonzero elements* — one per tile (OP) or per PE
+//! (IP) — so every worker receives a similar amount of work regardless
+//! of degree skew. The inner-product dataflow additionally tiles columns
+//! into *vblocks* sized so the corresponding input-vector segment fits
+//! in the shared scratchpad.
+
+use crate::{CooMatrix, CsrMatrix};
+use std::ops::Range;
+
+/// A partition of matrix rows into contiguous ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    ranges: Vec<Range<usize>>,
+    nnz_per_part: Vec<usize>,
+}
+
+impl RowPartition {
+    /// Splits rows into `parts` contiguous ranges with approximately
+    /// equal nonzero counts (the paper's static balancing scheme).
+    ///
+    /// ```
+    /// use sparse::partition::RowPartition;
+    ///
+    /// // The hot row (10 nnz) lands in the second partition, which
+    /// // then takes nothing else it can avoid.
+    /// let p = RowPartition::nnz_balanced(&[1, 1, 10, 1, 1], 2);
+    /// assert_eq!(p.range(0), 0..2);
+    /// assert_eq!(p.part_nnz(1), 12);
+    /// ```
+    ///
+    /// Works from per-row nonzero counts, so it accepts any format.
+    /// Empty parts are possible when `parts > rows` or when single rows
+    /// exceed the nnz budget; ranges always cover all rows exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn nnz_balanced(row_counts: &[usize], parts: usize) -> Self {
+        assert!(parts > 0, "cannot partition into zero parts");
+        let total: usize = row_counts.iter().sum();
+        let mut ranges = Vec::with_capacity(parts);
+        let mut nnz_per_part = Vec::with_capacity(parts);
+        let mut row = 0usize;
+        let mut consumed = 0usize;
+        for p in 0..parts {
+            let start = row;
+            // Cumulative target: keeps rounding errors from piling onto
+            // the last part.
+            let target = total * (p + 1) / parts;
+            let mut part_nnz = 0usize;
+            while row < row_counts.len() && (consumed < target || p == parts - 1) {
+                // Greedy: take the row if it moves us toward the target;
+                // stop once adding it would overshoot more than it helps,
+                // unless the part is still empty.
+                let next = row_counts[row];
+                if consumed + next > target && part_nnz > 0 && p != parts - 1 {
+                    let overshoot = consumed + next - target;
+                    let undershoot = target - consumed;
+                    if overshoot >= undershoot {
+                        break;
+                    }
+                }
+                consumed += next;
+                part_nnz += next;
+                row += 1;
+            }
+            ranges.push(start..row);
+            nnz_per_part.push(part_nnz);
+        }
+        // The final part always absorbs any remaining rows (handled by
+        // the `p == parts - 1` clause above).
+        debug_assert_eq!(row, row_counts.len());
+        RowPartition { ranges, nnz_per_part }
+    }
+
+    /// Naive partitioning into `parts` ranges with equal *row* counts
+    /// (ignoring nnz). This is the "w/o partition" ablation baseline of
+    /// Figure 7: skewed matrices leave some workers nearly idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn equal_rows(row_counts: &[usize], parts: usize) -> Self {
+        assert!(parts > 0, "cannot partition into zero parts");
+        let rows = row_counts.len();
+        let mut ranges = Vec::with_capacity(parts);
+        let mut nnz_per_part = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let start = rows * p / parts;
+            let end = rows * (p + 1) / parts;
+            ranges.push(start..end);
+            nnz_per_part.push(row_counts[start..end].iter().sum());
+        }
+        RowPartition { ranges, nnz_per_part }
+    }
+
+    /// Convenience: nnz-balanced partition of a CSR matrix.
+    pub fn nnz_balanced_csr(m: &CsrMatrix, parts: usize) -> Self {
+        let counts: Vec<usize> = (0..m.rows()).map(|r| m.row_nnz(r)).collect();
+        Self::nnz_balanced(&counts, parts)
+    }
+
+    /// Convenience: nnz-balanced partition of a COO matrix.
+    pub fn nnz_balanced_coo(m: &CooMatrix, parts: usize) -> Self {
+        Self::nnz_balanced(&m.row_counts(), parts)
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if there are no parts (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The row range of part `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.len()`.
+    pub fn range(&self, p: usize) -> Range<usize> {
+        self.ranges[p].clone()
+    }
+
+    /// Nonzero count assigned to part `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.len()`.
+    pub fn part_nnz(&self, p: usize) -> usize {
+        self.nnz_per_part[p]
+    }
+
+    /// Iterates over the row ranges.
+    pub fn iter(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        self.ranges.iter().cloned()
+    }
+
+    /// Load imbalance: `max part nnz / mean part nnz` (1.0 = perfect).
+    /// Returns 1.0 for an all-empty matrix.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.nnz_per_part.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.len() as f64;
+        let max = *self.nnz_per_part.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+
+    /// Maps part `p`'s row range to the contiguous triplet range inside a
+    /// canonical (row-major sorted) COO matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.len()`.
+    pub fn triplet_range(&self, coo: &CooMatrix, p: usize) -> Range<usize> {
+        let rows = self.range(p);
+        let entries = coo.entries();
+        let start = entries.partition_point(|t| (t.row as usize) < rows.start);
+        let end = entries.partition_point(|t| (t.row as usize) < rows.end);
+        start..end
+    }
+}
+
+/// A partition of matrix columns into fixed-width vertical blocks
+/// (vblocks), sized so each block's input-vector segment fits in the
+/// shared scratchpad (§III-A, Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VBlocks {
+    cols: usize,
+    width: usize,
+}
+
+impl VBlocks {
+    /// Creates vblocks of `width` columns over a `cols`-column matrix.
+    ///
+    /// `width` is normally the number of vector elements that fit in the
+    /// L1 SPM assigned to vector storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(cols: usize, width: usize) -> Self {
+        assert!(width > 0, "vblock width must be positive");
+        VBlocks { cols, width }
+    }
+
+    /// A single vblock covering all columns (vblocking disabled — the
+    /// Figure 7 "w/o partition" variant for the vector dimension).
+    pub fn whole(cols: usize) -> Self {
+        VBlocks { cols, width: cols.max(1) }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        if self.cols == 0 {
+            0
+        } else {
+            self.cols.div_ceil(self.width)
+        }
+    }
+
+    /// True if the matrix has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols == 0
+    }
+
+    /// Column range of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.len()`.
+    pub fn range(&self, b: usize) -> Range<usize> {
+        assert!(b < self.len(), "vblock index {b} out of range");
+        let start = b * self.width;
+        start..(start + self.width).min(self.cols)
+    }
+
+    /// Block index owning column `c`.
+    pub fn block_of(&self, c: usize) -> usize {
+        c / self.width
+    }
+
+    /// Iterates over all block column ranges.
+    pub fn iter(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.len()).map(|b| self.range(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{power_law, uniform};
+
+    #[test]
+    fn nnz_balanced_covers_all_rows() {
+        let counts = vec![5, 0, 3, 9, 1, 1, 7, 2];
+        let p = RowPartition::nnz_balanced(&counts, 3);
+        assert_eq!(p.len(), 3);
+        let mut covered = Vec::new();
+        for r in p.iter() {
+            covered.extend(r);
+        }
+        assert_eq!(covered, (0..8).collect::<Vec<_>>());
+        let total: usize = (0..3).map(|i| p.part_nnz(i)).sum();
+        assert_eq!(total, 28);
+    }
+
+    #[test]
+    fn nnz_balanced_beats_equal_rows_on_skew() {
+        let m = power_law(2000, 2000, 30_000, 1.1, 4).unwrap();
+        let counts = m.row_counts();
+        let bal = RowPartition::nnz_balanced(&counts, 16);
+        let naive = RowPartition::equal_rows(&counts, 16);
+        assert!(
+            bal.imbalance() < naive.imbalance(),
+            "balanced {} vs naive {}",
+            bal.imbalance(),
+            naive.imbalance()
+        );
+        assert!(bal.imbalance() < 1.5, "balanced imbalance {}", bal.imbalance());
+    }
+
+    #[test]
+    fn nnz_balanced_on_uniform_is_tight() {
+        let m = uniform(4096, 4096, 60_000, 2).unwrap();
+        let p = RowPartition::nnz_balanced_coo(&m, 32);
+        assert!(p.imbalance() < 1.05, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn more_parts_than_rows() {
+        let counts = vec![4, 4];
+        let p = RowPartition::nnz_balanced(&counts, 5);
+        assert_eq!(p.len(), 5);
+        let covered: usize = p.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn all_empty_rows() {
+        let counts = vec![0; 10];
+        let p = RowPartition::nnz_balanced(&counts, 4);
+        assert_eq!(p.imbalance(), 1.0);
+        let covered: usize = p.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn triplet_range_is_contiguous_and_correct() {
+        let m = uniform(100, 100, 500, 9).unwrap();
+        let p = RowPartition::nnz_balanced_coo(&m, 7);
+        let mut total = 0usize;
+        let mut prev_end = 0usize;
+        for i in 0..p.len() {
+            let tr = p.triplet_range(&m, i);
+            assert_eq!(tr.start, prev_end, "triplet ranges must tile the matrix");
+            prev_end = tr.end;
+            assert_eq!(tr.len(), p.part_nnz(i));
+            for t in &m.entries()[tr.clone()] {
+                assert!(p.range(i).contains(&(t.row as usize)));
+            }
+            total += tr.len();
+        }
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn vblocks_tile_columns() {
+        let vb = VBlocks::new(10, 4);
+        assert_eq!(vb.len(), 3);
+        assert_eq!(vb.range(0), 0..4);
+        assert_eq!(vb.range(2), 8..10);
+        assert_eq!(vb.block_of(9), 2);
+        let covered: usize = vb.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn whole_vblock() {
+        let vb = VBlocks::whole(100);
+        assert_eq!(vb.len(), 1);
+        assert_eq!(vb.range(0), 0..100);
+    }
+
+    #[test]
+    fn zero_cols() {
+        let vb = VBlocks::new(0, 4);
+        assert_eq!(vb.len(), 0);
+        assert!(vb.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+use crate::{Idx, Result, SparseError};
+use std::ops::{Index, IndexMut};
+
+/// A dense vector: every element stored, used as the frontier
+/// representation for the inner-product dataflow (and always for PR/CF).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector<T> {
+    data: Vec<T>,
+}
+
+impl<T: Copy> DenseVector<T> {
+    /// Creates a vector of `len` copies of `fill`.
+    pub fn filled(len: usize, fill: T) -> Self {
+        DenseVector { data: vec![fill; len] }
+    }
+
+    /// Length (dimension) of the vector.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Converts to a sparse vector, keeping entries for which `is_active`
+    /// returns true.
+    ///
+    /// This is the "lightweight vector conversion" of §III-D.2, performed
+    /// when the runtime switches from the IP to the OP dataflow. The
+    /// returned entries are sorted by index (the scan is in order).
+    pub fn to_sparse<F: Fn(&T) -> bool>(&self, is_active: F) -> SparseVector<T> {
+        let entries: Vec<(Idx, T)> = self
+            .data
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| is_active(v))
+            .map(|(i, v)| (i as Idx, *v))
+            .collect();
+        SparseVector { dim: self.data.len(), entries }
+    }
+}
+
+impl<T> From<Vec<T>> for DenseVector<T> {
+    fn from(data: Vec<T>) -> Self {
+        DenseVector { data }
+    }
+}
+
+impl<T> Index<usize> for DenseVector<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> IndexMut<usize> for DenseVector<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<T> FromIterator<T> for DenseVector<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DenseVector { data: iter.into_iter().collect() }
+    }
+}
+
+/// A sparse vector: `(index, value)` tuples sorted by strictly increasing
+/// index, used as the frontier representation for the outer-product
+/// dataflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector<T> {
+    dim: usize,
+    entries: Vec<(Idx, T)>,
+}
+
+impl<T: Copy> SparseVector<T> {
+    /// Creates an empty sparse vector of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        SparseVector { dim, entries: Vec::new() }
+    }
+
+    /// Builds from `(index, value)` entries in any order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an index is `>= dim` or duplicated.
+    pub fn from_entries(dim: usize, mut entries: Vec<(Idx, T)>) -> Result<Self> {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        Self::from_sorted(dim, entries)
+    }
+
+    /// Builds from entries already sorted by strictly increasing index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an index is `>= dim`, or the order is not
+    /// strictly increasing (which includes duplicates).
+    pub fn from_sorted(dim: usize, entries: Vec<(Idx, T)>) -> Result<Self> {
+        for (pos, &(i, _)) in entries.iter().enumerate() {
+            if i as usize >= dim {
+                return Err(SparseError::VectorIndexOutOfBounds { index: i as usize, dim });
+            }
+            if pos > 0 && entries[pos - 1].0 >= i {
+                return Err(SparseError::UnsortedEntries { position: pos });
+            }
+        }
+        Ok(SparseVector { dim, entries })
+    }
+
+    /// Dimension of the vector (not the number of stored entries).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (nonzero / active) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `nnz / dim` — the quantity driving every CoSPARSE reconfiguration
+    /// decision.
+    pub fn density(&self) -> f64 {
+        if self.dim == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 / self.dim as f64
+        }
+    }
+
+    /// The sorted `(index, value)` entries.
+    pub fn entries(&self) -> &[(Idx, T)] {
+        &self.entries
+    }
+
+    /// Iterates over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, T)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Looks up the value at `index`, if stored.
+    pub fn get(&self, index: Idx) -> Option<T> {
+        self.entries
+            .binary_search_by_key(&index, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.entries[pos].1)
+    }
+
+    /// Converts to a dense vector, writing `background` at missing indices.
+    pub fn to_dense(&self, background: T) -> DenseVector<T> {
+        let mut data = vec![background; self.dim];
+        for &(i, v) in &self.entries {
+            data[i as usize] = v;
+        }
+        DenseVector { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip_through_sparse() {
+        let d = DenseVector::from(vec![0.0f32, 1.0, 0.0, 2.0]);
+        let s = d.to_sparse(|v| *v != 0.0);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.density(), 0.5);
+        assert_eq!(s.to_dense(0.0), d);
+    }
+
+    #[test]
+    fn sparse_entries_sorted_and_validated() {
+        let s = SparseVector::from_entries(5, vec![(3, 1.0f32), (1, 2.0)]).unwrap();
+        assert_eq!(s.entries(), &[(1, 2.0), (3, 1.0)]);
+        assert!(SparseVector::from_entries(5, vec![(5, 1.0f32)]).is_err());
+        assert!(SparseVector::from_entries(5, vec![(2, 1.0f32), (2, 2.0)]).is_err());
+        assert!(SparseVector::from_sorted(5, vec![(3, 1.0f32), (1, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn get_binary_search() {
+        let s = SparseVector::from_entries(10, vec![(7, 9.0f32), (2, 4.0)]).unwrap();
+        assert_eq!(s.get(2), Some(4.0));
+        assert_eq!(s.get(7), Some(9.0));
+        assert_eq!(s.get(3), None);
+    }
+
+    #[test]
+    fn empty_vector_density() {
+        let s = SparseVector::<f32>::new(0);
+        assert_eq!(s.density(), 0.0);
+        let s = SparseVector::<f32>::new(4);
+        assert_eq!(s.density(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dense_index_and_collect() {
+        let mut d: DenseVector<i32> = (0..4).collect();
+        d[2] = 9;
+        assert_eq!(d[2], 9);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.into_inner(), vec![0, 1, 9, 3]);
+    }
+
+    #[test]
+    fn filled_constructor() {
+        let d = DenseVector::filled(3, 7u32);
+        assert_eq!(d.as_slice(), &[7, 7, 7]);
+    }
+}

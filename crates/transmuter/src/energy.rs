@@ -1,0 +1,180 @@
+//! Energy model.
+//!
+//! The paper builds a power model "based on the static and dynamic power
+//! of each individual component ... cross-verified with a fabricated
+//! chip prototype" (the 40 nm Transmuter test chip, VLSI'19), with cache
+//! power from CACTI 7.0. We reproduce the same structure: a per-event
+//! dynamic energy table plus per-component static leakage integrated
+//! over the run, with constants in the range CACTI 7.0 reports for
+//! 40 nm SRAM banks and the M4F-class cores the PEs are modeled after.
+//! Ratios (the paper's headline metric) are far more sensitive to event
+//! *counts* — which the simulator measures — than to these constants.
+
+use crate::config::Geometry;
+use crate::stats::SimStats;
+
+/// Per-event dynamic energies (joules) and static power (watts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Energy of one active PE cycle (compute or issue).
+    pub pe_active_j: f64,
+    /// Energy of one stalled/idle PE cycle (clock tree + leakage share).
+    pub pe_stall_j: f64,
+    /// One L1 bank access (cache probe or SPM word).
+    pub l1_access_j: f64,
+    /// One L2 bank access.
+    pub l2_access_j: f64,
+    /// One crossbar traversal.
+    pub xbar_j: f64,
+    /// One 64 B HBM line transfer (read or write).
+    pub hbm_line_j: f64,
+    /// Static power per PE/LCP core.
+    pub static_per_core_w: f64,
+    /// Static power per SRAM bank (L1 + L2).
+    pub static_per_bank_w: f64,
+    /// Static power of the HBM stack + peripherals.
+    pub static_base_w: f64,
+}
+
+impl EnergyModel {
+    /// Constants for the 40 nm prototype-calibrated model.
+    pub fn paper_40nm() -> Self {
+        EnergyModel {
+            pe_active_j: 12.0e-12,
+            pe_stall_j: 2.5e-12,
+            l1_access_j: 5.0e-12,
+            l2_access_j: 8.0e-12,
+            xbar_j: 2.0e-12,
+            hbm_line_j: 2.0e-9, // ~31 pJ/B * 64 B
+            static_per_core_w: 0.4e-3,
+            static_per_bank_w: 0.08e-3,
+            static_base_w: 60.0e-3,
+        }
+    }
+
+    /// Computes the energy breakdown of a run.
+    ///
+    /// `cycles` and `freq_hz` determine the static-energy integration
+    /// window; `geometry` determines how many cores and banks leak.
+    pub fn breakdown(
+        &self,
+        stats: &SimStats,
+        cycles: u64,
+        freq_hz: f64,
+        geometry: Geometry,
+    ) -> EnergyBreakdown {
+        let seconds = cycles as f64 / freq_hz;
+        let cores = geometry.total_workers() as f64;
+        // B L1 banks + B L2 banks per tile regardless of mode.
+        let banks = (geometry.total_pes() * 2) as f64;
+        let pe = stats.compute_cycles as f64 * self.pe_active_j
+            + stats.ops as f64 * self.pe_active_j
+            + (stats.mem_stall_cycles + stats.barrier_stall_cycles) as f64 * self.pe_stall_j;
+        let l1 = (stats.l1_hits + stats.l1_misses + stats.spm_accesses) as f64 * self.l1_access_j;
+        let l2 = (stats.l2_hits + stats.l2_misses + stats.l2_writeback_installs) as f64
+            * self.l2_access_j;
+        let xbar = stats.xbar_traversals as f64 * self.xbar_j;
+        let hbm = (stats.hbm_line_reads + stats.hbm_line_writes) as f64 * self.hbm_line_j;
+        let static_j = seconds
+            * (cores * self.static_per_core_w
+                + banks * self.static_per_bank_w
+                + self.static_base_w);
+        EnergyBreakdown { pe, l1, l2, xbar, hbm, static_j }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::paper_40nm()
+    }
+}
+
+/// Energy of a run split by component, all in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// PE/LCP core energy.
+    pub pe: f64,
+    /// L1 banks (cache probes + SPM accesses).
+    pub l1: f64,
+    /// L2 banks.
+    pub l2: f64,
+    /// Crossbars.
+    pub xbar: f64,
+    /// HBM line transfers.
+    pub hbm: f64,
+    /// Leakage integrated over the run.
+    pub static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.pe + self.l1 + self.l2 + self.xbar + self.hbm + self.static_j
+    }
+
+    /// Field-wise sum.
+    pub fn merge(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            pe: self.pe + other.pe,
+            l1: self.l1 + other.l1,
+            l2: self.l2 + other.l2,
+            xbar: self.xbar + other.xbar,
+            hbm: self.hbm + other.hbm,
+            static_j: self.static_j + other.static_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_power_scales_with_geometry() {
+        let m = EnergyModel::paper_40nm();
+        let s = SimStats::default();
+        let small = m.breakdown(&s, 1000, 1e9, Geometry::new(2, 4));
+        let large = m.breakdown(&s, 1000, 1e9, Geometry::new(16, 16));
+        assert!(large.static_j > small.static_j);
+    }
+
+    #[test]
+    fn average_power_is_sub_watt_for_16x16() {
+        // The paper claims the CPU burns >200x more power than the 16x16
+        // system; a Xeon is ~130 W, so the platform must sit well under
+        // 1 W even with activity.
+        let m = EnergyModel::paper_40nm();
+        let g = Geometry::new(16, 16);
+        let cycles = 1_000_000u64;
+        let stats = SimStats {
+            ops: 50_000_000,
+            compute_cycles: 30_000_000,
+            l1_hits: 40_000_000,
+            l2_hits: 5_000_000,
+            hbm_line_reads: 500_000,
+            xbar_traversals: 45_000_000,
+            ..Default::default()
+        };
+        let b = m.breakdown(&stats, cycles, 1e9, g);
+        let watts = b.total() / (cycles as f64 / 1e9);
+        assert!(watts < 5.0, "implausibly high power {watts} W");
+        assert!(watts > 0.05, "implausibly low power {watts} W");
+    }
+
+    #[test]
+    fn breakdown_total_and_merge() {
+        let a = EnergyBreakdown { pe: 1.0, l1: 2.0, ..Default::default() };
+        let b = EnergyBreakdown { hbm: 3.0, ..Default::default() };
+        assert_eq!(a.total(), 3.0);
+        assert_eq!(a.merge(&b).total(), 6.0);
+    }
+
+    #[test]
+    fn hbm_dominates_for_dram_bound_runs() {
+        let m = EnergyModel::paper_40nm();
+        let stats = SimStats { hbm_line_reads: 1_000_000, ..Default::default() };
+        let b = m.breakdown(&stats, 100_000, 1e9, Geometry::new(4, 8));
+        assert!(b.hbm > b.static_j);
+        assert!(b.hbm > b.pe);
+    }
+}

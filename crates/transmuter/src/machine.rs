@@ -1,0 +1,746 @@
+//! The simulated machine: workers (PEs + LCPs) executing op streams
+//! against the reconfigurable memory system.
+//!
+//! The event loop is batched event-driven: a min-heap orders workers by
+//! their next issue cycle, and all workers issuing in the same cycle are
+//! processed together so same-cycle bank conflicts serialize exactly as
+//! the arbitrated crossbar would.
+
+use crate::config::{Geometry, HwConfig, MicroArch};
+use crate::energy::EnergyModel;
+use crate::memsys::MemorySystem;
+use crate::op::{Op, OpStream};
+use crate::stats::{SimReport, SimStats};
+use crate::trace::{TraceConfig, TraceEvent, Tracer};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Errors surfaced by a simulation run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A worker issued an SPM op while the configuration exposes no SPM.
+    SpmUnavailable {
+        /// The active configuration.
+        config: HwConfig,
+        /// The offending worker id.
+        worker: usize,
+    },
+    /// An LCP issued a tile barrier (tile barriers synchronize PEs only).
+    LcpBarrier {
+        /// The offending tile.
+        tile: usize,
+    },
+    /// The run ended with workers still blocked at a barrier (mismatched
+    /// barrier counts across a tile's streams — a kernel bug).
+    BarrierDeadlock {
+        /// Workers left blocked.
+        blocked: Vec<usize>,
+    },
+    /// The stream set was built for a different geometry.
+    GeometryMismatch {
+        /// Geometry of the machine.
+        machine: Geometry,
+        /// Geometry of the stream set.
+        streams: Geometry,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SpmUnavailable { config, worker } => {
+                write!(f, "worker {worker} issued an spm op but {config} has no scratchpad")
+            }
+            SimError::LcpBarrier { tile } => {
+                write!(f, "lcp of tile {tile} issued a tile barrier")
+            }
+            SimError::BarrierDeadlock { blocked } => {
+                write!(f, "run ended with workers {blocked:?} blocked at a barrier")
+            }
+            SimError::GeometryMismatch { machine, streams } => {
+                write!(f, "stream set built for {streams} but machine is {machine}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-worker op streams for one kernel invocation.
+///
+/// Workers without a stream stay idle. Streams may borrow the workload
+/// (`'a`) — kernels generate ops lazily from matrix storage.
+pub struct StreamSet<'a> {
+    geom: Geometry,
+    streams: Vec<Option<Box<dyn OpStream + 'a>>>,
+}
+
+impl fmt::Debug for StreamSet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamSet")
+            .field("geometry", &self.geom)
+            .field("active", &self.streams.iter().filter(|s| s.is_some()).count())
+            .finish()
+    }
+}
+
+impl<'a> StreamSet<'a> {
+    /// Creates an empty stream set for `geom`.
+    pub fn new(geom: Geometry) -> Self {
+        let mut streams = Vec::with_capacity(geom.total_workers());
+        streams.resize_with(geom.total_workers(), || None);
+        StreamSet { geom, streams }
+    }
+
+    /// Assigns PE `(tile, pe)`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set_pe(&mut self, tile: usize, pe: usize, stream: impl OpStream + 'a) {
+        let id = self.geom.pe_id(tile, pe);
+        self.streams[id] = Some(Box::new(stream));
+    }
+
+    /// Assigns tile `tile`'s LCP stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn set_lcp(&mut self, tile: usize, stream: impl OpStream + 'a) {
+        let id = self.geom.lcp_id(tile);
+        self.streams[id] = Some(Box::new(stream));
+    }
+
+    /// Number of workers with assigned streams.
+    pub fn active(&self) -> usize {
+        self.streams.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Geometry this set was built for.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    expected: usize,
+    waiting: Vec<(u32, u64)>, // (worker, arrival cycle)
+}
+
+/// The simulated Transmuter-like machine.
+#[derive(Debug)]
+pub struct Machine {
+    mem: MemorySystem,
+    energy_model: EnergyModel,
+    carry: SimStats,
+    carry_cycles: u64,
+    tracer: Tracer,
+}
+
+impl Machine {
+    /// Creates a machine in the [`HwConfig::Sc`] baseline configuration.
+    pub fn new(geom: Geometry, ua: MicroArch) -> Self {
+        Machine {
+            mem: MemorySystem::new(geom, ua, HwConfig::Sc),
+            energy_model: EnergyModel::paper_40nm(),
+            carry: SimStats::default(),
+            carry_cycles: 0,
+            tracer: Tracer::default(),
+        }
+    }
+
+    /// Enables (or, with `None`, disables) execution tracing for
+    /// subsequent runs. See [`TraceConfig`].
+    pub fn set_trace(&mut self, config: Option<TraceConfig>) {
+        self.tracer.configure(config);
+    }
+
+    /// Takes the events recorded since tracing was enabled or last
+    /// taken.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take()
+    }
+
+    /// Geometry of the machine.
+    pub fn geometry(&self) -> Geometry {
+        self.mem.geometry()
+    }
+
+    /// Current hardware configuration.
+    pub fn config(&self) -> HwConfig {
+        self.mem.config()
+    }
+
+    /// Microarchitecture parameters.
+    pub fn uarch(&self) -> &MicroArch {
+        self.mem.uarch()
+    }
+
+    /// Replaces the energy model (defaults to the 40 nm paper model).
+    pub fn set_energy_model(&mut self, model: EnergyModel) {
+        self.energy_model = model;
+    }
+
+    /// SPM bytes one tile's PEs can use under the current configuration.
+    pub fn spm_bytes_per_tile(&self) -> usize {
+        self.mem.spm_bytes_per_tile()
+    }
+
+    /// L1 cache bytes per tile under the current configuration.
+    pub fn l1_cache_bytes_per_tile(&self) -> usize {
+        self.mem.l1_cache_bytes_per_tile()
+    }
+
+    /// Runtime-reconfigures the memory system (LCP-triggered in the real
+    /// machine, ≤10-cycle switch plus dirty-line drain). The cost is
+    /// carried into the next [`Machine::run`]'s report. Returns the
+    /// cycle cost (0 when the configuration is unchanged).
+    pub fn reconfigure(&mut self, hw: HwConfig) -> u64 {
+        let before = self.mem.stats;
+        let cost = self.mem.reconfigure(hw);
+        // Isolate the reconfiguration's stat delta into the carry.
+        let mut delta = self.mem.stats;
+        delta = diff(&delta, &before);
+        self.carry = self.carry.merge(&delta);
+        self.carry_cycles += cost;
+        cost
+    }
+
+    /// Runs one kernel invocation: executes every stream to completion
+    /// and reports cycles, stats and energy (including any pending
+    /// reconfiguration cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for geometry mismatches, SPM ops without SPM,
+    /// LCP tile barriers, or barrier deadlocks.
+    pub fn run(&mut self, streams: StreamSet<'_>) -> Result<SimReport, SimError> {
+        let geom = self.geometry();
+        if streams.geometry() != geom {
+            return Err(SimError::GeometryMismatch { machine: geom, streams: streams.geometry() });
+        }
+        self.mem.begin_run();
+
+        let start = self.carry_cycles;
+        let mut streams = streams.streams;
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut tile_barriers: Vec<BarrierState> = Vec::with_capacity(geom.tiles());
+        let mut global_barrier = BarrierState::default();
+        for tile in 0..geom.tiles() {
+            let expected = (0..geom.pes_per_tile())
+                .filter(|&pe| streams[geom.pe_id(tile, pe)].is_some())
+                .count();
+            tile_barriers.push(BarrierState { expected, waiting: Vec::new() });
+        }
+        for (w, s) in streams.iter().enumerate() {
+            if s.is_some() {
+                global_barrier.expected += 1;
+                heap.push(Reverse((start, w as u32)));
+            }
+        }
+
+        let mut last_done = start;
+        while let Some(Reverse((cycle, w))) = heap.pop() {
+            let stream = streams[w as usize].as_mut().expect("scheduled worker has stream");
+            match stream.next() {
+                None => {
+                    last_done = last_done.max(cycle);
+                }
+                Some(op) => {
+                    self.mem.stats.ops += 1;
+                    match op {
+                        Op::Compute(n) => {
+                            let n = n.max(1) as u64;
+                            self.mem.stats.compute_cycles += n;
+                            if self.tracer.enabled() {
+                                self.tracer.record(cycle, cycle + n, w, op);
+                            }
+                            heap.push(Reverse((cycle + n, w)));
+                        }
+                        Op::Load(addr) => {
+                            let done = self.mem.global_access(w as usize, addr, false, cycle);
+                            self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
+                            if self.tracer.enabled() {
+                                self.tracer.record(cycle, done, w, op);
+                            }
+                            heap.push(Reverse((done, w)));
+                        }
+                        Op::Store(addr) => {
+                            let done = self.mem.global_access(w as usize, addr, true, cycle);
+                            self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
+                            if self.tracer.enabled() {
+                                self.tracer.record(cycle, done, w, op);
+                            }
+                            heap.push(Reverse((done, w)));
+                        }
+                        Op::SpmLoad(off) | Op::SpmStore(off) => {
+                            if !self.mem.has_spm() {
+                                return Err(SimError::SpmUnavailable {
+                                    config: self.config(),
+                                    worker: w as usize,
+                                });
+                            }
+                            let is_store = matches!(op, Op::SpmStore(_));
+                            let done = self.mem.spm_access(w as usize, off, is_store, cycle);
+                            self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
+                            if self.tracer.enabled() {
+                                self.tracer.record(cycle, done, w, op);
+                            }
+                            heap.push(Reverse((done, w)));
+                        }
+                        Op::TileBarrier => {
+                            let (tile, pe) = geom.locate(w as usize);
+                            if pe.is_none() {
+                                return Err(SimError::LcpBarrier { tile });
+                            }
+                            let b = &mut tile_barriers[tile];
+                            b.waiting.push((w, cycle));
+                            if b.waiting.len() == b.expected {
+                                release(b, cycle, &mut heap, &mut self.mem.stats);
+                            }
+                        }
+                        Op::GlobalBarrier => {
+                            let b = &mut global_barrier;
+                            b.waiting.push((w, cycle));
+                            if b.waiting.len() == b.expected {
+                                release(b, cycle, &mut heap, &mut self.mem.stats);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut blocked: Vec<usize> = tile_barriers
+            .iter()
+            .flat_map(|b| b.waiting.iter().map(|&(w, _)| w as usize))
+            .collect();
+        blocked.extend(global_barrier.waiting.iter().map(|&(w, _)| w as usize));
+        if !blocked.is_empty() {
+            blocked.sort_unstable();
+            return Err(SimError::BarrierDeadlock { blocked });
+        }
+
+        let stats = self.mem.stats.merge(&self.carry);
+        self.carry = SimStats::default();
+        self.carry_cycles = 0;
+        let cycles = last_done;
+        let ua = self.uarch();
+        let energy = self.energy_model.breakdown(&stats, cycles, ua.freq_hz, geom);
+        Ok(SimReport {
+            geometry: geom,
+            config: self.config(),
+            cycles,
+            seconds: cycles as f64 / ua.freq_hz,
+            stats,
+            energy,
+        })
+    }
+}
+
+fn release(
+    b: &mut BarrierState,
+    cycle: u64,
+    heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    stats: &mut SimStats,
+) {
+    for &(worker, arrived) in &b.waiting {
+        stats.barrier_stall_cycles += cycle - arrived;
+        heap.push(Reverse((cycle + 1, worker)));
+    }
+    b.waiting.clear();
+}
+
+fn diff(after: &SimStats, before: &SimStats) -> SimStats {
+    SimStats {
+        ops: after.ops - before.ops,
+        loads: after.loads - before.loads,
+        stores: after.stores - before.stores,
+        spm_accesses: after.spm_accesses - before.spm_accesses,
+        compute_cycles: after.compute_cycles - before.compute_cycles,
+        mem_stall_cycles: after.mem_stall_cycles - before.mem_stall_cycles,
+        barrier_stall_cycles: after.barrier_stall_cycles - before.barrier_stall_cycles,
+        l1_hits: after.l1_hits - before.l1_hits,
+        l1_misses: after.l1_misses - before.l1_misses,
+        l2_hits: after.l2_hits - before.l2_hits,
+        l2_misses: after.l2_misses - before.l2_misses,
+        l2_writeback_installs: after.l2_writeback_installs - before.l2_writeback_installs,
+        xbar_traversals: after.xbar_traversals - before.xbar_traversals,
+        conflict_cycles: after.conflict_cycles - before.conflict_cycles,
+        hbm_line_reads: after.hbm_line_reads - before.hbm_line_reads,
+        hbm_line_writes: after.hbm_line_writes - before.hbm_line_writes,
+        hbm_queue_cycles: after.hbm_queue_cycles - before.hbm_queue_cycles,
+        prefetches: after.prefetches - before.prefetches,
+        reconfigurations: after.reconfigurations - before.reconfigurations,
+        reconfig_cycles: after.reconfig_cycles - before.reconfig_cycles,
+        flush_writebacks: after.flush_writebacks - before.flush_writebacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Program;
+
+    fn machine(tiles: usize, pes: usize) -> Machine {
+        Machine::new(Geometry::new(tiles, pes), MicroArch::paper())
+    }
+
+    #[test]
+    fn empty_run_is_zero_cycles() {
+        let mut m = machine(2, 4);
+        let r = m.run(StreamSet::new(m.geometry())).unwrap();
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.stats.ops, 0);
+    }
+
+    #[test]
+    fn compute_only_stream_times_exactly() {
+        let mut m = machine(1, 1);
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.compute(10).compute(5);
+        s.set_pe(0, 0, p.into_stream());
+        let r = m.run(s).unwrap();
+        assert_eq!(r.cycles, 15);
+        assert_eq!(r.stats.compute_cycles, 15);
+        assert_eq!(r.stats.ops, 2);
+    }
+
+    #[test]
+    fn parallel_workers_overlap() {
+        let mut m = machine(2, 4);
+        let mut s = StreamSet::new(m.geometry());
+        for t in 0..2 {
+            for pe in 0..4 {
+                let mut p = Program::new();
+                p.compute(100);
+                s.set_pe(t, pe, p.into_stream());
+            }
+        }
+        let r = m.run(s).unwrap();
+        assert_eq!(r.cycles, 100, "independent compute must overlap fully");
+        assert_eq!(r.stats.compute_cycles, 800);
+    }
+
+    #[test]
+    fn memory_stalls_counted() {
+        let mut m = machine(1, 1);
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.load(0x1000);
+        s.set_pe(0, 0, p.into_stream());
+        let r = m.run(s).unwrap();
+        assert!(r.cycles > 50, "cold load must reach HBM");
+        assert!(r.stats.mem_stall_cycles > 0);
+        assert_eq!(r.stats.loads, 1);
+    }
+
+    #[test]
+    fn tile_barrier_synchronizes() {
+        let mut m = machine(1, 2);
+        let mut s = StreamSet::new(m.geometry());
+        let mut fast = Program::new();
+        fast.compute(1).tile_barrier().compute(1);
+        let mut slow = Program::new();
+        slow.compute(100).tile_barrier().compute(1);
+        s.set_pe(0, 0, fast.into_stream());
+        s.set_pe(0, 1, slow.into_stream());
+        let r = m.run(s).unwrap();
+        assert!(r.cycles >= 102, "fast PE must wait: {}", r.cycles);
+        assert!(r.stats.barrier_stall_cycles >= 99);
+    }
+
+    #[test]
+    fn tile_barriers_are_per_tile() {
+        let mut m = machine(2, 1);
+        let mut s = StreamSet::new(m.geometry());
+        // Tile 0 barriers alone; tile 1 never barriers. Must not deadlock.
+        let mut a = Program::new();
+        a.tile_barrier().compute(1);
+        let mut b = Program::new();
+        b.compute(5);
+        s.set_pe(0, 0, a.into_stream());
+        s.set_pe(1, 0, b.into_stream());
+        let r = m.run(s).unwrap();
+        assert!(r.cycles >= 5);
+    }
+
+    #[test]
+    fn global_barrier_includes_lcp() {
+        let mut m = machine(2, 1);
+        let mut s = StreamSet::new(m.geometry());
+        for t in 0..2 {
+            let mut p = Program::new();
+            p.compute(10).global_barrier().compute(1);
+            s.set_pe(t, 0, p.into_stream());
+        }
+        let mut lcp = Program::new();
+        lcp.compute(50).global_barrier();
+        s.set_lcp(0, lcp.into_stream());
+        let r = m.run(s).unwrap();
+        assert!(r.cycles >= 51, "PEs must wait for LCP: {}", r.cycles);
+    }
+
+    #[test]
+    fn barrier_deadlock_detected() {
+        let mut m = machine(1, 2);
+        let mut s = StreamSet::new(m.geometry());
+        let mut a = Program::new();
+        a.tile_barrier();
+        let mut b = Program::new();
+        b.compute(1); // never barriers
+        s.set_pe(0, 0, a.into_stream());
+        s.set_pe(0, 1, b.into_stream());
+        match m.run(s) {
+            Err(SimError::BarrierDeadlock { blocked }) => assert_eq!(blocked, vec![0]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lcp_tile_barrier_rejected() {
+        let mut m = machine(1, 1);
+        let mut s = StreamSet::new(m.geometry());
+        let mut lcp = Program::new();
+        lcp.tile_barrier();
+        s.set_lcp(0, lcp.into_stream());
+        assert!(matches!(m.run(s), Err(SimError::LcpBarrier { tile: 0 })));
+    }
+
+    #[test]
+    fn spm_without_spm_config_errors() {
+        let mut m = machine(1, 1);
+        assert_eq!(m.config(), HwConfig::Sc);
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.spm_load(0);
+        s.set_pe(0, 0, p.into_stream());
+        assert!(matches!(m.run(s), Err(SimError::SpmUnavailable { .. })));
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let mut m = machine(1, 1);
+        let s = StreamSet::new(Geometry::new(2, 2));
+        assert!(matches!(m.run(s), Err(SimError::GeometryMismatch { .. })));
+    }
+
+    #[test]
+    fn reconfigure_cost_carried_into_next_run() {
+        let mut m = machine(1, 2);
+        // Dirty some lines so the flush has work.
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        for i in 0..64 {
+            p.store(0x1000 + i * 64);
+        }
+        s.set_pe(0, 0, p.into_stream());
+        let _ = m.run(s).unwrap();
+        let cost = m.reconfigure(HwConfig::Ps);
+        assert!(cost >= 10);
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.compute(5);
+        s.set_pe(0, 0, p.into_stream());
+        let r = m.run(s).unwrap();
+        assert_eq!(r.cycles, cost + 5);
+        assert_eq!(r.stats.reconfigurations, 1);
+        assert!(r.stats.flush_writebacks > 0);
+        // Carry cleared after use.
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.compute(5);
+        s.set_pe(0, 0, p.into_stream());
+        assert_eq!(m.run(s).unwrap().cycles, 5);
+    }
+
+    #[test]
+    fn energy_reported_positive() {
+        let mut m = machine(1, 1);
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.compute(100).load(0).load(4);
+        s.set_pe(0, 0, p.into_stream());
+        let r = m.run(s).unwrap();
+        assert!(r.joules() > 0.0);
+        assert!(r.watts() > 0.0);
+        assert!(r.seconds > 0.0);
+    }
+
+    #[test]
+    fn spm_run_in_scs() {
+        let mut m = machine(1, 4);
+        m.reconfigure(HwConfig::Scs);
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.spm_store(0).spm_load(0).spm_load(4);
+        s.set_pe(0, 0, p.into_stream());
+        let r = m.run(s).unwrap();
+        assert_eq!(r.stats.spm_accesses, 3);
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use crate::op::{Op, Program};
+
+    #[test]
+    fn lcp_only_stream_runs() {
+        let mut m = Machine::new(Geometry::new(2, 2), MicroArch::paper());
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.compute(7).load(0x100).store(0x104);
+        s.set_lcp(1, p.into_stream());
+        let r = m.run(s).unwrap();
+        assert!(r.cycles >= 7);
+        assert_eq!(r.stats.loads, 1);
+        assert_eq!(r.stats.stores, 1);
+    }
+
+    #[test]
+    fn hbm_saturation_shows_in_queue_cycles() {
+        // 32 PEs all streaming distinct regions: demand exceeds the 16
+        // channels' service rate, so queue cycles must accumulate.
+        let g = Geometry::new(4, 8);
+        let mut m = Machine::new(g, MicroArch::paper());
+        let mut s = StreamSet::new(g);
+        for t in 0..4 {
+            for pe in 0..8 {
+                let base = (t * 8 + pe) as u64 * 0x100_0000;
+                s.set_pe(t, pe, (0..2_000u64).map(move |i| Op::Load(base + i * 64)));
+            }
+        }
+        let r = m.run(s).unwrap();
+        assert!(r.stats.hbm_queue_cycles > 0, "no bandwidth pressure recorded");
+        assert!(r.stats.hbm_line_reads >= 32 * 2_000 / 2);
+    }
+
+    #[test]
+    fn back_to_back_runs_keep_caches_warm() {
+        let g = Geometry::new(1, 1);
+        let mut m = Machine::new(g, MicroArch::paper());
+        let make = || {
+            // Pseudo-random lines (prefetch-immune) inside a 16 kB set
+            // that fits in L1+L2.
+            let mut p = Program::new();
+            let mut z = 0x1234_5678u64;
+            for _ in 0..64u64 {
+                z ^= z << 13;
+                z ^= z >> 7;
+                z ^= z << 17;
+                p.load(0x4000 + (z % 256) * 64);
+            }
+            p.into_stream()
+        };
+        let mut s = StreamSet::new(g);
+        s.set_pe(0, 0, make());
+        let cold = m.run(s).unwrap();
+        let mut s = StreamSet::new(g);
+        s.set_pe(0, 0, make());
+        let warm = m.run(s).unwrap();
+        assert!(
+            warm.cycles * 2 < cold.cycles,
+            "second pass should hit: {} vs {}",
+            warm.cycles,
+            cold.cycles
+        );
+        // ... and reconfiguration flushes that warmth.
+        m.reconfigure(HwConfig::Pc);
+        m.reconfigure(HwConfig::Sc);
+        let mut s = StreamSet::new(g);
+        s.set_pe(0, 0, make());
+        let reflushed = m.run(s).unwrap();
+        assert!(reflushed.stats.l1_misses > warm.stats.l1_misses);
+    }
+
+    #[test]
+    fn mixed_done_times_track_last_worker() {
+        let g = Geometry::new(1, 4);
+        let mut m = Machine::new(g, MicroArch::paper());
+        let mut s = StreamSet::new(g);
+        for pe in 0..4 {
+            let mut p = Program::new();
+            p.compute(10 * (pe as u32 + 1));
+            s.set_pe(0, pe, p.into_stream());
+        }
+        let r = m.run(s).unwrap();
+        assert_eq!(r.cycles, 40);
+    }
+
+    #[test]
+    fn report_seconds_match_frequency() {
+        let g = Geometry::new(1, 1);
+        let mut m = Machine::new(g, MicroArch::paper());
+        let mut s = StreamSet::new(g);
+        let mut p = Program::new();
+        p.compute(1_000);
+        s.set_pe(0, 0, p.into_stream());
+        let r = m.run(s).unwrap();
+        assert!((r.seconds - 1e-6).abs() < 1e-12, "1000 cycles @ 1 GHz = 1 µs");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::op::{Op, Program};
+    use crate::trace::TraceConfig;
+
+    #[test]
+    fn trace_captures_op_sequence() {
+        let mut m = Machine::new(Geometry::new(1, 2), MicroArch::paper());
+        m.set_trace(Some(TraceConfig::default()));
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.compute(3).load(0x40).store(0x44);
+        s.set_pe(0, 0, p.into_stream());
+        let mut q = Program::new();
+        q.compute(1);
+        s.set_pe(0, 1, q.into_stream());
+        let _ = m.run(s).unwrap();
+        let trace = m.take_trace();
+        assert_eq!(trace.len(), 4);
+        let pe0: Vec<Op> = trace.iter().filter(|e| e.worker == 0).map(|e| e.op).collect();
+        assert_eq!(pe0, vec![Op::Compute(3), Op::Load(0x40), Op::Store(0x44)]);
+        // Events are causally ordered per worker.
+        let mut last = 0;
+        for e in trace.iter().filter(|e| e.worker == 0) {
+            assert!(e.cycle >= last);
+            assert!(e.done >= e.cycle);
+            last = e.done;
+        }
+    }
+
+    #[test]
+    fn trace_disabled_by_default_and_after_take() {
+        let mut m = Machine::new(Geometry::new(1, 1), MicroArch::paper());
+        let mut s = StreamSet::new(m.geometry());
+        let mut p = Program::new();
+        p.compute(1);
+        s.set_pe(0, 0, p.into_stream());
+        let _ = m.run(s).unwrap();
+        assert!(m.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_filters_by_worker() {
+        let mut m = Machine::new(Geometry::new(1, 2), MicroArch::paper());
+        m.set_trace(Some(TraceConfig { workers: Some(vec![1]), max_events: 100 }));
+        let mut s = StreamSet::new(m.geometry());
+        for pe in 0..2 {
+            let mut p = Program::new();
+            p.compute(2);
+            s.set_pe(0, pe, p.into_stream());
+        }
+        let _ = m.run(s).unwrap();
+        let trace = m.take_trace();
+        assert!(trace.iter().all(|e| e.worker == 1));
+        assert_eq!(trace.len(), 1);
+    }
+}

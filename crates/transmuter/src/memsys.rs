@@ -1,0 +1,575 @@
+//! The reconfigurable two-level memory system.
+//!
+//! Resolves each worker access to a completion cycle while updating
+//! cache/SPM/HBM state and statistics. Latency composition follows
+//! Table II: crossbar response (1 cycle), shared-crossbar arbitration
+//! (1 cycle + 0..Nsrc−1 serialization on same-cycle same-bank
+//! conflicts), bank access latency, and the HBM channel model.
+//!
+//! Bank interleaving is line-granular; because banks see only every
+//! `nbanks`-th line, they index their sets with the *local* line
+//! (`line / nbanks`) so the full capacity is usable.
+
+use crate::cache::{CacheBank, ProbeResult};
+use crate::config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
+use crate::hbm::Hbm;
+use crate::op::Addr;
+use crate::stats::SimStats;
+use std::collections::HashMap;
+
+/// Claim keys for same-cycle bank-conflict tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Port {
+    L1 { tile: u32, bank: u32 },
+    L2 { tile: u32, bank: u32 },
+    Spm { tile: u32, bank: u32 },
+}
+
+/// The memory system: per-tile L1 banks, L2 banks, and the HBM stack.
+#[derive(Debug)]
+pub struct MemorySystem {
+    geom: Geometry,
+    ua: MicroArch,
+    hw: HwConfig,
+    /// Per tile: the L1 banks currently operating as caches.
+    l1: Vec<Vec<CacheBank>>,
+    /// Per tile: B L2 banks (always caches).
+    l2: Vec<Vec<CacheBank>>,
+    hbm: Hbm,
+    cur_cycle: u64,
+    claims: HashMap<Port, u32>,
+    /// Event counters for the current run.
+    pub stats: SimStats,
+}
+
+impl MemorySystem {
+    /// Creates the memory system in configuration `hw`.
+    pub fn new(geom: Geometry, ua: MicroArch, hw: HwConfig) -> Self {
+        let mut sys = MemorySystem {
+            geom,
+            hbm: Hbm::new(
+                ua.hbm_channels,
+                ua.line_bytes,
+                ua.hbm_bytes_per_cycle,
+                ua.hbm_latency_min,
+                ua.hbm_latency_max,
+            ),
+            ua,
+            hw,
+            l1: Vec::new(),
+            l2: Vec::new(),
+            cur_cycle: 0,
+            claims: HashMap::new(),
+            stats: SimStats::default(),
+        };
+        sys.build_banks();
+        sys
+    }
+
+    fn build_banks(&mut self) {
+        let sets = self.ua.sets_per_bank();
+        let b = self.geom.pes_per_tile();
+        let l1_banks = self.ua.l1_cache_banks(b, self.hw.l1());
+        self.l1 = (0..self.geom.tiles())
+            .map(|_| (0..l1_banks).map(|_| CacheBank::new(sets, self.ua.ways)).collect())
+            .collect();
+        self.l2 = (0..self.geom.tiles())
+            .map(|_| (0..b).map(|_| CacheBank::new(sets, self.ua.ways)).collect())
+            .collect();
+    }
+
+    /// Current hardware configuration.
+    pub fn config(&self) -> HwConfig {
+        self.hw
+    }
+
+    /// Geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Microarchitecture parameters.
+    pub fn uarch(&self) -> &MicroArch {
+        &self.ua
+    }
+
+    /// True if the current configuration exposes scratchpad to PEs.
+    pub fn has_spm(&self) -> bool {
+        matches!(self.hw.l1(), L1Mode::SharedCacheSpm | L1Mode::PrivateSpm)
+    }
+
+    /// Resets per-run statistics and HBM channel occupancy. Cache
+    /// contents are retained (warm across SpMV invocations, as on the
+    /// real machine).
+    pub fn begin_run(&mut self) {
+        self.stats = SimStats::default();
+        self.hbm.reset();
+        self.cur_cycle = 0;
+        self.claims.clear();
+    }
+
+    fn sync_hbm_stats(&mut self) {
+        self.stats.hbm_line_reads = self.hbm.reads();
+        self.stats.hbm_line_writes = self.hbm.writes();
+        self.stats.hbm_queue_cycles = self.hbm.queue_cycles();
+    }
+
+    fn claim(&mut self, cycle: u64, port: Port) -> u64 {
+        if cycle != self.cur_cycle {
+            self.cur_cycle = cycle;
+            self.claims.clear();
+        }
+        let n = self.claims.entry(port).or_insert(0);
+        let prior = *n;
+        *n += 1;
+        self.stats.conflict_cycles += prior as u64;
+        prior as u64
+    }
+
+    /// Resolves a global (cached address space) access.
+    ///
+    /// Returns the cycle at which the worker may issue its next op.
+    /// Stores are acknowledged early (single-entry store buffer, as on
+    /// the M4F): state updates and bandwidth are fully charged, but the
+    /// returned cycle only covers the L1-level round trip.
+    pub fn global_access(&mut self, worker: usize, addr: Addr, is_store: bool, cycle: u64) -> u64 {
+        if is_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        let line = addr / self.ua.line_bytes as u64;
+        let (tile, pe) = self.geom.locate(worker);
+        let completion = match (pe, self.hw.l1()) {
+            // LCPs have no L1; they access the L2 level directly.
+            (None, _) | (Some(_), L1Mode::PrivateSpm) => {
+                let at = cycle + self.ua.xbar_latency;
+                let done = self.l2_fill(tile, pe, line, is_store, at);
+                if is_store {
+                    cycle + self.ua.xbar_latency + 1
+                } else {
+                    done
+                }
+            }
+            (Some(pe), l1mode) => {
+                let nbanks = self.ua.l1_cache_banks(self.geom.pes_per_tile(), l1mode) as u64;
+                let (bank, local, base_lat) = match l1mode {
+                    L1Mode::SharedCache | L1Mode::SharedCacheSpm => {
+                        let bank = (line % nbanks) as usize;
+                        let conflicts =
+                            self.claim(cycle, Port::L1 { tile: tile as u32, bank: bank as u32 });
+                        self.stats.xbar_traversals += 1;
+                        (
+                            bank,
+                            line / nbanks,
+                            self.ua.xbar_latency
+                                + self.ua.arbitration_latency
+                                + conflicts
+                                + self.ua.l1_latency,
+                        )
+                    }
+                    L1Mode::PrivateCache => (pe, line, self.ua.l1_latency),
+                    L1Mode::PrivateSpm => unreachable!("handled above"),
+                };
+                let probe = self.l1[tile][bank].access(local, is_store);
+                // Per-bank tagged stride prefetcher (Table II lists one on
+                // every RCache bank): any sequential access — hit or miss —
+                // pulls the bank's next line into L1. This is what makes
+                // COO/CSC streaming fast, and what pollutes the bank for
+                // resident structures (merge heaps, vector segments), the
+                // §III-C.3 effect.
+                let stride = self.ua.prefetch && self.l1[tile][bank].stride_detected(local);
+                let completion = match probe {
+                    ProbeResult::Hit => {
+                        self.stats.l1_hits += 1;
+                        cycle + base_lat
+                    }
+                    ProbeResult::Miss { victim_dirty, victim_line } => {
+                        self.stats.l1_misses += 1;
+                        if victim_dirty {
+                            let victim_global =
+                                victim_line.expect("dirty implies valid") * nbanks + bank as u64;
+                            self.l2_writeback(tile, Some(pe), victim_global, cycle + base_lat);
+                        }
+                        let fill_done =
+                            self.l2_fill(tile, Some(pe), line, false, cycle + base_lat);
+                        if is_store {
+                            cycle + base_lat + 1
+                        } else {
+                            fill_done
+                        }
+                    }
+                };
+                if stride {
+                    let pf_local = local + 1;
+                    if !self.l1[tile][bank].contains(pf_local) {
+                        let pf_global = pf_local * nbanks + bank as u64;
+                        // Asynchronous: charge the L2-side traffic, don't
+                        // extend the demand access.
+                        let _ = self.l2_fill(tile, Some(pe), pf_global, false, cycle + base_lat);
+                        self.stats.prefetches += 1;
+                        if let Some(dirty_local) = self.l1[tile][bank].install(pf_local) {
+                            self.l2_writeback(
+                                tile,
+                                Some(pe),
+                                dirty_local * nbanks + bank as u64,
+                                cycle + base_lat,
+                            );
+                        }
+                    }
+                }
+                completion
+            }
+        };
+        self.sync_hbm_stats();
+        completion.max(cycle + 1)
+    }
+
+    /// L2 bank selection: returns `(tile, bank, local_line, nbanks_total,
+    /// shared)` for a requester.
+    fn l2_route(&self, tile: usize, pe: Option<usize>, line: u64) -> (usize, usize, u64, u64, bool) {
+        let b = self.geom.pes_per_tile() as u64;
+        match self.hw.l2() {
+            L2Mode::SharedCache => {
+                let total = self.geom.total_pes() as u64;
+                let g = line % total;
+                ((g / b) as usize, (g % b) as usize, line / total, total, true)
+            }
+            L2Mode::PrivateCache => match pe {
+                // Private L2: bank i is PE i's own 4 kB cache, transparent
+                // crossbar, full line space in one bank.
+                Some(pe) => (tile, pe, line, 1, false),
+                // The LCP round-robins over its tile's banks; contention
+                // with the owning PE is second-order (LCP traffic is
+                // small) and ignored.
+                None => (tile, (line % b) as usize, line / b, b, false),
+            },
+        }
+    }
+
+    /// Fills `line` at the L2 level (demand read or store-allocate),
+    /// returning the data-ready cycle.
+    fn l2_fill(&mut self, tile: usize, pe: Option<usize>, line: u64, is_store: bool, at: u64) -> u64 {
+        let (t2, bank, local, nbanks, shared) = self.l2_route(tile, pe, line);
+        let mut lat = self.ua.xbar_latency + self.ua.l2_latency;
+        if shared {
+            let conflicts = self.claim(at, Port::L2 { tile: t2 as u32, bank: bank as u32 });
+            self.stats.xbar_traversals += 1;
+            lat += self.ua.arbitration_latency + conflicts;
+        }
+        let probe = self.l2[t2][bank].access(local, is_store);
+        // Tagged stride prefetcher on the L2 banks as well: sequential
+        // access streams (hit or miss) keep pulling the next line from
+        // main memory.
+        let stride = self.ua.prefetch && self.l2[t2][bank].stride_detected(local);
+        let completion = match probe {
+            ProbeResult::Hit => {
+                self.stats.l2_hits += 1;
+                at + lat
+            }
+            ProbeResult::Miss { victim_dirty, victim_line } => {
+                self.stats.l2_misses += 1;
+                if victim_dirty {
+                    let victim_global = victim_line.expect("dirty implies valid") * nbanks
+                        + (line % nbanks);
+                    // Writebacks consume HBM bandwidth off the critical path.
+                    self.hbm.write(victim_global, at + lat);
+                }
+                let done = self.hbm.read(line, at + lat);
+                done + self.ua.xbar_latency
+            }
+        };
+        if stride {
+            let pf_local = local + 1;
+            if !self.l2[t2][bank].contains(pf_local) {
+                let pf_global = pf_local * nbanks + (line % nbanks);
+                self.hbm.prefetch(pf_global, at + lat);
+                self.stats.prefetches += 1;
+                if let Some(dirty_local) = self.l2[t2][bank].install(pf_local) {
+                    self.hbm.write(dirty_local * nbanks + (line % nbanks), at + lat);
+                }
+            }
+        }
+        completion
+    }
+
+    /// Installs an L1 dirty victim into L2 (write-back path, off the
+    /// critical path; charged for energy/bandwidth only).
+    fn l2_writeback(&mut self, tile: usize, pe: Option<usize>, line: u64, at: u64) {
+        let (t2, bank, local, nbanks, shared) = self.l2_route(tile, pe, line);
+        if shared {
+            self.stats.xbar_traversals += 1;
+        }
+        self.stats.l2_writeback_installs += 1;
+        // A full-line writeback needs no fetch: install directly, dirty.
+        if let Some(dirty_local) = self.l2[t2][bank].install(local) {
+            self.hbm.write(dirty_local * nbanks + (line % nbanks), at);
+        }
+        // Mark dirty via a store probe (guaranteed hit after install;
+        // only bank-internal counters are touched, not run stats).
+        let _ = self.l2[t2][bank].access(local, true);
+    }
+
+    /// Resolves a scratchpad access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current configuration has no SPM visible to the
+    /// worker (kernel/config mismatch — callers must check
+    /// [`Self::has_spm`]) or if an LCP issues an SPM op.
+    pub fn spm_access(&mut self, worker: usize, offset: u32, _is_store: bool, cycle: u64) -> u64 {
+        self.stats.spm_accesses += 1;
+        let (tile, pe) = self.geom.locate(worker);
+        let pe = pe.expect("LCPs have no scratchpad");
+        match self.hw.l1() {
+            L1Mode::SharedCacheSpm => {
+                let b = self.geom.pes_per_tile();
+                let spm_banks = (b - self.ua.l1_cache_banks(b, L1Mode::SharedCacheSpm)) as u64;
+                let word = offset as u64 / self.ua.word_bytes as u64;
+                let bank = (word % spm_banks) as u32;
+                let conflicts = self.claim(cycle, Port::Spm { tile: tile as u32, bank });
+                self.stats.xbar_traversals += 1;
+                cycle
+                    + self.ua.xbar_latency
+                    + self.ua.arbitration_latency
+                    + conflicts
+                    + self.ua.l1_latency
+            }
+            L1Mode::PrivateSpm => {
+                let _ = pe; // own bank, transparent crossbar
+                cycle + self.ua.l1_latency
+            }
+            L1Mode::SharedCache | L1Mode::PrivateCache => {
+                panic!("spm access in a cache-only configuration ({:?})", self.hw)
+            }
+        }
+    }
+
+    /// Runtime reconfiguration to `new_hw`: flushes dirty lines, rebuilds
+    /// banks, charges the ≤10-cycle switch plus a bandwidth-bound drain.
+    ///
+    /// Returns the total cycle cost. A no-op reconfiguration (same
+    /// config) costs nothing.
+    pub fn reconfigure(&mut self, new_hw: HwConfig) -> u64 {
+        if new_hw == self.hw {
+            return 0;
+        }
+        let mut dirty = 0usize;
+        for tile in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            for bank in tile.iter_mut() {
+                dirty += bank.flush();
+            }
+        }
+        // Drain writebacks at full HBM bandwidth across all channels.
+        let line_cycles =
+            (self.ua.line_bytes as u64).div_ceil(self.ua.hbm_bytes_per_cycle);
+        let drain = (dirty as u64 * line_cycles).div_ceil(self.ua.hbm_channels as u64);
+        let cost = self.ua.reconfig_cycles + drain;
+        self.stats.reconfigurations += 1;
+        self.stats.reconfig_cycles += cost;
+        self.stats.flush_writebacks += dirty as u64;
+        self.stats.hbm_line_writes += dirty as u64;
+        self.hw = new_hw;
+        self.build_banks();
+        cost
+    }
+
+    /// Total L1 cache capacity visible to one tile's PEs, in bytes.
+    pub fn l1_cache_bytes_per_tile(&self) -> usize {
+        self.ua.l1_cache_banks(self.geom.pes_per_tile(), self.hw.l1()) * self.ua.bank_bytes
+    }
+
+    /// SPM bytes shared by one tile's PEs (SCS) or per PE summed (PS).
+    pub fn spm_bytes_per_tile(&self) -> usize {
+        self.ua.spm_bytes_per_tile(self.geom.pes_per_tile(), self.hw.l1())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(hw: HwConfig) -> MemorySystem {
+        MemorySystem::new(Geometry::new(2, 4), MicroArch::paper(), hw)
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let mut m = sys(HwConfig::Sc);
+        let miss_done = m.global_access(0, 0x1000, false, 0);
+        assert!(miss_done > 50, "cold miss should reach HBM, got {miss_done}");
+        let hit_done = m.global_access(0, 0x1000, false, miss_done + 1);
+        assert!(
+            hit_done - (miss_done + 1) <= 4,
+            "hit latency {} too high",
+            hit_done - (miss_done + 1)
+        );
+        assert_eq!(m.stats.l1_hits, 1);
+        assert_eq!(m.stats.l1_misses, 1);
+    }
+
+    #[test]
+    fn private_hit_faster_than_shared_hit() {
+        let mut shared = sys(HwConfig::Sc);
+        let mut private = sys(HwConfig::Pc);
+        let a = shared.global_access(0, 0x40, false, 0);
+        let b = private.global_access(0, 0x40, false, 0);
+        let a2 = shared.global_access(0, 0x40, false, a + 1) - (a + 1);
+        let b2 = private.global_access(0, 0x40, false, b + 1) - (b + 1);
+        assert!(b2 < a2, "private hit {b2} should beat shared hit {a2}");
+    }
+
+    #[test]
+    fn same_cycle_same_bank_conflicts_serialize() {
+        let mut m = sys(HwConfig::Sc);
+        // Warm the line so both accesses hit.
+        let done = m.global_access(0, 0x0, false, 0);
+        let t = done + 1;
+        let first = m.global_access(0, 0x0, false, t);
+        let second = m.global_access(1, 0x0, false, t);
+        assert!(second > first, "second same-bank access must serialize");
+        assert!(m.stats.conflict_cycles >= 1);
+    }
+
+    #[test]
+    fn different_banks_no_conflict() {
+        let mut m = sys(HwConfig::Sc);
+        let d1 = m.global_access(0, 0x0, false, 0);
+        let _ = m.global_access(1, 0x40, false, 0); // next line → next bank
+        let t = d1 + 200;
+        let a = m.global_access(0, 0x0, false, t);
+        let b = m.global_access(1, 0x40, false, t);
+        assert_eq!(a - t, b - t, "different banks should have equal latency");
+    }
+
+    #[test]
+    fn private_caches_do_not_share_contents() {
+        let mut m = sys(HwConfig::Pc);
+        let _ = m.global_access(0, 0x2000, false, 0);
+        // Same line from another PE in the same tile: own cache → miss.
+        let _ = m.global_access(1, 0x2000, false, 500);
+        assert_eq!(m.stats.l1_misses, 2);
+    }
+
+    #[test]
+    fn shared_cache_shares_contents() {
+        let mut m = sys(HwConfig::Sc);
+        let d = m.global_access(0, 0x2000, false, 0);
+        let _ = m.global_access(1, 0x2000, false, d + 1);
+        assert_eq!(m.stats.l1_misses, 1);
+        assert_eq!(m.stats.l1_hits, 1);
+    }
+
+    #[test]
+    fn stores_ack_early_but_charge_state() {
+        let mut m = sys(HwConfig::Sc);
+        let done = m.global_access(0, 0x3000, true, 0);
+        assert!(done < 20, "store ack {done} should not wait on HBM fill");
+        assert_eq!(m.stats.stores, 1);
+        assert_eq!(m.stats.l1_misses, 1);
+    }
+
+    #[test]
+    fn ps_mode_bypasses_l1() {
+        let mut m = sys(HwConfig::Ps);
+        let _ = m.global_access(0, 0x100, false, 0);
+        assert_eq!(m.stats.l1_misses, 0);
+        assert_eq!(m.stats.l2_misses, 1);
+        let d = m.global_access(0, 0x100, false, 300);
+        assert_eq!(m.stats.l2_hits, 1);
+        assert!(d - 300 < 10);
+    }
+
+    #[test]
+    fn spm_access_latencies() {
+        let mut scs = sys(HwConfig::Scs);
+        let d = scs.spm_access(0, 16, false, 0);
+        assert!(d <= 4, "shared spm access {d}");
+        let mut ps = sys(HwConfig::Ps);
+        let d = ps.spm_access(0, 16, false, 0);
+        assert_eq!(d, 1, "private spm is single-cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "cache-only")]
+    fn spm_in_cache_mode_panics() {
+        let mut m = sys(HwConfig::Sc);
+        let _ = m.spm_access(0, 0, false, 0);
+    }
+
+    #[test]
+    fn sequential_stream_benefits_from_prefetch() {
+        let mut with = sys(HwConfig::Sc);
+        let mut without = {
+            let mut ua = MicroArch::paper();
+            ua.prefetch = false;
+            MemorySystem::new(Geometry::new(2, 4), ua, HwConfig::Sc)
+        };
+        let mut t_with = 0;
+        let mut t_without = 0;
+        for i in 0..512u64 {
+            t_with = with.global_access(0, i * 4, false, t_with + 1);
+            t_without = without.global_access(0, i * 4, false, t_without + 1);
+        }
+        assert!(
+            t_with < t_without,
+            "prefetch should speed sequential streams: {t_with} vs {t_without}"
+        );
+        assert!(with.stats.prefetches > 0);
+    }
+
+    #[test]
+    fn reconfigure_flushes_and_charges() {
+        let mut m = sys(HwConfig::Sc);
+        for i in 0..32u64 {
+            let _ = m.global_access(0, 0x8000 + i * 64, true, i * 300);
+        }
+        let cost = m.reconfigure(HwConfig::Ps);
+        assert!(cost >= MicroArch::paper().reconfig_cycles);
+        assert_eq!(m.config(), HwConfig::Ps);
+        assert!(m.stats.flush_writebacks > 0);
+        // Same-config reconfiguration is free.
+        assert_eq!(m.reconfigure(HwConfig::Ps), 0);
+    }
+
+    #[test]
+    fn capacity_helpers() {
+        let m = sys(HwConfig::Scs);
+        assert_eq!(m.l1_cache_bytes_per_tile(), 2 * 4096);
+        assert_eq!(m.spm_bytes_per_tile(), 2 * 4096);
+        let m = sys(HwConfig::Sc);
+        assert_eq!(m.l1_cache_bytes_per_tile(), 4 * 4096);
+        assert_eq!(m.spm_bytes_per_tile(), 0);
+    }
+
+    #[test]
+    fn lcp_access_skips_l1() {
+        let mut m = sys(HwConfig::Sc);
+        let lcp = Geometry::new(2, 4).lcp_id(0);
+        let _ = m.global_access(lcp, 0x500, false, 0);
+        assert_eq!(m.stats.l1_misses, 0);
+        assert_eq!(m.stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn capacity_exceeding_working_set_thrashes() {
+        // Working set far beyond L1+L2 → the second pass must refetch
+        // essentially everything from HBM (demand or prefetch); nothing
+        // is retained on chip.
+        let mut m = sys(HwConfig::Sc);
+        let lines = 4096u64; // 256 kB ≫ 16 kB L1 + 32 kB L2
+        let mut t = 0;
+        for i in 0..lines {
+            t = m.global_access(0, i * 64, false, t + 1);
+        }
+        let reads_first = m.stats.hbm_line_reads;
+        for i in 0..lines {
+            t = m.global_access(0, i * 64, false, t + 1);
+        }
+        let reads_second = m.stats.hbm_line_reads - reads_first;
+        assert!(
+            reads_second as f64 > 0.8 * lines as f64,
+            "second pass should refetch from HBM: {reads_second}/{lines}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Execution tracing: an optional per-worker event recorder for
+//! debugging kernels and inspecting interleavings.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable it
+//! with [`crate::Machine::set_trace`] before a run and collect events
+//! with [`crate::Machine::take_trace`] afterwards.
+
+use crate::op::Op;
+
+/// One recorded event: worker `worker` issued `op` at `cycle` and became
+/// ready again at `done`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Completion cycle (next issue opportunity).
+    pub done: u64,
+    /// Global worker id.
+    pub worker: u32,
+    /// The operation issued.
+    pub op: Op,
+}
+
+/// Trace configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Only record these workers (`None` = all).
+    pub workers: Option<Vec<usize>>,
+    /// Stop recording after this many events (protects memory on long
+    /// runs).
+    pub max_events: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { workers: None, max_events: 1 << 20 }
+    }
+}
+
+/// The recorder the machine writes into while tracing is enabled.
+#[derive(Debug, Default)]
+pub(crate) struct Tracer {
+    config: Option<TraceConfig>,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    pub(crate) fn configure(&mut self, config: Option<TraceConfig>) {
+        self.config = config;
+        self.events.clear();
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, cycle: u64, done: u64, worker: u32, op: Op) {
+        let Some(cfg) = &self.config else { return };
+        if self.events.len() >= cfg.max_events {
+            return;
+        }
+        if let Some(ws) = &cfg.workers {
+            if !ws.contains(&(worker as usize)) {
+                return;
+            }
+        }
+        self.events.push(TraceEvent { cycle, done, worker, op });
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.config.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::default();
+        t.record(0, 1, 0, Op::Compute(1));
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn worker_filter_applies() {
+        let mut t = Tracer::default();
+        t.configure(Some(TraceConfig { workers: Some(vec![1]), max_events: 10 }));
+        t.record(0, 1, 0, Op::Compute(1));
+        t.record(0, 1, 1, Op::Compute(1));
+        let ev = t.take();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].worker, 1);
+    }
+
+    #[test]
+    fn max_events_caps_recording() {
+        let mut t = Tracer::default();
+        t.configure(Some(TraceConfig { workers: None, max_events: 2 }));
+        for i in 0..5 {
+            t.record(i, i + 1, 0, Op::Compute(1));
+        }
+        assert_eq!(t.take().len(), 2);
+    }
+}

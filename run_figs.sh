@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerates every table and figure; writes one log per experiment.
+set -u
+cd "$(dirname "$0")"
+for bin in table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 reconfig_gain ablation scaling; do
+    echo "=== $bin start $(date +%T) ==="
+    cargo run --release -p bench --bin $bin > results/$bin.txt 2>results/$bin.err
+    echo "=== $bin done $(date +%T) rc=$? ==="
+done

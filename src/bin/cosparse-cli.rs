@@ -1,0 +1,281 @@
+//! `cosparse-cli` — run CoSPARSE graph analytics from the command line.
+//!
+//! ```text
+//! cosparse-cli <algorithm> [options]
+//!
+//! algorithms:
+//!   spmv | bfs | sssp | pr | cf | cc | kbfs | bc
+//!
+//! options:
+//!   --graph <path.mtx>     Matrix Market input (default: synthetic R-MAT)
+//!   --edges <path.txt>     SNAP-style edge list input
+//!   --suite <name>         Table III analogue: livejournal|pokec|youtube|twitter|vsp
+//!   --rmat <scale> <nnz>   synthetic R-MAT graph (default: 12 40000)
+//!   --geometry <AxB>       tiles x PEs-per-tile (default: 4x8)
+//!   --source <v>           BFS/SSSP root (default: highest-degree vertex)
+//!   --density <d>          SpMV frontier density (default: 0.01)
+//!   --iterations <n>       PR/CF rounds (default: 10 / 5)
+//!   --policy <auto|ip-sc|ip-scs|op-sc|op-pc|op-ps>
+//!   --seed <n>             generator seed (default: 42)
+//! ```
+
+use cosparse::{CoSparse, Frontier, HwConfig, Policy, SwConfig};
+use graph::{bc, bfs::Bfs, cc, cf::Cf, kbfs::KBfs, pagerank::PageRank, sssp::Sssp, Engine};
+use sparse::generate::SuiteGraph;
+use sparse::{CooMatrix, Idx};
+use std::process::ExitCode;
+use transmuter::{Geometry, Machine, MicroArch};
+
+#[derive(Debug)]
+struct Args {
+    algorithm: String,
+    graph: Option<String>,
+    edges: Option<String>,
+    suite: Option<String>,
+    rmat: (u32, usize),
+    geometry: Geometry,
+    source: Option<Idx>,
+    density: f64,
+    iterations: Option<usize>,
+    policy: Policy,
+    seed: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cosparse-cli <spmv|bfs|sssp|pr|cf|cc|kbfs|bc> [--graph x.mtx] [--suite name]\n\
+         \u{20}      [--rmat scale nnz] [--geometry AxB] [--source v] [--density d]\n\
+         \u{20}      [--iterations n] [--policy auto|ip-sc|ip-scs|op-sc|op-pc|op-ps] [--seed n]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let algorithm = argv.next().ok_or("missing algorithm")?;
+    let mut args = Args {
+        algorithm,
+        graph: None,
+        edges: None,
+        suite: None,
+        rmat: (12, 40_000),
+        geometry: Geometry::new(4, 8),
+        source: None,
+        density: 0.01,
+        iterations: None,
+        policy: Policy::Auto,
+        seed: 42,
+    };
+    let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--graph" => args.graph = Some(next(&mut argv, "--graph")?),
+            "--edges" => args.edges = Some(next(&mut argv, "--edges")?),
+            "--suite" => args.suite = Some(next(&mut argv, "--suite")?),
+            "--rmat" => {
+                let s = next(&mut argv, "--rmat")?.parse().map_err(|_| "bad rmat scale")?;
+                let n = next(&mut argv, "--rmat")?.parse().map_err(|_| "bad rmat nnz")?;
+                args.rmat = (s, n);
+            }
+            "--geometry" => {
+                let v = next(&mut argv, "--geometry")?;
+                let (a, b) = v.split_once('x').ok_or("geometry must be AxB")?;
+                args.geometry = Geometry::new(
+                    a.parse().map_err(|_| "bad tile count")?,
+                    b.parse().map_err(|_| "bad PE count")?,
+                );
+            }
+            "--source" => {
+                args.source = Some(next(&mut argv, "--source")?.parse().map_err(|_| "bad source")?)
+            }
+            "--density" => {
+                args.density = next(&mut argv, "--density")?.parse().map_err(|_| "bad density")?
+            }
+            "--iterations" => {
+                args.iterations =
+                    Some(next(&mut argv, "--iterations")?.parse().map_err(|_| "bad iterations")?)
+            }
+            "--policy" => {
+                args.policy = match next(&mut argv, "--policy")?.as_str() {
+                    "auto" => Policy::Auto,
+                    "ip-sc" => Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc),
+                    "ip-scs" => Policy::Fixed(SwConfig::InnerProduct, HwConfig::Scs),
+                    "op-sc" => Policy::Fixed(SwConfig::OuterProduct, HwConfig::Sc),
+                    "op-pc" => Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc),
+                    "op-ps" => Policy::Fixed(SwConfig::OuterProduct, HwConfig::Ps),
+                    other => return Err(format!("unknown policy {other}")),
+                }
+            }
+            "--seed" => args.seed = next(&mut argv, "--seed")?.parse().map_err(|_| "bad seed")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_graph(args: &Args) -> Result<CooMatrix, String> {
+    if let Some(path) = &args.graph {
+        return sparse::io::read_matrix_market_file(path).map_err(|e| e.to_string());
+    }
+    if let Some(path) = &args.edges {
+        return sparse::io::read_edge_list_file(path, 0).map_err(|e| e.to_string());
+    }
+    if let Some(name) = &args.suite {
+        let g = SuiteGraph::ALL
+            .iter()
+            .find(|g| g.name() == name)
+            .ok_or(format!("unknown suite graph {name}"))?;
+        return g.adjacency(args.seed).map_err(|e| e.to_string());
+    }
+    sparse::generate::rmat(args.rmat.0, args.rmat.1, Default::default(), args.seed)
+        .map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let adjacency = match load_graph(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error loading graph: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "graph: {} vertices, {} edges (density {:.2e}); machine {} ({} PEs)",
+        adjacency.rows(),
+        adjacency.nnz(),
+        adjacency.density(),
+        args.geometry,
+        args.geometry.total_pes()
+    );
+    let machine = Machine::new(args.geometry, MicroArch::paper());
+    let source = args.source.unwrap_or_else(|| {
+        adjacency
+            .row_counts()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(v, _)| v as Idx)
+            .unwrap_or(0)
+    });
+
+    if args.algorithm == "spmv" {
+        let mut rt = CoSparse::new(&adjacency, machine);
+        rt.set_policy(args.policy);
+        let sv = match sparse::generate::random_sparse_vector(
+            adjacency.cols(),
+            args.density,
+            args.seed,
+        ) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let out = match rt.spmv(&Frontier::Sparse(sv)) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("simulation error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "spmv d={}: {}/{} — {} cycles ({:.3e} s), {:.3e} J, {:.1} W avg",
+            args.density,
+            out.software,
+            out.hardware,
+            out.report.cycles,
+            out.report.seconds,
+            out.report.joules(),
+            out.report.watts()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.algorithm == "bc" {
+        match bc::betweenness(&adjacency, source, args.geometry) {
+            Ok(r) => {
+                println!(
+                    "bc from {source}: {} levels (fwd+bwd), {} cycles, {:.3e} J",
+                    r.levels.len(),
+                    r.total_cycles(),
+                    r.total_joules()
+                );
+                let mut top: Vec<(usize, f32)> =
+                    r.centrality.iter().copied().enumerate().collect();
+                top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                for (v, c) in top.iter().take(5) {
+                    println!("  vertex {v:>8}: {c:.2}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("simulation error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut engine = Engine::new(&adjacency, machine);
+    engine.runtime_mut().set_policy(args.policy);
+    let result = match args.algorithm.as_str() {
+        "bfs" => engine.run(&Bfs::new(source)).map(summarize),
+        "sssp" => engine.run(&Sssp::new(source)).map(summarize),
+        "pr" => engine
+            .run(&PageRank::new(0.15, args.iterations.unwrap_or(10)))
+            .map(summarize),
+        "cf" => engine
+            .run(&Cf::new(0.01, 0.05, args.iterations.unwrap_or(5)))
+            .map(summarize),
+        "cc" => engine.run(&cc::ConnectedComponents::new()).map(summarize),
+        "kbfs" => engine
+            .run(&KBfs::with_spread_sources(16, adjacency.rows()))
+            .map(summarize),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            return usage();
+        }
+    };
+    match result {
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn summarize<V>(run: graph::RunResult<V>) -> Vec<String> {
+    let mut out = vec![format!(
+        "{} iterations, {} cycles total ({:.3e} s), {:.3e} J",
+        run.iterations.len(),
+        run.total_cycles(),
+        run.total_seconds(),
+        run.total_joules()
+    )];
+    out.push("iter  density  config   cycles".to_string());
+    for it in &run.iterations {
+        out.push(format!(
+            "{:>4}  {:>6.2}%  {:<7}  {:>10}",
+            it.iteration,
+            it.frontier_density * 100.0,
+            format!("{}/{}", it.software, it.hardware),
+            it.report.cycles
+        ));
+    }
+    out
+}

@@ -1,0 +1,49 @@
+//! Facade crate for the CoSPARSE (DAC 2021) reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples, tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`sparse`] — matrix/vector formats, generators, partitioning, IO;
+//! * [`transmuter`] — the reconfigurable-manycore simulator substrate;
+//! * [`cosparse`] — the reconfigurable SpMV runtime (the paper's
+//!   contribution);
+//! * [`graph`] — BFS, SSSP, PageRank and CF on the SpMV abstraction;
+//! * [`baselines`] — Ligra-style, CPU (MKL-like) and GPU
+//!   (cuSPARSE-like) comparison models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cosparse_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small random graph and a sparse frontier.
+//! let matrix = sparse::generate::uniform(1 << 12, 1 << 12, 40_000, 42)?;
+//! let frontier = sparse::generate::random_sparse_vector(1 << 12, 0.01, 7)?;
+//!
+//! // Run one reconfigured SpMV on a simulated 2x4 system.
+//! let machine = Geometry::new(2, 4).machine();
+//! let mut runtime = CoSparse::new(&matrix, machine);
+//! let outcome = runtime.spmv(&Frontier::Sparse(frontier))?;
+//! println!(
+//!     "chose {:?}/{:?}: {} cycles",
+//!     outcome.software, outcome.hardware, outcome.report.cycles
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use baselines;
+pub use cosparse;
+pub use graph;
+pub use sparse;
+pub use transmuter;
+
+/// Convenient glob-import surface for examples and quick experiments.
+pub mod prelude {
+    pub use crate::baselines;
+    pub use crate::cosparse::{CoSparse, Frontier, HwConfig, SwConfig};
+    pub use crate::graph;
+    pub use crate::sparse;
+    pub use crate::transmuter::Geometry;
+}

@@ -1,0 +1,240 @@
+//! Property-based tests over the core invariants: format conversions,
+//! partitioning, SpMV dataflow equivalence and simulator determinism.
+
+use cosparse::{CoSparse, Frontier, HwConfig, Policy, SwConfig};
+use proptest::prelude::*;
+use sparse::partition::{RowPartition, VBlocks};
+use sparse::{CooMatrix, CscMatrix, CsrMatrix, Idx, SparseVector};
+use transmuter::{Geometry, Machine, MicroArch};
+
+/// Strategy: a small random matrix as (rows, cols, triplets).
+fn matrix_strategy() -> impl Strategy<Value = CooMatrix> {
+    (2usize..40, 2usize..40).prop_flat_map(|(rows, cols)| {
+        let triplet = (0..rows as Idx, 0..cols as Idx, -10.0f32..10.0);
+        proptest::collection::vec(triplet, 0..200).prop_map(move |ts| {
+            CooMatrix::from_triplets(rows, cols, ts).expect("in-bounds by construction")
+        })
+    })
+}
+
+fn vector_strategy(max_dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, max_dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO → CSR → COO and COO → CSC → COO are lossless.
+    #[test]
+    fn format_roundtrips(m in matrix_strategy()) {
+        let csr = CsrMatrix::from(&m);
+        prop_assert_eq!(&CooMatrix::from(&csr), &m);
+        let csc = CscMatrix::from(&m);
+        prop_assert_eq!(&CooMatrix::from(&csc), &m);
+    }
+
+    /// All three formats compute the same dense SpMV.
+    #[test]
+    fn spmv_agrees_across_formats(m in matrix_strategy(), xs in vector_strategy(40)) {
+        let x: sparse::DenseVector<f32> = xs[..m.cols()].to_vec().into();
+        let want = m.spmv_dense(&x).unwrap();
+        let via_csr = CsrMatrix::from(&m).spmv_dense(&x).unwrap();
+        let via_csc = CscMatrix::from(&m).spmv_dense(&x).unwrap();
+        for i in 0..m.rows() {
+            prop_assert!((via_csr[i] - want[i]).abs() < 1e-3);
+            prop_assert!((via_csc[i] - want[i]).abs() < 1e-3);
+        }
+    }
+
+    /// Sparse-vector SpMV equals dense SpMV restricted to the support.
+    #[test]
+    fn sparse_spmv_equals_dense(m in matrix_strategy(), xs in vector_strategy(40)) {
+        let entries: Vec<(Idx, f32)> = xs[..m.cols()]
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0 && v.abs() > 1.0) // sparsify
+            .map(|(i, v)| (i as Idx, *v))
+            .collect();
+        let sv = SparseVector::from_entries(m.cols(), entries).unwrap();
+        let csc = CscMatrix::from(&m);
+        let dense_result = csc.spmv_dense(&sv.to_dense(0.0)).unwrap();
+        let sparse_result = csc.spmv_sparse(&sv).unwrap().to_dense(0.0);
+        for i in 0..m.rows() {
+            prop_assert!((dense_result[i] - sparse_result[i]).abs() < 1e-3);
+        }
+    }
+
+    /// nnz-balanced partitions tile the rows exactly and account every
+    /// nonzero.
+    #[test]
+    fn partitions_tile_rows(
+        counts in proptest::collection::vec(0usize..50, 1..100),
+        parts in 1usize..20,
+    ) {
+        let p = RowPartition::nnz_balanced(&counts, parts);
+        prop_assert_eq!(p.len(), parts);
+        let mut covered = Vec::new();
+        let mut total = 0usize;
+        for i in 0..p.len() {
+            covered.extend(p.range(i));
+            total += p.part_nnz(i);
+        }
+        prop_assert_eq!(covered, (0..counts.len()).collect::<Vec<_>>());
+        prop_assert_eq!(total, counts.iter().sum::<usize>());
+    }
+
+    /// vblocks tile the columns exactly.
+    #[test]
+    fn vblocks_tile_columns(cols in 1usize..500, width in 1usize..64) {
+        let vb = VBlocks::new(cols, width);
+        let mut covered = Vec::new();
+        for b in vb.iter() {
+            covered.extend(b);
+        }
+        prop_assert_eq!(covered, (0..cols).collect::<Vec<_>>());
+    }
+
+    /// Dense↔sparse frontier conversion round trips.
+    #[test]
+    fn frontier_conversion_roundtrip(xs in vector_strategy(64)) {
+        let d: sparse::DenseVector<f32> = xs.into();
+        let s = d.to_sparse(|v| *v != 0.0);
+        prop_assert_eq!(s.to_dense(0.0), d);
+    }
+
+    /// Both dataflows, simulated end to end, agree with the reference
+    /// on arbitrary matrices and frontiers.
+    #[test]
+    fn dataflows_agree_on_random_inputs(m in matrix_strategy(), xs in vector_strategy(40)) {
+        let x: sparse::DenseVector<f32> = xs[..m.cols()].to_vec().into();
+        let want = m.spmv_dense(&x).unwrap();
+        let sv = x.to_sparse(|v| *v != 0.0);
+
+        let mut ip = CoSparse::new(&m, Machine::new(Geometry::new(1, 2), MicroArch::paper()));
+        ip.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        let got_ip = match ip.spmv(&Frontier::Dense(x.clone())).unwrap().result {
+            Frontier::Dense(v) => v,
+            Frontier::Sparse(v) => v.to_dense(0.0),
+        };
+        let mut op = CoSparse::new(&m, Machine::new(Geometry::new(1, 2), MicroArch::paper()));
+        op.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+        let got_op = match op.spmv(&Frontier::Sparse(sv)).unwrap().result {
+            Frontier::Dense(v) => v,
+            Frontier::Sparse(v) => v.to_dense(0.0),
+        };
+        for i in 0..m.rows() {
+            prop_assert!((got_ip[i] - want[i]).abs() < 1e-3);
+            prop_assert!((got_op[i] - want[i]).abs() < 1e-3);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulator is deterministic: identical inputs → identical
+    /// cycle counts and stats, for every hardware configuration.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..1000, density in 0.001f64..0.3) {
+        let m = sparse::generate::uniform(512, 512, 4000, seed).unwrap();
+        let sv = sparse::generate::random_sparse_vector(512, density, seed).unwrap();
+        for (sw, hw) in [
+            (SwConfig::InnerProduct, HwConfig::Scs),
+            (SwConfig::OuterProduct, HwConfig::Ps),
+        ] {
+            let frontier = match sw {
+                SwConfig::OuterProduct => Frontier::Sparse(sv.clone()),
+                SwConfig::InnerProduct => Frontier::Dense(sv.to_dense(0.0)),
+            };
+            let run = |
+            | {
+                let mut rt =
+                    CoSparse::new(&m, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+                rt.set_policy(Policy::Fixed(sw, hw));
+                rt.spmv(&frontier).unwrap().report
+            };
+            let (a, b) = (run(), run());
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    /// Denser frontiers never make the outer product cheaper
+    /// (monotonicity of the sparse dataflow's work).
+    #[test]
+    fn op_cost_monotone_in_density(seed in 0u64..100) {
+        let m = sparse::generate::uniform(2048, 2048, 30_000, seed).unwrap();
+        let mut last = 0u64;
+        for density in [0.002, 0.02, 0.2] {
+            let sv = sparse::generate::random_sparse_vector(2048, density, 7).unwrap();
+            let mut rt =
+                CoSparse::new(&m, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+            rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+            let cycles = rt.spmv(&Frontier::Sparse(sv)).unwrap().report.cycles;
+            prop_assert!(cycles >= last, "OP got cheaper as density rose: {cycles} < {last}");
+            last = cycles;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Simulator stats are internally consistent: every global access is
+    /// accounted at some level, and hit/miss counts partition accesses.
+    #[test]
+    fn stats_are_consistent(seed in 0u64..200) {
+        let m = sparse::generate::uniform(1024, 1024, 8000, seed).unwrap();
+        let sv = sparse::generate::random_sparse_vector(1024, 0.05, seed).unwrap();
+        let mut rt = CoSparse::new(&m, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        let r = rt.spmv(&Frontier::Dense(sv.to_dense(0.0))).unwrap().report;
+        let s = &r.stats;
+        // Every cached access either hit or missed L1 (SC routes all
+        // PE traffic through L1).
+        prop_assert_eq!(s.l1_hits + s.l1_misses, s.loads + s.stores);
+        // L2 demand accesses stem from L1 misses (fills) only.
+        prop_assert!(s.l2_hits + s.l2_misses >= s.l1_misses);
+        // HBM reads cover at least the L2 demand misses.
+        prop_assert!(s.hbm_line_reads >= s.l2_misses);
+        // Total ops at least one per access plus computes.
+        prop_assert!(s.ops >= s.loads + s.stores);
+        prop_assert!(r.cycles > 0);
+        prop_assert!(r.seconds > 0.0);
+        prop_assert!(r.joules() > 0.0);
+    }
+
+    /// The functional result is identical across all hardware configs
+    /// of the same dataflow (hardware must never change the math).
+    #[test]
+    fn hardware_config_never_changes_results(seed in 0u64..100) {
+        let m = sparse::generate::uniform(512, 512, 5000, seed).unwrap();
+        let sv = sparse::generate::random_sparse_vector(512, 0.03, seed).unwrap();
+        let mut results = Vec::new();
+        for hw in [HwConfig::Sc, HwConfig::Pc, HwConfig::Ps] {
+            let mut rt =
+                CoSparse::new(&m, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
+            rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, hw));
+            let out = rt.spmv(&Frontier::Sparse(sv.clone())).unwrap();
+            match out.result {
+                Frontier::Sparse(v) => results.push(v),
+                Frontier::Dense(_) => prop_assert!(false, "OP must produce sparse output"),
+            }
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+
+    /// Generators are shape-safe: suite analogues always produce
+    /// in-bounds square matrices with within-budget nonzeros.
+    #[test]
+    fn suite_specs_generate_in_bounds(divisor in 16usize..64, seed in 0u64..20) {
+        use sparse::generate::SuiteGraph;
+        let spec = SuiteGraph::Twitter.spec().scaled(divisor);
+        let m = spec.generate(seed).unwrap();
+        prop_assert_eq!(m.rows(), spec.vertices);
+        prop_assert_eq!(m.cols(), spec.vertices);
+        prop_assert!(m.nnz() <= spec.edges);
+        prop_assert!(m.nnz() as f64 >= 0.9 * spec.edges as f64);
+    }
+}
