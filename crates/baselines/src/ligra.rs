@@ -85,7 +85,10 @@ impl Ligra {
     }
 
     fn dense_mode(&self, frontier: &[Idx]) -> bool {
-        let out_edges: u64 = frontier.iter().map(|&u| self.out.row_nnz(u as usize) as u64).sum();
+        let out_edges: u64 = frontier
+            .iter()
+            .map(|&u| self.out.row_nnz(u as usize) as u64)
+            .sum();
         out_edges + frontier.len() as u64 > self.out.nnz() as u64 / self.threshold_divisor
     }
 
@@ -104,7 +107,10 @@ impl Ligra {
     pub fn bfs(&self, root: Idx) -> LigraRun<u32> {
         let n = self.vertices();
         let mut level = vec![u32::MAX; n];
-        let mut run = LigraRun { state: Vec::new(), iterations: Vec::new() };
+        let mut run = LigraRun {
+            state: Vec::new(),
+            iterations: Vec::new(),
+        };
         if (root as usize) >= n {
             run.state = level;
             return run;
@@ -125,15 +131,15 @@ impl Ligra {
                     }
                     f
                 };
-                for v in 0..n {
-                    if level[v] != u32::MAX {
+                for (v, lvl) in level.iter_mut().enumerate() {
+                    if *lvl != u32::MAX {
                         continue;
                     }
                     let (srcs, _) = self.incoming.row(v);
                     for &u in srcs {
                         edges += 1;
                         if in_frontier[u as usize] {
-                            level[v] = depth;
+                            *lvl = depth;
                             next.push(v as Idx);
                             break; // Ligra's dense BFS early exit
                         }
@@ -157,7 +163,9 @@ impl Ligra {
                 mode: if dense { Mode::Pull } else { Mode::Push },
                 frontier: frontier.len(),
                 edges_scanned: edges,
-                cost: self.xeon.iteration(edges, frontier.len() as u64, 1.0, !dense),
+                cost: self
+                    .xeon
+                    .iteration(edges, frontier.len() as u64, 1.0, !dense),
             });
             frontier = next;
         }
@@ -169,7 +177,10 @@ impl Ligra {
     pub fn sssp(&self, source: Idx) -> LigraRun<f32> {
         let n = self.vertices();
         let mut dist = vec![f32::INFINITY; n];
-        let mut run = LigraRun { state: Vec::new(), iterations: Vec::new() };
+        let mut run = LigraRun {
+            state: Vec::new(),
+            iterations: Vec::new(),
+        };
         if (source as usize) >= n {
             run.state = dist;
             return run;
@@ -216,13 +227,14 @@ impl Ligra {
                     }
                 }
             }
-            let next: Vec<Idx> =
-                (0..n).filter(|&v| improved[v]).map(|v| v as Idx).collect();
+            let next: Vec<Idx> = (0..n).filter(|&v| improved[v]).map(|v| v as Idx).collect();
             run.iterations.push(LigraIter {
                 mode: if dense { Mode::Pull } else { Mode::Push },
                 frontier: frontier.len(),
                 edges_scanned: edges,
-                cost: self.xeon.iteration(edges, frontier.len() as u64, 2.0, !dense),
+                cost: self
+                    .xeon
+                    .iteration(edges, frontier.len() as u64, 2.0, !dense),
             });
             frontier = next;
         }
@@ -235,15 +247,18 @@ impl Ligra {
         let n = self.vertices();
         let degrees = self.out.out_degrees();
         let mut rank = vec![1.0f32 / n.max(1) as f32; n];
-        let mut run = LigraRun { state: Vec::new(), iterations: Vec::new() };
+        let mut run = LigraRun {
+            state: Vec::new(),
+            iterations: Vec::new(),
+        };
         for _ in 0..rounds {
             let mut next = vec![alpha / n.max(1) as f32; n];
             let mut edges = 0u64;
-            for v in 0..n {
+            for (v, acc) in next.iter_mut().enumerate() {
                 let (srcs, _) = self.incoming.row(v);
                 for &u in srcs {
                     edges += 1;
-                    next[v] += (1.0 - alpha) * rank[u as usize] / degrees[u as usize].max(1) as f32;
+                    *acc += (1.0 - alpha) * rank[u as usize] / degrees[u as usize].max(1) as f32;
                 }
             }
             rank = next;
@@ -275,7 +290,10 @@ impl Ligra {
                 f
             })
             .collect();
-        let mut run = LigraRun { state: Vec::new(), iterations: Vec::new() };
+        let mut run = LigraRun {
+            state: Vec::new(),
+            iterations: Vec::new(),
+        };
         for _ in 0..rounds {
             let mut grad = vec![vec![0.0f32; k]; n];
             let mut edges = 0u64;
@@ -283,8 +301,7 @@ impl Ligra {
                 let (srcs, weights) = self.incoming.row(v);
                 for (&u, &w) in srcs.iter().zip(weights) {
                     edges += 1;
-                    let dot: f32 =
-                        x[u as usize].iter().zip(&x[v]).map(|(a, b)| a * b).sum();
+                    let dot: f32 = x[u as usize].iter().zip(&x[v]).map(|(a, b)| a * b).sum();
                     let err = w - dot;
                     for f in 0..k {
                         grad[v][f] += err * x[u as usize][f] - lambda * x[v][f];
@@ -334,9 +351,11 @@ mod tests {
         let adj = rmat_graph();
         let ligra = Ligra::new(&adj, XeonModel::e7_4860());
         let run = ligra.bfs(0);
-        let modes: std::collections::HashSet<_> =
-            run.iterations.iter().map(|i| i.mode).collect();
-        assert!(modes.contains(&Mode::Push) && modes.contains(&Mode::Pull), "{modes:?}");
+        let modes: std::collections::HashSet<_> = run.iterations.iter().map(|i| i.mode).collect();
+        assert!(
+            modes.contains(&Mode::Push) && modes.contains(&Mode::Pull),
+            "{modes:?}"
+        );
         // Fig 9-style shape: starts push, goes pull in the middle.
         assert_eq!(run.iterations[0].mode, Mode::Push);
     }
@@ -348,8 +367,7 @@ mod tests {
         let want = graph::sssp::reference(&csr, 5);
         let ligra = Ligra::new(&adj, XeonModel::e7_4860());
         let run = ligra.sssp(5);
-        for v in 0..300 {
-            let (a, b) = (run.state[v], want[v]);
+        for (v, (&a, &b)) in run.state.iter().zip(&want).enumerate() {
             if a.is_infinite() || b.is_infinite() {
                 assert_eq!(a.is_infinite(), b.is_infinite(), "vertex {v}");
             } else {
@@ -365,8 +383,8 @@ mod tests {
         let want = graph::pagerank::reference(&csr, 0.15, 8);
         let ligra = Ligra::new(&adj, XeonModel::e7_4860());
         let run = ligra.pagerank(0.15, 8);
-        for v in 0..256 {
-            assert!((run.state[v] - want[v]).abs() < 1e-5, "vertex {v}");
+        for (v, (&a, &b)) in run.state.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-5, "vertex {v}");
         }
     }
 
@@ -376,13 +394,12 @@ mod tests {
         let want = graph::cf::reference(&adj, 0.01, 0.05, 4);
         let ligra = Ligra::new(&adj, XeonModel::e7_4860());
         let run = ligra.cf(0.01, 0.05, 4, graph::cf::FEATURES);
-        for v in 0..64 {
-            for k in 0..graph::cf::FEATURES {
+        for (v, want_v) in want.iter().enumerate() {
+            for (k, &b) in want_v.iter().enumerate() {
                 let got = run.state[v * graph::cf::FEATURES + k];
                 assert!(
-                    (got - want[v][k]).abs() < 1e-4,
-                    "vertex {v} feature {k}: {got} vs {}",
-                    want[v][k]
+                    (got - b).abs() < 1e-4,
+                    "vertex {v} feature {k}: {got} vs {b}"
                 );
             }
         }

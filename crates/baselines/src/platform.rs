@@ -20,7 +20,10 @@ pub struct BaselineCost {
 impl BaselineCost {
     /// Builds a cost from time and sustained power.
     pub fn from_power(seconds: f64, watts: f64) -> Self {
-        BaselineCost { seconds, joules: seconds * watts }
+        BaselineCost {
+            seconds,
+            joules: seconds * watts,
+        }
     }
 
     /// Field-wise sum (for multi-iteration totals).
@@ -42,7 +45,13 @@ impl BaselineCost {
 /// Roofline helper: execution time of a phase moving `bytes` at
 /// `bw_bytes_per_s` while executing `flops` at `flops_per_s`, plus a
 /// fixed `overhead_s`.
-pub fn roofline_seconds(bytes: f64, bw_bytes_per_s: f64, flops: f64, flops_per_s: f64, overhead_s: f64) -> f64 {
+pub fn roofline_seconds(
+    bytes: f64,
+    bw_bytes_per_s: f64,
+    flops: f64,
+    flops_per_s: f64,
+    overhead_s: f64,
+) -> f64 {
     let mem = bytes / bw_bytes_per_s.max(1.0);
     let cmp = flops / flops_per_s.max(1.0);
     mem.max(cmp) + overhead_s

@@ -59,7 +59,11 @@ impl XeonModel {
         flops_per_edge: f64,
         push: bool,
     ) -> BaselineCost {
-        let per_edge = if push { self.push_bytes_per_edge } else { self.pull_bytes_per_edge };
+        let per_edge = if push {
+            self.push_bytes_per_edge
+        } else {
+            self.pull_bytes_per_edge
+        };
         let bytes = edges as f64 * per_edge + vertices as f64 * self.bytes_per_vertex;
         let seconds = roofline_seconds(
             bytes,

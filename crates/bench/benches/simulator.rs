@@ -91,16 +91,35 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ip_sc_40k_nnz", |b| {
         b.iter(|| {
-            black_box(run_spmv_fixed(&m, g, SwConfig::InnerProduct, HwConfig::Sc, 1.0, 3))
+            black_box(run_spmv_fixed(
+                &m,
+                g,
+                SwConfig::InnerProduct,
+                HwConfig::Sc,
+                1.0,
+                3,
+            ))
         })
     });
     group.bench_function("op_ps_1pct_40k_nnz", |b| {
         b.iter(|| {
-            black_box(run_spmv_fixed(&m, g, SwConfig::OuterProduct, HwConfig::Ps, 0.01, 3))
+            black_box(run_spmv_fixed(
+                &m,
+                g,
+                SwConfig::OuterProduct,
+                HwConfig::Ps,
+                0.01,
+                3,
+            ))
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_event_loop, bench_reconfiguration, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_event_loop,
+    bench_reconfiguration,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -46,7 +46,9 @@ fn main() {
             active: None,
             profile: OpProfile::scalar(),
         };
-        let r = machine.run(ip::streams(&matrix, geometry, params)).expect("run");
+        let r = machine
+            .run(ip::streams(&matrix, geometry, params))
+            .expect("run");
         rows.push(vec![
             name.to_string(),
             r.cycles.to_string(),
@@ -77,7 +79,9 @@ fn main() {
             active: None,
             profile: OpProfile::scalar(),
         };
-        let r = machine.run(ip::streams(&matrix, geometry, params)).expect("run");
+        let r = machine
+            .run(ip::streams(&matrix, geometry, params))
+            .expect("run");
         rows.push(vec![
             name.to_string(),
             r.cycles.to_string(),
@@ -116,7 +120,9 @@ fn main() {
             spm_node_cap: cap,
             profile: OpProfile::scalar(),
         };
-        let r = machine.run(op::streams(&csc, geometry, params)).expect("run");
+        let r = machine
+            .run(op::streams(&csc, geometry, params))
+            .expect("run");
         rows.push(vec![
             name.to_string(),
             r.cycles.to_string(),

@@ -22,7 +22,10 @@ const CF_ROUNDS: usize = 3;
 
 fn main() {
     let geometry = Geometry::new(16, 16);
-    println!("fig10: CoSPARSE (16x16) vs Ligra (Xeon model); scale = {}", scale());
+    println!(
+        "fig10: CoSPARSE (16x16) vs Ligra (Xeon model); scale = {}",
+        scale()
+    );
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
@@ -51,8 +54,7 @@ fn main() {
             vec!["pr", "cf", "bfs", "sssp"]
         };
         for alg in algorithms {
-            let mut engine =
-                Engine::new(&adjacency, Machine::new(geometry, MicroArch::paper()));
+            let mut engine = Engine::new(&adjacency, Machine::new(geometry, MicroArch::paper()));
             let (ours_s, ours_j, iters) = match alg {
                 "pr" => {
                     let r = engine.run(&PageRank::new(0.15, PR_ROUNDS)).expect("run");

@@ -23,11 +23,14 @@ const DENSITIES: [f64; 7] = [0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16];
 
 fn main() {
     let nnz = fig_nnz();
-    println!("fig4: OP(PC) vs IP(SC); nnz = {nnz}, scale = {}", bench::scale());
+    println!(
+        "fig4: OP(PC) vs IP(SC); nnz = {nnz}, scale = {}",
+        bench::scale()
+    );
     let mut cvd_rows: Vec<Vec<String>> = Vec::new();
 
     for n in fig_matrix_dims() {
-        let matrix = sparse::generate::uniform(n, n, nnz, 0xF16_4).expect("generator");
+        let matrix = sparse::generate::uniform(n, n, nnz, 0xF164).expect("generator");
         let r = matrix.density();
         let mut rows: Vec<Vec<String>> = Vec::new();
         for geometry in fig4_geometries() {

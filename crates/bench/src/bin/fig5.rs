@@ -14,10 +14,13 @@ use transmuter::HwConfig;
 
 fn main() {
     let nnz = fig_nnz();
-    println!("fig5: SCS vs SC (inner product); nnz = {nnz}, scale = {}", bench::scale());
+    println!(
+        "fig5: SCS vs SC (inner product); nnz = {nnz}, scale = {}",
+        bench::scale()
+    );
 
     for n in fig_matrix_dims() {
-        let matrix = sparse::generate::uniform(n, n, nnz, 0xF16_5).expect("generator");
+        let matrix = sparse::generate::uniform(n, n, nnz, 0xF165).expect("generator");
         let r = matrix.density();
         let mut rows: Vec<Vec<String>> = Vec::new();
         for geometry in fig56_geometries() {

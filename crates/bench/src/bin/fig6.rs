@@ -15,10 +15,13 @@ use transmuter::HwConfig;
 
 fn main() {
     let nnz = fig_nnz();
-    println!("fig6: PS vs PC (outer product); nnz = {nnz}, scale = {}", bench::scale());
+    println!(
+        "fig6: PS vs PC (outer product); nnz = {nnz}, scale = {}",
+        bench::scale()
+    );
 
     for n in fig_matrix_dims() {
-        let matrix = sparse::generate::uniform(n, n, nnz, 0xF16_6).expect("generator");
+        let matrix = sparse::generate::uniform(n, n, nnz, 0xF166).expect("generator");
         let r = matrix.density();
         let mut rows: Vec<Vec<String>> = Vec::new();
         for geometry in fig56_geometries() {
@@ -44,10 +47,9 @@ fn main() {
                 row.push(format!("{:+.1}%", gain * 100.0));
             }
             // Per-PE sorted-list footprint at the densest sweep point.
-            let list_kb = (n as f64 * DENSITIES[DENSITIES.len() - 1]
-                / geometry.pes_per_tile() as f64)
-                * 8.0
-                / 1024.0;
+            let list_kb =
+                (n as f64 * DENSITIES[DENSITIES.len() - 1] / geometry.pes_per_tile() as f64) * 8.0
+                    / 1024.0;
             row.push(format!("{list_kb:.1}kB"));
             rows.push(row);
         }

@@ -58,7 +58,15 @@ fn main() {
     }
     print_table(
         "Fig 8 | CoSPARSE vs CPU/GPU SpMV (synthetic Table III analogues, scaled)",
-        &["graph", "density", "config", "vs CPU", "vs GPU", "eff vs CPU", "eff vs GPU"],
+        &[
+            "graph",
+            "density",
+            "config",
+            "vs CPU",
+            "vs GPU",
+            "eff vs CPU",
+            "eff vs GPU",
+        ],
         &rows,
     );
     println!(

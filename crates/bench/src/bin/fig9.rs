@@ -76,8 +76,14 @@ fn main() {
 
         let mut cycles = Vec::with_capacity(CONFIGS.len());
         for (rt, &(sw, hw, _)) in fixed.iter_mut().zip(&CONFIGS) {
-            let decision = Decision { software: sw, hardware: hw, cvd: f64::NAN };
-            let report = rt.execute(decision, &indices, &profile).expect("simulation");
+            let decision = Decision {
+                software: sw,
+                hardware: hw,
+                cvd: f64::NAN,
+            };
+            let report = rt
+                .execute(decision, &indices, &profile)
+                .expect("simulation");
             cycles.push(report.cycles);
         }
         let auto_out = auto_rt.step(&op, &frontier, &state).expect("simulation");
@@ -122,7 +128,17 @@ fn main() {
 
     print_table(
         "Fig 9 | SSSP/pokec per iteration, times normalized to IP/SC (* = best)",
-        &["iter", "density", "IP/SC", "IP/SCS", "OP/SC", "OP/PC", "OP/PS", "best", "auto chose"],
+        &[
+            "iter",
+            "density",
+            "IP/SC",
+            "IP/SCS",
+            "OP/SC",
+            "OP/PC",
+            "OP/PS",
+            "best",
+            "auto chose",
+        ],
         &rows,
     );
     println!(

@@ -18,12 +18,22 @@ use transmuter::{Geometry, HwConfig, Machine, MicroArch};
 fn main() {
     let geometry = Geometry::new(16, 16);
     let divisor_boost = if scale() == 1 { 1 } else { 4 };
-    println!("reconfig_gain: auto vs pinned IP/SC on 16x16; scale = {}", scale());
+    println!(
+        "reconfig_gain: auto vs pinned IP/SC on 16x16; scale = {}",
+        scale()
+    );
 
     let mut rows = Vec::new();
     let mut max_gain: f64 = 0.0;
-    for g in [SuiteGraph::Vsp, SuiteGraph::Twitter, SuiteGraph::Youtube, SuiteGraph::Pokec] {
-        let spec = g.spec().scaled(g.spec().default_scale_divisor * divisor_boost);
+    for g in [
+        SuiteGraph::Vsp,
+        SuiteGraph::Twitter,
+        SuiteGraph::Youtube,
+        SuiteGraph::Pokec,
+    ] {
+        let spec = g
+            .spec()
+            .scaled(g.spec().default_scale_divisor * divisor_boost);
         let adjacency = spec.generate(0xC6).expect("suite generator");
         let root: Idx = adjacency
             .row_counts()

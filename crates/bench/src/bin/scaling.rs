@@ -18,8 +18,16 @@ fn main() {
     println!("scaling study; nnz = {nnz}, scale = {}", bench::scale());
 
     let pairs = [
-        ("4x8 → 8x8 (2x tiles)", Geometry::new(4, 8), Geometry::new(8, 8)),
-        ("4x8 → 4x16 (2x PEs/tile)", Geometry::new(4, 8), Geometry::new(4, 16)),
+        (
+            "4x8 → 8x8 (2x tiles)",
+            Geometry::new(4, 8),
+            Geometry::new(8, 8),
+        ),
+        (
+            "4x8 → 4x16 (2x PEs/tile)",
+            Geometry::new(4, 8),
+            Geometry::new(4, 16),
+        ),
     ];
     let configs = [
         (SwConfig::OuterProduct, HwConfig::Pc, "OP/PC"),

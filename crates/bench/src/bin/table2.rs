@@ -44,5 +44,9 @@ fn main() {
             format!("{} / {} cycles per bank access", ua.l1_latency, ua.l2_latency),
         ],
     ];
-    print_table("Table II | gem5-model microarchitectural parameters", &["module", "parameters"], &rows);
+    print_table(
+        "Table II | gem5-model microarchitectural parameters",
+        &["module", "parameters"],
+        &rows,
+    );
 }

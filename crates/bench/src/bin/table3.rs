@@ -19,7 +19,12 @@ fn main() {
             g.name().to_string(),
             full.vertices.to_string(),
             full.edges.to_string(),
-            if full.directed { "directed" } else { "undirected" }.to_string(),
+            if full.directed {
+                "directed"
+            } else {
+                "undirected"
+            }
+            .to_string(),
             format!("{:.1e}", full.density()),
             stats.rows.to_string(),
             stats.nnz.to_string(),

@@ -20,7 +20,10 @@ use transmuter::{Geometry, HwConfig, Machine, MicroArch, SimReport};
 /// Matrix-dimension divisor taken from the environment
 /// (`COSPARSE_SCALE`, default 4; `COSPARSE_FULL_SCALE=1` forces 1).
 pub fn scale() -> usize {
-    if std::env::var("COSPARSE_FULL_SCALE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("COSPARSE_FULL_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return 1;
     }
     std::env::var("COSPARSE_SCALE")
@@ -158,7 +161,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -83,8 +83,7 @@ impl AdaptiveState {
         let bucket = self.buckets.get(&bucket_of(density));
         let near_boundary = prior.cvd.is_finite()
             && prior.cvd > 0.0
-            && (density / prior.cvd).max(prior.cvd / density.max(1e-12))
-                <= Self::EXPLORE_BAND;
+            && (density / prior.cvd).max(prior.cvd / density.max(1e-12)) <= Self::EXPLORE_BAND;
 
         // Candidate set: the prior, its hardware sibling, and — near the
         // boundary — the other dataflow with its default hardware and
@@ -106,17 +105,23 @@ impl AdaptiveState {
         if let Some(obs) = bucket {
             for &(sw, hw) in &candidates {
                 if !obs.contains_key(&(sw, hw)) {
-                    return Decision { software: sw, hardware: hw, cvd: prior.cvd };
+                    return Decision {
+                        software: sw,
+                        hardware: hw,
+                        cvd: prior.cvd,
+                    };
                 }
             }
             let best = candidates
                 .iter()
-                .filter_map(|&(sw, hw)| {
-                    obs.get(&(sw, hw)).map(|o| ((sw, hw), o.mean_cycles))
-                })
+                .filter_map(|&(sw, hw)| obs.get(&(sw, hw)).map(|o| ((sw, hw), o.mean_cycles)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"));
             if let Some(((sw, hw), _)) = best {
-                return Decision { software: sw, hardware: hw, cvd: prior.cvd };
+                return Decision {
+                    software: sw,
+                    hardware: hw,
+                    cvd: prior.cvd,
+                };
             }
         }
         prior
@@ -143,7 +148,11 @@ mod tests {
     use super::*;
 
     fn prior(sw: SwConfig, hw: HwConfig, cvd: f64) -> Decision {
-        Decision { software: sw, hardware: hw, cvd }
+        Decision {
+            software: sw,
+            hardware: hw,
+            cvd,
+        }
     }
 
     #[test]
@@ -180,7 +189,11 @@ mod tests {
         st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
         st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 1200);
         let c = st.choose(d, p);
-        assert_eq!(c.software, SwConfig::OuterProduct, "should probe OP near the CVD");
+        assert_eq!(
+            c.software,
+            SwConfig::OuterProduct,
+            "should probe OP near the CVD"
+        );
 
         // Far from the boundary the other dataflow is never probed.
         let mut st = AdaptiveState::new();
@@ -201,7 +214,10 @@ mod tests {
         st.record(d, SwConfig::OuterProduct, HwConfig::Pc, 800);
         st.record(d, SwConfig::OuterProduct, HwConfig::Ps, 900);
         let c = st.choose(d, p);
-        assert_eq!((c.software, c.hardware), (SwConfig::OuterProduct, HwConfig::Pc));
+        assert_eq!(
+            (c.software, c.hardware),
+            (SwConfig::OuterProduct, HwConfig::Pc)
+        );
     }
 
     #[test]

@@ -186,8 +186,8 @@ pub fn decide(
     let hardware = match software {
         SwConfig::InnerProduct => {
             // Working set: streamed COO + dense vector (+ output).
-            let vec_bytes = matrix.cols * 4 * profile.value_words
-                + matrix.rows * 4 * profile.value_words;
+            let vec_bytes =
+                matrix.cols * 4 * profile.value_words + matrix.rows * 4 * profile.value_words;
             let working_set = matrix.coo_bytes() + vec_bytes;
             // Chip cache capacity in SC mode: all L1 + all L2 banks.
             let cache_bytes = geometry.total_pes() * ua.bank_bytes * 2;
@@ -228,7 +228,11 @@ pub fn decide(
             }
         }
     };
-    Decision { software, hardware, cvd }
+    Decision {
+        software,
+        hardware,
+        cvd,
+    }
 }
 
 #[cfg(test)]
@@ -236,11 +240,22 @@ mod tests {
     use super::*;
 
     fn summary(n: usize, nnz: usize) -> MatrixSummary {
-        MatrixSummary { rows: n, cols: n, nnz }
+        MatrixSummary {
+            rows: n,
+            cols: n,
+            nnz,
+        }
     }
 
     fn decide_default(m: MatrixSummary, vd: f64, g: Geometry) -> Decision {
-        decide(m, vd, g, &MicroArch::paper(), &Thresholds::paper(), &OpProfile::scalar())
+        decide(
+            m,
+            vd,
+            g,
+            &MicroArch::paper(),
+            &Thresholds::paper(),
+            &OpProfile::scalar(),
+        )
     }
 
     #[test]

@@ -44,8 +44,7 @@ pub fn streams(
             let start = dim * p / pes;
             let outs = (active_nnz * (p + 1) / pes) - (active_nnz * p / pes);
             let out_start = active_nnz * p / pes;
-            let mut ops: Vec<Op> =
-                Vec::with_capacity(elems * (vw + 1) + outs * (vw + 1));
+            let mut ops: Vec<Op> = Vec::with_capacity(elems * (vw + 1) + outs * (vw + 1));
             match direction {
                 Direction::DenseToSparse => {
                     for e in 0..elems {
@@ -85,7 +84,8 @@ mod tests {
         let g = Geometry::new(2, 4);
         let l = Layout::new(dim, dim, dim, g, 1);
         let mut m = Machine::new(g, MicroArch::paper());
-        m.run(streams(&l, g, dim, nnz, dir, OpProfile::scalar())).unwrap()
+        m.run(streams(&l, g, dim, nnz, dir, OpProfile::scalar()))
+            .unwrap()
     }
 
     #[test]

@@ -41,11 +41,7 @@ pub struct IpParams<'a> {
 /// # Panics
 ///
 /// Panics if `partition.len() != geometry.total_pes()`.
-pub fn streams(
-    coo_t: &CooMatrix,
-    geometry: Geometry,
-    params: IpParams<'_>,
-) -> StreamSet<'static> {
+pub fn streams(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>) -> StreamSet<'static> {
     assert_eq!(
         params.partition.len(),
         geometry.total_pes(),
@@ -94,8 +90,7 @@ pub fn streams(
                     let (_, row, col) = bucketed[cursor];
                     ops.push(Op::Load(params.layout.coo_entry(part_start + seq)));
                     ops.push(Op::Compute(1));
-                    let is_active =
-                        params.active.is_none_or(|mask| mask[col as usize]);
+                    let is_active = params.active.is_none_or(|mask| mask[col as usize]);
                     // The first vector word must always be inspected; the
                     // remaining words and the MAC only happen for active
                     // elements.
@@ -195,7 +190,10 @@ mod tests {
         let (m, l, g) = setup(512, 4000);
         let spm_words = 2 * 4096 / 4; // SCS on 2x4: 2 SPM banks per tile
         let r = run(&m, &l, g, HwConfig::Scs, true, VBlocks::new(512, spm_words));
-        assert!(r.stats.spm_accesses as usize > m.nnz(), "vector reads + preload stores");
+        assert!(
+            r.stats.spm_accesses as usize > m.nnz(),
+            "vector reads + preload stores"
+        );
         assert!(r.stats.barrier_stall_cycles < r.cycles * 8);
     }
 
@@ -204,12 +202,8 @@ mod tests {
         // A matrix whose nonzeros all live in one row: most PEs get
         // empty partitions but must still match barriers in SCS mode.
         let g = Geometry::new(2, 4);
-        let m = CooMatrix::from_triplets(
-            64,
-            64,
-            (0..64u32).map(|c| (0u32, c, 1.0f32)).collect(),
-        )
-        .unwrap();
+        let m = CooMatrix::from_triplets(64, 64, (0..64u32).map(|c| (0u32, c, 1.0f32)).collect())
+            .unwrap();
         let l = Layout::new(64, 64, 64, g, 1);
         let r = run(&m, &l, g, HwConfig::Scs, true, VBlocks::new(64, 32));
         assert!(r.cycles > 0);
@@ -260,8 +254,11 @@ mod tests {
                 },
             ))
             .unwrap();
-        let wide_profile =
-            OpProfile { value_words: 4, extra_compute_per_edge: 4, vector_op_compute: 0 };
+        let wide_profile = OpProfile {
+            value_words: 4,
+            extra_compute_per_edge: 4,
+            vector_op_compute: 0,
+        };
         let wide = machine
             .run(streams(
                 &m,

@@ -48,13 +48,16 @@ pub struct OpParams<'a> {
 ///
 /// Panics if `tile_parts.len() != geometry.tiles()` or the frontier is
 /// not strictly increasing.
-pub fn streams(
-    csc_t: &CscMatrix,
-    geometry: Geometry,
-    params: OpParams<'_>,
-) -> StreamSet<'static> {
-    assert_eq!(params.tile_parts.len(), geometry.tiles(), "op needs one partition per tile");
-    debug_assert!(params.frontier.windows(2).all(|w| w[0] < w[1]), "frontier must be sorted");
+pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> StreamSet<'static> {
+    assert_eq!(
+        params.tile_parts.len(),
+        geometry.tiles(),
+        "op needs one partition per tile"
+    );
+    debug_assert!(
+        params.frontier.windows(2).all(|w| w[0] < w[1]),
+        "frontier must be sorted"
+    );
     let b = geometry.pes_per_tile();
     let vw = params.profile.value_words;
     let merge_cost = 1 + params.profile.extra_compute_per_edge;
@@ -72,10 +75,18 @@ pub fn streams(
             let heap_node = |node: usize, ops: &mut Vec<Op>, store: bool| {
                 if params.heap_in_spm && node < params.spm_node_cap {
                     let off = (node * 8) as u32;
-                    ops.push(if store { Op::SpmStore(off) } else { Op::SpmLoad(off) });
+                    ops.push(if store {
+                        Op::SpmStore(off)
+                    } else {
+                        Op::SpmLoad(off)
+                    });
                 } else {
                     let addr = params.layout.heap_node(worker, node);
-                    ops.push(if store { Op::Store(addr) } else { Op::Load(addr) });
+                    ops.push(if store {
+                        Op::Store(addr)
+                    } else {
+                        Op::Load(addr)
+                    });
                 }
             };
 
@@ -306,7 +317,10 @@ mod tests {
             profile: OpProfile::scalar(),
         };
         let r_tiny = machine.run(streams(&csc, g, tiny)).unwrap();
-        let roomy = OpParams { spm_node_cap: 4096, ..tiny };
+        let roomy = OpParams {
+            spm_node_cap: 4096,
+            ..tiny
+        };
         let r_roomy = machine.run(streams(&csc, g, roomy)).unwrap();
         assert!(r_tiny.stats.loads > r_roomy.stats.loads);
         assert!(r_tiny.stats.spm_accesses < r_roomy.stats.spm_accesses);

@@ -8,6 +8,7 @@
 //! FIFOs. Kernels translate structural positions into these addresses;
 //! the data itself never exists in the simulator (see DESIGN.md §2).
 
+use transmuter::verify::RegionMap;
 use transmuter::{Addr, Geometry};
 
 /// Word size in bytes (matches `MicroArch::word_bytes`).
@@ -46,6 +47,14 @@ pub struct Layout {
     pub heap_stride: u64,
     /// Words per vector element (1 for scalar algorithms, K for CF).
     pub value_words: u64,
+    /// Matrix rows the layout was sized for.
+    pub rows: usize,
+    /// Matrix columns the layout was sized for.
+    pub cols: usize,
+    /// Nonzeros the layout was sized for.
+    pub nnz: usize,
+    /// Total PE count of the geometry the layout was sized for.
+    pub total_pes: usize,
 }
 
 impl Layout {
@@ -95,7 +104,38 @@ impl Layout {
             heap_base,
             heap_stride,
             value_words,
+            rows,
+            cols,
+            nnz,
+            total_pes: geometry.total_pes(),
         }
+    }
+
+    /// The address regions kernels are allowed to touch, for the
+    /// [`transmuter::verify`] linter's unmapped-address check.
+    pub fn regions(&self) -> RegionMap {
+        let mut map = RegionMap::new();
+        map.add("coo", self.coo_base, self.nnz as u64 * COO_ENTRY_BYTES)
+            .add("csc_ptr", self.csc_ptr_base, (self.cols as u64 + 1) * WORD)
+            .add(
+                "csc_data",
+                self.csc_data_base,
+                self.nnz as u64 * CSC_ENTRY_BYTES,
+            )
+            .add("x", self.x_base, self.cols as u64 * WORD * self.value_words)
+            .add("y", self.y_base, self.rows as u64 * WORD * self.value_words)
+            .add("sv", self.sv_base, self.cols as u64 * SV_ENTRY_BYTES)
+            .add(
+                "fifo",
+                self.fifo_base,
+                self.fifo_stride * self.total_pes as u64,
+            )
+            .add(
+                "heap",
+                self.heap_base,
+                self.heap_stride * self.total_pes as u64,
+            );
+        map
     }
 
     /// Address of COO entry `k` (in the kernel's streaming order).
@@ -130,12 +170,15 @@ impl Layout {
 
     /// Address of slot `k` in global PE `pe`'s output FIFO.
     pub fn fifo_slot(&self, pe: usize, k: usize) -> Addr {
-        self.fifo_base + pe as u64 * self.fifo_stride + (k as u64 * SV_ENTRY_BYTES) % self.fifo_stride
+        self.fifo_base
+            + pe as u64 * self.fifo_stride
+            + (k as u64 * SV_ENTRY_BYTES) % self.fifo_stride
     }
 
     /// Address of spilled heap node `node` for global PE `pe`.
     pub fn heap_node(&self, pe: usize, node: usize) -> Addr {
-        self.heap_base + pe as u64 * self.heap_stride
+        self.heap_base
+            + pe as u64 * self.heap_stride
             + (node as u64 * HEAP_NODE_BYTES) % self.heap_stride
     }
 }

@@ -72,7 +72,11 @@ pub struct OpProfile {
 impl OpProfile {
     /// Scalar op: one word per value, plain MAC, no vector op.
     pub fn scalar() -> Self {
-        OpProfile { value_words: 1, extra_compute_per_edge: 0, vector_op_compute: 0 }
+        OpProfile {
+            value_words: 1,
+            extra_compute_per_edge: 0,
+            vector_op_compute: 0,
+        }
     }
 }
 
@@ -162,8 +166,10 @@ mod tests {
         let x = sparse::generate::random_dense_vector(64, 7);
         let want = t.spmv_dense(&x).unwrap();
 
-        let active: Vec<(Idx, f32)> =
-            (0..64).map(|i| (i as Idx, x[i])).filter(|&(_, v)| v != 0.0).collect();
+        let active: Vec<(Idx, f32)> = (0..64)
+            .map(|i| (i as Idx, x[i]))
+            .filter(|&(_, v)| v != 0.0)
+            .collect();
         let state = vec![0.0f32; 64];
         let degrees = vec![0u32; 64];
         let updates = apply(&SpmvOp, &csc_t, &active, &state, &degrees);
@@ -184,12 +190,8 @@ mod tests {
 
     #[test]
     fn apply_skips_inactive_columns() {
-        let adj = CooMatrix::from_triplets(
-            3,
-            3,
-            vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)],
-        )
-        .unwrap();
+        let adj =
+            CooMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]).unwrap();
         let csc_t = csc_t_of(&adj);
         // Only vertex 0 active: its lone out-edge 0→1 contributes.
         let updates = apply(&SpmvOp, &csc_t, &[(0, 1.0)], &[0.0; 3], &[1, 1, 1]);
@@ -199,11 +201,15 @@ mod tests {
     #[test]
     fn reductions_combine_parallel_edges() {
         // Two sources converge on dst 2.
-        let adj =
-            CooMatrix::from_triplets(3, 3, vec![(0, 2, 1.0), (1, 2, 10.0)]).unwrap();
+        let adj = CooMatrix::from_triplets(3, 3, vec![(0, 2, 1.0), (1, 2, 10.0)]).unwrap();
         let csc_t = csc_t_of(&adj);
-        let updates =
-            apply(&SpmvOp, &csc_t, &[(0, 2.0), (1, 3.0)], &[0.0; 3], &[1, 1, 1]);
+        let updates = apply(
+            &SpmvOp,
+            &csc_t,
+            &[(0, 2.0), (1, 3.0)],
+            &[0.0; 3],
+            &[1, 1, 1],
+        );
         assert_eq!(updates, vec![(2, 32.0)]);
     }
 

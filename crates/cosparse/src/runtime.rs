@@ -9,6 +9,7 @@ use crate::kernels::convert::{self, Direction};
 use crate::kernels::{ip, op};
 use crate::layout::Layout;
 use crate::ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
+use crate::verify::{run_checked, VerifyReport};
 use sparse::partition::VBlocks;
 use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
 use transmuter::{HwConfig, Machine, SimError, SimReport};
@@ -132,6 +133,8 @@ pub struct CoSparse {
     policy: Policy,
     prev_sw: Option<SwConfig>,
     adaptive: AdaptiveState,
+    verify: bool,
+    verify_report: VerifyReport,
 }
 
 impl CoSparse {
@@ -152,7 +155,25 @@ impl CoSparse {
             policy: Policy::Auto,
             prev_sw: None,
             adaptive: AdaptiveState::new(),
+            verify: false,
+            verify_report: VerifyReport::default(),
         }
+    }
+
+    /// Enables (or disables) kernel verification: every subsequent
+    /// invocation is statically linted against the layout's address map
+    /// before running (rejected with [`SimError::Rejected`] on error)
+    /// and its trace is checked for data races, accumulated in
+    /// [`CoSparse::verification`]. Off by default — verification
+    /// materializes streams and records full traces.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+        self.verify_report = VerifyReport::default();
+    }
+
+    /// Findings accumulated since verification was enabled.
+    pub fn verification(&self) -> &VerifyReport {
+        &self.verify_report
     }
 
     /// Overrides the decision thresholds.
@@ -195,7 +216,11 @@ impl CoSparse {
 
     /// Structural summary used by the decision tree.
     pub fn summary(&self) -> MatrixSummary {
-        MatrixSummary { rows: self.coo.rows(), cols: self.coo.cols(), nnz: self.coo.nnz() }
+        MatrixSummary {
+            rows: self.coo.rows(),
+            cols: self.coo.cols(),
+            nnz: self.coo.nnz(),
+        }
     }
 
     /// Runs the decision tree for a frontier of the given density
@@ -213,7 +238,11 @@ impl CoSparse {
         };
         match self.policy {
             Policy::Auto => tree(),
-            Policy::Fixed(sw, hw) => Decision { software: sw, hardware: hw, cvd: f64::NAN },
+            Policy::Fixed(sw, hw) => Decision {
+                software: sw,
+                hardware: hw,
+                cvd: f64::NAN,
+            },
             Policy::Adaptive => self.adaptive.choose(vector_density, tree()),
         }
     }
@@ -239,6 +268,23 @@ impl CoSparse {
             geometry,
             profile.value_words,
         );
+        // SCS splits each tile's banks between cache and SPM, which
+        // needs at least two PEs per tile; the machine cannot even
+        // reconfigure into it on a 1-PE geometry. Under verification,
+        // reject statically (the same finding the stream linter
+        // reports) instead of letting the reconfigure panic.
+        if self.verify && decision.hardware == HwConfig::Scs && geometry.pes_per_tile() < 2 {
+            return Err(SimError::Rejected {
+                diagnostics: vec![transmuter::verify::Diagnostic {
+                    worker: 0,
+                    position: None,
+                    severity: transmuter::verify::Severity::Error,
+                    kind: transmuter::verify::LintKind::UnsupportedConfig {
+                        config: decision.hardware,
+                    },
+                }],
+            });
+        }
         self.machine.reconfigure(decision.hardware);
 
         // Frontier representation conversion (§III-D.2) when the
@@ -262,7 +308,16 @@ impl CoSparse {
                 direction,
                 *profile,
             );
-            conversion_report = Some(self.machine.run(streams)?);
+            conversion_report = Some(if self.verify {
+                run_checked(
+                    &mut self.machine,
+                    streams,
+                    &layout.regions(),
+                    &mut self.verify_report,
+                )?
+            } else {
+                self.machine.run(streams)?
+            });
         }
         self.prev_sw = Some(decision.software);
 
@@ -290,7 +345,17 @@ impl CoSparse {
                     active: mask.as_deref(),
                     profile: *profile,
                 };
-                self.machine.run(ip::streams(&self.coo, geometry, params))?
+                let streams = ip::streams(&self.coo, geometry, params);
+                if self.verify {
+                    run_checked(
+                        &mut self.machine,
+                        streams,
+                        &layout.regions(),
+                        &mut self.verify_report,
+                    )?
+                } else {
+                    self.machine.run(streams)?
+                }
             }
             SwConfig::OuterProduct => {
                 let tile_parts =
@@ -305,7 +370,17 @@ impl CoSparse {
                     spm_node_cap,
                     profile: *profile,
                 };
-                self.machine.run(op::streams(&self.csc, geometry, params))?
+                let streams = op::streams(&self.csc, geometry, params);
+                if self.verify {
+                    run_checked(
+                        &mut self.machine,
+                        streams,
+                        &layout.regions(),
+                        &mut self.verify_report,
+                    )?
+                } else {
+                    self.machine.run(streams)?
+                }
             }
         };
         if let Some(conv) = conversion_report {
@@ -348,7 +423,11 @@ impl CoSparse {
     /// Panics if the frontier dimension does not match the matrix
     /// column count.
     pub fn spmv(&mut self, frontier: &Frontier) -> Result<SpmvOutcome, SimError> {
-        assert_eq!(frontier.dim(), self.coo.cols(), "frontier dimension mismatch");
+        assert_eq!(
+            frontier.dim(),
+            self.coo.cols(),
+            "frontier dimension mismatch"
+        );
         let profile = OpProfile::scalar();
         let density = frontier.density();
         let decision = self.decide(density, &profile);
@@ -356,7 +435,8 @@ impl CoSparse {
         let active: Vec<Idx> = entries.iter().map(|&(i, _)| i).collect();
         let report = self.execute(decision, &active, &profile)?;
         if self.policy == Policy::Adaptive {
-            self.adaptive.record(density, decision.software, decision.hardware, report.cycles);
+            self.adaptive
+                .record(density, decision.software, decision.hardware, report.cycles);
         }
 
         // Functional product (golden model).
@@ -406,7 +486,8 @@ impl CoSparse {
         let indices: Vec<Idx> = active.iter().map(|&(i, _)| i).collect();
         let report = self.execute(decision, &indices, &profile)?;
         if self.policy == Policy::Adaptive {
-            self.adaptive.record(density, decision.software, decision.hardware, report.cycles);
+            self.adaptive
+                .record(density, decision.software, decision.hardware, report.cycles);
         }
         let updates = apply(op, &self.csc, active, state, &self.degrees);
         Ok(StepOutcome {
@@ -442,9 +523,7 @@ mod tests {
     #[test]
     fn sparse_frontier_runs_op() {
         let mut rt = runtime(4096, 40_000);
-        let x = Frontier::Sparse(
-            sparse::generate::random_sparse_vector(4096, 0.002, 5).unwrap(),
-        );
+        let x = Frontier::Sparse(sparse::generate::random_sparse_vector(4096, 0.002, 5).unwrap());
         let out = rt.spmv(&x).unwrap();
         assert_eq!(out.software, SwConfig::OuterProduct);
         assert!(matches!(out.result, Frontier::Sparse(_)));
@@ -486,9 +565,8 @@ mod tests {
         let first = rt.spmv(&dense).unwrap();
         // Switch to OP: the frontier must be converted dense→sparse.
         rt.policy = Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc);
-        let sparse_f = Frontier::Sparse(
-            sparse::generate::random_sparse_vector(4096, 0.01, 2).unwrap(),
-        );
+        let sparse_f =
+            Frontier::Sparse(sparse::generate::random_sparse_vector(4096, 0.01, 2).unwrap());
         let second = rt.spmv(&sparse_f).unwrap();
         // Conversion adds ≥ dim loads on top of OP's own work.
         assert!(
@@ -505,7 +583,11 @@ mod tests {
         let mut rt = runtime(8192, 80_000);
         let sparse_f = sparse::generate::random_sparse_vector(8192, 0.001, 7).unwrap();
         rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
-        let op_time = rt.spmv(&Frontier::Sparse(sparse_f.clone())).unwrap().report.cycles;
+        let op_time = rt
+            .spmv(&Frontier::Sparse(sparse_f.clone()))
+            .unwrap()
+            .report
+            .cycles;
         let mut rt2 = runtime(8192, 80_000);
         rt2.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
         let ip_time = rt2
@@ -567,9 +649,8 @@ mod frontier_tests {
         assert!(!d.is_sparse());
         assert_eq!(d.active_entries(), vec![(1, 2.0), (3, 3.0)]);
 
-        let s = Frontier::Sparse(
-            SparseVector::from_entries(4, vec![(1, 2.0f32), (3, 3.0)]).unwrap(),
-        );
+        let s =
+            Frontier::Sparse(SparseVector::from_entries(4, vec![(1, 2.0f32), (3, 3.0)]).unwrap());
         assert!(s.is_sparse());
         assert_eq!(s.active_entries(), d.active_entries());
         assert_eq!(s.density(), 0.5);
@@ -585,7 +666,10 @@ mod frontier_tests {
     #[test]
     fn empty_sparse_frontier_runs() {
         let m = sparse::generate::uniform(128, 128, 500, 3).unwrap();
-        let machine = Machine::new(transmuter::Geometry::new(1, 2), transmuter::MicroArch::paper());
+        let machine = Machine::new(
+            transmuter::Geometry::new(1, 2),
+            transmuter::MicroArch::paper(),
+        );
         let mut rt = CoSparse::new(&m, machine);
         let out = rt.spmv(&Frontier::Sparse(SparseVector::new(128))).unwrap();
         assert_eq!(out.software, SwConfig::OuterProduct);
@@ -598,7 +682,10 @@ mod frontier_tests {
     #[test]
     fn adaptive_policy_records_via_spmv() {
         let m = sparse::generate::uniform(1024, 1024, 8000, 5).unwrap();
-        let machine = Machine::new(transmuter::Geometry::new(2, 4), transmuter::MicroArch::paper());
+        let machine = Machine::new(
+            transmuter::Geometry::new(2, 4),
+            transmuter::MicroArch::paper(),
+        );
         let mut rt = CoSparse::new(&m, machine);
         rt.set_policy(Policy::Adaptive);
         assert_eq!(rt.adaptive_observations(), 0);
@@ -615,7 +702,10 @@ mod frontier_tests {
     #[test]
     fn repeated_spmv_reuses_warm_machine() {
         let m = sparse::generate::uniform(2048, 2048, 30_000, 4).unwrap();
-        let machine = Machine::new(transmuter::Geometry::new(2, 4), transmuter::MicroArch::paper());
+        let machine = Machine::new(
+            transmuter::Geometry::new(2, 4),
+            transmuter::MicroArch::paper(),
+        );
         let mut rt = CoSparse::new(&m, machine);
         rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
         let x = Frontier::Dense(sparse::generate::random_dense_vector(2048, 1));

@@ -1,0 +1,77 @@
+//! Runtime integration of the [`transmuter::verify`] layer: every
+//! kernel invocation is statically linted against the active hardware
+//! configuration and the [`crate::Layout`]'s address map, then run
+//! under tracing, and the trace is checked for data races.
+//!
+//! Verification is opt-in (see [`crate::CoSparse::set_verify`]) because
+//! it materializes the lazy op streams and records a full trace — fine
+//! for tests and kernel development, too heavy for large sweeps.
+
+use transmuter::verify::{self, Diagnostic, ProgramSet, Race, RegionMap};
+use transmuter::{Machine, SimError, SimReport, TraceConfig};
+
+/// Accumulated findings across the checked runs of one runtime.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Warning-severity lint findings (error findings abort the run via
+    /// [`SimError::Rejected`] instead of landing here).
+    pub warnings: Vec<Diagnostic>,
+    /// Data races detected in the recorded traces.
+    pub races: Vec<Race>,
+    /// Number of kernel invocations checked.
+    pub runs: usize,
+    /// True if any trace hit the event cap, in which case race
+    /// detection may have missed conflicts (never invented them).
+    pub truncated: bool,
+}
+
+impl VerifyReport {
+    /// True if no race was detected and no trace was truncated.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && !self.truncated
+    }
+}
+
+/// Event cap for verification traces. Sized for the synthetic matrices
+/// verification sweeps use; `VerifyReport::truncated` reports overflow.
+const VERIFY_MAX_EVENTS: usize = 4 << 20;
+
+/// Materializes `streams`, lints them against `machine`'s current
+/// configuration and `regions`, runs them under tracing, and folds the
+/// race-detector findings into `report`.
+///
+/// A free function (not a `CoSparse` method) so the runtime can borrow
+/// its machine mutably while the streams borrow its matrices.
+///
+/// # Errors
+///
+/// [`SimError::Rejected`] when the linter finds error-severity
+/// diagnostics, or any error the run itself produces.
+pub fn run_checked(
+    machine: &mut Machine,
+    streams: transmuter::StreamSet<'_>,
+    regions: &RegionMap,
+    report: &mut VerifyReport,
+) -> Result<SimReport, SimError> {
+    let programs = ProgramSet::materialize(streams);
+    machine.set_trace(Some(TraceConfig {
+        workers: None,
+        max_events: VERIFY_MAX_EVENTS,
+    }));
+    let result = machine.run_verified(&programs, Some(regions));
+    let capture = machine.take_trace_capture();
+    machine.set_trace(None);
+    let sim = result?;
+
+    let diagnostics = verify::lint(&programs, machine.config(), machine.uarch(), Some(regions));
+    report.warnings.extend(diagnostics);
+    report.truncated |= capture.truncated;
+    report.races.extend(verify::detect_races(
+        &capture.events,
+        machine.geometry(),
+        machine.config(),
+        machine.uarch(),
+    ));
+    report.runs += 1;
+    Ok(sim)
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the criterion API its benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`] and
+//! [`BatchSize`]. There is no statistical analysis: each benchmark is
+//! warmed up once and then timed over a fixed number of iterations, and
+//! the mean wall-clock time per iteration is printed.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How expensive the per-iteration setup input is; accepted for API
+/// compatibility and ignored by this harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small relative to the routine.
+    SmallInput,
+    /// Setup output is comparable to the routine.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Timer handle passed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count used for each benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Warm-up pass with a single iteration.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!(
+            "{}/{}: {:.3} ms/iter ({} iters)",
+            self.name,
+            id,
+            per_iter * 1e3,
+            b.iters
+        );
+        self
+    }
+
+    /// Ends the group (reporting is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration; a no-op in this harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

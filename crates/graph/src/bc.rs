@@ -77,11 +77,14 @@ pub fn betweenness(
 ) -> Result<BcResult, SimError> {
     let n = adjacency.rows();
     let out_edges = CsrMatrix::from(adjacency);
-    let profile = OpProfile { value_words: 1, extra_compute_per_edge: 2, vector_op_compute: 2 };
+    let profile = OpProfile {
+        value_words: 1,
+        extra_compute_per_edge: 2,
+        vector_op_compute: 2,
+    };
 
     let transposed = adjacency.transpose();
-    let mut forward_rt =
-        CoSparse::new(&transposed, Machine::new(geometry, MicroArch::paper()));
+    let mut forward_rt = CoSparse::new(&transposed, Machine::new(geometry, MicroArch::paper()));
     let mut backward_rt = CoSparse::new(adjacency, Machine::new(geometry, MicroArch::paper()));
 
     // --- forward: levels + path counts (host math, simulated timing) ---
@@ -154,8 +157,7 @@ pub fn betweenness(
             let mut acc = 0.0f64;
             for &v in dsts {
                 if level[v as usize] == depth as u32 && sigma[v as usize] > 0.0 {
-                    acc += sigma[u as usize] / sigma[v as usize]
-                        * (1.0 + delta[v as usize]);
+                    acc += sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
                 }
             }
             delta[u as usize] += acc;
@@ -165,7 +167,10 @@ pub fn betweenness(
     if (source as usize) < n {
         centrality[source as usize] = 0.0;
     }
-    Ok(BcResult { centrality, levels: records })
+    Ok(BcResult {
+        centrality,
+        levels: records,
+    })
 }
 
 /// Host reference: textbook Brandes, single source.
@@ -221,12 +226,10 @@ mod tests {
         let csr = CsrMatrix::from(&adj);
         let want = reference(&csr, 0);
         let got = betweenness(&adj, 0, Geometry::new(2, 4)).unwrap();
-        for v in 0..csr.rows() {
+        for (v, (&a, &b)) in got.centrality.iter().zip(&want).enumerate() {
             assert!(
-                (got.centrality[v] - want[v]).abs() < 1e-3 * want[v].abs().max(1.0),
-                "vertex {v}: {} vs {}",
-                got.centrality[v],
-                want[v]
+                (a - b).abs() < 1e-3 * b.abs().max(1.0),
+                "vertex {v}: {a} vs {b}"
             );
         }
     }
@@ -234,12 +237,8 @@ mod tests {
     #[test]
     fn path_graph_center_dominates() {
         // 0 → 1 → 2 → 3 → 4: middle vertices carry the paths.
-        let adj = CooMatrix::from_triplets(
-            5,
-            5,
-            (0..4u32).map(|v| (v, v + 1, 1.0)).collect(),
-        )
-        .unwrap();
+        let adj =
+            CooMatrix::from_triplets(5, 5, (0..4u32).map(|v| (v, v + 1, 1.0)).collect()).unwrap();
         let r = betweenness(&adj, 0, Geometry::new(1, 2)).unwrap();
         // Dependencies from source 0: δ(1)=3, δ(2)=2, δ(3)=1.
         assert_eq!(r.centrality, vec![0.0, 3.0, 2.0, 1.0, 0.0]);

@@ -32,7 +32,11 @@ impl GraphOp for BfsOp {
     }
 
     fn profile(&self) -> OpProfile {
-        OpProfile { value_words: 1, extra_compute_per_edge: 0, vector_op_compute: 0 }
+        OpProfile {
+            value_words: 1,
+            extra_compute_per_edge: 0,
+            vector_op_compute: 0,
+        }
     }
 }
 
@@ -148,12 +152,8 @@ mod tests {
     #[test]
     fn chain_graph_visits_in_order() {
         // 0 → 1 → 2 → 3
-        let adj = CooMatrix::from_triplets(
-            4,
-            4,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let adj =
+            CooMatrix::from_triplets(4, 4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let mut e = engine(&adj);
         let r = e.run(&Bfs::new(0)).unwrap();
         assert_eq!(r.state, vec![0, 0, 1, 2]);
@@ -175,8 +175,7 @@ mod tests {
     #[test]
     fn unreachable_vertices_stay_unvisited() {
         // Two components: {0,1} and {2,3}.
-        let adj =
-            CooMatrix::from_triplets(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let adj = CooMatrix::from_triplets(4, 4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         let mut e = engine(&adj);
         let r = e.run(&Bfs::new(0)).unwrap();
         assert_eq!(r.state[2], UNVISITED);
@@ -204,8 +203,7 @@ mod tests {
         let adj = sparse::generate::rmat(12, 60_000, Default::default(), 9).unwrap();
         let mut e = engine(&adj);
         let r = e.run(&Bfs::new(0)).unwrap();
-        let sws: std::collections::HashSet<_> =
-            r.iterations.iter().map(|i| i.software).collect();
+        let sws: std::collections::HashSet<_> = r.iterations.iter().map(|i| i.software).collect();
         assert!(
             sws.len() > 1,
             "BFS on a social graph should use both dataflows: {sws:?}"

@@ -106,9 +106,16 @@ impl Cf {
     ///
     /// Panics if `iterations == 0` or the constants are not positive.
     pub fn new(lambda: f32, beta: f32, iterations: usize) -> Self {
-        assert!(lambda >= 0.0 && beta > 0.0, "constants must be non-negative");
+        assert!(
+            lambda >= 0.0 && beta > 0.0,
+            "constants must be non-negative"
+        );
         assert!(iterations > 0, "need at least one iteration");
-        Cf { lambda, beta, iterations }
+        Cf {
+            lambda,
+            beta,
+            iterations,
+        }
     }
 }
 
@@ -127,7 +134,10 @@ impl Algorithm for Cf {
     }
 
     fn op(&self, _vertices: usize) -> CfOp {
-        CfOp { lambda: self.lambda, beta: self.beta }
+        CfOp {
+            lambda: self.lambda,
+            beta: self.beta,
+        }
     }
 
     fn initial_state(&self, vertices: usize) -> Vec<FeatureVec> {
@@ -216,14 +226,9 @@ mod tests {
         let want = reference(&adj, 0.01, 0.05, 4);
         let mut e = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
         let r = e.run(&Cf::new(0.01, 0.05, 4)).unwrap();
-        for v in 0..64 {
-            for k in 0..FEATURES {
-                assert!(
-                    (r.state[v][k] - want[v][k]).abs() < 1e-4,
-                    "vertex {v} feature {k}: {} vs {}",
-                    r.state[v][k],
-                    want[v][k]
-                );
+        for (v, (got_v, want_v)) in r.state.iter().zip(&want).enumerate() {
+            for (k, (&a, &b)) in got_v.iter().zip(want_v).enumerate() {
+                assert!((a - b).abs() < 1e-4, "vertex {v} feature {k}: {a} vs {b}");
             }
         }
     }

@@ -87,14 +87,20 @@ impl<V> RunResult<V> {
 
     /// Peak frontier density over the run (0.0 if no iterations ran).
     pub fn peak_density(&self) -> f64 {
-        self.iterations.iter().map(|r| r.frontier_density).fold(0.0, f64::max)
+        self.iterations
+            .iter()
+            .map(|r| r.frontier_density)
+            .fold(0.0, f64::max)
     }
 
     /// Number of software (dataflow) switches between consecutive
     /// iterations — BFS/SSSP on social graphs show the paper's
     /// sparse→dense→sparse double switch.
     pub fn software_switches(&self) -> usize {
-        self.iterations.windows(2).filter(|w| w[0].software != w[1].software).count()
+        self.iterations
+            .windows(2)
+            .filter(|w| w[0].software != w[1].software)
+            .count()
     }
 
     /// How many iterations ran under each (software, hardware)
@@ -136,7 +142,10 @@ impl Engine {
     /// matrix so destinations reduce over in-edges.
     pub fn new(adjacency: &CooMatrix, machine: Machine) -> Self {
         let transposed = adjacency.transpose();
-        Engine { runtime: CoSparse::new(&transposed, machine), vertices: adjacency.rows() }
+        Engine {
+            runtime: CoSparse::new(&transposed, machine),
+            vertices: adjacency.rows(),
+        }
     }
 
     /// Number of vertices.
@@ -254,8 +263,9 @@ mod tests {
     ) -> IterationRecord {
         let geometry = Geometry::new(1, 1);
         let mut machine = Machine::new(geometry, MicroArch::paper());
-        let report: SimReport =
-            machine.run(transmuter::StreamSet::new(geometry)).expect("empty run");
+        let report: SimReport = machine
+            .run(transmuter::StreamSet::new(geometry))
+            .expect("empty run");
         IterationRecord {
             iteration,
             frontier_density: density,
@@ -288,7 +298,10 @@ mod tests {
 
     #[test]
     fn empty_run_helpers() {
-        let run: RunResult<u32> = RunResult { state: vec![], iterations: vec![] };
+        let run: RunResult<u32> = RunResult {
+            state: vec![],
+            iterations: vec![],
+        };
         assert_eq!(run.peak_density(), 0.0);
         assert_eq!(run.software_switches(), 0);
         assert!(run.config_histogram().is_empty());

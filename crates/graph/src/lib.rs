@@ -41,8 +41,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod bfs;
 pub mod bc;
+pub mod bfs;
 pub mod cc;
 pub mod cf;
 mod engine;

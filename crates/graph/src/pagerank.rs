@@ -42,7 +42,11 @@ impl GraphOp for PageRankOp {
     }
 
     fn profile(&self) -> OpProfile {
-        OpProfile { value_words: 1, extra_compute_per_edge: 1, vector_op_compute: 2 }
+        OpProfile {
+            value_words: 1,
+            extra_compute_per_edge: 1,
+            vector_op_compute: 2,
+        }
     }
 }
 
@@ -157,13 +161,8 @@ mod tests {
         let want = reference(&csr, 0.15, 8);
         let mut e = Engine::new(&adj, Machine::new(Geometry::new(2, 4), MicroArch::paper()));
         let r = e.run(&PageRank::new(0.15, 8)).unwrap();
-        for v in 0..256 {
-            assert!(
-                (r.state[v] - want[v]).abs() < 1e-5,
-                "vertex {v}: {} vs {}",
-                r.state[v],
-                want[v]
-            );
+        for (v, (&a, &b)) in r.state.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-5, "vertex {v}: {a} vs {b}");
         }
     }
 

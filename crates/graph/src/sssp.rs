@@ -30,7 +30,11 @@ impl GraphOp for SsspOp {
     }
 
     fn profile(&self) -> OpProfile {
-        OpProfile { value_words: 1, extra_compute_per_edge: 1, vector_op_compute: 0 }
+        OpProfile {
+            value_words: 1,
+            extra_compute_per_edge: 1,
+            vector_op_compute: 0,
+        }
     }
 }
 
@@ -134,12 +138,8 @@ mod tests {
     #[test]
     fn triangle_with_shortcut() {
         // 0→1 (5.0), 0→2 (1.0), 2→1 (1.0): best 0→1 path costs 2.
-        let adj = CooMatrix::from_triplets(
-            3,
-            3,
-            vec![(0, 1, 5.0), (0, 2, 1.0), (2, 1, 1.0)],
-        )
-        .unwrap();
+        let adj =
+            CooMatrix::from_triplets(3, 3, vec![(0, 1, 5.0), (0, 2, 1.0), (2, 1, 1.0)]).unwrap();
         let mut e = engine(&adj);
         let r = e.run(&Sssp::new(0)).unwrap();
         assert_eq!(r.state, vec![0.0, 2.0, 1.0]);
@@ -152,8 +152,7 @@ mod tests {
         let want = reference(&csr, 7);
         let mut e = engine(&adj);
         let r = e.run(&Sssp::new(7)).unwrap();
-        for v in 0..400 {
-            let (a, b) = (r.state[v], want[v]);
+        for (v, (&a, &b)) in r.state.iter().zip(&want).enumerate() {
             if a.is_infinite() || b.is_infinite() {
                 assert_eq!(a.is_infinite(), b.is_infinite(), "vertex {v}: {a} vs {b}");
             } else {
@@ -185,7 +184,11 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(peak_pos > 0 && peak_pos < d.len() - 1, "peak at {peak_pos} of {}", d.len());
+        assert!(
+            peak_pos > 0 && peak_pos < d.len() - 1,
+            "peak at {peak_pos} of {}",
+            d.len()
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, entries: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a canonical COO matrix from `(row, col, value)` triplets.
@@ -44,11 +48,7 @@ impl CooMatrix {
     ///
     /// Returns [`SparseError::IndexOutOfBounds`] if any triplet lies
     /// outside `rows x cols`.
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        triplets: Vec<(Idx, Idx, f32)>,
-    ) -> Result<Self> {
+    pub fn from_triplets(rows: usize, cols: usize, triplets: Vec<(Idx, Idx, f32)>) -> Result<Self> {
         let mut entries: Vec<Triplet> = Vec::with_capacity(triplets.len());
         for (row, col, val) in triplets {
             if row as usize >= rows || col as usize >= cols {
@@ -70,7 +70,11 @@ impl CooMatrix {
                 _ => combined.push(t),
             }
         }
-        Ok(CooMatrix { rows, cols, entries: combined })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            entries: combined,
+        })
     }
 
     /// Builds a canonical COO matrix from pre-sorted, duplicate-free
@@ -80,11 +84,7 @@ impl CooMatrix {
     ///
     /// Returns an error if the triplets are not strictly increasing in
     /// `(row, col)` order or lie outside the shape.
-    pub fn from_sorted_triplets(
-        rows: usize,
-        cols: usize,
-        entries: Vec<Triplet>,
-    ) -> Result<Self> {
+    pub fn from_sorted_triplets(rows: usize, cols: usize, entries: Vec<Triplet>) -> Result<Self> {
         for (i, t) in entries.iter().enumerate() {
             if t.row as usize >= rows || t.col as usize >= cols {
                 return Err(SparseError::IndexOutOfBounds {
@@ -101,7 +101,11 @@ impl CooMatrix {
                 }
             }
         }
-        Ok(CooMatrix { rows, cols, entries })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            entries,
+        })
     }
 
     /// Number of rows.
@@ -144,10 +148,18 @@ impl CooMatrix {
         let mut entries: Vec<Triplet> = self
             .entries
             .iter()
-            .map(|t| Triplet { row: t.col, col: t.row, val: t.val })
+            .map(|t| Triplet {
+                row: t.col,
+                col: t.row,
+                val: t.val,
+            })
             .collect();
         entries.sort_unstable_by_key(|a| (a.row, a.col));
-        CooMatrix { rows: self.cols, cols: self.rows, entries }
+        CooMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            entries,
+        }
     }
 
     /// Reference dense SpMV: `y = A * x`.
@@ -228,8 +240,16 @@ mod tests {
     #[test]
     fn from_sorted_rejects_unsorted() {
         let ts = vec![
-            Triplet { row: 1, col: 0, val: 1.0 },
-            Triplet { row: 0, col: 0, val: 1.0 },
+            Triplet {
+                row: 1,
+                col: 0,
+                val: 1.0,
+            },
+            Triplet {
+                row: 0,
+                col: 0,
+                val: 1.0,
+            },
         ];
         let err = CooMatrix::from_sorted_triplets(2, 2, ts).unwrap_err();
         assert!(matches!(err, SparseError::UnsortedEntries { position: 1 }));

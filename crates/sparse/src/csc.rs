@@ -62,7 +62,13 @@ impl CscMatrix {
                 cols,
             });
         }
-        Ok(CscMatrix { rows, cols, col_ptr, row_idx, values })
+        Ok(CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -207,7 +213,13 @@ impl From<&CooMatrix> for CscMatrix {
             values[slot] = v;
             cursor[c as usize] += 1;
         }
-        CscMatrix { rows: coo.rows(), cols, col_ptr, row_idx, values }
+        CscMatrix {
+            rows: coo.rows(),
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 }
 
@@ -233,7 +245,13 @@ mod tests {
         CooMatrix::from_triplets(
             3,
             4,
-            vec![(2, 1, 1.0), (0, 0, 2.0), (0, 3, 3.0), (1, 2, 4.0), (2, 3, 5.0)],
+            vec![
+                (2, 1, 1.0),
+                (0, 0, 2.0),
+                (0, 3, 3.0),
+                (1, 2, 4.0),
+                (2, 3, 5.0),
+            ],
         )
         .unwrap()
     }

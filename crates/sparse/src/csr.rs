@@ -62,7 +62,13 @@ impl CsrMatrix {
                 cols,
             });
         }
-        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -143,13 +149,13 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0f32;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
         Ok(DenseVector::from(y))
     }
@@ -172,7 +178,13 @@ impl From<&CooMatrix> for CsrMatrix {
             col_idx.push(c);
             values.push(v);
         }
-        CsrMatrix { rows, cols: coo.cols(), row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -182,7 +194,11 @@ impl From<&CsrMatrix> for CooMatrix {
         for r in 0..csr.rows() {
             let (cols, vals) = csr.row(r);
             for (c, v) in cols.iter().zip(vals) {
-                triplets.push(crate::Triplet { row: r as Idx, col: *c, val: *v });
+                triplets.push(crate::Triplet {
+                    row: r as Idx,
+                    col: *c,
+                    val: *v,
+                });
             }
         }
         CooMatrix::from_sorted_triplets(csr.rows(), csr.cols(), triplets)

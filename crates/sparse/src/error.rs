@@ -53,18 +53,33 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
             ),
-            SparseError::ShapeMismatch { expected, actual, context } => {
-                write!(f, "shape mismatch in {context}: expected {expected}, got {actual}")
+            SparseError::ShapeMismatch {
+                expected,
+                actual,
+                context,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected}, got {actual}"
+                )
             }
             SparseError::VectorIndexOutOfBounds { index, dim } => {
                 write!(f, "vector index {index} is outside dimension {dim}")
             }
             SparseError::UnsortedEntries { position } => {
-                write!(f, "sparse vector entries are not strictly increasing at position {position}")
+                write!(
+                    f,
+                    "sparse vector entries are not strictly increasing at position {position}"
+                )
             }
             SparseError::Parse { line, message } => {
                 write!(f, "matrix market parse error at line {line}: {message}")
@@ -96,7 +111,11 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = SparseError::ShapeMismatch { expected: 4, actual: 3, context: "spmv" };
+        let e = SparseError::ShapeMismatch {
+            expected: 4,
+            actual: 3,
+            context: "spmv",
+        };
         let s = e.to_string();
         assert!(s.contains("spmv"));
         assert!(s.contains('4') && s.contains('3'));

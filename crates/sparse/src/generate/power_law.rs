@@ -32,13 +32,7 @@ use rand::{Rng, SeedableRng};
 /// # Ok(())
 /// # }
 /// ```
-pub fn power_law(
-    rows: usize,
-    cols: usize,
-    nnz: usize,
-    alpha: f64,
-    seed: u64,
-) -> Result<CooMatrix> {
+pub fn power_law(rows: usize, cols: usize, nnz: usize, alpha: f64, seed: u64) -> Result<CooMatrix> {
     let row_cdf = zipf_cdf(rows, alpha);
     let col_cdf = zipf_cdf(cols, alpha);
     let mut rng = StdRng::seed_from_u64(seed);

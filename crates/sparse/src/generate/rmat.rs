@@ -22,7 +22,12 @@ pub struct RmatParams {
 
 impl RmatParams {
     /// The Graph500 reference parameters.
-    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     fn validate(&self) -> Result<()> {
         let sum = self.a + self.b + self.c + self.d;
@@ -125,7 +130,12 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let bad = RmatParams { a: 0.9, b: 0.3, c: 0.0, d: 0.0 };
+        let bad = RmatParams {
+            a: 0.9,
+            b: 0.3,
+            c: 0.0,
+            d: 0.0,
+        };
         assert!(rmat(4, 10, bad, 0).is_err());
         assert!(rmat(40, 10, RmatParams::default(), 0).is_err());
     }
@@ -139,7 +149,12 @@ mod tests {
 
     #[test]
     fn uniform_params_give_balanced_quadrants() {
-        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
         let m = rmat(9, 10_000, p, 3).unwrap();
         let counts = m.row_counts();
         let first_half: usize = counts[..256].iter().sum();

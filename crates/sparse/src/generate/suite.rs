@@ -116,7 +116,10 @@ impl SuiteGraph {
     /// Propagates generator errors; see [`GraphSpec::generate`].
     pub fn adjacency(self, seed: u64) -> Result<CooMatrix> {
         let mut spec = self.spec();
-        if std::env::var("COSPARSE_FULL_SCALE").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("COSPARSE_FULL_SCALE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             spec = spec.scaled(1);
         }
         spec.generate(seed)
@@ -199,7 +202,12 @@ impl GraphSpec {
                 while kept.len() < self.edges && attempt < 8 {
                     let need = self.edges - kept.len();
                     let over = need + need / 2 + 1024;
-                    let m = rmat(scale, over, RmatParams::GRAPH500, seed.wrapping_add(attempt))?;
+                    let m = rmat(
+                        scale,
+                        over,
+                        RmatParams::GRAPH500,
+                        seed.wrapping_add(attempt),
+                    )?;
                     for (r, c, v) in m.iter() {
                         if (r as usize) < n && (c as usize) < n {
                             kept.push((r, c, v));
@@ -254,7 +262,11 @@ mod tests {
         assert_eq!(s.vertices, 21_996);
         assert!(!s.directed);
         // Paper reports vsp density 5.0e-3 (with symmetrized nnz).
-        assert!((s.density() - 5.0e-3).abs() < 2.0e-3, "density {}", s.density());
+        assert!(
+            (s.density() - 5.0e-3).abs() < 2.0e-3,
+            "density {}",
+            s.density()
+        );
     }
 
     #[test]
@@ -299,10 +311,17 @@ mod tests {
         let spec = SuiteGraph::Twitter.spec().scaled(4);
         let m = spec.generate(2).unwrap();
         assert_eq!(m.rows(), spec.vertices);
-        assert!(m.nnz() as f64 >= 0.95 * spec.edges as f64, "nnz {}", m.nnz());
+        assert!(
+            m.nnz() as f64 >= 0.95 * spec.edges as f64,
+            "nnz {}",
+            m.nnz()
+        );
         let max_row = m.row_counts().into_iter().max().unwrap();
         let mean = m.nnz() as f64 / m.rows() as f64;
-        assert!(max_row as f64 > 10.0 * mean, "social analogue should be skewed");
+        assert!(
+            max_row as f64 > 10.0 * mean,
+            "social analogue should be skewed"
+        );
     }
 
     #[test]
@@ -310,10 +329,8 @@ mod tests {
         let spec = SuiteGraph::Vsp.spec().scaled(32);
         let m = spec.generate(3).unwrap();
         let t = m.transpose();
-        let a: std::collections::HashSet<(u32, u32)> =
-            m.iter().map(|(r, c, _)| (r, c)).collect();
-        let b: std::collections::HashSet<(u32, u32)> =
-            t.iter().map(|(r, c, _)| (r, c)).collect();
+        let a: std::collections::HashSet<(u32, u32)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        let b: std::collections::HashSet<(u32, u32)> = t.iter().map(|(r, c, _)| (r, c)).collect();
         assert_eq!(a, b);
     }
 }

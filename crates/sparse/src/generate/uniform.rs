@@ -50,8 +50,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(uniform(50, 50, 200, 3).unwrap(), uniform(50, 50, 200, 3).unwrap());
-        assert_ne!(uniform(50, 50, 200, 3).unwrap(), uniform(50, 50, 200, 4).unwrap());
+        assert_eq!(
+            uniform(50, 50, 200, 3).unwrap(),
+            uniform(50, 50, 200, 3).unwrap()
+        );
+        assert_ne!(
+            uniform(50, 50, 200, 3).unwrap(),
+            uniform(50, 50, 200, 4).unwrap()
+        );
     }
 
     #[test]

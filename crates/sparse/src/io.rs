@@ -329,7 +329,11 @@ pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<CooMatr
         max_v = max_v.max(src).max(dst);
         triplets.push((src as Idx, dst as Idx, weight));
     }
-    let n = if triplets.is_empty() { min_vertices } else { (max_v + 1).max(min_vertices) };
+    let n = if triplets.is_empty() {
+        min_vertices
+    } else {
+        (max_v + 1).max(min_vertices)
+    };
     CooMatrix::from_triplets(n, n, triplets)
 }
 

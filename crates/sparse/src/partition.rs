@@ -73,7 +73,10 @@ impl RowPartition {
         // The final part always absorbs any remaining rows (handled by
         // the `p == parts - 1` clause above).
         debug_assert_eq!(row, row_counts.len());
-        RowPartition { ranges, nnz_per_part }
+        RowPartition {
+            ranges,
+            nnz_per_part,
+        }
     }
 
     /// Naive partitioning into `parts` ranges with equal *row* counts
@@ -94,7 +97,10 @@ impl RowPartition {
             ranges.push(start..end);
             nnz_per_part.push(row_counts[start..end].iter().sum());
         }
-        RowPartition { ranges, nnz_per_part }
+        RowPartition {
+            ranges,
+            nnz_per_part,
+        }
     }
 
     /// Convenience: nnz-balanced partition of a CSR matrix.
@@ -194,7 +200,10 @@ impl VBlocks {
     /// A single vblock covering all columns (vblocking disabled — the
     /// Figure 7 "w/o partition" variant for the vector dimension).
     pub fn whole(cols: usize) -> Self {
-        VBlocks { cols, width: cols.max(1) }
+        VBlocks {
+            cols,
+            width: cols.max(1),
+        }
     }
 
     /// Number of blocks.
@@ -264,7 +273,11 @@ mod tests {
             bal.imbalance(),
             naive.imbalance()
         );
-        assert!(bal.imbalance() < 1.5, "balanced imbalance {}", bal.imbalance());
+        assert!(
+            bal.imbalance() < 1.5,
+            "balanced imbalance {}",
+            bal.imbalance()
+        );
     }
 
     #[test]

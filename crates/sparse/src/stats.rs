@@ -40,7 +40,11 @@ impl MatrixStats {
             cols: m.cols(),
             nnz,
             density: m.density(),
-            avg_row_nnz: if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 },
+            avg_row_nnz: if rows == 0 {
+                0.0
+            } else {
+                nnz as f64 / rows as f64
+            },
             max_row_nnz: row_counts.iter().copied().max().unwrap_or(0),
             empty_rows: row_counts.iter().filter(|&&c| c == 0).count(),
             empty_cols: col_counts.iter().filter(|&&c| c == 0).count(),

@@ -11,7 +11,9 @@ pub struct DenseVector<T> {
 impl<T: Copy> DenseVector<T> {
     /// Creates a vector of `len` copies of `fill`.
     pub fn filled(len: usize, fill: T) -> Self {
-        DenseVector { data: vec![fill; len] }
+        DenseVector {
+            data: vec![fill; len],
+        }
     }
 
     /// Length (dimension) of the vector.
@@ -58,7 +60,10 @@ impl<T: Copy> DenseVector<T> {
             .filter(|(_, v)| is_active(v))
             .map(|(i, v)| (i as Idx, *v))
             .collect();
-        SparseVector { dim: self.data.len(), entries }
+        SparseVector {
+            dim: self.data.len(),
+            entries,
+        }
     }
 }
 
@@ -83,7 +88,9 @@ impl<T> IndexMut<usize> for DenseVector<T> {
 
 impl<T> FromIterator<T> for DenseVector<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        DenseVector { data: iter.into_iter().collect() }
+        DenseVector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -99,7 +106,10 @@ pub struct SparseVector<T> {
 impl<T: Copy> SparseVector<T> {
     /// Creates an empty sparse vector of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        SparseVector { dim, entries: Vec::new() }
+        SparseVector {
+            dim,
+            entries: Vec::new(),
+        }
     }
 
     /// Builds from `(index, value)` entries in any order.
@@ -121,7 +131,10 @@ impl<T: Copy> SparseVector<T> {
     pub fn from_sorted(dim: usize, entries: Vec<(Idx, T)>) -> Result<Self> {
         for (pos, &(i, _)) in entries.iter().enumerate() {
             if i as usize >= dim {
-                return Err(SparseError::VectorIndexOutOfBounds { index: i as usize, dim });
+                return Err(SparseError::VectorIndexOutOfBounds {
+                    index: i as usize,
+                    dim,
+                });
             }
             if pos > 0 && entries[pos - 1].0 >= i {
                 return Err(SparseError::UnsortedEntries { position: pos });

@@ -25,7 +25,12 @@ struct Way {
     lru: u64,
 }
 
-const INVALID: Way = Way { tag: 0, valid: false, dirty: false, lru: 0 };
+const INVALID: Way = Way {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
 
 /// One cache bank (4 kB, 4-way in the paper configuration).
 ///
@@ -94,7 +99,12 @@ impl CacheBank {
             .map(|(i, _)| i)
             .expect("ways > 0");
         let old = slots[victim];
-        slots[victim] = Way { tag: line, valid: true, dirty: is_store, lru: self.stamp };
+        slots[victim] = Way {
+            tag: line,
+            valid: true,
+            dirty: is_store,
+            lru: self.stamp,
+        };
         let victim_dirty = old.valid && old.dirty;
         if victim_dirty {
             self.evictions_dirty += 1;
@@ -124,7 +134,12 @@ impl CacheBank {
         let old = slots[victim];
         // Prefetched lines install at LRU-but-valid priority: use current
         // stamp (simplification; thrash-resistance is second-order here).
-        slots[victim] = Way { tag: line, valid: true, dirty: false, lru: self.stamp };
+        slots[victim] = Way {
+            tag: line,
+            valid: true,
+            dirty: false,
+            lru: self.stamp,
+        };
         if old.valid && old.dirty {
             self.evictions_dirty += 1;
             Some(old.tag)
@@ -215,7 +230,10 @@ mod tests {
         let mut c = CacheBank::new(1, 1);
         c.access(7, true);
         match c.access(8, false) {
-            ProbeResult::Miss { victim_dirty, victim_line } => {
+            ProbeResult::Miss {
+                victim_dirty,
+                victim_line,
+            } => {
                 assert!(victim_dirty);
                 assert_eq!(victim_line, Some(7));
             }

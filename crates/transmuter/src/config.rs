@@ -21,8 +21,14 @@ impl Geometry {
     ///
     /// Panics if either dimension is zero.
     pub fn new(tiles: usize, pes_per_tile: usize) -> Self {
-        assert!(tiles > 0 && pes_per_tile > 0, "geometry dimensions must be positive");
-        Geometry { tiles, pes_per_tile }
+        assert!(
+            tiles > 0 && pes_per_tile > 0,
+            "geometry dimensions must be positive"
+        );
+        Geometry {
+            tiles,
+            pes_per_tile,
+        }
     }
 
     /// Number of tiles (`A`).
@@ -72,7 +78,10 @@ impl Geometry {
     ///
     /// Panics if `worker` is out of range.
     pub fn locate(&self, worker: usize) -> (usize, Option<usize>) {
-        assert!(worker < self.total_workers(), "worker {worker} out of range");
+        assert!(
+            worker < self.total_workers(),
+            "worker {worker} out of range"
+        );
         if worker < self.total_pes() {
             (worker / self.pes_per_tile, Some(worker % self.pes_per_tile))
         } else {

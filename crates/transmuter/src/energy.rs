@@ -79,7 +79,14 @@ impl EnergyModel {
             * (cores * self.static_per_core_w
                 + banks * self.static_per_bank_w
                 + self.static_base_w);
-        EnergyBreakdown { pe, l1, l2, xbar, hbm, static_j }
+        EnergyBreakdown {
+            pe,
+            l1,
+            l2,
+            xbar,
+            hbm,
+            static_j,
+        }
     }
 }
 
@@ -163,8 +170,15 @@ mod tests {
 
     #[test]
     fn breakdown_total_and_merge() {
-        let a = EnergyBreakdown { pe: 1.0, l1: 2.0, ..Default::default() };
-        let b = EnergyBreakdown { hbm: 3.0, ..Default::default() };
+        let a = EnergyBreakdown {
+            pe: 1.0,
+            l1: 2.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            hbm: 3.0,
+            ..Default::default()
+        };
         assert_eq!(a.total(), 3.0);
         assert_eq!(a.merge(&b).total(), 6.0);
     }
@@ -172,7 +186,10 @@ mod tests {
     #[test]
     fn hbm_dominates_for_dram_bound_runs() {
         let m = EnergyModel::paper_40nm();
-        let stats = SimStats { hbm_line_reads: 1_000_000, ..Default::default() };
+        let stats = SimStats {
+            hbm_line_reads: 1_000_000,
+            ..Default::default()
+        };
         let b = m.breakdown(&stats, 100_000, 1e9, Geometry::new(4, 8));
         assert!(b.hbm > b.static_j);
         assert!(b.hbm > b.pe);

@@ -154,7 +154,11 @@ mod tests {
         let _ = h.read(0, 0);
         let before = h.queue_cycles();
         let _ = h.read(1, 0);
-        assert_eq!(h.queue_cycles(), before, "different channels must not queue");
+        assert_eq!(
+            h.queue_cycles(),
+            before,
+            "different channels must not queue"
+        );
     }
 
     #[test]

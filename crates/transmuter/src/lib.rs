@@ -51,6 +51,7 @@ mod memsys;
 mod op;
 mod stats;
 mod trace;
+pub mod verify;
 
 pub use cache::{CacheBank, ProbeResult};
 pub use config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
@@ -60,4 +61,8 @@ pub use machine::{Machine, SimError, StreamSet};
 pub use memsys::MemorySystem;
 pub use op::{Addr, Op, OpStream, Program};
 pub use stats::{SimReport, SimStats};
-pub use trace::{TraceConfig, TraceEvent};
+pub use trace::{TraceCapture, TraceConfig, TraceEvent};
+pub use verify::{
+    detect_races, lint, Diagnostic, LintKind, ProgramSet, Race, RaceKind, RaceSite, Region,
+    RegionMap, Severity,
+};

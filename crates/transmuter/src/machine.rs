@@ -11,7 +11,8 @@ use crate::energy::EnergyModel;
 use crate::memsys::MemorySystem;
 use crate::op::{Op, OpStream};
 use crate::stats::{SimReport, SimStats};
-use crate::trace::{TraceConfig, TraceEvent, Tracer};
+use crate::trace::{TraceCapture, TraceConfig, TraceEvent, Tracer};
+use crate::verify::{self, Diagnostic, ProgramSet, RegionMap};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -45,13 +46,23 @@ pub enum SimError {
         /// Geometry of the stream set.
         streams: Geometry,
     },
+    /// [`Machine::run_verified`] rejected the stream set before running
+    /// it: the linter found error-severity diagnostics.
+    Rejected {
+        /// Every finding (warnings included); at least one has
+        /// [`verify::Severity::Error`].
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::SpmUnavailable { config, worker } => {
-                write!(f, "worker {worker} issued an spm op but {config} has no scratchpad")
+                write!(
+                    f,
+                    "worker {worker} issued an spm op but {config} has no scratchpad"
+                )
             }
             SimError::LcpBarrier { tile } => {
                 write!(f, "lcp of tile {tile} issued a tile barrier")
@@ -61,6 +72,20 @@ impl fmt::Display for SimError {
             }
             SimError::GeometryMismatch { machine, streams } => {
                 write!(f, "stream set built for {streams} but machine is {machine}")
+            }
+            SimError::Rejected { diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == verify::Severity::Error)
+                    .count();
+                write!(f, "stream set rejected by the verifier ({errors} error(s))")?;
+                if let Some(first) = diagnostics
+                    .iter()
+                    .find(|d| d.severity == verify::Severity::Error)
+                {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -81,7 +106,10 @@ impl fmt::Debug for StreamSet<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("StreamSet")
             .field("geometry", &self.geom)
-            .field("active", &self.streams.iter().filter(|s| s.is_some()).count())
+            .field(
+                "active",
+                &self.streams.iter().filter(|s| s.is_some()).count(),
+            )
             .finish()
     }
 }
@@ -123,6 +151,30 @@ impl<'a> StreamSet<'a> {
     pub fn geometry(&self) -> Geometry {
         self.geom
     }
+
+    /// Rebuilds a set from per-worker streams (indexed by global worker
+    /// id). Used by [`verify::ProgramSet`] to turn analysed buffers back
+    /// into something runnable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != geom.total_workers()`.
+    pub(crate) fn from_streams(
+        geom: Geometry,
+        streams: Vec<Option<Box<dyn OpStream + 'a>>>,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            geom.total_workers(),
+            "stream vector length mismatch"
+        );
+        StreamSet { geom, streams }
+    }
+
+    /// Consumes the set into its per-worker streams.
+    pub(crate) fn into_streams(self) -> Vec<Option<Box<dyn OpStream + 'a>>> {
+        self.streams
+    }
 }
 
 #[derive(Debug, Default)]
@@ -160,8 +212,14 @@ impl Machine {
     }
 
     /// Takes the events recorded since tracing was enabled or last
-    /// taken.
+    /// taken. Use [`Machine::take_trace_capture`] to also learn whether
+    /// the `max_events` cap dropped events.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take().events
+    }
+
+    /// Takes the recorded events together with the truncation flag.
+    pub fn take_trace_capture(&mut self) -> TraceCapture {
         self.tracer.take()
     }
 
@@ -221,7 +279,10 @@ impl Machine {
     pub fn run(&mut self, streams: StreamSet<'_>) -> Result<SimReport, SimError> {
         let geom = self.geometry();
         if streams.geometry() != geom {
-            return Err(SimError::GeometryMismatch { machine: geom, streams: streams.geometry() });
+            return Err(SimError::GeometryMismatch {
+                machine: geom,
+                streams: streams.geometry(),
+            });
         }
         self.mem.begin_run();
 
@@ -234,7 +295,10 @@ impl Machine {
             let expected = (0..geom.pes_per_tile())
                 .filter(|&pe| streams[geom.pe_id(tile, pe)].is_some())
                 .count();
-            tile_barriers.push(BarrierState { expected, waiting: Vec::new() });
+            tile_barriers.push(BarrierState {
+                expected,
+                waiting: Vec::new(),
+            });
         }
         for (w, s) in streams.iter().enumerate() {
             if s.is_some() {
@@ -245,7 +309,9 @@ impl Machine {
 
         let mut last_done = start;
         while let Some(Reverse((cycle, w))) = heap.pop() {
-            let stream = streams[w as usize].as_mut().expect("scheduled worker has stream");
+            let stream = streams[w as usize]
+                .as_mut()
+                .expect("scheduled worker has stream");
             match stream.next() {
                 None => {
                     last_done = last_done.max(cycle);
@@ -297,6 +363,9 @@ impl Machine {
                             if pe.is_none() {
                                 return Err(SimError::LcpBarrier { tile });
                             }
+                            if self.tracer.enabled() {
+                                self.tracer.record(cycle, cycle, w, op);
+                            }
                             let b = &mut tile_barriers[tile];
                             b.waiting.push((w, cycle));
                             if b.waiting.len() == b.expected {
@@ -304,6 +373,9 @@ impl Machine {
                             }
                         }
                         Op::GlobalBarrier => {
+                            if self.tracer.enabled() {
+                                self.tracer.record(cycle, cycle, w, op);
+                            }
                             let b = &mut global_barrier;
                             b.waiting.push((w, cycle));
                             if b.waiting.len() == b.expected {
@@ -330,7 +402,9 @@ impl Machine {
         self.carry_cycles = 0;
         let cycles = last_done;
         let ua = self.uarch();
-        let energy = self.energy_model.breakdown(&stats, cycles, ua.freq_hz, geom);
+        let energy = self
+            .energy_model
+            .breakdown(&stats, cycles, ua.freq_hz, geom);
         Ok(SimReport {
             geometry: geom,
             config: self.config(),
@@ -339,6 +413,36 @@ impl Machine {
             stats,
             energy,
         })
+    }
+
+    /// Lints `programs` against the machine's current configuration and,
+    /// only if no error-severity diagnostic is found, runs them.
+    ///
+    /// `regions`, when given, enables the unmapped-address check (see
+    /// [`verify::lint`]). The program set is borrowed, so callers can
+    /// inspect or re-run it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Rejected`] with every diagnostic when the
+    /// linter finds errors, or any [`SimError`] the run itself produces.
+    pub fn run_verified(
+        &mut self,
+        programs: &ProgramSet,
+        regions: Option<&RegionMap>,
+    ) -> Result<SimReport, SimError> {
+        let geom = self.geometry();
+        if programs.geometry() != geom {
+            return Err(SimError::GeometryMismatch {
+                machine: geom,
+                streams: programs.geometry(),
+            });
+        }
+        let diagnostics = verify::lint(programs, self.config(), self.uarch(), regions);
+        if !verify::is_clean(&diagnostics) {
+            return Err(SimError::Rejected { diagnostics });
+        }
+        self.run(programs.stream_set())
     }
 }
 
@@ -617,7 +721,10 @@ mod stress_tests {
             }
         }
         let r = m.run(s).unwrap();
-        assert!(r.stats.hbm_queue_cycles > 0, "no bandwidth pressure recorded");
+        assert!(
+            r.stats.hbm_queue_cycles > 0,
+            "no bandwidth pressure recorded"
+        );
         assert!(r.stats.hbm_line_reads >= 32 * 2_000 / 2);
     }
 
@@ -682,7 +789,10 @@ mod stress_tests {
         p.compute(1_000);
         s.set_pe(0, 0, p.into_stream());
         let r = m.run(s).unwrap();
-        assert!((r.seconds - 1e-6).abs() < 1e-12, "1000 cycles @ 1 GHz = 1 µs");
+        assert!(
+            (r.seconds - 1e-6).abs() < 1e-12,
+            "1000 cycles @ 1 GHz = 1 µs"
+        );
     }
 }
 
@@ -706,7 +816,11 @@ mod trace_tests {
         let _ = m.run(s).unwrap();
         let trace = m.take_trace();
         assert_eq!(trace.len(), 4);
-        let pe0: Vec<Op> = trace.iter().filter(|e| e.worker == 0).map(|e| e.op).collect();
+        let pe0: Vec<Op> = trace
+            .iter()
+            .filter(|e| e.worker == 0)
+            .map(|e| e.op)
+            .collect();
         assert_eq!(pe0, vec![Op::Compute(3), Op::Load(0x40), Op::Store(0x44)]);
         // Events are causally ordered per worker.
         let mut last = 0;
@@ -731,7 +845,10 @@ mod trace_tests {
     #[test]
     fn trace_filters_by_worker() {
         let mut m = Machine::new(Geometry::new(1, 2), MicroArch::paper());
-        m.set_trace(Some(TraceConfig { workers: Some(vec![1]), max_events: 100 }));
+        m.set_trace(Some(TraceConfig {
+            workers: Some(vec![1]),
+            max_events: 100,
+        }));
         let mut s = StreamSet::new(m.geometry());
         for pe in 0..2 {
             let mut p = Program::new();

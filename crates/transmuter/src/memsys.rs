@@ -71,7 +71,11 @@ impl MemorySystem {
         let b = self.geom.pes_per_tile();
         let l1_banks = self.ua.l1_cache_banks(b, self.hw.l1());
         self.l1 = (0..self.geom.tiles())
-            .map(|_| (0..l1_banks).map(|_| CacheBank::new(sets, self.ua.ways)).collect())
+            .map(|_| {
+                (0..l1_banks)
+                    .map(|_| CacheBank::new(sets, self.ua.ways))
+                    .collect()
+            })
             .collect();
         self.l2 = (0..self.geom.tiles())
             .map(|_| (0..b).map(|_| CacheBank::new(sets, self.ua.ways)).collect())
@@ -156,8 +160,13 @@ impl MemorySystem {
                 let (bank, local, base_lat) = match l1mode {
                     L1Mode::SharedCache | L1Mode::SharedCacheSpm => {
                         let bank = (line % nbanks) as usize;
-                        let conflicts =
-                            self.claim(cycle, Port::L1 { tile: tile as u32, bank: bank as u32 });
+                        let conflicts = self.claim(
+                            cycle,
+                            Port::L1 {
+                                tile: tile as u32,
+                                bank: bank as u32,
+                            },
+                        );
                         self.stats.xbar_traversals += 1;
                         (
                             bank,
@@ -184,15 +193,17 @@ impl MemorySystem {
                         self.stats.l1_hits += 1;
                         cycle + base_lat
                     }
-                    ProbeResult::Miss { victim_dirty, victim_line } => {
+                    ProbeResult::Miss {
+                        victim_dirty,
+                        victim_line,
+                    } => {
                         self.stats.l1_misses += 1;
                         if victim_dirty {
                             let victim_global =
                                 victim_line.expect("dirty implies valid") * nbanks + bank as u64;
                             self.l2_writeback(tile, Some(pe), victim_global, cycle + base_lat);
                         }
-                        let fill_done =
-                            self.l2_fill(tile, Some(pe), line, false, cycle + base_lat);
+                        let fill_done = self.l2_fill(tile, Some(pe), line, false, cycle + base_lat);
                         if is_store {
                             cycle + base_lat + 1
                         } else {
@@ -227,13 +238,24 @@ impl MemorySystem {
 
     /// L2 bank selection: returns `(tile, bank, local_line, nbanks_total,
     /// shared)` for a requester.
-    fn l2_route(&self, tile: usize, pe: Option<usize>, line: u64) -> (usize, usize, u64, u64, bool) {
+    fn l2_route(
+        &self,
+        tile: usize,
+        pe: Option<usize>,
+        line: u64,
+    ) -> (usize, usize, u64, u64, bool) {
         let b = self.geom.pes_per_tile() as u64;
         match self.hw.l2() {
             L2Mode::SharedCache => {
                 let total = self.geom.total_pes() as u64;
                 let g = line % total;
-                ((g / b) as usize, (g % b) as usize, line / total, total, true)
+                (
+                    (g / b) as usize,
+                    (g % b) as usize,
+                    line / total,
+                    total,
+                    true,
+                )
             }
             L2Mode::PrivateCache => match pe {
                 // Private L2: bank i is PE i's own 4 kB cache, transparent
@@ -249,11 +271,24 @@ impl MemorySystem {
 
     /// Fills `line` at the L2 level (demand read or store-allocate),
     /// returning the data-ready cycle.
-    fn l2_fill(&mut self, tile: usize, pe: Option<usize>, line: u64, is_store: bool, at: u64) -> u64 {
+    fn l2_fill(
+        &mut self,
+        tile: usize,
+        pe: Option<usize>,
+        line: u64,
+        is_store: bool,
+        at: u64,
+    ) -> u64 {
         let (t2, bank, local, nbanks, shared) = self.l2_route(tile, pe, line);
         let mut lat = self.ua.xbar_latency + self.ua.l2_latency;
         if shared {
-            let conflicts = self.claim(at, Port::L2 { tile: t2 as u32, bank: bank as u32 });
+            let conflicts = self.claim(
+                at,
+                Port::L2 {
+                    tile: t2 as u32,
+                    bank: bank as u32,
+                },
+            );
             self.stats.xbar_traversals += 1;
             lat += self.ua.arbitration_latency + conflicts;
         }
@@ -267,11 +302,14 @@ impl MemorySystem {
                 self.stats.l2_hits += 1;
                 at + lat
             }
-            ProbeResult::Miss { victim_dirty, victim_line } => {
+            ProbeResult::Miss {
+                victim_dirty,
+                victim_line,
+            } => {
                 self.stats.l2_misses += 1;
                 if victim_dirty {
-                    let victim_global = victim_line.expect("dirty implies valid") * nbanks
-                        + (line % nbanks);
+                    let victim_global =
+                        victim_line.expect("dirty implies valid") * nbanks + (line % nbanks);
                     // Writebacks consume HBM bandwidth off the critical path.
                     self.hbm.write(victim_global, at + lat);
                 }
@@ -286,7 +324,8 @@ impl MemorySystem {
                 self.hbm.prefetch(pf_global, at + lat);
                 self.stats.prefetches += 1;
                 if let Some(dirty_local) = self.l2[t2][bank].install(pf_local) {
-                    self.hbm.write(dirty_local * nbanks + (line % nbanks), at + lat);
+                    self.hbm
+                        .write(dirty_local * nbanks + (line % nbanks), at + lat);
                 }
             }
         }
@@ -327,7 +366,13 @@ impl MemorySystem {
                 let spm_banks = (b - self.ua.l1_cache_banks(b, L1Mode::SharedCacheSpm)) as u64;
                 let word = offset as u64 / self.ua.word_bytes as u64;
                 let bank = (word % spm_banks) as u32;
-                let conflicts = self.claim(cycle, Port::Spm { tile: tile as u32, bank });
+                let conflicts = self.claim(
+                    cycle,
+                    Port::Spm {
+                        tile: tile as u32,
+                        bank,
+                    },
+                );
                 self.stats.xbar_traversals += 1;
                 cycle
                     + self.ua.xbar_latency
@@ -361,8 +406,7 @@ impl MemorySystem {
             }
         }
         // Drain writebacks at full HBM bandwidth across all channels.
-        let line_cycles =
-            (self.ua.line_bytes as u64).div_ceil(self.ua.hbm_bytes_per_cycle);
+        let line_cycles = (self.ua.line_bytes as u64).div_ceil(self.ua.hbm_bytes_per_cycle);
         let drain = (dirty as u64 * line_cycles).div_ceil(self.ua.hbm_channels as u64);
         let cost = self.ua.reconfig_cycles + drain;
         self.stats.reconfigurations += 1;
@@ -376,12 +420,15 @@ impl MemorySystem {
 
     /// Total L1 cache capacity visible to one tile's PEs, in bytes.
     pub fn l1_cache_bytes_per_tile(&self) -> usize {
-        self.ua.l1_cache_banks(self.geom.pes_per_tile(), self.hw.l1()) * self.ua.bank_bytes
+        self.ua
+            .l1_cache_banks(self.geom.pes_per_tile(), self.hw.l1())
+            * self.ua.bank_bytes
     }
 
     /// SPM bytes shared by one tile's PEs (SCS) or per PE summed (PS).
     pub fn spm_bytes_per_tile(&self) -> usize {
-        self.ua.spm_bytes_per_tile(self.geom.pes_per_tile(), self.hw.l1())
+        self.ua
+            .spm_bytes_per_tile(self.geom.pes_per_tile(), self.hw.l1())
     }
 }
 
@@ -397,7 +444,10 @@ mod tests {
     fn l1_hit_is_fast() {
         let mut m = sys(HwConfig::Sc);
         let miss_done = m.global_access(0, 0x1000, false, 0);
-        assert!(miss_done > 50, "cold miss should reach HBM, got {miss_done}");
+        assert!(
+            miss_done > 50,
+            "cold miss should reach HBM, got {miss_done}"
+        );
         let hit_done = m.global_access(0, 0x1000, false, miss_done + 1);
         assert!(
             hit_done - (miss_done + 1) <= 4,

@@ -128,7 +128,11 @@ mod tests {
     #[test]
     fn program_builder_records_in_order() {
         let mut p = Program::new();
-        p.compute(3).load(0x100).store(0x104).spm_load(8).tile_barrier();
+        p.compute(3)
+            .load(0x100)
+            .store(0x104)
+            .spm_load(8)
+            .tile_barrier();
         let ops: Vec<Op> = p.into_stream().collect();
         assert_eq!(
             ops,

@@ -154,8 +154,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = SimStats { ops: 3, l1_hits: 5, ..Default::default() };
-        let b = SimStats { ops: 2, l1_misses: 1, ..Default::default() };
+        let a = SimStats {
+            ops: 3,
+            l1_hits: 5,
+            ..Default::default()
+        };
+        let b = SimStats {
+            ops: 2,
+            l1_misses: 1,
+            ..Default::default()
+        };
         let m = a.merge(&b);
         assert_eq!(m.ops, 5);
         assert_eq!(m.l1_hits, 5);
@@ -164,7 +172,11 @@ mod tests {
 
     #[test]
     fn hit_rates() {
-        let s = SimStats { l1_hits: 3, l1_misses: 1, ..Default::default() };
+        let s = SimStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            ..Default::default()
+        };
         assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(SimStats::default().l1_hit_rate(), 1.0);
         assert_eq!(SimStats::default().l2_hit_rate(), 1.0);
@@ -172,7 +184,11 @@ mod tests {
 
     #[test]
     fn hbm_bytes_counts_both_directions() {
-        let s = SimStats { hbm_line_reads: 2, hbm_line_writes: 3, ..Default::default() };
+        let s = SimStats {
+            hbm_line_reads: 2,
+            hbm_line_writes: 3,
+            ..Default::default()
+        };
         assert_eq!(s.hbm_bytes(64), 320);
     }
 }

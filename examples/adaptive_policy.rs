@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example adaptive_policy`
 
-use cosparse_repro::prelude::*;
 use cosparse::Policy;
+use cosparse_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1 << 13;

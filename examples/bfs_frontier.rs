@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // CoSPARSE on an 8x8 simulated system.
-    let mut engine = Engine::new(&adjacency, Machine::new(Geometry::new(8, 8), MicroArch::paper()));
+    let mut engine = Engine::new(
+        &adjacency,
+        Machine::new(Geometry::new(8, 8), MicroArch::paper()),
+    );
     let ours = engine.run(&Bfs::new(root))?;
 
     // Ligra on the modeled 48-core Xeon.
@@ -64,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{i:>4}  {left}  |  {right}");
     }
 
-    let reached = ours.state.iter().filter(|p| **p != graph::bfs::UNVISITED).count();
+    let reached = ours
+        .state
+        .iter()
+        .filter(|p| **p != graph::bfs::UNVISITED)
+        .count();
     println!(
         "\nCoSPARSE: reached {reached} vertices, {:.3e} s simulated, {:.2e} J",
         ours.total_seconds(),

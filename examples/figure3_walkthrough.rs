@@ -79,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("(trace of the same kernel, worker-by-worker)");
         let mut machine = Machine::new(geometry, MicroArch::paper());
         machine.reconfigure(hw);
-        machine.set_trace(Some(TraceConfig { workers: Some(vec![0, 4]), max_events: 40 }));
+        machine.set_trace(Some(TraceConfig {
+            workers: Some(vec![0, 4]),
+            max_events: 40,
+        }));
         let layout = cosparse::Layout::new(6, 6, matrix.nnz(), geometry, 1);
         let streams = match sw {
             SwConfig::InnerProduct => {
@@ -110,7 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Default::default(),
                 );
                 let active: Vec<u32> = x.iter().map(|(i, _)| i).collect();
-                let streams = cosparse::kernels::op::streams(
+                cosparse::kernels::op::streams(
                     &csc,
                     geometry,
                     cosparse::kernels::op::OpParams {
@@ -121,8 +124,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         spm_node_cap: 512,
                         profile: cosparse::OpProfile::scalar(),
                     },
-                );
-                streams
+                )
             }
         };
         let _ = machine.run(streams)?;

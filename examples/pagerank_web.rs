@@ -5,7 +5,10 @@
 //! Run with: `cargo run --release --example pagerank_web`
 
 use cosparse_repro::prelude::*;
-use graph::{pagerank::{self, PageRank}, Engine};
+use graph::{
+    pagerank::{self, PageRank},
+    Engine,
+};
 use sparse::CsrMatrix;
 use transmuter::{Machine, MicroArch};
 
@@ -21,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let rounds = 10;
-    let mut engine = Engine::new(&adjacency, Machine::new(Geometry::new(4, 8), MicroArch::paper()));
+    let mut engine = Engine::new(
+        &adjacency,
+        Machine::new(Geometry::new(4, 8), MicroArch::paper()),
+    );
     let run = engine.run(&PageRank::new(0.15, rounds))?;
 
     // Validate against the host power iteration.

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cosparse_repro::prelude::*;
 use cosparse::Policy;
+use cosparse_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64k-vertex, 1M-edge uniformly random graph.
@@ -55,9 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare against a pinned configuration to see the benefit.
     runtime.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
-    let frontier = Frontier::Dense(
-        sparse::generate::random_sparse_vector(n, 0.005, 7)?.to_dense(0.0),
-    );
+    let frontier =
+        Frontier::Dense(sparse::generate::random_sparse_vector(n, 0.005, 7)?.to_dense(0.0));
     let fixed = runtime.spmv(&frontier)?;
     println!(
         "same 0.5% frontier forced through IP/SC: {} cycles ({:.0}x slower than reconfigured)",

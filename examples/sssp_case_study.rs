@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         adjacency.nnz()
     );
 
-    let mut engine = Engine::new(&adjacency, Machine::new(Geometry::new(8, 8), MicroArch::paper()));
+    let mut engine = Engine::new(
+        &adjacency,
+        Machine::new(Geometry::new(8, 8), MicroArch::paper()),
+    );
     let run = engine.run(&Sssp::new(source))?;
 
     println!("iter  density  config   cycles      updates");

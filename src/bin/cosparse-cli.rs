@@ -75,8 +75,12 @@ fn parse_args() -> Result<Args, String> {
             "--edges" => args.edges = Some(next(&mut argv, "--edges")?),
             "--suite" => args.suite = Some(next(&mut argv, "--suite")?),
             "--rmat" => {
-                let s = next(&mut argv, "--rmat")?.parse().map_err(|_| "bad rmat scale")?;
-                let n = next(&mut argv, "--rmat")?.parse().map_err(|_| "bad rmat nnz")?;
+                let s = next(&mut argv, "--rmat")?
+                    .parse()
+                    .map_err(|_| "bad rmat scale")?;
+                let n = next(&mut argv, "--rmat")?
+                    .parse()
+                    .map_err(|_| "bad rmat nnz")?;
                 args.rmat = (s, n);
             }
             "--geometry" => {
@@ -88,14 +92,23 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--source" => {
-                args.source = Some(next(&mut argv, "--source")?.parse().map_err(|_| "bad source")?)
+                args.source = Some(
+                    next(&mut argv, "--source")?
+                        .parse()
+                        .map_err(|_| "bad source")?,
+                )
             }
             "--density" => {
-                args.density = next(&mut argv, "--density")?.parse().map_err(|_| "bad density")?
+                args.density = next(&mut argv, "--density")?
+                    .parse()
+                    .map_err(|_| "bad density")?
             }
             "--iterations" => {
-                args.iterations =
-                    Some(next(&mut argv, "--iterations")?.parse().map_err(|_| "bad iterations")?)
+                args.iterations = Some(
+                    next(&mut argv, "--iterations")?
+                        .parse()
+                        .map_err(|_| "bad iterations")?,
+                )
             }
             "--policy" => {
                 args.policy = match next(&mut argv, "--policy")?.as_str() {
@@ -170,17 +183,15 @@ fn main() -> ExitCode {
     if args.algorithm == "spmv" {
         let mut rt = CoSparse::new(&adjacency, machine);
         rt.set_policy(args.policy);
-        let sv = match sparse::generate::random_sparse_vector(
-            adjacency.cols(),
-            args.density,
-            args.seed,
-        ) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let sv =
+            match sparse::generate::random_sparse_vector(adjacency.cols(), args.density, args.seed)
+            {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         let out = match rt.spmv(&Frontier::Sparse(sv)) {
             Ok(o) => o,
             Err(e) => {
@@ -210,8 +221,7 @@ fn main() -> ExitCode {
                     r.total_cycles(),
                     r.total_joules()
                 );
-                let mut top: Vec<(usize, f32)> =
-                    r.centrality.iter().copied().enumerate().collect();
+                let mut top: Vec<(usize, f32)> = r.centrality.iter().copied().enumerate().collect();
                 top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
                 for (v, c) in top.iter().take(5) {
                     println!("  vertex {v:>8}: {c:.2}");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0f4f6cdd4f34eccb.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-0f4f6cdd4f34eccb: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

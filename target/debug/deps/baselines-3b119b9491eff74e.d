@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines-3b119b9491eff74e.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+/root/repo/target/debug/deps/baselines-3b119b9491eff74e: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/platform.rs:
+crates/baselines/src/xeon.rs:

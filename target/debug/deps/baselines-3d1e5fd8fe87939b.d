@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baselines-3d1e5fd8fe87939b.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+/root/repo/target/debug/deps/libbaselines-3d1e5fd8fe87939b.rlib: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+/root/repo/target/debug/deps/libbaselines-3d1e5fd8fe87939b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/platform.rs:
+crates/baselines/src/xeon.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/baselines-7cb1916bf3698dd1.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-7cb1916bf3698dd1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/platform.rs:
+crates/baselines/src/xeon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

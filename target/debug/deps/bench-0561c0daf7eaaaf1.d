@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-0561c0daf7eaaaf1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-0561c0daf7eaaaf1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-87332c5ac2e61a0a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-87332c5ac2e61a0a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-87332c5ac2e61a0a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cosparse-b1a34b365e0b46b8.d: crates/cosparse/src/lib.rs crates/cosparse/src/adaptive.rs crates/cosparse/src/balance.rs crates/cosparse/src/heuristics.rs crates/cosparse/src/kernels/mod.rs crates/cosparse/src/kernels/convert.rs crates/cosparse/src/kernels/ip.rs crates/cosparse/src/kernels/op.rs crates/cosparse/src/layout.rs crates/cosparse/src/ops.rs crates/cosparse/src/runtime.rs crates/cosparse/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosparse-b1a34b365e0b46b8.rmeta: crates/cosparse/src/lib.rs crates/cosparse/src/adaptive.rs crates/cosparse/src/balance.rs crates/cosparse/src/heuristics.rs crates/cosparse/src/kernels/mod.rs crates/cosparse/src/kernels/convert.rs crates/cosparse/src/kernels/ip.rs crates/cosparse/src/kernels/op.rs crates/cosparse/src/layout.rs crates/cosparse/src/ops.rs crates/cosparse/src/runtime.rs crates/cosparse/src/verify.rs Cargo.toml
+
+crates/cosparse/src/lib.rs:
+crates/cosparse/src/adaptive.rs:
+crates/cosparse/src/balance.rs:
+crates/cosparse/src/heuristics.rs:
+crates/cosparse/src/kernels/mod.rs:
+crates/cosparse/src/kernels/convert.rs:
+crates/cosparse/src/kernels/ip.rs:
+crates/cosparse/src/kernels/op.rs:
+crates/cosparse/src/layout.rs:
+crates/cosparse/src/ops.rs:
+crates/cosparse/src/runtime.rs:
+crates/cosparse/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosparse_cli-011149f214676923.d: src/bin/cosparse-cli.rs
+
+/root/repo/target/debug/deps/cosparse_cli-011149f214676923: src/bin/cosparse-cli.rs
+
+src/bin/cosparse-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosparse_cli-9bc55cc5fa9e832e.d: src/bin/cosparse-cli.rs
+
+/root/repo/target/debug/deps/cosparse_cli-9bc55cc5fa9e832e: src/bin/cosparse-cli.rs
+
+src/bin/cosparse-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosparse_cli-b1a8e826879b91da.d: src/bin/cosparse-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosparse_cli-b1a8e826879b91da.rmeta: src/bin/cosparse-cli.rs Cargo.toml
+
+src/bin/cosparse-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

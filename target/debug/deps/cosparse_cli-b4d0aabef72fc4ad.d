@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosparse_cli-b4d0aabef72fc4ad.d: src/bin/cosparse-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosparse_cli-b4d0aabef72fc4ad.rmeta: src/bin/cosparse-cli.rs Cargo.toml
+
+src/bin/cosparse-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cosparse_repro-38c868c6268cda2e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcosparse_repro-38c868c6268cda2e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcosparse_repro-38c868c6268cda2e.rmeta: src/lib.rs
+
+src/lib.rs:

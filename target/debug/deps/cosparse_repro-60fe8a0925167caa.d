@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosparse_repro-60fe8a0925167caa.d: src/lib.rs
+
+/root/repo/target/debug/deps/cosparse_repro-60fe8a0925167caa: src/lib.rs
+
+src/lib.rs:

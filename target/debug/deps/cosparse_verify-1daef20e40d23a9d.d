@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosparse_verify-1daef20e40d23a9d.d: crates/cosparse/src/bin/cosparse_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosparse_verify-1daef20e40d23a9d.rmeta: crates/cosparse/src/bin/cosparse_verify.rs Cargo.toml
+
+crates/cosparse/src/bin/cosparse_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosparse_verify-4f4df0080ec2d6db.d: crates/cosparse/src/bin/cosparse_verify.rs
+
+/root/repo/target/debug/deps/cosparse_verify-4f4df0080ec2d6db: crates/cosparse/src/bin/cosparse_verify.rs
+
+crates/cosparse/src/bin/cosparse_verify.rs:

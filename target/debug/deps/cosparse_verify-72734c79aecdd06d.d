@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosparse_verify-72734c79aecdd06d.d: crates/cosparse/src/bin/cosparse_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosparse_verify-72734c79aecdd06d.rmeta: crates/cosparse/src/bin/cosparse_verify.rs Cargo.toml
+
+crates/cosparse/src/bin/cosparse_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosparse_verify-fae0d58e6c859e8a.d: crates/cosparse/src/bin/cosparse_verify.rs
+
+/root/repo/target/debug/deps/cosparse_verify-fae0d58e6c859e8a: crates/cosparse/src/bin/cosparse_verify.rs
+
+crates/cosparse/src/bin/cosparse_verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-1973cb5605aa0f1f.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-1973cb5605aa0f1f.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-576f53da30265818.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-576f53da30265818.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-576f53da30265818.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e801fa3c71277203.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-e801fa3c71277203: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

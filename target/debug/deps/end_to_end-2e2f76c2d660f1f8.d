@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2e2f76c2d660f1f8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2e2f76c2d660f1f8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

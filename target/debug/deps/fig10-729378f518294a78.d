@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-729378f518294a78.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-729378f518294a78: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c1d9dc36985e3175.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c1d9dc36985e3175: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2e810c9f4825ce97.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2e810c9f4825ce97: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-6f50840bb2a55e21.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-6f50840bb2a55e21: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

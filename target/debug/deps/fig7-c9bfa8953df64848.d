@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c9bfa8953df64848.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c9bfa8953df64848: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-000814ddf293553d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-000814ddf293553d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

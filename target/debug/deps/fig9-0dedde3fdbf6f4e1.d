@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-0dedde3fdbf6f4e1.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-0dedde3fdbf6f4e1: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

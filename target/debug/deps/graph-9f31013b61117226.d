@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/graph-9f31013b61117226.d: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+/root/repo/target/debug/deps/libgraph-9f31013b61117226.rlib: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+/root/repo/target/debug/deps/libgraph-9f31013b61117226.rmeta: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bc.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/cf.rs:
+crates/graph/src/engine.rs:
+crates/graph/src/kbfs.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/sssp.rs:

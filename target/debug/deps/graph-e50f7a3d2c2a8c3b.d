@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/graph-e50f7a3d2c2a8c3b.d: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+/root/repo/target/debug/deps/graph-e50f7a3d2c2a8c3b: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bc.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/cf.rs:
+crates/graph/src/engine.rs:
+crates/graph/src/kbfs.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/sssp.rs:

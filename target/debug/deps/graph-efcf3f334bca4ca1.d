@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/graph-efcf3f334bca4ca1.d: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph-efcf3f334bca4ca1.rmeta: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bc.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/cf.rs:
+crates/graph/src/engine.rs:
+crates/graph/src/kbfs.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/sssp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

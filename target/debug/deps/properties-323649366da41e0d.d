@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-323649366da41e0d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-323649366da41e0d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconfig_gain-1d3220fbd7e9258c.d: crates/bench/src/bin/reconfig_gain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconfig_gain-1d3220fbd7e9258c.rmeta: crates/bench/src/bin/reconfig_gain.rs Cargo.toml
+
+crates/bench/src/bin/reconfig_gain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfig_gain-ade8a6c35ee0ad31.d: crates/bench/src/bin/reconfig_gain.rs
+
+/root/repo/target/debug/deps/reconfig_gain-ade8a6c35ee0ad31: crates/bench/src/bin/reconfig_gain.rs
+
+crates/bench/src/bin/reconfig_gain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-c7b88cceae4bae0d.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-c7b88cceae4bae0d: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

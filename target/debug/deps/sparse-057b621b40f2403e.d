@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/sparse-057b621b40f2403e.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/error.rs crates/sparse/src/vector.rs crates/sparse/src/generate/mod.rs crates/sparse/src/generate/barabasi.rs crates/sparse/src/generate/power_law.rs crates/sparse/src/generate/rmat.rs crates/sparse/src/generate/suite.rs crates/sparse/src/generate/uniform.rs crates/sparse/src/generate/vectors.rs crates/sparse/src/io.rs crates/sparse/src/partition.rs crates/sparse/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparse-057b621b40f2403e.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/error.rs crates/sparse/src/vector.rs crates/sparse/src/generate/mod.rs crates/sparse/src/generate/barabasi.rs crates/sparse/src/generate/power_law.rs crates/sparse/src/generate/rmat.rs crates/sparse/src/generate/suite.rs crates/sparse/src/generate/uniform.rs crates/sparse/src/generate/vectors.rs crates/sparse/src/io.rs crates/sparse/src/partition.rs crates/sparse/src/stats.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/vector.rs:
+crates/sparse/src/generate/mod.rs:
+crates/sparse/src/generate/barabasi.rs:
+crates/sparse/src/generate/power_law.rs:
+crates/sparse/src/generate/rmat.rs:
+crates/sparse/src/generate/suite.rs:
+crates/sparse/src/generate/uniform.rs:
+crates/sparse/src/generate/vectors.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sparse-51b108e51da3ddc7.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/error.rs crates/sparse/src/vector.rs crates/sparse/src/generate/mod.rs crates/sparse/src/generate/barabasi.rs crates/sparse/src/generate/power_law.rs crates/sparse/src/generate/rmat.rs crates/sparse/src/generate/suite.rs crates/sparse/src/generate/uniform.rs crates/sparse/src/generate/vectors.rs crates/sparse/src/io.rs crates/sparse/src/partition.rs crates/sparse/src/stats.rs
+
+/root/repo/target/debug/deps/sparse-51b108e51da3ddc7: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/error.rs crates/sparse/src/vector.rs crates/sparse/src/generate/mod.rs crates/sparse/src/generate/barabasi.rs crates/sparse/src/generate/power_law.rs crates/sparse/src/generate/rmat.rs crates/sparse/src/generate/suite.rs crates/sparse/src/generate/uniform.rs crates/sparse/src/generate/vectors.rs crates/sparse/src/io.rs crates/sparse/src/partition.rs crates/sparse/src/stats.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/vector.rs:
+crates/sparse/src/generate/mod.rs:
+crates/sparse/src/generate/barabasi.rs:
+crates/sparse/src/generate/power_law.rs:
+crates/sparse/src/generate/rmat.rs:
+crates/sparse/src/generate/suite.rs:
+crates/sparse/src/generate/uniform.rs:
+crates/sparse/src/generate/vectors.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-cb53a48950407878.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-cb53a48950407878: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

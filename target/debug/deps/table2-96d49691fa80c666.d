@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-96d49691fa80c666.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-96d49691fa80c666: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

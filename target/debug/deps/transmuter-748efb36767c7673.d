@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/transmuter-748efb36767c7673.d: crates/transmuter/src/lib.rs crates/transmuter/src/cache.rs crates/transmuter/src/config.rs crates/transmuter/src/energy.rs crates/transmuter/src/hbm.rs crates/transmuter/src/machine.rs crates/transmuter/src/memsys.rs crates/transmuter/src/op.rs crates/transmuter/src/stats.rs crates/transmuter/src/trace.rs crates/transmuter/src/verify.rs
+
+/root/repo/target/debug/deps/transmuter-748efb36767c7673: crates/transmuter/src/lib.rs crates/transmuter/src/cache.rs crates/transmuter/src/config.rs crates/transmuter/src/energy.rs crates/transmuter/src/hbm.rs crates/transmuter/src/machine.rs crates/transmuter/src/memsys.rs crates/transmuter/src/op.rs crates/transmuter/src/stats.rs crates/transmuter/src/trace.rs crates/transmuter/src/verify.rs
+
+crates/transmuter/src/lib.rs:
+crates/transmuter/src/cache.rs:
+crates/transmuter/src/config.rs:
+crates/transmuter/src/energy.rs:
+crates/transmuter/src/hbm.rs:
+crates/transmuter/src/machine.rs:
+crates/transmuter/src/memsys.rs:
+crates/transmuter/src/op.rs:
+crates/transmuter/src/stats.rs:
+crates/transmuter/src/trace.rs:
+crates/transmuter/src/verify.rs:

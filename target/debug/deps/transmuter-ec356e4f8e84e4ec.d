@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/transmuter-ec356e4f8e84e4ec.d: crates/transmuter/src/lib.rs crates/transmuter/src/cache.rs crates/transmuter/src/config.rs crates/transmuter/src/energy.rs crates/transmuter/src/hbm.rs crates/transmuter/src/machine.rs crates/transmuter/src/memsys.rs crates/transmuter/src/op.rs crates/transmuter/src/stats.rs crates/transmuter/src/trace.rs crates/transmuter/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransmuter-ec356e4f8e84e4ec.rmeta: crates/transmuter/src/lib.rs crates/transmuter/src/cache.rs crates/transmuter/src/config.rs crates/transmuter/src/energy.rs crates/transmuter/src/hbm.rs crates/transmuter/src/machine.rs crates/transmuter/src/memsys.rs crates/transmuter/src/op.rs crates/transmuter/src/stats.rs crates/transmuter/src/trace.rs crates/transmuter/src/verify.rs Cargo.toml
+
+crates/transmuter/src/lib.rs:
+crates/transmuter/src/cache.rs:
+crates/transmuter/src/config.rs:
+crates/transmuter/src/energy.rs:
+crates/transmuter/src/hbm.rs:
+crates/transmuter/src/machine.rs:
+crates/transmuter/src/memsys.rs:
+crates/transmuter/src/op.rs:
+crates/transmuter/src/stats.rs:
+crates/transmuter/src/trace.rs:
+crates/transmuter/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

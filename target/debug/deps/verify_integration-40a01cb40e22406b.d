@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_integration-40a01cb40e22406b.d: crates/cosparse/tests/verify_integration.rs
+
+/root/repo/target/debug/deps/verify_integration-40a01cb40e22406b: crates/cosparse/tests/verify_integration.rs
+
+crates/cosparse/tests/verify_integration.rs:

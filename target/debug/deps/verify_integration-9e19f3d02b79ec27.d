@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_integration-9e19f3d02b79ec27.d: crates/cosparse/tests/verify_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_integration-9e19f3d02b79ec27.rmeta: crates/cosparse/tests/verify_integration.rs Cargo.toml
+
+crates/cosparse/tests/verify_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

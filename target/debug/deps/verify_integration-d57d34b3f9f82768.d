@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_integration-d57d34b3f9f82768.d: crates/cosparse/tests/verify_integration.rs
+
+/root/repo/target/debug/deps/verify_integration-d57d34b3f9f82768: crates/cosparse/tests/verify_integration.rs
+
+crates/cosparse/tests/verify_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_props-8135d8d4c5cef10e.d: crates/transmuter/tests/verify_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_props-8135d8d4c5cef10e.rmeta: crates/transmuter/tests/verify_props.rs Cargo.toml
+
+crates/transmuter/tests/verify_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_props-d2907ff34a20db8d.d: crates/transmuter/tests/verify_props.rs
+
+/root/repo/target/debug/deps/verify_props-d2907ff34a20db8d: crates/transmuter/tests/verify_props.rs
+
+crates/transmuter/tests/verify_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_policy-6b11a68d7830cbb5.d: examples/adaptive_policy.rs
+
+/root/repo/target/debug/examples/adaptive_policy-6b11a68d7830cbb5: examples/adaptive_policy.rs
+
+examples/adaptive_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bfs_frontier-24b2c7d114830149.d: examples/bfs_frontier.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbfs_frontier-24b2c7d114830149.rmeta: examples/bfs_frontier.rs Cargo.toml
+
+examples/bfs_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

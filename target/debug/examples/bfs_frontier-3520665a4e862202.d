@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bfs_frontier-3520665a4e862202.d: examples/bfs_frontier.rs
+
+/root/repo/target/debug/examples/bfs_frontier-3520665a4e862202: examples/bfs_frontier.rs
+
+examples/bfs_frontier.rs:

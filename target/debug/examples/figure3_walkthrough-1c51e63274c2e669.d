@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure3_walkthrough-1c51e63274c2e669.d: examples/figure3_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure3_walkthrough-1c51e63274c2e669.rmeta: examples/figure3_walkthrough.rs Cargo.toml
+
+examples/figure3_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

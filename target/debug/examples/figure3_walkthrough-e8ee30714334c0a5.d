@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure3_walkthrough-e8ee30714334c0a5.d: examples/figure3_walkthrough.rs
+
+/root/repo/target/debug/examples/figure3_walkthrough-e8ee30714334c0a5: examples/figure3_walkthrough.rs
+
+examples/figure3_walkthrough.rs:

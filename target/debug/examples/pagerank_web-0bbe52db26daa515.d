@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagerank_web-0bbe52db26daa515.d: examples/pagerank_web.rs
+
+/root/repo/target/debug/examples/pagerank_web-0bbe52db26daa515: examples/pagerank_web.rs
+
+examples/pagerank_web.rs:

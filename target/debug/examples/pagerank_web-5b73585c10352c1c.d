@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pagerank_web-5b73585c10352c1c.d: examples/pagerank_web.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpagerank_web-5b73585c10352c1c.rmeta: examples/pagerank_web.rs Cargo.toml
+
+examples/pagerank_web.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f2ab312528640c13.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f2ab312528640c13: examples/quickstart.rs
+
+examples/quickstart.rs:

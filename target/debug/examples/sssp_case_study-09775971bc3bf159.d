@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sssp_case_study-09775971bc3bf159.d: examples/sssp_case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsssp_case_study-09775971bc3bf159.rmeta: examples/sssp_case_study.rs Cargo.toml
+
+examples/sssp_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sssp_case_study-27e19d21dcea5754.d: examples/sssp_case_study.rs
+
+/root/repo/target/debug/examples/sssp_case_study-27e19d21dcea5754: examples/sssp_case_study.rs
+
+examples/sssp_case_study.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/baselines-4639e11d0e13ba9e.d: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+/root/repo/target/release/deps/libbaselines-4639e11d0e13ba9e.rlib: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+/root/repo/target/release/deps/libbaselines-4639e11d0e13ba9e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cpu.rs crates/baselines/src/gpu.rs crates/baselines/src/ligra.rs crates/baselines/src/platform.rs crates/baselines/src/xeon.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/platform.rs:
+crates/baselines/src/xeon.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cosparse-b55e66f6ebd4d51e.d: crates/cosparse/src/lib.rs crates/cosparse/src/adaptive.rs crates/cosparse/src/balance.rs crates/cosparse/src/heuristics.rs crates/cosparse/src/kernels/mod.rs crates/cosparse/src/kernels/convert.rs crates/cosparse/src/kernels/ip.rs crates/cosparse/src/kernels/op.rs crates/cosparse/src/layout.rs crates/cosparse/src/ops.rs crates/cosparse/src/runtime.rs crates/cosparse/src/verify.rs
+
+/root/repo/target/release/deps/libcosparse-b55e66f6ebd4d51e.rlib: crates/cosparse/src/lib.rs crates/cosparse/src/adaptive.rs crates/cosparse/src/balance.rs crates/cosparse/src/heuristics.rs crates/cosparse/src/kernels/mod.rs crates/cosparse/src/kernels/convert.rs crates/cosparse/src/kernels/ip.rs crates/cosparse/src/kernels/op.rs crates/cosparse/src/layout.rs crates/cosparse/src/ops.rs crates/cosparse/src/runtime.rs crates/cosparse/src/verify.rs
+
+/root/repo/target/release/deps/libcosparse-b55e66f6ebd4d51e.rmeta: crates/cosparse/src/lib.rs crates/cosparse/src/adaptive.rs crates/cosparse/src/balance.rs crates/cosparse/src/heuristics.rs crates/cosparse/src/kernels/mod.rs crates/cosparse/src/kernels/convert.rs crates/cosparse/src/kernels/ip.rs crates/cosparse/src/kernels/op.rs crates/cosparse/src/layout.rs crates/cosparse/src/ops.rs crates/cosparse/src/runtime.rs crates/cosparse/src/verify.rs
+
+crates/cosparse/src/lib.rs:
+crates/cosparse/src/adaptive.rs:
+crates/cosparse/src/balance.rs:
+crates/cosparse/src/heuristics.rs:
+crates/cosparse/src/kernels/mod.rs:
+crates/cosparse/src/kernels/convert.rs:
+crates/cosparse/src/kernels/ip.rs:
+crates/cosparse/src/kernels/op.rs:
+crates/cosparse/src/layout.rs:
+crates/cosparse/src/ops.rs:
+crates/cosparse/src/runtime.rs:
+crates/cosparse/src/verify.rs:

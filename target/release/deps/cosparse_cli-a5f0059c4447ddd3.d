@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosparse_cli-a5f0059c4447ddd3.d: src/bin/cosparse-cli.rs
+
+/root/repo/target/release/deps/cosparse_cli-a5f0059c4447ddd3: src/bin/cosparse-cli.rs
+
+src/bin/cosparse-cli.rs:

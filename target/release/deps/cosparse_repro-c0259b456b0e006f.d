@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cosparse_repro-c0259b456b0e006f.d: src/lib.rs
+
+/root/repo/target/release/deps/libcosparse_repro-c0259b456b0e006f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcosparse_repro-c0259b456b0e006f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosparse_verify-45e5ab38324ffe8f.d: crates/cosparse/src/bin/cosparse_verify.rs
+
+/root/repo/target/release/deps/cosparse_verify-45e5ab38324ffe8f: crates/cosparse/src/bin/cosparse_verify.rs
+
+crates/cosparse/src/bin/cosparse_verify.rs:

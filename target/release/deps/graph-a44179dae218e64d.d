@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/graph-a44179dae218e64d.d: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+/root/repo/target/release/deps/libgraph-a44179dae218e64d.rlib: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+/root/repo/target/release/deps/libgraph-a44179dae218e64d.rmeta: crates/graph/src/lib.rs crates/graph/src/bc.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/cf.rs crates/graph/src/engine.rs crates/graph/src/kbfs.rs crates/graph/src/pagerank.rs crates/graph/src/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bc.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/cf.rs:
+crates/graph/src/engine.rs:
+crates/graph/src/kbfs.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/sssp.rs:

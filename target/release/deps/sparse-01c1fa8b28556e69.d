@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/sparse-01c1fa8b28556e69.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/error.rs crates/sparse/src/vector.rs crates/sparse/src/generate/mod.rs crates/sparse/src/generate/barabasi.rs crates/sparse/src/generate/power_law.rs crates/sparse/src/generate/rmat.rs crates/sparse/src/generate/suite.rs crates/sparse/src/generate/uniform.rs crates/sparse/src/generate/vectors.rs crates/sparse/src/io.rs crates/sparse/src/partition.rs crates/sparse/src/stats.rs
+
+/root/repo/target/release/deps/libsparse-01c1fa8b28556e69.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/error.rs crates/sparse/src/vector.rs crates/sparse/src/generate/mod.rs crates/sparse/src/generate/barabasi.rs crates/sparse/src/generate/power_law.rs crates/sparse/src/generate/rmat.rs crates/sparse/src/generate/suite.rs crates/sparse/src/generate/uniform.rs crates/sparse/src/generate/vectors.rs crates/sparse/src/io.rs crates/sparse/src/partition.rs crates/sparse/src/stats.rs
+
+/root/repo/target/release/deps/libsparse-01c1fa8b28556e69.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/error.rs crates/sparse/src/vector.rs crates/sparse/src/generate/mod.rs crates/sparse/src/generate/barabasi.rs crates/sparse/src/generate/power_law.rs crates/sparse/src/generate/rmat.rs crates/sparse/src/generate/suite.rs crates/sparse/src/generate/uniform.rs crates/sparse/src/generate/vectors.rs crates/sparse/src/io.rs crates/sparse/src/partition.rs crates/sparse/src/stats.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/vector.rs:
+crates/sparse/src/generate/mod.rs:
+crates/sparse/src/generate/barabasi.rs:
+crates/sparse/src/generate/power_law.rs:
+crates/sparse/src/generate/rmat.rs:
+crates/sparse/src/generate/suite.rs:
+crates/sparse/src/generate/uniform.rs:
+crates/sparse/src/generate/vectors.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/stats.rs:

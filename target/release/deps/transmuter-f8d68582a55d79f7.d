@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/transmuter-f8d68582a55d79f7.d: crates/transmuter/src/lib.rs crates/transmuter/src/cache.rs crates/transmuter/src/config.rs crates/transmuter/src/energy.rs crates/transmuter/src/hbm.rs crates/transmuter/src/machine.rs crates/transmuter/src/memsys.rs crates/transmuter/src/op.rs crates/transmuter/src/stats.rs crates/transmuter/src/trace.rs crates/transmuter/src/verify.rs
+
+/root/repo/target/release/deps/libtransmuter-f8d68582a55d79f7.rlib: crates/transmuter/src/lib.rs crates/transmuter/src/cache.rs crates/transmuter/src/config.rs crates/transmuter/src/energy.rs crates/transmuter/src/hbm.rs crates/transmuter/src/machine.rs crates/transmuter/src/memsys.rs crates/transmuter/src/op.rs crates/transmuter/src/stats.rs crates/transmuter/src/trace.rs crates/transmuter/src/verify.rs
+
+/root/repo/target/release/deps/libtransmuter-f8d68582a55d79f7.rmeta: crates/transmuter/src/lib.rs crates/transmuter/src/cache.rs crates/transmuter/src/config.rs crates/transmuter/src/energy.rs crates/transmuter/src/hbm.rs crates/transmuter/src/machine.rs crates/transmuter/src/memsys.rs crates/transmuter/src/op.rs crates/transmuter/src/stats.rs crates/transmuter/src/trace.rs crates/transmuter/src/verify.rs
+
+crates/transmuter/src/lib.rs:
+crates/transmuter/src/cache.rs:
+crates/transmuter/src/config.rs:
+crates/transmuter/src/energy.rs:
+crates/transmuter/src/hbm.rs:
+crates/transmuter/src/machine.rs:
+crates/transmuter/src/memsys.rs:
+crates/transmuter/src/op.rs:
+crates/transmuter/src/stats.rs:
+crates/transmuter/src/trace.rs:
+crates/transmuter/src/verify.rs:

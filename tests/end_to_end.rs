@@ -106,8 +106,7 @@ fn all_four_algorithms_match_references() {
     let mut engine = Engine::new(&adjacency, machine(2, 4));
     let sssp = engine.run(&Sssp::new(root)).unwrap();
     let want_dist = graph::sssp::reference(&csr, root);
-    for v in 0..csr.rows() {
-        let (a, b) = (sssp.state[v], want_dist[v]);
+    for (v, (&a, &b)) in sssp.state.iter().zip(&want_dist).enumerate() {
         assert_eq!(a.is_infinite(), b.is_infinite(), "sssp vertex {v}");
         if a.is_finite() {
             assert!((a - b).abs() < 1e-4, "sssp vertex {v}: {a} vs {b}");
@@ -117,19 +116,16 @@ fn all_four_algorithms_match_references() {
     let mut engine = Engine::new(&adjacency, machine(2, 4));
     let pr = engine.run(&PageRank::new(0.15, 6)).unwrap();
     let want_pr = graph::pagerank::reference(&csr, 0.15, 6);
-    for v in 0..csr.rows() {
-        assert!((pr.state[v] - want_pr[v]).abs() < 1e-5, "pr vertex {v}");
+    for (v, (&a, &b)) in pr.state.iter().zip(&want_pr).enumerate() {
+        assert!((a - b).abs() < 1e-5, "pr vertex {v}");
     }
 
     let mut engine = Engine::new(&adjacency, machine(2, 4));
     let cf = engine.run(&Cf::new(0.01, 0.02, 3)).unwrap();
     let want_cf = graph::cf::reference(&adjacency, 0.01, 0.02, 3);
-    for v in 0..csr.rows() {
-        for k in 0..graph::cf::FEATURES {
-            assert!(
-                (cf.state[v][k] - want_cf[v][k]).abs() < 1e-4,
-                "cf vertex {v} feature {k}"
-            );
+    for (v, (got, want)) in cf.state.iter().zip(&want_cf).enumerate() {
+        for (k, (&a, &b)) in got.iter().zip(want).enumerate() {
+            assert!((a - b).abs() < 1e-4, "cf vertex {v} feature {k}");
         }
     }
 }
@@ -186,8 +182,15 @@ fn sssp_reconfigures_and_charges_for_it() {
             switches += 1;
         }
     }
-    assert!(switches >= 2, "expected sparse→dense→sparse, saw {switches} switches");
-    let total_reconfigs: u64 = run.iterations.iter().map(|i| i.report.stats.reconfigurations).sum();
+    assert!(
+        switches >= 2,
+        "expected sparse→dense→sparse, saw {switches} switches"
+    );
+    let total_reconfigs: u64 = run
+        .iterations
+        .iter()
+        .map(|i| i.report.stats.reconfigurations)
+        .sum();
     assert!(total_reconfigs >= 2, "reconfiguration not charged");
     let conversions: u64 = run
         .iterations
@@ -206,7 +209,11 @@ fn suite_graphs_run_bfs() {
         let adjacency = spec.generate(2).unwrap();
         let mut engine = Engine::new(&adjacency, machine(4, 4));
         let run = engine.run(&Bfs::new(0)).unwrap();
-        let reached = run.state.iter().filter(|p| **p != graph::bfs::UNVISITED).count();
+        let reached = run
+            .state
+            .iter()
+            .filter(|p| **p != graph::bfs::UNVISITED)
+            .count();
         assert!(
             reached > adjacency.rows() / 10,
             "{}: only reached {reached}",
@@ -277,7 +284,9 @@ fn cf_learns_on_ratings() {
     let alg = Cf::new(0.01, 0.05, 8);
     let before = graph::cf::training_error(
         &ratings,
-        &(0..200).map(|v| graph::cf::initial_features(v as u32)).collect::<Vec<_>>(),
+        &(0..200)
+            .map(|v| graph::cf::initial_features(v as u32))
+            .collect::<Vec<_>>(),
     );
     let mut engine = Engine::new(&ratings, machine(2, 4));
     let run = engine.run(&alg).unwrap();
@@ -303,8 +312,7 @@ fn adaptive_policy_learns_without_losing() {
     let adaptive = adaptive_engine.run(&Sssp::new(0)).unwrap();
 
     // Correctness is policy-independent.
-    for v in 0..csr.rows() {
-        let (a, b) = (adaptive.state[v], want[v]);
+    for (v, (&a, &b)) in adaptive.state.iter().zip(&want).enumerate() {
         assert_eq!(a.is_infinite(), b.is_infinite(), "vertex {v}");
         if a.is_finite() {
             assert!((a - b).abs() < 1e-4, "vertex {v}");
