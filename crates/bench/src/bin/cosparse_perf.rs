@@ -1,0 +1,274 @@
+//! `cosparse-perf` — reproducible host-performance harness.
+//!
+//! Unlike the `fig*` binaries (which report *simulated* cycles), this
+//! harness times **wall-clock host throughput** of the runtime itself:
+//! SpMV invocations per second and iterative-engine iterations per
+//! second on synthetic and pokec-like matrices. It is the instrument
+//! behind the ROADMAP's perf trajectory: every run emits
+//! `BENCH_host.json`, and CI runs `--smoke` so regressions show up in
+//! the artifact history.
+//!
+//! Methodology: each workload is run `WARMUP` times untimed (cache +
+//! allocator warmup, plan-cache population), then `REPEATS` timed
+//! passes; the **median** throughput is reported alongside min/max.
+//! Matrices and frontiers are seeded, so two runs on the same host and
+//! build measure the same work.
+//!
+//! Usage:
+//!   cosparse-perf [--smoke] [--out PATH] [--baseline PATH]
+//!
+//! `--smoke` shrinks repeats for CI; `--baseline` embeds a previous
+//! report's `workloads` as `"baseline"` in the output (used to commit
+//! before/after numbers in the same file).
+
+use cosparse::{CoSparse, Frontier, Policy, SwConfig};
+use graph::{pagerank::PageRank, sssp::Sssp, Engine};
+use sparse::CooMatrix;
+use std::fmt::Write as _;
+use std::time::Instant;
+use transmuter::{Geometry, HwConfig, Machine, MicroArch};
+
+struct Workload {
+    name: &'static str,
+    unit: &'static str,
+    /// Units of work per timed pass (spmv calls or engine iterations).
+    work: f64,
+    /// Median/min/max throughput over the timed passes, units per second.
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Times `pass` (returning its units of work) `repeats` times after
+/// `warmup` untimed passes.
+fn measure<F: FnMut() -> f64>(
+    name: &'static str,
+    unit: &'static str,
+    warmup: usize,
+    repeats: usize,
+    mut pass: F,
+) -> Workload {
+    for _ in 0..warmup {
+        let _ = pass();
+    }
+    let mut work = 0.0;
+    let mut rates = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        work = pass();
+        let dt = t0.elapsed().as_secs_f64();
+        rates.push(work / dt.max(1e-12));
+    }
+    let median = median_of(rates.clone());
+    let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+    for r in &rates {
+        lo = lo.min(*r);
+        hi = hi.max(*r);
+    }
+    println!("{name:<28} {median:>12.1} {unit}/s  (min {lo:.1}, max {hi:.1}, work {work})");
+    Workload {
+        name,
+        unit,
+        work,
+        median,
+        min: lo,
+        max: hi,
+    }
+}
+
+fn synthetic(n: usize, nnz: usize, seed: u64) -> CooMatrix {
+    sparse::generate::uniform(n, n, nnz, seed).expect("valid synthetic matrix")
+}
+
+/// Pokec-like skew: power-law degree distribution, directed.
+fn pokec_like(n: usize, nnz: usize) -> CooMatrix {
+    sparse::generate::power_law(n, n, nnz, 1.1, 42).expect("valid power-law matrix")
+}
+
+fn machine() -> Machine {
+    Machine::new(Geometry::new(2, 4), MicroArch::paper())
+}
+
+/// Steady-state SpMV throughput: one runtime, one matrix, repeated
+/// invocations (the iterative-algorithm hot path).
+fn spmv_pass(rt: &mut CoSparse, frontier: &Frontier, calls: usize) -> f64 {
+    for _ in 0..calls {
+        let out = rt.spmv(frontier).expect("simulation succeeds");
+        std::hint::black_box(out.report.cycles);
+    }
+    calls as f64
+}
+
+fn run_workloads(smoke: bool) -> Vec<Workload> {
+    let (warmup, repeats) = if smoke { (1, 3) } else { (2, 7) };
+    let calls = if smoke { 3 } else { 10 };
+    let mut out = Vec::new();
+
+    // 1. Dense-frontier SpMV (IP/SC) on the 2048-vertex synthetic.
+    {
+        let m = synthetic(2048, 30_000, 4);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(2048, 1));
+        out.push(measure("spmv_dense_2048", "spmv", warmup, repeats, || {
+            spmv_pass(&mut rt, &x, calls)
+        }));
+    }
+
+    // 2. Sparse-frontier SpMV (OP/PC) on the 2048-vertex synthetic.
+    {
+        let m = synthetic(2048, 30_000, 4);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+        let sv = sparse::generate::random_sparse_vector(2048, 0.02, 9).expect("valid density");
+        let x = Frontier::Sparse(sv);
+        out.push(measure("spmv_sparse_2048", "spmv", warmup, repeats, || {
+            spmv_pass(&mut rt, &x, calls)
+        }));
+    }
+
+    // 3. Engine iterations/sec: PageRank on the 2048-vertex synthetic —
+    //    the acceptance workload. Dense frontier every iteration, same
+    //    matrix throughout: pure steady state.
+    {
+        let m = synthetic(2048, 30_000, 4);
+        let iters = if smoke { 6 } else { 20 };
+        let pr = PageRank::new(0.85, iters);
+        let mut engine = Engine::new(&m, machine());
+        out.push(measure(
+            "engine_pagerank_2048",
+            "iter",
+            warmup,
+            repeats,
+            || {
+                let r = engine.run(&pr).expect("pagerank converges");
+                r.iterations.len() as f64
+            },
+        ));
+    }
+
+    // 4. Engine iterations/sec: SSSP on a pokec-like power-law graph —
+    //    sparse→dense→sparse frontier ramp, both dataflows exercised.
+    {
+        let (n, nnz) = if smoke {
+            (2048, 16_000)
+        } else {
+            (8192, 120_000)
+        };
+        let m = pokec_like(n, nnz);
+        let sssp = Sssp::new(0);
+        let mut engine = Engine::new(&m, machine());
+        out.push(measure(
+            "engine_sssp_pokec_like",
+            "iter",
+            warmup,
+            repeats,
+            || {
+                let r = engine.run(&sssp).expect("sssp converges");
+                r.iterations.len().max(1) as f64
+            },
+        ));
+    }
+
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn workloads_json(workloads: &[Workload], indent: &str) -> String {
+    let mut s = String::from("[\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let comma = if i + 1 < workloads.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "{indent}  {{\"name\": \"{}\", \"unit\": \"{}\", \"work_per_pass\": {}, \
+             \"median_per_sec\": {:.3}, \"min_per_sec\": {:.3}, \"max_per_sec\": {:.3}}}{comma}",
+            json_escape(w.name),
+            json_escape(w.unit),
+            w.work,
+            w.median,
+            w.min,
+            w.max,
+        );
+    }
+    let _ = write!(s, "{indent}]");
+    s
+}
+
+/// Pulls the `"workloads"` array out of a previously written report so
+/// it can be embedded verbatim as the new report's baseline.
+fn extract_workloads(report: &str) -> Option<String> {
+    let key = "\"workloads\":";
+    let start = report.find(key)? + key.len();
+    let rest = &report[start..];
+    let open = rest.find('[')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_host.json".to_string());
+    let baseline = arg_value("--baseline")
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|s| extract_workloads(&s));
+
+    println!(
+        "cosparse-perf ({}): wall-clock host throughput, median of repeated passes",
+        if smoke { "smoke" } else { "full" }
+    );
+    let workloads = run_workloads(smoke);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"cosparse-perf/1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    if let Some(base) = baseline {
+        let _ = writeln!(json, "  \"baseline\": {base},");
+    }
+    let _ = writeln!(
+        json,
+        "  \"workloads\": {}",
+        workloads_json(&workloads, "  ")
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("\nwrote {out_path}");
+}

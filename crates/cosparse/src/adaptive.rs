@@ -141,6 +141,18 @@ impl AdaptiveState {
     pub fn observations(&self) -> usize {
         self.buckets.values().map(|b| b.len()).sum()
     }
+
+    /// Mean observed cycles for `(sw, hw)` in `density`'s bucket, if any.
+    ///
+    /// Exposes what [`AdaptiveState::choose`] compares, so tests and
+    /// diagnostics can check that recorded costs are kernel-only (free
+    /// of one-off reconfiguration/conversion charges).
+    pub fn mean_cycles(&self, density: f64, sw: SwConfig, hw: HwConfig) -> Option<f64> {
+        self.buckets
+            .get(&bucket_of(density))
+            .and_then(|b| b.get(&(sw, hw)))
+            .map(|o| o.mean_cycles)
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +229,24 @@ mod tests {
         assert_eq!(
             (c.software, c.hardware),
             (SwConfig::OuterProduct, HwConfig::Pc)
+        );
+    }
+
+    #[test]
+    fn kernel_only_costs_let_a_switch_win() {
+        // The sibling's kernel is cheaper (900 < 1000), but reaching it
+        // cost a 200-cycle reconfiguration. The runtime records
+        // kernel-only cycles, so the sibling wins; recording the
+        // switch-inclusive total (1100) would wrongly keep the prior.
+        let mut st = AdaptiveState::new();
+        let d = 0.5;
+        let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.001);
+        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 900);
+        assert_eq!(st.choose(d, p).hardware, HwConfig::Scs);
+        assert_eq!(
+            st.mean_cycles(d, SwConfig::InnerProduct, HwConfig::Scs),
+            Some(900.0)
         );
     }
 

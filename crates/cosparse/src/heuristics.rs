@@ -177,6 +177,61 @@ pub fn decide(
     thresholds: &Thresholds,
     profile: &OpProfile,
 ) -> Decision {
+    // Round (not truncate) when reconstructing the frontier size: with
+    // a density that came from `nnz / cols`, truncation can lose the
+    // last element to floating-point (e.g. 4097/10^6 * 10^6 < 4097) and
+    // flip the PS/PC list-fit decision at the boundary.
+    let frontier_nnz = (vector_density * matrix.cols as f64).round() as usize;
+    decide_tree(
+        matrix,
+        vector_density,
+        frontier_nnz,
+        geometry,
+        ua,
+        thresholds,
+        profile,
+    )
+}
+
+/// [`decide`] with the frontier population given exactly.
+///
+/// The runtime knows the true active count (it holds the frontier); the
+/// density is only needed for the CVD comparison, so this variant avoids
+/// the density→count round-trip entirely.
+pub fn decide_exact(
+    matrix: MatrixSummary,
+    frontier_nnz: usize,
+    geometry: Geometry,
+    ua: &MicroArch,
+    thresholds: &Thresholds,
+    profile: &OpProfile,
+) -> Decision {
+    let vector_density = if matrix.cols == 0 {
+        0.0
+    } else {
+        frontier_nnz as f64 / matrix.cols as f64
+    };
+    decide_tree(
+        matrix,
+        vector_density,
+        frontier_nnz,
+        geometry,
+        ua,
+        thresholds,
+        profile,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decide_tree(
+    matrix: MatrixSummary,
+    vector_density: f64,
+    frontier_nnz: usize,
+    geometry: Geometry,
+    ua: &MicroArch,
+    thresholds: &Thresholds,
+    profile: &OpProfile,
+) -> Decision {
     let cvd = thresholds.cvd(geometry, matrix.density());
     let software = if vector_density < cvd {
         SwConfig::OuterProduct
@@ -219,7 +274,6 @@ pub fn decide(
         SwConfig::OuterProduct => {
             // Per-PE sorted list: the tile sees the whole frontier, each
             // PE takes 1/B of it, 8 bytes per node.
-            let frontier_nnz = (vector_density * matrix.cols as f64) as usize;
             let list_bytes = frontier_nnz.div_ceil(geometry.pes_per_tile()) * 8;
             if (list_bytes as f64) > thresholds.op_list_fit_fraction * ua.bank_bytes as f64 {
                 HwConfig::Ps
@@ -363,6 +417,58 @@ mod tests {
         let dense_iter = decide_default(m, 0.47, g);
         assert_eq!(dense_iter.software, SwConfig::InnerProduct);
         assert_eq!(dense_iter.hardware, HwConfig::Sc);
+    }
+
+    #[test]
+    fn decide_exact_list_fit_boundary() {
+        // 8 PEs/tile, 4 kB private banks, 8 bytes/node: 4096 frontier
+        // entries → exactly 512 nodes (4096 B) per PE → PC; one more
+        // entry spills the list → PS.
+        let g = Geometry::new(4, 8);
+        let m = summary(1 << 20, 4_000_000);
+        let args = (
+            &MicroArch::paper(),
+            &Thresholds::paper(),
+            &OpProfile::scalar(),
+        );
+        let fits = decide_exact(m, 4096, g, args.0, args.1, args.2);
+        assert_eq!(fits.software, SwConfig::OuterProduct);
+        assert_eq!(fits.hardware, HwConfig::Pc);
+        let spills = decide_exact(m, 4097, g, args.0, args.1, args.2);
+        assert_eq!(spills.hardware, HwConfig::Ps);
+    }
+
+    #[test]
+    fn density_round_trip_does_not_truncate_frontier() {
+        // 513 active out of 65643 columns: 513/65643 is not exactly
+        // representable, and `density * cols` lands at 512.999…
+        // With one PE per tile the 513th node is exactly the one that
+        // spills the 4 kB list; truncation used to reconstruct 512
+        // entries → PC. Both the exact path and the rounding path must
+        // say PS.
+        let g = Geometry::new(4, 1);
+        let m = MatrixSummary {
+            rows: 65_643,
+            cols: 65_643,
+            nnz: 500_000,
+        };
+        let nnz = 513usize;
+        let density = nnz as f64 / m.cols as f64;
+        assert!(
+            density * (m.cols as f64) < nnz as f64,
+            "test premise: the round-trip must actually lose the last element"
+        );
+        let exact = decide_exact(
+            m,
+            nnz,
+            g,
+            &MicroArch::paper(),
+            &Thresholds::paper(),
+            &OpProfile::scalar(),
+        );
+        assert_eq!(exact.hardware, HwConfig::Ps);
+        let via_density = decide_default(m, density, g);
+        assert_eq!(via_density.hardware, HwConfig::Ps);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod ops;
 mod runtime;
 pub mod verify;
 
-pub use heuristics::{decide, Decision, MatrixSummary, SwConfig, Thresholds};
+pub use heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
 pub use layout::Layout;
 pub use ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 pub use runtime::{CoSparse, Frontier, Policy, SpmvOutcome, StepOutcome};

@@ -106,6 +106,34 @@ pub fn apply<O: GraphOp>(
     state: &[O::Value],
     degrees: &[u32],
 ) -> Vec<Update<O::Value>> {
+    // Dense frontiers touch most destinations, so a direct-indexed
+    // accumulator beats hashing; sparse frontiers keep the map to stay
+    // O(touched). Either path reduces contributions in the same
+    // per-edge order, so the results are identical.
+    if active.len() * 4 >= state.len() && !state.is_empty() {
+        let mut acc: Vec<Option<O::Value>> = vec![None; state.len()];
+        for &(src, fval) in active {
+            let deg = degrees[src as usize];
+            let (dsts, weights) = csc_t.col(src as usize);
+            for (dst, w) in dsts.iter().zip(weights) {
+                let contrib = op.matrix_op(*w, fval, state[*dst as usize], deg);
+                let slot = &mut acc[*dst as usize];
+                *slot = Some(match *slot {
+                    Some(a) => op.reduce(a, contrib),
+                    None => contrib,
+                });
+            }
+        }
+        return acc
+            .into_iter()
+            .enumerate()
+            .filter_map(|(dst, reduced)| {
+                let old = state[dst];
+                let new = op.vector_op(reduced?, old);
+                op.is_update(new, old).then_some((dst as Idx, new))
+            })
+            .collect();
+    }
     let mut acc: HashMap<Idx, O::Value> = HashMap::new();
     for &(src, fval) in active {
         let deg = degrees[src as usize];
@@ -219,6 +247,35 @@ mod tests {
         let csc_t = csc_t_of(&adj);
         let updates = apply(&SpmvOp, &csc_t, &[(0, 5.0)], &[0.0; 2], &[1, 1]);
         assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn sparse_and_dense_accumulators_agree() {
+        // A frontier below the 1/4-density cutoff takes the HashMap
+        // path; the same frontier against a smaller state takes the
+        // direct-indexed path. Both must match the naive reduction.
+        let adj = sparse::generate::uniform(200, 200, 2000, 11).unwrap();
+        let csc_t = csc_t_of(&adj);
+        let active: Vec<(Idx, f32)> = (0..10).map(|i| (i * 17 as Idx, 1.5 + i as f32)).collect();
+        let state = vec![0.0f32; 200];
+        let degrees = vec![1u32; 200];
+        assert!(active.len() * 4 < state.len(), "must hit the map path");
+        let got = apply(&SpmvOp, &csc_t, &active, &state, &degrees);
+
+        let mut want = vec![0.0f32; 200];
+        for &(src, fval) in &active {
+            let (dsts, weights) = csc_t.col(src as usize);
+            for (dst, w) in dsts.iter().zip(weights) {
+                want[*dst as usize] += w * fval;
+            }
+        }
+        let want: Vec<Update<f32>> = want
+            .iter()
+            .enumerate()
+            .filter(|&(_, v)| *v != 0.0)
+            .map(|(dst, v)| (dst as Idx, *v))
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

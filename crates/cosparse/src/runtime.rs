@@ -4,15 +4,16 @@
 
 use crate::adaptive::AdaptiveState;
 use crate::balance::{self, Balancing};
-use crate::heuristics::{decide, Decision, MatrixSummary, SwConfig, Thresholds};
+use crate::heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
 use crate::kernels::convert::{self, Direction};
 use crate::kernels::{ip, op};
 use crate::layout::Layout;
 use crate::ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 use crate::verify::{run_checked, VerifyReport};
-use sparse::partition::VBlocks;
+use sparse::partition::{RowPartition, VBlocks};
 use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
-use transmuter::{HwConfig, Machine, SimError, SimReport};
+use transmuter::verify::RegionMap;
+use transmuter::{HwConfig, Machine, Op, SimError, SimReport};
 
 /// A frontier (input vector) in one of the two representations the
 /// runtime converts between.
@@ -34,9 +35,14 @@ impl Frontier {
     }
 
     /// Number of nonzero (active) elements.
+    ///
+    /// O(1) for the sparse representation; for the dense one the count
+    /// is cached inside the vector after the first scan (see
+    /// [`DenseVector::nnz`]), so repeated density queries on an
+    /// unchanged frontier cost nothing.
     pub fn nnz(&self) -> usize {
         match self {
-            Frontier::Dense(v) => v.iter().filter(|x| **x != 0.0).count(),
+            Frontier::Dense(v) => v.nnz(),
             Frontier::Sparse(v) => v.nnz(),
         }
     }
@@ -53,14 +59,23 @@ impl Frontier {
 
     /// Sorted `(index, value)` pairs of the active elements.
     pub fn active_entries(&self) -> Vec<(Idx, f32)> {
+        let mut out = Vec::new();
+        self.collect_active(&mut out);
+        out
+    }
+
+    /// Appends the sorted active `(index, value)` pairs to `out` — the
+    /// reusable-buffer form of [`Frontier::active_entries`], used by the
+    /// runtime to avoid an O(frontier) allocation per iteration.
+    pub fn collect_active(&self, out: &mut Vec<(Idx, f32)>) {
         match self {
-            Frontier::Dense(v) => v
-                .iter()
-                .enumerate()
-                .filter(|(_, x)| **x != 0.0)
-                .map(|(i, x)| (i as Idx, *x))
-                .collect(),
-            Frontier::Sparse(v) => v.iter().collect(),
+            Frontier::Dense(v) => out.extend(
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, x)| **x != 0.0)
+                    .map(|(i, x)| (i as Idx, *x)),
+            ),
+            Frontier::Sparse(v) => out.extend(v.iter()),
         }
     }
 
@@ -113,6 +128,31 @@ pub struct StepOutcome<V> {
     pub updates: Vec<Update<V>>,
 }
 
+/// Memoized per-invocation tuning state (an OSKI-style "plan"): the
+/// address-space layout, its region map, the workload-balanced
+/// partitions for both dataflows, the vblock tilings — and, for the
+/// fully dense IP case, the compiled per-PE op buffers themselves,
+/// replayed on every subsequent iteration.
+///
+/// The matrix and geometry are fixed for a runtime's lifetime, so the
+/// plan stays valid until the op profile or the balancing scheme
+/// changes.
+#[derive(Debug)]
+struct Plan {
+    profile: OpProfile,
+    balancing: Balancing,
+    layout: Layout,
+    regions: RegionMap,
+    ip_partition: RowPartition,
+    op_tile_parts: RowPartition,
+    vblocks_sc: VBlocks,
+    vblocks_scs: VBlocks,
+    /// Compiled dense (unmasked) IP kernels per hardware flavour, built
+    /// on first use.
+    ip_dense_sc: Option<Vec<Vec<Op>>>,
+    ip_dense_scs: Option<Vec<Vec<Op>>>,
+}
+
 /// The CoSPARSE runtime for one operand matrix.
 ///
 /// Computes `y = M * x` under the generalized semiring of a
@@ -135,6 +175,15 @@ pub struct CoSparse {
     adaptive: AdaptiveState,
     verify: bool,
     verify_report: VerifyReport,
+    plan: Option<Plan>,
+    /// IP activity-mask scratch, `cols` long, kept all-false between
+    /// invocations: each call sets and clears only the active bits, so
+    /// steady-state masking is O(frontier), not O(cols).
+    mask_buf: Vec<bool>,
+    /// Reusable staging for the active index list.
+    indices_buf: Vec<Idx>,
+    /// Reusable staging for the active `(index, value)` entries.
+    entries_buf: Vec<(Idx, f32)>,
 }
 
 impl CoSparse {
@@ -145,6 +194,7 @@ impl CoSparse {
         let degrees = matrix.col_counts().into_iter().map(|c| c as u32).collect();
         let row_counts = matrix.row_counts();
         CoSparse {
+            mask_buf: vec![false; matrix.cols()],
             coo: matrix.clone(),
             csc,
             degrees,
@@ -157,6 +207,9 @@ impl CoSparse {
             adaptive: AdaptiveState::new(),
             verify: false,
             verify_report: VerifyReport::default(),
+            plan: None,
+            indices_buf: Vec::new(),
+            entries_buf: Vec::new(),
         }
     }
 
@@ -197,6 +250,13 @@ impl CoSparse {
     /// Observations collected so far under [`Policy::Adaptive`].
     pub fn adaptive_observations(&self) -> usize {
         self.adaptive.observations()
+    }
+
+    /// Mean kernel-only cycles recorded for `(sw, hw)` in `density`'s
+    /// adaptive bucket, if observed (see
+    /// [`AdaptiveState::mean_cycles`]).
+    pub fn adaptive_mean_cycles(&self, density: f64, sw: SwConfig, hw: HwConfig) -> Option<f64> {
+        self.adaptive.mean_cycles(density, sw, hw)
     }
 
     /// The operand matrix (COO copy).
@@ -247,6 +307,85 @@ impl CoSparse {
         }
     }
 
+    /// [`CoSparse::decide`] with the frontier's exact active count.
+    ///
+    /// The density form reconstructs the count as `density * cols`,
+    /// which is lossy at the PS/PC list-fit boundary; the runtime knows
+    /// the true count and threads it through here (density is still
+    /// derived for the CVD comparison and adaptive bucketing).
+    pub fn decide_exact(&self, frontier_nnz: usize, profile: &OpProfile) -> Decision {
+        let tree = || {
+            decide_exact(
+                self.summary(),
+                frontier_nnz,
+                self.machine.geometry(),
+                self.machine.uarch(),
+                &self.thresholds,
+                profile,
+            )
+        };
+        match self.policy {
+            Policy::Auto => tree(),
+            Policy::Fixed(sw, hw) => Decision {
+                software: sw,
+                hardware: hw,
+                cvd: f64::NAN,
+            },
+            Policy::Adaptive => {
+                let density = if self.coo.cols() == 0 {
+                    0.0
+                } else {
+                    frontier_nnz as f64 / self.coo.cols() as f64
+                };
+                self.adaptive.choose(density, tree())
+            }
+        }
+    }
+
+    /// Builds (or rebuilds) the cached [`Plan`] when none exists or its
+    /// key — op profile + balancing scheme — no longer matches.
+    fn ensure_plan(&mut self, profile: &OpProfile) {
+        let stale = self
+            .plan
+            .as_ref()
+            .is_none_or(|p| p.profile != *profile || p.balancing != self.balancing);
+        if !stale {
+            return;
+        }
+        let geometry = self.machine.geometry();
+        let layout = Layout::new(
+            self.coo.rows(),
+            self.coo.cols(),
+            self.coo.nnz(),
+            geometry,
+            profile.value_words,
+        );
+        let regions = layout.regions();
+        let ip_partition = balance::ip_partitions(&self.row_counts, geometry, self.balancing);
+        let op_tile_parts = balance::op_tile_partitions(&self.row_counts, geometry, self.balancing);
+        let vblocks_sc = self.ip_vblocks(false, profile);
+        // SCS needs ≥2 PEs per tile (there are no SPM banks otherwise)
+        // and the runtime never executes it on smaller tiles, so reuse
+        // the SC tiling rather than computing an impossible split.
+        let vblocks_scs = if geometry.pes_per_tile() >= 2 {
+            self.ip_vblocks(true, profile)
+        } else {
+            vblocks_sc.clone()
+        };
+        self.plan = Some(Plan {
+            profile: *profile,
+            balancing: self.balancing,
+            layout,
+            regions,
+            ip_partition,
+            op_tile_parts,
+            vblocks_sc,
+            vblocks_scs,
+            ip_dense_sc: None,
+            ip_dense_scs: None,
+        });
+    }
+
     /// Simulates one SpMV's access pattern for the given active indices
     /// under `decision`, including reconfiguration and (when the
     /// dataflow changed representation) frontier conversion cost.
@@ -260,14 +399,22 @@ impl CoSparse {
         active: &[Idx],
         profile: &OpProfile,
     ) -> Result<SimReport, SimError> {
+        self.execute_timed(decision, active, profile)
+            .map(|(report, _)| report)
+    }
+
+    /// [`CoSparse::execute`], additionally returning the kernel-only
+    /// cycle count: the report's total minus the one-off reconfiguration
+    /// and conversion charges. Adaptive learning keys on this — a
+    /// configuration must not look expensive in its density bucket just
+    /// because switching *into* it cost cycles once.
+    fn execute_timed(
+        &mut self,
+        decision: Decision,
+        active: &[Idx],
+        profile: &OpProfile,
+    ) -> Result<(SimReport, u64), SimError> {
         let geometry = self.machine.geometry();
-        let layout = Layout::new(
-            self.coo.rows(),
-            self.coo.cols(),
-            self.coo.nnz(),
-            geometry,
-            profile.value_words,
-        );
         // SCS splits each tile's banks between cache and SPM, which
         // needs at least two PEs per tile; the machine cannot even
         // reconfigure into it on a 1-PE geometry. Under verification,
@@ -285,7 +432,8 @@ impl CoSparse {
                 }],
             });
         }
-        self.machine.reconfigure(decision.hardware);
+        self.ensure_plan(profile);
+        let reconfig_cost = self.machine.reconfigure(decision.hardware);
 
         // Frontier representation conversion (§III-D.2) when the
         // dataflow changed since the previous invocation.
@@ -300,8 +448,9 @@ impl CoSparse {
         };
         let mut conversion_report = None;
         if let Some(direction) = conversion {
+            let plan = self.plan.as_ref().expect("plan ensured above");
             let streams = convert::streams(
-                &layout,
+                &plan.layout,
                 geometry,
                 self.coo.cols(),
                 active.len(),
@@ -312,59 +461,100 @@ impl CoSparse {
                 run_checked(
                     &mut self.machine,
                     streams,
-                    &layout.regions(),
+                    &plan.regions,
                     &mut self.verify_report,
                 )?
             } else {
                 self.machine.run(streams)?
             });
         }
-        self.prev_sw = Some(decision.software);
 
         let mut report = match decision.software {
             SwConfig::InnerProduct => {
-                let partition = balance::ip_partitions(&self.row_counts, geometry, self.balancing);
                 let use_spm = decision.hardware == HwConfig::Scs;
-                let vblocks = self.ip_vblocks(use_spm, profile);
-                // §IV-C.1: IP inspects every vector element but skips the
-                // MAC and output accesses for zeros.
-                let mask: Option<Vec<bool>> = if active.len() < self.coo.cols() {
-                    let mut m = vec![false; self.coo.cols()];
-                    for &i in active {
-                        m[i as usize] = true;
+                if active.len() >= self.coo.cols() {
+                    // Fully dense frontier: replay the compiled kernel,
+                    // building it on first use. This is the steady state
+                    // of PR/CF — no op regeneration per iteration.
+                    let plan = self.plan.as_mut().expect("plan ensured above");
+                    let params = ip::IpParams {
+                        layout: &plan.layout,
+                        partition: &plan.ip_partition,
+                        vblocks: if use_spm {
+                            &plan.vblocks_scs
+                        } else {
+                            &plan.vblocks_sc
+                        },
+                        use_spm,
+                        active: None,
+                        profile: *profile,
+                    };
+                    let slot = if use_spm {
+                        &mut plan.ip_dense_scs
+                    } else {
+                        &mut plan.ip_dense_sc
+                    };
+                    if slot.is_none() {
+                        *slot = Some(ip::compile(&self.coo, geometry, params));
                     }
-                    Some(m)
+                    let streams = ip::replay(slot.as_ref().expect("just compiled"), geometry);
+                    if self.verify {
+                        run_checked(
+                            &mut self.machine,
+                            streams,
+                            &plan.regions,
+                            &mut self.verify_report,
+                        )?
+                    } else {
+                        self.machine.run(streams)?
+                    }
                 } else {
-                    None
-                };
-                let params = ip::IpParams {
-                    layout: &layout,
-                    partition: &partition,
-                    vblocks: &vblocks,
-                    use_spm,
-                    active: mask.as_deref(),
-                    profile: *profile,
-                };
-                let streams = ip::streams(&self.coo, geometry, params);
-                if self.verify {
-                    run_checked(
-                        &mut self.machine,
-                        streams,
-                        &layout.regions(),
-                        &mut self.verify_report,
-                    )?
-                } else {
-                    self.machine.run(streams)?
+                    // §IV-C.1: IP inspects every vector element but
+                    // skips the MAC and output accesses for zeros.
+                    // Stage the mask in the all-false scratch.
+                    for &i in active {
+                        self.mask_buf[i as usize] = true;
+                    }
+                    let plan = self.plan.as_ref().expect("plan ensured above");
+                    let params = ip::IpParams {
+                        layout: &plan.layout,
+                        partition: &plan.ip_partition,
+                        vblocks: if use_spm {
+                            &plan.vblocks_scs
+                        } else {
+                            &plan.vblocks_sc
+                        },
+                        use_spm,
+                        active: Some(&self.mask_buf),
+                        profile: *profile,
+                    };
+                    let compiled = ip::compile(&self.coo, geometry, params);
+                    let streams = ip::replay(&compiled, geometry);
+                    let result = if self.verify {
+                        run_checked(
+                            &mut self.machine,
+                            streams,
+                            &plan.regions,
+                            &mut self.verify_report,
+                        )
+                    } else {
+                        self.machine.run(streams)
+                    };
+                    // Un-stage before propagating any error: the scratch
+                    // must return to all-false no matter what.
+                    for &i in active {
+                        self.mask_buf[i as usize] = false;
+                    }
+                    result?
                 }
             }
             SwConfig::OuterProduct => {
-                let tile_parts =
-                    balance::op_tile_partitions(&self.row_counts, geometry, self.balancing);
+                let plan = self.plan.as_ref().expect("plan ensured above");
                 let heap_in_spm = decision.hardware == HwConfig::Ps;
                 let spm_node_cap = self.machine.uarch().bank_bytes / 8;
                 let params = op::OpParams {
-                    layout: &layout,
-                    tile_parts: &tile_parts,
+                    layout: &plan.layout,
+                    tile_parts: &plan.op_tile_parts,
                     frontier: active,
                     heap_in_spm,
                     spm_node_cap,
@@ -375,7 +565,7 @@ impl CoSparse {
                     run_checked(
                         &mut self.machine,
                         streams,
-                        &layout.regions(),
+                        &plan.regions,
                         &mut self.verify_report,
                     )?
                 } else {
@@ -383,10 +573,23 @@ impl CoSparse {
                 }
             }
         };
+        // Only remember the dataflow once its kernel actually ran: a
+        // rejected or failed invocation must not convince the next call
+        // that the frontier representation already switched.
+        self.prev_sw = Some(decision.software);
+
+        // Kernel-only cycles: when a conversion ran, it absorbed the
+        // reconfiguration carry and the kernel report is already clean;
+        // otherwise the carry landed on the kernel run.
+        let kernel_cycles = if conversion_report.is_some() {
+            report.cycles
+        } else {
+            report.cycles.saturating_sub(reconfig_cost)
+        };
         if let Some(conv) = conversion_report {
             report.accumulate(&conv);
         }
-        Ok(report)
+        Ok((report, kernel_cycles))
     }
 
     /// Picks the vblock width for an IP pass: the SPM capacity per tile
@@ -429,19 +632,35 @@ impl CoSparse {
             "frontier dimension mismatch"
         );
         let profile = OpProfile::scalar();
+        let frontier_nnz = frontier.nnz();
         let density = frontier.density();
-        let decision = self.decide(density, &profile);
-        let entries = frontier.active_entries();
-        let active: Vec<Idx> = entries.iter().map(|&(i, _)| i).collect();
-        let report = self.execute(decision, &active, &profile)?;
+        let decision = self.decide_exact(frontier_nnz, &profile);
+        // Stage the frontier in the reusable scratch buffers; steady-state
+        // iterations allocate nothing here.
+        let mut entries = std::mem::take(&mut self.entries_buf);
+        entries.clear();
+        frontier.collect_active(&mut entries);
+        let mut active = std::mem::take(&mut self.indices_buf);
+        active.clear();
+        active.extend(entries.iter().map(|&(i, _)| i));
+        let executed = self.execute_timed(decision, &active, &profile);
+        self.indices_buf = active;
+        let (report, kernel_cycles) = match executed {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.entries_buf = entries;
+                return Err(e);
+            }
+        };
         if self.policy == Policy::Adaptive {
             self.adaptive
-                .record(density, decision.software, decision.hardware, report.cycles);
+                .record(density, decision.software, decision.hardware, kernel_cycles);
         }
 
         // Functional product (golden model).
         let state = vec![0.0f32; self.coo.rows()];
         let updates = apply(&SpmvOp, &self.csc, &entries, &state, &self.degrees);
+        self.entries_buf = entries;
         let result = match decision.software {
             SwConfig::InnerProduct => {
                 let mut y = DenseVector::filled(self.coo.rows(), 0.0f32);
@@ -482,12 +701,16 @@ impl CoSparse {
         } else {
             active.len() as f64 / self.coo.cols() as f64
         };
-        let decision = self.decide(density, &profile);
-        let indices: Vec<Idx> = active.iter().map(|&(i, _)| i).collect();
-        let report = self.execute(decision, &indices, &profile)?;
+        let decision = self.decide_exact(active.len(), &profile);
+        let mut indices = std::mem::take(&mut self.indices_buf);
+        indices.clear();
+        indices.extend(active.iter().map(|&(i, _)| i));
+        let executed = self.execute_timed(decision, &indices, &profile);
+        self.indices_buf = indices;
+        let (report, kernel_cycles) = executed?;
         if self.policy == Policy::Adaptive {
             self.adaptive
-                .record(density, decision.software, decision.hardware, report.cycles);
+                .record(density, decision.software, decision.hardware, kernel_cycles);
         }
         let updates = apply(op, &self.csc, active, state, &self.degrees);
         Ok(StepOutcome {
@@ -640,6 +863,15 @@ mod tests {
 mod frontier_tests {
     use super::*;
 
+    fn runtime(n: usize, nnz: usize) -> CoSparse {
+        let m = sparse::generate::uniform(n, n, nnz, 21).unwrap();
+        let machine = Machine::new(
+            transmuter::Geometry::new(2, 4),
+            transmuter::MicroArch::paper(),
+        );
+        CoSparse::new(&m, machine)
+    }
+
     #[test]
     fn frontier_accessors() {
         let d = Frontier::Dense(DenseVector::from(vec![0.0f32, 2.0, 0.0, 3.0]));
@@ -719,5 +951,176 @@ mod frontier_tests {
         );
         // No reconfiguration between same-config runs.
         assert_eq!(second.stats.reconfigurations, 0);
+    }
+
+    #[test]
+    fn rejected_execute_preserves_prev_sw() {
+        // On a 1-PE-per-tile geometry a verified SCS request is rejected
+        // statically. The rejection must leave the runtime's remembered
+        // dataflow untouched: the next IP run still owes the
+        // sparse→dense frontier conversion. A control runtime that never
+        // saw the rejected call must produce the identical report.
+        let profile = OpProfile::scalar();
+        let geometry = transmuter::Geometry::new(1, 1);
+        let decision = |sw, hw| Decision {
+            software: sw,
+            hardware: hw,
+            cvd: f64::NAN,
+        };
+        let m = sparse::generate::uniform(256, 256, 2000, 13).unwrap();
+        let active: Vec<Idx> = (0..32).collect();
+
+        let mut control = CoSparse::new(&m, Machine::new(geometry, transmuter::MicroArch::paper()));
+        control.set_verify(true);
+        control
+            .execute(
+                decision(SwConfig::OuterProduct, HwConfig::Pc),
+                &active,
+                &profile,
+            )
+            .unwrap();
+        let want = control
+            .execute(
+                decision(SwConfig::InnerProduct, HwConfig::Sc),
+                &active,
+                &profile,
+            )
+            .unwrap();
+
+        let mut rt = CoSparse::new(&m, Machine::new(geometry, transmuter::MicroArch::paper()));
+        rt.set_verify(true);
+        rt.execute(
+            decision(SwConfig::OuterProduct, HwConfig::Pc),
+            &active,
+            &profile,
+        )
+        .unwrap();
+        let rejected = rt.execute(
+            decision(SwConfig::InnerProduct, HwConfig::Scs),
+            &active,
+            &profile,
+        );
+        assert!(matches!(rejected, Err(SimError::Rejected { .. })));
+        let got = rt
+            .execute(
+                decision(SwConfig::InnerProduct, HwConfig::Sc),
+                &active,
+                &profile,
+            )
+            .unwrap();
+        assert_eq!(got.cycles, want.cycles);
+        assert_eq!(got.stats.loads, want.stats.loads);
+        // The conversion actually ran (its loads cover the frontier dim).
+        assert!(got.stats.loads >= 256 + active.len() as u64);
+    }
+
+    #[test]
+    fn adaptive_records_kernel_only_cycles() {
+        let mut rt = runtime(512, 8000);
+        rt.set_policy(Policy::Adaptive);
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(512, 3));
+        let density = x.density();
+        let first = rt.spmv(&x).unwrap();
+        let second = rt.spmv(&x).unwrap();
+        assert_eq!(first.software, second.software);
+        assert_ne!(
+            first.hardware, second.hardware,
+            "second call explores the hardware sibling"
+        );
+        // The sibling run paid a reconfiguration on top of its kernel,
+        // but the recorded cost must be kernel-only — strictly below the
+        // switch-inclusive report.
+        let mean = rt
+            .adaptive_mean_cycles(density, second.software, second.hardware)
+            .unwrap();
+        assert!(
+            mean < second.report.cycles as f64,
+            "recorded {mean} should exclude the reconfiguration from {}",
+            second.report.cycles
+        );
+        // With both configs observed at kernel-only cost, the third call
+        // picks the bucket's argmin.
+        let first_mean = rt
+            .adaptive_mean_cycles(density, first.software, first.hardware)
+            .unwrap();
+        let third = rt.spmv(&x).unwrap();
+        let want_hw = if first_mean <= mean {
+            first.hardware
+        } else {
+            second.hardware
+        };
+        assert_eq!(third.hardware, want_hw);
+    }
+
+    #[test]
+    fn balancing_change_invalidates_plan() {
+        let mut rt = runtime(512, 8000);
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(512, 3));
+        let _warm = rt.spmv(&x).unwrap();
+        rt.set_balancing(Balancing::EqualRows);
+        let after = rt.spmv(&x).unwrap();
+
+        // A fresh runtime on EqualRows from the start must agree on the
+        // decision, the op counts (which depend on the partition the
+        // plan caches) and the functional result. Cycles may differ —
+        // the warm runtime's caches are primed.
+        let mut fresh = runtime(512, 8000);
+        fresh.set_balancing(Balancing::EqualRows);
+        let want = fresh.spmv(&x).unwrap();
+        assert_eq!(after.software, want.software);
+        assert_eq!(after.hardware, want.hardware);
+        assert_eq!(after.report.stats.loads, want.report.stats.loads);
+        assert_eq!(after.report.stats.stores, want.report.stats.stores);
+        assert_eq!(after.result, want.result);
+    }
+
+    #[test]
+    fn profile_change_rebuilds_plan() {
+        // A wide-value op (CF-like) needs a different layout than scalar
+        // SpMV; alternating between them must rebuild the plan each time
+        // and keep both functionally correct.
+        #[derive(Debug)]
+        struct Wide;
+        impl GraphOp for Wide {
+            type Value = f32;
+            fn matrix_op(&self, w: f32, src: f32, _dst: f32, _deg: u32) -> f32 {
+                w * src
+            }
+            fn reduce(&self, a: f32, b: f32) -> f32 {
+                a + b
+            }
+            fn profile(&self) -> OpProfile {
+                OpProfile {
+                    value_words: 4,
+                    extra_compute_per_edge: 3,
+                    vector_op_compute: 1,
+                }
+            }
+        }
+        let m = sparse::generate::uniform(256, 256, 4000, 9).unwrap();
+        let machine = Machine::new(
+            transmuter::Geometry::new(2, 4),
+            transmuter::MicroArch::paper(),
+        );
+        let mut rt = CoSparse::new(&m, machine);
+        let xd = sparse::generate::random_dense_vector(256, 1);
+        let want = m.spmv_dense(&xd).unwrap();
+        let check = |out: &SpmvOutcome| match &out.result {
+            Frontier::Dense(y) => {
+                for i in 0..256 {
+                    assert!((y[i] - want[i]).abs() < 1e-3 * want[i].abs().max(1.0));
+                }
+            }
+            other => panic!("expected dense result, got {other:?}"),
+        };
+        let before = rt.spmv(&Frontier::Dense(xd.clone())).unwrap();
+        check(&before);
+        let active: Vec<(Idx, f32)> = (0..256).map(|i| (i as Idx, 1.0)).collect();
+        let state = vec![0.0f32; 256];
+        let wide = rt.step(&Wide, &active, &state).unwrap();
+        assert!(wide.report.cycles > 0);
+        let after = rt.spmv(&Frontier::Dense(xd)).unwrap();
+        check(&after);
+        assert_eq!(before.report.stats.loads, after.report.stats.loads);
     }
 }

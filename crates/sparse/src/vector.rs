@@ -1,11 +1,31 @@
 use crate::{Idx, Result, SparseError};
+use std::cell::Cell;
 use std::ops::{Index, IndexMut};
 
 /// A dense vector: every element stored, used as the frontier
 /// representation for the inner-product dataflow (and always for PR/CF).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The nonzero count is cached after the first [`DenseVector::nnz`] call
+/// and invalidated on any mutable access, so iterative runtimes that
+/// consult the density every step do not rescan an unchanged vector.
+#[derive(Clone)]
 pub struct DenseVector<T> {
     data: Vec<T>,
+    nnz_cache: Cell<Option<usize>>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for DenseVector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseVector")
+            .field("data", &self.data)
+            .finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for DenseVector<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
 }
 
 impl<T: Copy> DenseVector<T> {
@@ -13,6 +33,7 @@ impl<T: Copy> DenseVector<T> {
     pub fn filled(len: usize, fill: T) -> Self {
         DenseVector {
             data: vec![fill; len],
+            nnz_cache: Cell::new(None),
         }
     }
 
@@ -31,9 +52,29 @@ impl<T: Copy> DenseVector<T> {
         &self.data
     }
 
-    /// Mutable view of the underlying storage.
+    /// Mutable view of the underlying storage. Invalidates the cached
+    /// nonzero count.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.nnz_cache.set(None);
         &mut self.data
+    }
+
+    /// Number of entries different from `T::default()`.
+    ///
+    /// Cached: the first call scans the vector, later calls are O(1)
+    /// until a mutable access ([`DenseVector::as_mut_slice`] or
+    /// `IndexMut`) invalidates the cache.
+    pub fn nnz(&self) -> usize
+    where
+        T: Default + PartialEq,
+    {
+        if let Some(n) = self.nnz_cache.get() {
+            return n;
+        }
+        let zero = T::default();
+        let n = self.data.iter().filter(|v| **v != zero).count();
+        self.nnz_cache.set(Some(n));
+        n
     }
 
     /// Consumes the vector, returning the underlying storage.
@@ -69,7 +110,10 @@ impl<T: Copy> DenseVector<T> {
 
 impl<T> From<Vec<T>> for DenseVector<T> {
     fn from(data: Vec<T>) -> Self {
-        DenseVector { data }
+        DenseVector {
+            data,
+            nnz_cache: Cell::new(None),
+        }
     }
 }
 
@@ -82,6 +126,7 @@ impl<T> Index<usize> for DenseVector<T> {
 
 impl<T> IndexMut<usize> for DenseVector<T> {
     fn index_mut(&mut self, i: usize) -> &mut T {
+        self.nnz_cache.set(None);
         &mut self.data[i]
     }
 }
@@ -90,6 +135,7 @@ impl<T> FromIterator<T> for DenseVector<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
         DenseVector {
             data: iter.into_iter().collect(),
+            nnz_cache: Cell::new(None),
         }
     }
 }
@@ -192,7 +238,10 @@ impl<T: Copy> SparseVector<T> {
         for &(i, v) in &self.entries {
             data[i as usize] = v;
         }
-        DenseVector { data }
+        DenseVector {
+            data,
+            nnz_cache: Cell::new(None),
+        }
     }
 }
 
@@ -248,5 +297,36 @@ mod tests {
     fn filled_constructor() {
         let d = DenseVector::filled(3, 7u32);
         assert_eq!(d.as_slice(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn nnz_cache_invalidated_by_index_mut() {
+        let mut d = DenseVector::from(vec![0.0f32, 1.0, 0.0, 2.0]);
+        assert_eq!(d.nnz(), 2);
+        assert_eq!(d.nnz(), 2); // cached path
+        d[0] = 3.0;
+        assert_eq!(d.nnz(), 3);
+        d[1] = 0.0;
+        assert_eq!(d.nnz(), 2);
+    }
+
+    #[test]
+    fn nnz_cache_invalidated_by_as_mut_slice() {
+        let mut d = DenseVector::from(vec![1u32, 0, 0]);
+        assert_eq!(d.nnz(), 1);
+        d.as_mut_slice()[2] = 5;
+        assert_eq!(d.nnz(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_nnz_cache_state() {
+        let a = DenseVector::from(vec![1.0f32, 0.0]);
+        let b = DenseVector::from(vec![1.0f32, 0.0]);
+        let _ = a.nnz(); // populate a's cache only
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+        let c = a.clone(); // clone carries the cache
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c, b);
     }
 }

@@ -16,21 +16,42 @@ pub enum ProbeResult {
     },
 }
 
+/// One way, packed to 16 bytes so a 4-way set spans a single host cache
+/// line: `meta` holds `lru << 2 | dirty << 1 | valid`, where a larger
+/// LRU stamp means more recently used.
 #[derive(Debug, Clone, Copy)]
 struct Way {
     tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Larger = more recently used.
-    lru: u64,
+    meta: u64,
 }
 
-const INVALID: Way = Way {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    lru: 0,
-};
+const VALID: u64 = 1;
+const DIRTY: u64 = 2;
+const LRU_SHIFT: u32 = 2;
+
+impl Way {
+    #[inline]
+    fn valid(self) -> bool {
+        self.meta & VALID != 0
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.meta & DIRTY != 0
+    }
+
+    /// Victim priority: invalid ways evict first (key 0), then true LRU.
+    #[inline]
+    fn victim_key(self) -> u64 {
+        if self.valid() {
+            (self.meta >> LRU_SHIFT) + 1
+        } else {
+            0
+        }
+    }
+}
+
+const INVALID: Way = Way { tag: 0, meta: 0 };
 
 /// One cache bank (4 kB, 4-way in the paper configuration).
 ///
@@ -83,35 +104,39 @@ impl CacheBank {
         let slots = &mut self.store[base..base + self.ways];
         // Probe.
         for way in slots.iter_mut() {
-            if way.valid && way.tag == line {
-                way.lru = self.stamp;
-                way.dirty |= is_store;
+            if way.valid() && way.tag == line {
+                way.meta = (self.stamp << LRU_SHIFT)
+                    | (way.meta & DIRTY)
+                    | ((is_store as u64) << 1)
+                    | VALID;
                 self.hits += 1;
                 return ProbeResult::Hit;
             }
         }
-        // Miss: choose victim (invalid first, else LRU).
+        // Miss: choose victim (invalid first, else LRU; ties keep the
+        // first way, matching `min_by_key`).
         self.misses += 1;
-        let victim = slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .expect("ways > 0");
+        let mut victim = 0;
+        let mut best = slots[0].victim_key();
+        for (i, w) in slots.iter().enumerate().skip(1) {
+            let key = w.victim_key();
+            if key < best {
+                best = key;
+                victim = i;
+            }
+        }
         let old = slots[victim];
         slots[victim] = Way {
             tag: line,
-            valid: true,
-            dirty: is_store,
-            lru: self.stamp,
+            meta: (self.stamp << LRU_SHIFT) | ((is_store as u64) << 1) | VALID,
         };
-        let victim_dirty = old.valid && old.dirty;
+        let victim_dirty = old.valid() && old.dirty();
         if victim_dirty {
             self.evictions_dirty += 1;
         }
         ProbeResult::Miss {
             victim_dirty,
-            victim_line: if old.valid { Some(old.tag) } else { None },
+            victim_line: if old.valid() { Some(old.tag) } else { None },
         }
     }
 
@@ -121,26 +146,27 @@ impl CacheBank {
         let set = self.set_of(line);
         let base = set * self.ways;
         let slots = &mut self.store[base..base + self.ways];
-        if slots.iter().any(|w| w.valid && w.tag == line) {
+        if slots.iter().any(|w| w.valid() && w.tag == line) {
             return None;
         }
         self.stamp += 1;
-        let victim = slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .expect("ways > 0");
+        let mut victim = 0;
+        let mut best = slots[0].victim_key();
+        for (i, w) in slots.iter().enumerate().skip(1) {
+            let key = w.victim_key();
+            if key < best {
+                best = key;
+                victim = i;
+            }
+        }
         let old = slots[victim];
         // Prefetched lines install at LRU-but-valid priority: use current
         // stamp (simplification; thrash-resistance is second-order here).
         slots[victim] = Way {
             tag: line,
-            valid: true,
-            dirty: false,
-            lru: self.stamp,
+            meta: (self.stamp << LRU_SHIFT) | VALID,
         };
-        if old.valid && old.dirty {
+        if old.valid() && old.dirty() {
             self.evictions_dirty += 1;
             Some(old.tag)
         } else {
@@ -154,7 +180,7 @@ impl CacheBank {
         let base = set * self.ways;
         self.store[base..base + self.ways]
             .iter()
-            .any(|w| w.valid && w.tag == line)
+            .any(|w| w.valid() && w.tag == line)
     }
 
     /// Detects a sequential stride: true when `line` directly follows
@@ -170,7 +196,11 @@ impl CacheBank {
     /// Invalidates everything, returning the number of dirty lines that
     /// must be written back (the cost of a cache→SPM reconfiguration).
     pub fn flush(&mut self) -> usize {
-        let dirty = self.store.iter().filter(|w| w.valid && w.dirty).count();
+        let dirty = self
+            .store
+            .iter()
+            .filter(|w| w.meta & (VALID | DIRTY) == (VALID | DIRTY))
+            .count();
         self.store.fill(INVALID);
         self.stamp = 0;
         self.last_miss_line = u64::MAX;

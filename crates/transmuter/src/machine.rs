@@ -93,13 +93,37 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// One worker's op source.
+///
+/// Kernels that generate ops lazily use the boxed dynamic form; kernels
+/// that replay a pre-compiled op buffer use the slice form, which the
+/// event loop iterates without a virtual call per op (the dominant
+/// per-op cost for compiled streams).
+pub(crate) enum WorkerStream<'a> {
+    Boxed(Box<dyn OpStream + 'a>),
+    Slice(std::slice::Iter<'a, Op>),
+}
+
+impl Iterator for WorkerStream<'_> {
+    type Item = Op;
+
+    #[inline]
+    fn next(&mut self) -> Option<Op> {
+        match self {
+            WorkerStream::Boxed(b) => b.next(),
+            WorkerStream::Slice(it) => it.next().copied(),
+        }
+    }
+}
+
 /// Per-worker op streams for one kernel invocation.
 ///
 /// Workers without a stream stay idle. Streams may borrow the workload
-/// (`'a`) — kernels generate ops lazily from matrix storage.
+/// (`'a`) — kernels generate ops lazily from matrix storage, or replay
+/// pre-compiled `&[Op]` buffers via [`StreamSet::set_pe_ops`].
 pub struct StreamSet<'a> {
     geom: Geometry,
-    streams: Vec<Option<Box<dyn OpStream + 'a>>>,
+    streams: Vec<Option<WorkerStream<'a>>>,
 }
 
 impl fmt::Debug for StreamSet<'_> {
@@ -129,7 +153,21 @@ impl<'a> StreamSet<'a> {
     /// Panics if the indices are out of range.
     pub fn set_pe(&mut self, tile: usize, pe: usize, stream: impl OpStream + 'a) {
         let id = self.geom.pe_id(tile, pe);
-        self.streams[id] = Some(Box::new(stream));
+        self.streams[id] = Some(WorkerStream::Boxed(Box::new(stream)));
+    }
+
+    /// Assigns PE `(tile, pe)`'s stream from a pre-compiled op buffer.
+    ///
+    /// Replaying a buffer avoids both the per-op virtual dispatch of the
+    /// boxed form and regenerating the ops — the hot path for iterative
+    /// algorithms whose kernel streams are cached across invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set_pe_ops(&mut self, tile: usize, pe: usize, ops: &'a [Op]) {
+        let id = self.geom.pe_id(tile, pe);
+        self.streams[id] = Some(WorkerStream::Slice(ops.iter()));
     }
 
     /// Assigns tile `tile`'s LCP stream.
@@ -139,7 +177,17 @@ impl<'a> StreamSet<'a> {
     /// Panics if `tile` is out of range.
     pub fn set_lcp(&mut self, tile: usize, stream: impl OpStream + 'a) {
         let id = self.geom.lcp_id(tile);
-        self.streams[id] = Some(Box::new(stream));
+        self.streams[id] = Some(WorkerStream::Boxed(Box::new(stream)));
+    }
+
+    /// Assigns tile `tile`'s LCP stream from a pre-compiled op buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn set_lcp_ops(&mut self, tile: usize, ops: &'a [Op]) {
+        let id = self.geom.lcp_id(tile);
+        self.streams[id] = Some(WorkerStream::Slice(ops.iter()));
     }
 
     /// Number of workers with assigned streams.
@@ -159,10 +207,7 @@ impl<'a> StreamSet<'a> {
     /// # Panics
     ///
     /// Panics if `streams.len() != geom.total_workers()`.
-    pub(crate) fn from_streams(
-        geom: Geometry,
-        streams: Vec<Option<Box<dyn OpStream + 'a>>>,
-    ) -> Self {
+    pub(crate) fn from_streams(geom: Geometry, streams: Vec<Option<WorkerStream<'a>>>) -> Self {
         assert_eq!(
             streams.len(),
             geom.total_workers(),
@@ -172,7 +217,7 @@ impl<'a> StreamSet<'a> {
     }
 
     /// Consumes the set into its per-worker streams.
-    pub(crate) fn into_streams(self) -> Vec<Option<Box<dyn OpStream + 'a>>> {
+    pub(crate) fn into_streams(self) -> Vec<Option<WorkerStream<'a>>> {
         self.streams
     }
 }
@@ -181,6 +226,138 @@ impl<'a> StreamSet<'a> {
 struct BarrierState {
     expected: usize,
     waiting: Vec<(u32, u64)>, // (worker, arrival cycle)
+}
+
+/// Sentinel for "worker not scheduled" in the scan scheduler.
+const IDLE: u64 = u64::MAX;
+
+/// Bits reserved for the worker id inside a packed scan key.
+const KEY_W_BITS: u32 = 6;
+
+/// Pending-event scheduler. Pops the worker with the earliest next
+/// issue cycle, breaking ties toward the lowest worker id (the order a
+/// `BinaryHeap<Reverse<(u64, u32)>>` yields) — the tie order is
+/// load-bearing: same-cycle bank-conflict serialization depends on it.
+///
+/// Each worker has at most one scheduled event. For the small worker
+/// counts typical here, events live in a dense slot array of packed
+/// `cycle << 6 | worker` keys (idle slots hold `u64::MAX`), so "find
+/// next event" is a branch-free minimum over a few u64 lanes — far
+/// cheaper than heap sifting, and the packed key makes the min directly
+/// encode the heap's `(cycle, worker)` lexicographic order. Large
+/// geometries (or astronomically large cycle counts, which would
+/// overflow the packing) fall back to the heap.
+#[derive(Debug)]
+enum Sched {
+    /// Dense slot array plus a cached copy of its minimum key, so the
+    /// hot "current worker is still earliest" test is a single compare
+    /// instead of a scan. Invariant: `min` equals the smallest slot key
+    /// (`IDLE` when all slots are idle).
+    Scan {
+        next: Vec<u64>,
+        min: u64,
+    },
+    Heap(BinaryHeap<Reverse<(u64, u32)>>),
+}
+
+impl Sched {
+    fn new(workers: usize, start: u64) -> Self {
+        if workers <= 1 << KEY_W_BITS && start < IDLE >> (KEY_W_BITS + 1) {
+            Sched::Scan {
+                // Padded to a whole number of 8-lane chunks (pad slots
+                // stay IDLE forever) so `min_key` vectorizes.
+                next: vec![IDLE; workers.max(1).div_ceil(8) * 8],
+                min: IDLE,
+            }
+        } else {
+            Sched::Heap(BinaryHeap::with_capacity(workers))
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, cycle: u64, w: u32) {
+        match self {
+            Sched::Scan { next, min } => {
+                let key = (cycle << KEY_W_BITS) | w as u64;
+                next[w as usize] = key;
+                *min = (*min).min(key);
+            }
+            Sched::Heap(h) => h.push(Reverse((cycle, w))),
+        }
+    }
+
+    /// Smallest packed key, or `IDLE` when nothing is scheduled. The
+    /// slot array is padded to 8-lane chunks, so the lane-wise reduction
+    /// compiles to a few SIMD min ops instead of a serial compare chain
+    /// (this scan runs on nearly every context switch — it is the
+    /// scheduler's hottest instruction sequence).
+    #[inline]
+    fn min_key(next: &[u64]) -> u64 {
+        let mut lanes = [IDLE; 8];
+        for chunk in next.chunks_exact(8) {
+            for (lane, &k) in lanes.iter_mut().zip(chunk) {
+                *lane = (*lane).min(k);
+            }
+        }
+        let mut best = IDLE;
+        for &l in &lanes {
+            best = best.min(l);
+        }
+        best
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        match self {
+            Sched::Scan { next, min } => {
+                let key = *min;
+                if key == IDLE {
+                    return None;
+                }
+                let w = (key & ((1 << KEY_W_BITS) - 1)) as u32;
+                next[w as usize] = IDLE;
+                *min = Self::min_key(next);
+                Some((key >> KEY_W_BITS, w))
+            }
+            Sched::Heap(h) => h.pop().map(|Reverse(e)| e),
+        }
+    }
+
+    /// One combined step at the end of an op: worker `w` finished at
+    /// `done`. If `w` is still the earliest runnable event, returns
+    /// `None` (caller continues the same worker inline); otherwise
+    /// schedules `w`, pops the actual minimum and returns it. Exactly
+    /// equivalent to `push(done, w)` followed by `pop()`. The running
+    /// worker has no slot, so the continue-inline fast path leaves the
+    /// cached minimum untouched — no scan at all.
+    #[inline]
+    fn step(&mut self, done: u64, w: u32) -> Option<(u64, u32)> {
+        match self {
+            Sched::Scan { next, min } => {
+                let key = (done << KEY_W_BITS) | w as u64;
+                debug_assert!(key != IDLE, "cycle count overflows packed key");
+                let top = *min;
+                if top < key {
+                    next[w as usize] = key;
+                    let tw = (top & ((1 << KEY_W_BITS) - 1)) as u32;
+                    next[tw as usize] = IDLE;
+                    *min = Self::min_key(next);
+                    Some((top >> KEY_W_BITS, tw))
+                } else {
+                    None
+                }
+            }
+            Sched::Heap(h) => {
+                if let Some(&Reverse(top)) = h.peek() {
+                    if top < (done, w) {
+                        h.push(Reverse((done, w)));
+                        return h.pop().map(|Reverse(e)| e);
+                    }
+                }
+                None
+            }
+        }
+    }
 }
 
 /// The simulated Transmuter-like machine.
@@ -288,7 +465,7 @@ impl Machine {
 
         let start = self.carry_cycles;
         let mut streams = streams.streams;
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut sched = Sched::new(geom.total_workers(), start);
         let mut tile_barriers: Vec<BarrierState> = Vec::with_capacity(geom.tiles());
         let mut global_barrier = BarrierState::default();
         for tile in 0..geom.tiles() {
@@ -303,86 +480,97 @@ impl Machine {
         for (w, s) in streams.iter().enumerate() {
             if s.is_some() {
                 global_barrier.expected += 1;
-                heap.push(Reverse((start, w as u32)));
+                sched.push(start, w as u32);
             }
         }
 
+        let tracing = self.tracer.enabled();
         let mut last_done = start;
-        while let Some(Reverse((cycle, w))) = heap.pop() {
+        let mut cur = sched.pop();
+        'outer: while let Some((mut cycle, w)) = cur {
             let stream = streams[w as usize]
                 .as_mut()
                 .expect("scheduled worker has stream");
-            match stream.next() {
-                None => {
+            // Inner loop: keep issuing this worker's ops while it
+            // remains the earliest runnable event, avoiding a
+            // scheduler round trip and stream re-borrow per op.
+            loop {
+                let Some(op) = stream.next() else {
                     last_done = last_done.max(cycle);
-                }
-                Some(op) => {
-                    self.mem.stats.ops += 1;
-                    match op {
-                        Op::Compute(n) => {
-                            let n = n.max(1) as u64;
-                            self.mem.stats.compute_cycles += n;
-                            if self.tracer.enabled() {
-                                self.tracer.record(cycle, cycle + n, w, op);
-                            }
-                            heap.push(Reverse((cycle + n, w)));
-                        }
-                        Op::Load(addr) => {
-                            let done = self.mem.global_access(w as usize, addr, false, cycle);
-                            self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
-                            if self.tracer.enabled() {
-                                self.tracer.record(cycle, done, w, op);
-                            }
-                            heap.push(Reverse((done, w)));
-                        }
-                        Op::Store(addr) => {
-                            let done = self.mem.global_access(w as usize, addr, true, cycle);
-                            self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
-                            if self.tracer.enabled() {
-                                self.tracer.record(cycle, done, w, op);
-                            }
-                            heap.push(Reverse((done, w)));
-                        }
-                        Op::SpmLoad(off) | Op::SpmStore(off) => {
-                            if !self.mem.has_spm() {
-                                return Err(SimError::SpmUnavailable {
-                                    config: self.config(),
-                                    worker: w as usize,
-                                });
-                            }
-                            let is_store = matches!(op, Op::SpmStore(_));
-                            let done = self.mem.spm_access(w as usize, off, is_store, cycle);
-                            self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
-                            if self.tracer.enabled() {
-                                self.tracer.record(cycle, done, w, op);
-                            }
-                            heap.push(Reverse((done, w)));
-                        }
-                        Op::TileBarrier => {
-                            let (tile, pe) = geom.locate(w as usize);
-                            if pe.is_none() {
-                                return Err(SimError::LcpBarrier { tile });
-                            }
-                            if self.tracer.enabled() {
-                                self.tracer.record(cycle, cycle, w, op);
-                            }
-                            let b = &mut tile_barriers[tile];
-                            b.waiting.push((w, cycle));
-                            if b.waiting.len() == b.expected {
-                                release(b, cycle, &mut heap, &mut self.mem.stats);
-                            }
-                        }
-                        Op::GlobalBarrier => {
-                            if self.tracer.enabled() {
-                                self.tracer.record(cycle, cycle, w, op);
-                            }
-                            let b = &mut global_barrier;
-                            b.waiting.push((w, cycle));
-                            if b.waiting.len() == b.expected {
-                                release(b, cycle, &mut heap, &mut self.mem.stats);
-                            }
-                        }
+                    cur = sched.pop();
+                    continue 'outer;
+                };
+                self.mem.stats.ops += 1;
+                let done = match op {
+                    Op::Compute(n) => {
+                        let n = n.max(1) as u64;
+                        self.mem.stats.compute_cycles += n;
+                        cycle + n
                     }
+                    Op::Load(addr) => {
+                        let done = self.mem.global_access(w as usize, addr, false, cycle);
+                        self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
+                        done
+                    }
+                    Op::Store(addr) => {
+                        let done = self.mem.global_access(w as usize, addr, true, cycle);
+                        self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
+                        done
+                    }
+                    Op::SpmLoad(off) | Op::SpmStore(off) => {
+                        if !self.mem.has_spm() {
+                            return Err(SimError::SpmUnavailable {
+                                config: self.config(),
+                                worker: w as usize,
+                            });
+                        }
+                        let is_store = matches!(op, Op::SpmStore(_));
+                        let done = self.mem.spm_access(w as usize, off, is_store, cycle);
+                        self.mem.stats.mem_stall_cycles += (done - cycle).saturating_sub(1);
+                        done
+                    }
+                    Op::TileBarrier => {
+                        let (tile, pe) = geom.locate(w as usize);
+                        if pe.is_none() {
+                            return Err(SimError::LcpBarrier { tile });
+                        }
+                        if tracing {
+                            self.tracer.record(cycle, cycle, w, op);
+                        }
+                        let b = &mut tile_barriers[tile];
+                        b.waiting.push((w, cycle));
+                        if b.waiting.len() == b.expected {
+                            release(b, cycle, &mut sched, &mut self.mem.stats);
+                        }
+                        cur = sched.pop();
+                        continue 'outer;
+                    }
+                    Op::GlobalBarrier => {
+                        if tracing {
+                            self.tracer.record(cycle, cycle, w, op);
+                        }
+                        let b = &mut global_barrier;
+                        b.waiting.push((w, cycle));
+                        if b.waiting.len() == b.expected {
+                            release(b, cycle, &mut sched, &mut self.mem.stats);
+                        }
+                        cur = sched.pop();
+                        continue 'outer;
+                    }
+                };
+                if tracing {
+                    self.tracer.record(cycle, done, w, op);
+                }
+                // Continue inline only if this worker would be popped
+                // next anyway ((done, w) is the strict lexicographic
+                // minimum) — otherwise yield to the scheduler. This
+                // preserves the heap's exact issue order.
+                match sched.step(done, w) {
+                    Some(next) => {
+                        cur = Some(next);
+                        continue 'outer;
+                    }
+                    None => cycle = done,
                 }
             }
         }
@@ -397,6 +585,8 @@ impl Machine {
             return Err(SimError::BarrierDeadlock { blocked });
         }
 
+        // HBM channel counters are synced once per run, not per access.
+        self.mem.sync_hbm_stats();
         let stats = self.mem.stats.merge(&self.carry);
         self.carry = SimStats::default();
         self.carry_cycles = 0;
@@ -446,15 +636,10 @@ impl Machine {
     }
 }
 
-fn release(
-    b: &mut BarrierState,
-    cycle: u64,
-    heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
-    stats: &mut SimStats,
-) {
+fn release(b: &mut BarrierState, cycle: u64, sched: &mut Sched, stats: &mut SimStats) {
     for &(worker, arrived) in &b.waiting {
         stats.barrier_stall_cycles += cycle - arrived;
-        heap.push(Reverse((cycle + 1, worker)));
+        sched.push(cycle + 1, worker);
     }
     b.waiting.clear();
 }

@@ -15,14 +15,48 @@ use crate::config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
 use crate::hbm::Hbm;
 use crate::op::Addr;
 use crate::stats::SimStats;
-use std::collections::HashMap;
 
-/// Claim keys for same-cycle bank-conflict tracking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Port {
-    L1 { tile: u32, bank: u32 },
-    L2 { tile: u32, bank: u32 },
-    Spm { tile: u32, bank: u32 },
+/// Claim-port kinds for same-cycle bank-conflict tracking (flattened to
+/// an index together with the tile and bank, see
+/// [`MemorySystem::port_index`]).
+const PORT_L1: usize = 0;
+const PORT_L2: usize = 1;
+const PORT_SPM: usize = 2;
+const PORT_KINDS: usize = 3;
+
+/// Divide/modulo by a fixed divisor, reduced to shift/mask when the
+/// divisor is a power of two (line sizes and bank counts almost always
+/// are; the fallback keeps odd geometries correct).
+#[derive(Debug, Clone, Copy)]
+struct FastDiv {
+    n: u64,
+    shift: Option<u32>,
+}
+
+impl FastDiv {
+    fn new(n: u64) -> Self {
+        let n = n.max(1);
+        FastDiv {
+            n,
+            shift: n.is_power_of_two().then(|| n.trailing_zeros()),
+        }
+    }
+
+    #[inline]
+    fn div(self, x: u64) -> u64 {
+        match self.shift {
+            Some(s) => x >> s,
+            None => x / self.n,
+        }
+    }
+
+    #[inline]
+    fn rem(self, x: u64) -> u64 {
+        match self.shift {
+            Some(_) => x & (self.n - 1),
+            None => x % self.n,
+        }
+    }
 }
 
 /// The memory system: per-tile L1 banks, L2 banks, and the HBM stack.
@@ -31,13 +65,38 @@ pub struct MemorySystem {
     geom: Geometry,
     ua: MicroArch,
     hw: HwConfig,
-    /// Per tile: the L1 banks currently operating as caches.
-    l1: Vec<Vec<CacheBank>>,
-    /// Per tile: B L2 banks (always caches).
-    l2: Vec<Vec<CacheBank>>,
+    /// L1 cache banks, flattened `tile * l1_banks + bank` (one
+    /// indirection on the access fast path instead of two).
+    l1: Vec<CacheBank>,
+    /// L1 cache banks per tile in the current mode.
+    l1_banks: usize,
+    /// L2 banks, flattened `tile * l2_banks + bank` (always caches).
+    l2: Vec<CacheBank>,
+    /// L2 banks per tile (`pes_per_tile`).
+    l2_banks: usize,
     hbm: Hbm,
     cur_cycle: u64,
-    claims: HashMap<Port, u32>,
+    /// Epoch stamp bumped whenever `cur_cycle` changes; a claim slot is
+    /// live only when its epoch matches (cheap O(1) "clear all").
+    epoch: u64,
+    /// Per-port claim slots, packed `epoch << 16 | count` so the
+    /// conflict check is a single load/store.
+    claims: Vec<u64>,
+    /// Precomputed `worker → (tile, pe or -1)` map (avoids per-access
+    /// division in [`Geometry::locate`]).
+    locs: Vec<(u32, i32)>,
+    line_div: FastDiv,
+    /// Divisor for the current L1 cache-bank count (mode-dependent).
+    l1_div: FastDiv,
+    /// Divisor for the shared-L2 global bank count (`total_pes`).
+    l2_total_div: FastDiv,
+    /// Divisor for PEs per tile.
+    b_div: FastDiv,
+    /// Divisor for the SPM bank count in the current mode (1 when the
+    /// mode has no shared SPM).
+    spm_div: FastDiv,
+    /// Divisor for the word size (SPM offsets → word index).
+    word_div: FastDiv,
     /// Event counters for the current run.
     pub stats: SimStats,
 }
@@ -45,6 +104,13 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Creates the memory system in configuration `hw`.
     pub fn new(geom: Geometry, ua: MicroArch, hw: HwConfig) -> Self {
+        let locs = (0..geom.total_workers())
+            .map(|w| {
+                let (tile, pe) = geom.locate(w);
+                (tile as u32, pe.map_or(-1, |p| p as i32))
+            })
+            .collect();
+        let claim_slots = PORT_KINDS * geom.tiles() * geom.pes_per_tile();
         let mut sys = MemorySystem {
             geom,
             hbm: Hbm::new(
@@ -54,12 +120,22 @@ impl MemorySystem {
                 ua.hbm_latency_min,
                 ua.hbm_latency_max,
             ),
+            line_div: FastDiv::new(ua.line_bytes as u64),
+            l1_div: FastDiv::new(1),
+            l2_total_div: FastDiv::new(geom.total_pes() as u64),
+            b_div: FastDiv::new(geom.pes_per_tile() as u64),
+            spm_div: FastDiv::new(1),
+            word_div: FastDiv::new(ua.word_bytes as u64),
             ua,
             hw,
             l1: Vec::new(),
+            l1_banks: 0,
             l2: Vec::new(),
+            l2_banks: geom.pes_per_tile(),
             cur_cycle: 0,
-            claims: HashMap::new(),
+            epoch: 1,
+            claims: vec![0; claim_slots],
+            locs,
             stats: SimStats::default(),
         };
         sys.build_banks();
@@ -70,16 +146,21 @@ impl MemorySystem {
         let sets = self.ua.sets_per_bank();
         let b = self.geom.pes_per_tile();
         let l1_banks = self.ua.l1_cache_banks(b, self.hw.l1());
-        self.l1 = (0..self.geom.tiles())
-            .map(|_| {
-                (0..l1_banks)
-                    .map(|_| CacheBank::new(sets, self.ua.ways))
-                    .collect()
-            })
+        self.l1_div = FastDiv::new(l1_banks as u64);
+        self.spm_div = FastDiv::new((b - l1_banks) as u64);
+        self.l1_banks = l1_banks;
+        self.l1 = (0..self.geom.tiles() * l1_banks)
+            .map(|_| CacheBank::new(sets, self.ua.ways))
             .collect();
-        self.l2 = (0..self.geom.tiles())
-            .map(|_| (0..b).map(|_| CacheBank::new(sets, self.ua.ways)).collect())
+        self.l2_banks = b;
+        self.l2 = (0..self.geom.tiles() * b)
+            .map(|_| CacheBank::new(sets, self.ua.ways))
             .collect();
+    }
+
+    #[inline]
+    fn port_index(&self, kind: usize, tile: usize, bank: usize) -> usize {
+        (kind * self.geom.tiles() + tile) * self.geom.pes_per_tile() + bank
     }
 
     /// Current hardware configuration.
@@ -109,25 +190,38 @@ impl MemorySystem {
         self.stats = SimStats::default();
         self.hbm.reset();
         self.cur_cycle = 0;
-        self.claims.clear();
+        self.epoch += 1;
     }
 
-    fn sync_hbm_stats(&mut self) {
+    /// Copies the HBM channel counters into the run stats. Deferred to
+    /// the end of a run (the counters are absolute since [`Self::begin_run`],
+    /// so syncing once is equivalent to syncing after every access).
+    pub(crate) fn sync_hbm_stats(&mut self) {
         self.stats.hbm_line_reads = self.hbm.reads();
         self.stats.hbm_line_writes = self.hbm.writes();
         self.stats.hbm_queue_cycles = self.hbm.queue_cycles();
     }
 
-    fn claim(&mut self, cycle: u64, port: Port) -> u64 {
+    #[inline]
+    fn claim(&mut self, cycle: u64, kind: usize, tile: usize, bank: usize) -> u64 {
         if cycle != self.cur_cycle {
             self.cur_cycle = cycle;
-            self.claims.clear();
+            // Invalidate every outstanding claim in O(1): slots stamped
+            // with an older epoch read as zero.
+            self.epoch += 1;
         }
-        let n = self.claims.entry(port).or_insert(0);
-        let prior = *n;
-        *n += 1;
-        self.stats.conflict_cycles += prior as u64;
-        prior as u64
+        let idx = self.port_index(kind, tile, bank);
+        // Slot layout: `epoch << 16 | count`. Same-cycle same-port
+        // claims are bounded by the worker count, far below 2^16.
+        let slot = self.claims[idx];
+        let prior = if slot >> 16 == self.epoch {
+            slot & 0xffff
+        } else {
+            0
+        };
+        self.claims[idx] = (self.epoch << 16) | (prior + 1);
+        self.stats.conflict_cycles += prior;
+        prior
     }
 
     /// Resolves a global (cached address space) access.
@@ -142,8 +236,10 @@ impl MemorySystem {
         } else {
             self.stats.loads += 1;
         }
-        let line = addr / self.ua.line_bytes as u64;
-        let (tile, pe) = self.geom.locate(worker);
+        let line = self.line_div.div(addr);
+        let (tile32, pe32) = self.locs[worker];
+        let tile = tile32 as usize;
+        let pe = (pe32 >= 0).then_some(pe32 as usize);
         let completion = match (pe, self.hw.l1()) {
             // LCPs have no L1; they access the L2 level directly.
             (None, _) | (Some(_), L1Mode::PrivateSpm) => {
@@ -156,21 +252,17 @@ impl MemorySystem {
                 }
             }
             (Some(pe), l1mode) => {
-                let nbanks = self.ua.l1_cache_banks(self.geom.pes_per_tile(), l1mode) as u64;
+                // `l1_div` tracks the bank count for the *current* L1
+                // mode (rebuilt alongside the banks on reconfigure).
+                let nbanks = self.l1_div.n;
                 let (bank, local, base_lat) = match l1mode {
                     L1Mode::SharedCache | L1Mode::SharedCacheSpm => {
-                        let bank = (line % nbanks) as usize;
-                        let conflicts = self.claim(
-                            cycle,
-                            Port::L1 {
-                                tile: tile as u32,
-                                bank: bank as u32,
-                            },
-                        );
+                        let bank = self.l1_div.rem(line) as usize;
+                        let conflicts = self.claim(cycle, PORT_L1, tile, bank);
                         self.stats.xbar_traversals += 1;
                         (
                             bank,
-                            line / nbanks,
+                            self.l1_div.div(line),
                             self.ua.xbar_latency
                                 + self.ua.arbitration_latency
                                 + conflicts
@@ -180,14 +272,18 @@ impl MemorySystem {
                     L1Mode::PrivateCache => (pe, line, self.ua.l1_latency),
                     L1Mode::PrivateSpm => unreachable!("handled above"),
                 };
-                let probe = self.l1[tile][bank].access(local, is_store);
+                let bidx = tile * self.l1_banks + bank;
+                let prefetch = self.ua.prefetch;
+                let bank_ref = &mut self.l1[bidx];
+                let probe = bank_ref.access(local, is_store);
                 // Per-bank tagged stride prefetcher (Table II lists one on
                 // every RCache bank): any sequential access — hit or miss —
                 // pulls the bank's next line into L1. This is what makes
                 // COO/CSC streaming fast, and what pollutes the bank for
                 // resident structures (merge heaps, vector segments), the
                 // §III-C.3 effect.
-                let stride = self.ua.prefetch && self.l1[tile][bank].stride_detected(local);
+                let stride = prefetch && bank_ref.stride_detected(local);
+                let pf_wanted = stride && !bank_ref.contains(local + 1);
                 let completion = match probe {
                     ProbeResult::Hit => {
                         self.stats.l1_hits += 1;
@@ -211,28 +307,25 @@ impl MemorySystem {
                         }
                     }
                 };
-                if stride {
+                if pf_wanted {
                     let pf_local = local + 1;
-                    if !self.l1[tile][bank].contains(pf_local) {
-                        let pf_global = pf_local * nbanks + bank as u64;
-                        // Asynchronous: charge the L2-side traffic, don't
-                        // extend the demand access.
-                        let _ = self.l2_fill(tile, Some(pe), pf_global, false, cycle + base_lat);
-                        self.stats.prefetches += 1;
-                        if let Some(dirty_local) = self.l1[tile][bank].install(pf_local) {
-                            self.l2_writeback(
-                                tile,
-                                Some(pe),
-                                dirty_local * nbanks + bank as u64,
-                                cycle + base_lat,
-                            );
-                        }
+                    let pf_global = pf_local * nbanks + bank as u64;
+                    // Asynchronous: charge the L2-side traffic, don't
+                    // extend the demand access.
+                    let _ = self.l2_fill(tile, Some(pe), pf_global, false, cycle + base_lat);
+                    self.stats.prefetches += 1;
+                    if let Some(dirty_local) = self.l1[bidx].install(pf_local) {
+                        self.l2_writeback(
+                            tile,
+                            Some(pe),
+                            dirty_local * nbanks + bank as u64,
+                            cycle + base_lat,
+                        );
                     }
                 }
                 completion
             }
         };
-        self.sync_hbm_stats();
         completion.max(cycle + 1)
     }
 
@@ -244,16 +337,14 @@ impl MemorySystem {
         pe: Option<usize>,
         line: u64,
     ) -> (usize, usize, u64, u64, bool) {
-        let b = self.geom.pes_per_tile() as u64;
         match self.hw.l2() {
             L2Mode::SharedCache => {
-                let total = self.geom.total_pes() as u64;
-                let g = line % total;
+                let g = self.l2_total_div.rem(line);
                 (
-                    (g / b) as usize,
-                    (g % b) as usize,
-                    line / total,
-                    total,
+                    self.b_div.div(g) as usize,
+                    self.b_div.rem(g) as usize,
+                    self.l2_total_div.div(line),
+                    self.l2_total_div.n,
                     true,
                 )
             }
@@ -264,7 +355,13 @@ impl MemorySystem {
                 // The LCP round-robins over its tile's banks; contention
                 // with the owning PE is second-order (LCP traffic is
                 // small) and ignored.
-                None => (tile, (line % b) as usize, line / b, b, false),
+                None => (
+                    tile,
+                    self.b_div.rem(line) as usize,
+                    self.b_div.div(line),
+                    self.b_div.n,
+                    false,
+                ),
             },
         }
     }
@@ -282,21 +379,19 @@ impl MemorySystem {
         let (t2, bank, local, nbanks, shared) = self.l2_route(tile, pe, line);
         let mut lat = self.ua.xbar_latency + self.ua.l2_latency;
         if shared {
-            let conflicts = self.claim(
-                at,
-                Port::L2 {
-                    tile: t2 as u32,
-                    bank: bank as u32,
-                },
-            );
+            let conflicts = self.claim(at, PORT_L2, t2, bank);
             self.stats.xbar_traversals += 1;
             lat += self.ua.arbitration_latency + conflicts;
         }
-        let probe = self.l2[t2][bank].access(local, is_store);
+        let bidx = t2 * self.l2_banks + bank;
+        let prefetch = self.ua.prefetch;
+        let bank_ref = &mut self.l2[bidx];
+        let probe = bank_ref.access(local, is_store);
         // Tagged stride prefetcher on the L2 banks as well: sequential
         // access streams (hit or miss) keep pulling the next line from
         // main memory.
-        let stride = self.ua.prefetch && self.l2[t2][bank].stride_detected(local);
+        let stride = prefetch && bank_ref.stride_detected(local);
+        let pf_wanted = stride && !bank_ref.contains(local + 1);
         let completion = match probe {
             ProbeResult::Hit => {
                 self.stats.l2_hits += 1;
@@ -317,16 +412,14 @@ impl MemorySystem {
                 done + self.ua.xbar_latency
             }
         };
-        if stride {
+        if pf_wanted {
             let pf_local = local + 1;
-            if !self.l2[t2][bank].contains(pf_local) {
-                let pf_global = pf_local * nbanks + (line % nbanks);
-                self.hbm.prefetch(pf_global, at + lat);
-                self.stats.prefetches += 1;
-                if let Some(dirty_local) = self.l2[t2][bank].install(pf_local) {
-                    self.hbm
-                        .write(dirty_local * nbanks + (line % nbanks), at + lat);
-                }
+            let pf_global = pf_local * nbanks + (line % nbanks);
+            self.hbm.prefetch(pf_global, at + lat);
+            self.stats.prefetches += 1;
+            if let Some(dirty_local) = self.l2[bidx].install(pf_local) {
+                self.hbm
+                    .write(dirty_local * nbanks + (line % nbanks), at + lat);
             }
         }
         completion
@@ -340,13 +433,14 @@ impl MemorySystem {
             self.stats.xbar_traversals += 1;
         }
         self.stats.l2_writeback_installs += 1;
+        let bidx = t2 * self.l2_banks + bank;
         // A full-line writeback needs no fetch: install directly, dirty.
-        if let Some(dirty_local) = self.l2[t2][bank].install(local) {
+        if let Some(dirty_local) = self.l2[bidx].install(local) {
             self.hbm.write(dirty_local * nbanks + (line % nbanks), at);
         }
         // Mark dirty via a store probe (guaranteed hit after install;
         // only bank-internal counters are touched, not run stats).
-        let _ = self.l2[t2][bank].access(local, true);
+        let _ = self.l2[bidx].access(local, true);
     }
 
     /// Resolves a scratchpad access.
@@ -358,21 +452,15 @@ impl MemorySystem {
     /// [`Self::has_spm`]) or if an LCP issues an SPM op.
     pub fn spm_access(&mut self, worker: usize, offset: u32, _is_store: bool, cycle: u64) -> u64 {
         self.stats.spm_accesses += 1;
-        let (tile, pe) = self.geom.locate(worker);
-        let pe = pe.expect("LCPs have no scratchpad");
+        let (tile32, pe32) = self.locs[worker];
+        let tile = tile32 as usize;
+        assert!(pe32 >= 0, "LCPs have no scratchpad");
+        let pe = pe32 as usize;
         match self.hw.l1() {
             L1Mode::SharedCacheSpm => {
-                let b = self.geom.pes_per_tile();
-                let spm_banks = (b - self.ua.l1_cache_banks(b, L1Mode::SharedCacheSpm)) as u64;
-                let word = offset as u64 / self.ua.word_bytes as u64;
-                let bank = (word % spm_banks) as u32;
-                let conflicts = self.claim(
-                    cycle,
-                    Port::Spm {
-                        tile: tile as u32,
-                        bank,
-                    },
-                );
+                let word = self.word_div.div(offset as u64);
+                let bank = self.spm_div.rem(word) as usize;
+                let conflicts = self.claim(cycle, PORT_SPM, tile, bank);
                 self.stats.xbar_traversals += 1;
                 cycle
                     + self.ua.xbar_latency
@@ -400,10 +488,8 @@ impl MemorySystem {
             return 0;
         }
         let mut dirty = 0usize;
-        for tile in self.l1.iter_mut().chain(self.l2.iter_mut()) {
-            for bank in tile.iter_mut() {
-                dirty += bank.flush();
-            }
+        for bank in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            dirty += bank.flush();
         }
         // Drain writebacks at full HBM bandwidth across all channels.
         let line_cycles = (self.ua.line_bytes as u64).div_ceil(self.ua.hbm_bytes_per_cycle);
@@ -612,10 +698,12 @@ mod tests {
         for i in 0..lines {
             t = m.global_access(0, i * 64, false, t + 1);
         }
+        m.sync_hbm_stats();
         let reads_first = m.stats.hbm_line_reads;
         for i in 0..lines {
             t = m.global_access(0, i * 64, false, t + 1);
         }
+        m.sync_hbm_stats();
         let reads_second = m.stats.hbm_line_reads - reads_first;
         assert!(
             reads_second as f64 > 0.8 * lines as f64,

@@ -24,7 +24,7 @@
 //! must additionally produce a race-free trace.
 
 use crate::config::{Geometry, HwConfig, L1Mode, MicroArch};
-use crate::machine::StreamSet;
+use crate::machine::{StreamSet, WorkerStream};
 use crate::op::{Addr, Op, OpStream};
 use crate::trace::TraceEvent;
 use std::collections::HashMap;
@@ -298,16 +298,14 @@ impl ProgramSet {
     }
 
     /// Borrows the buffers as a runnable [`StreamSet`] (the set can be
-    /// re-run any number of times).
+    /// re-run any number of times). The streams replay the buffers as
+    /// slices, so re-running verified programs costs no per-op dispatch.
     pub fn stream_set(&self) -> StreamSet<'_> {
         let geom = self.geometry();
         let streams = self
             .programs
             .iter()
-            .map(|p| {
-                p.as_ref()
-                    .map(|ops| Box::new(ops.iter().copied()) as Box<dyn OpStream + '_>)
-            })
+            .map(|p| p.as_ref().map(|ops| WorkerStream::Slice(ops.iter())))
             .collect();
         StreamSet::from_streams(geom, streams)
     }
@@ -318,7 +316,9 @@ impl ProgramSet {
         let streams = self
             .programs
             .into_iter()
-            .map(|p| p.map(|ops| Box::new(ops.into_iter()) as Box<dyn OpStream + 'static>))
+            .map(|p| {
+                p.map(|ops| WorkerStream::Boxed(Box::new(ops.into_iter()) as Box<dyn OpStream>))
+            })
             .collect();
         StreamSet::from_streams(geom, streams)
     }
