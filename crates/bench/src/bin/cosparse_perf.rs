@@ -15,11 +15,15 @@
 //! build measure the same work.
 //!
 //! Usage:
-//!   cosparse-perf [--smoke] [--out PATH] [--baseline PATH]
+//!   cosparse-perf [--smoke] [--out PATH] [--baseline PATH] [--check PATH]
 //!
-//! `--smoke` shrinks repeats for CI; `--baseline` embeds a previous
-//! report's `workloads` as `"baseline"` in the output (used to commit
-//! before/after numbers in the same file).
+//! `--smoke` shrinks repeats for CI artifacts; `--baseline` embeds a
+//! previous report's `workloads` as `"baseline"` in the output (used to
+//! commit before/after numbers in the same file); `--check` compares
+//! each workload's median against a committed report and exits non-zero
+//! when any regresses by more than 20% — the CI perf gate. `--check`
+//! requires full mode: smoke passes run too few calls to reach the
+//! plan-cache/memo steady state the committed medians measure.
 
 use cosparse::{CoSparse, Frontier, Policy, SwConfig};
 use graph::{pagerank::PageRank, sssp::Sssp, Engine};
@@ -233,6 +237,57 @@ fn extract_workloads(report: &str) -> Option<String> {
     None
 }
 
+/// Parses `(name, median_per_sec)` pairs out of a report's top-level
+/// workloads array (the embedded `"baseline"` section, if any, is
+/// deliberately not scanned).
+fn parse_medians(report: &str) -> Vec<(String, f64)> {
+    let Some(arr) = extract_workloads(report) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for obj in arr.split('{').skip(1) {
+        let name = obj
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next());
+        let median = obj
+            .split("\"median_per_sec\": ")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse::<f64>().ok());
+        if let (Some(n), Some(m)) = (name, median) {
+            out.push((n.to_string(), m));
+        }
+    }
+    out
+}
+
+/// Compares measured medians against a committed report; returns false
+/// when any shared workload regressed by more than 20%.
+fn check_against(workloads: &[Workload], path: &str) -> bool {
+    let base = std::fs::read_to_string(path).expect("read check baseline");
+    let medians = parse_medians(&base);
+    assert!(!medians.is_empty(), "no workloads found in {path}");
+    println!("\nchecking against {path} (fail below 0.8x baseline median):");
+    let mut ok = true;
+    for w in workloads {
+        match medians.iter().find(|(n, _)| n == w.name) {
+            Some((_, base_median)) if *base_median > 0.0 => {
+                let ratio = w.median / base_median;
+                let pass = ratio >= 0.8;
+                println!(
+                    "  {:<28} {ratio:>7.3}x baseline  {}",
+                    w.name,
+                    if pass { "ok" } else { "REGRESSION" }
+                );
+                ok &= pass;
+            }
+            _ => println!("  {:<28} (no baseline entry, skipped)", w.name),
+        }
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -271,4 +326,18 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write report");
     println!("\nwrote {out_path}");
+
+    if let Some(path) = arg_value("--check") {
+        if smoke {
+            eprintln!(
+                "--check needs full mode: smoke passes too few calls to reach the \
+                 steady state the committed full-mode baseline measures"
+            );
+            std::process::exit(2);
+        }
+        if !check_against(&workloads, &path) {
+            eprintln!("perf check failed: median regression >20% against {path}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -47,6 +47,25 @@ pub struct IpParams<'a> {
 ///
 /// Panics if `partition.len() != geometry.total_pes()`.
 pub fn compile(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>) -> Vec<Vec<Op>> {
+    let mut compiled = Vec::new();
+    compile_into(coo_t, geometry, params, &mut compiled);
+    compiled
+}
+
+/// [`compile`] into reusable per-PE buffers (indexed by global PE id),
+/// the allocation-free steady-state path for frontier-dependent
+/// (masked) invocations. Buffers beyond `geometry.total_pes()` are left
+/// untouched.
+///
+/// # Panics
+///
+/// Panics if `partition.len() != geometry.total_pes()`.
+pub fn compile_into(
+    coo_t: &CooMatrix,
+    geometry: Geometry,
+    params: IpParams<'_>,
+    out: &mut Vec<Vec<Op>>,
+) {
     assert_eq!(
         params.partition.len(),
         geometry.total_pes(),
@@ -55,7 +74,9 @@ pub fn compile(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>) -> V
     let vw = params.profile.value_words;
     let mac_cost = 2 + params.profile.extra_compute_per_edge;
     let b = geometry.pes_per_tile();
-    let mut compiled = Vec::with_capacity(geometry.total_pes());
+    if out.len() < geometry.total_pes() {
+        out.resize_with(geometry.total_pes(), Vec::new);
+    }
 
     for tile in 0..geometry.tiles() {
         for pe in 0..b {
@@ -69,7 +90,9 @@ pub fn compile(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>) -> V
             // is one "block". This is the common steady-state shape
             // (VBlocks::whole), so skipping the sort matters.
             if params.vblocks.len() <= 1 && !params.use_spm {
-                let mut ops: Vec<Op> = Vec::with_capacity(entries.len() * (3 + vw) + vw);
+                let ops = &mut out[part];
+                ops.clear();
+                ops.reserve(entries.len() * (3 + vw) + vw);
                 let mut prev_row: Option<u32> = None;
                 for (seq, t) in entries.iter().enumerate() {
                     let (row, col) = (t.row, t.col);
@@ -97,7 +120,6 @@ pub fn compile(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>) -> V
                         ops.push(Op::Store(params.layout.y_elem(p as usize, w)));
                     }
                 }
-                compiled.push(ops);
                 continue;
             }
 
@@ -110,7 +132,9 @@ pub fn compile(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>) -> V
                 .collect();
             bucketed.sort_by_key(|&(vb, _, _)| vb);
 
-            let mut ops: Vec<Op> = Vec::with_capacity(bucketed.len() * 5 + 16);
+            let ops = &mut out[part];
+            ops.clear();
+            ops.reserve(bucketed.len() * 5 + 16);
             let mut cursor = 0usize; // index into bucketed
             let mut seq = 0usize; // storage order within the partition
             for vb in 0..params.vblocks.len() {
@@ -172,10 +196,8 @@ pub fn compile(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>) -> V
                     ops.push(Op::TileBarrier);
                 }
             }
-            compiled.push(ops);
         }
     }
-    compiled
 }
 
 /// Wraps [`compile`]d per-PE buffers as a runnable [`StreamSet`].

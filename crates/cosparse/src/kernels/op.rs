@@ -38,17 +38,49 @@ pub struct OpParams<'a> {
     pub profile: OpProfile,
 }
 
-/// Compiles the OP kernel into per-PE and per-LCP op streams.
+/// Precomputes the matrix-invariant column sub-run bounds: entry
+/// `tile * cols + c` holds the global CSC entry range of column `c`
+/// restricted to `tile`'s row partition.
+///
+/// The bounds depend only on the matrix and the tile partition — never
+/// on the frontier — so the runtime caches them in its plan and every
+/// subsequent OP compilation skips the per-column binary searches.
+pub fn subruns(csc_t: &CscMatrix, tile_parts: &RowPartition) -> Vec<(u32, u32)> {
+    let cols = csc_t.cols();
+    let mut out = Vec::with_capacity(tile_parts.len() * cols);
+    for tile in 0..tile_parts.len() {
+        let rows = tile_parts.range(tile);
+        for c in 0..cols {
+            let (col_rows, _) = csc_t.col(c);
+            let col_lo = csc_t.col_ptr()[c];
+            let lo = col_lo + col_rows.partition_point(|&r| (r as usize) < rows.start);
+            let hi = col_lo + col_rows.partition_point(|&r| (r as usize) < rows.end);
+            out.push((lo as u32, hi as u32));
+        }
+    }
+    out
+}
+
+/// Compiles the OP kernel into per-worker op buffers, indexed by global
+/// worker id (PE ids first, then one LCP id per tile), reusing `out`'s
+/// allocations across invocations.
 ///
 /// The generator replays the actual merge on row indices so the op
 /// streams carry the exact column/heap/output access sequence the
-/// hardware would perform.
+/// hardware would perform. `sub` must come from [`subruns`] for the
+/// same matrix and tile partition.
 ///
 /// # Panics
 ///
 /// Panics if `tile_parts.len() != geometry.tiles()` or the frontier is
 /// not strictly increasing.
-pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> StreamSet<'static> {
+pub fn compile_into(
+    csc_t: &CscMatrix,
+    geometry: Geometry,
+    params: OpParams<'_>,
+    sub: &[(u32, u32)],
+    out: &mut Vec<Vec<Op>>,
+) {
     assert_eq!(
         params.tile_parts.len(),
         geometry.tiles(),
@@ -59,19 +91,22 @@ pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> S
         "frontier must be sorted"
     );
     let b = geometry.pes_per_tile();
+    let cols = csc_t.cols();
     let vw = params.profile.value_words;
     let merge_cost = 1 + params.profile.extra_compute_per_edge;
-    let mut set = StreamSet::new(geometry);
+    if out.len() < geometry.total_workers() {
+        out.resize_with(geometry.total_workers(), Vec::new);
+    }
 
     for tile in 0..geometry.tiles() {
-        let rows = params.tile_parts.range(tile);
         let chunks = distribute_frontier(params.frontier.len(), b);
         let mut tile_outputs: Vec<u32> = Vec::new();
         let mut lcp_elements = 0usize;
 
         for (pe, chunk) in chunks.into_iter().enumerate() {
             let worker = geometry.pe_id(tile, pe);
-            let mut ops: Vec<Op> = Vec::new();
+            let ops = &mut out[worker];
+            ops.clear();
             let heap_node = |node: usize, ops: &mut Vec<Op>, store: bool| {
                 if params.heap_in_spm && node < params.spm_node_cap {
                     let off = (node * 8) as u32;
@@ -101,18 +136,17 @@ pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> S
                 // Column bounds from the column-pointer array.
                 ops.push(Op::Load(params.layout.csc_ptr(src)));
                 ops.push(Op::Compute(1));
-                let (col_rows, _) = csc_t.col(src);
-                let col_lo = csc_t.col_ptr()[src];
-                // Sub-run of the column inside this tile's row partition.
-                let lo = col_lo + col_rows.partition_point(|&r| (r as usize) < rows.start);
-                let hi = col_lo + col_rows.partition_point(|&r| (r as usize) < rows.end);
+                // Cached sub-run of the column inside this tile's row
+                // partition (see [`subruns`]).
+                let (lo, hi) = sub[tile * cols + src];
+                let (lo, hi) = (lo as usize, hi as usize);
                 if lo < hi {
                     // Load the head element and insert it: sift up.
                     ops.push(Op::Load(params.layout.csc_entry(lo)));
                     ops.push(Op::Compute(1));
                     let head_row = csc_t.row_idx()[lo];
                     heap.push(Reverse((head_row, lo, hi)));
-                    heap_sift_ops(heap.len(), &mut ops, |n, o| {
+                    heap_sift_ops(heap.len(), ops, |n, o| {
                         heap_node(n, o, false);
                         heap_node(n, o, true);
                     });
@@ -124,7 +158,7 @@ pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> S
             let mut prev_row: Option<u32> = None;
             while let Some(Reverse((row, cursor, end))) = heap.pop() {
                 // Pop-and-replace root, sift down.
-                heap_sift_ops(heap.len() + 1, &mut ops, |n, o| {
+                heap_sift_ops(heap.len() + 1, ops, |n, o| {
                     heap_node(n, o, false);
                     heap_node(n, o, true);
                 });
@@ -159,14 +193,15 @@ pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> S
                 out_k += 1;
             }
             lcp_elements += out_k;
-            set.set_pe(tile, pe, ops.into_iter());
         }
 
         // LCP: B-way merge of the per-PE output streams, final write-back.
         tile_outputs.sort_unstable();
         tile_outputs.dedup();
         let distinct = tile_outputs.len();
-        let mut lcp_ops: Vec<Op> = Vec::with_capacity(lcp_elements * 2 + distinct * (1 + vw));
+        let lcp_ops = &mut out[geometry.lcp_id(tile)];
+        lcp_ops.clear();
+        lcp_ops.reserve(lcp_elements * 2 + distinct * (1 + vw));
         let way_cost = usize::BITS - b.leading_zeros(); // log2(B) compare steps
         let mut element = 0usize;
         let mut written = 0usize;
@@ -192,7 +227,32 @@ pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> S
             }
             written += 1;
         }
-        set.set_lcp(tile, lcp_ops.into_iter());
+    }
+}
+
+/// Compiles the OP kernel into per-PE and per-LCP op streams (one-shot
+/// form; see [`subruns`]/[`compile_into`] for the plan-cached path the
+/// runtime takes).
+///
+/// # Panics
+///
+/// Panics if `tile_parts.len() != geometry.tiles()` or the frontier is
+/// not strictly increasing.
+pub fn streams(csc_t: &CscMatrix, geometry: Geometry, params: OpParams<'_>) -> StreamSet<'static> {
+    let sub = subruns(csc_t, params.tile_parts);
+    let mut bufs: Vec<Vec<Op>> = Vec::new();
+    compile_into(csc_t, geometry, params, &sub, &mut bufs);
+    let mut set = StreamSet::new(geometry);
+    let mut it = bufs.into_iter();
+    for tile in 0..geometry.tiles() {
+        for pe in 0..geometry.pes_per_tile() {
+            let ops = it.next().expect("compile_into fills one buffer per PE");
+            set.set_pe(tile, pe, ops.into_iter());
+        }
+    }
+    for tile in 0..geometry.tiles() {
+        let ops = it.next().expect("compile_into fills one buffer per LCP");
+        set.set_lcp(tile, ops.into_iter());
     }
     set
 }

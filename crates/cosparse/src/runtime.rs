@@ -13,7 +13,7 @@ use crate::verify::{run_checked, VerifyReport};
 use sparse::partition::{RowPartition, VBlocks};
 use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
 use transmuter::verify::RegionMap;
-use transmuter::{HwConfig, Machine, Op, SimError, SimReport};
+use transmuter::{Geometry, HwConfig, Machine, MicroArch, Op, Program, SimError, SimReport};
 
 /// A frontier (input vector) in one of the two representations the
 /// runtime converts between.
@@ -131,8 +131,9 @@ pub struct StepOutcome<V> {
 /// Memoized per-invocation tuning state (an OSKI-style "plan"): the
 /// address-space layout, its region map, the workload-balanced
 /// partitions for both dataflows, the vblock tilings — and, for the
-/// fully dense IP case, the compiled per-PE op buffers themselves,
-/// replayed on every subsequent iteration.
+/// fully dense IP case, the compiled per-PE op buffers and the
+/// [`Program`]s lowered from them, re-run on every subsequent
+/// iteration.
 ///
 /// The matrix and geometry are fixed for a runtime's lifetime, so the
 /// plan stays valid until the op profile or the balancing scheme
@@ -148,9 +149,73 @@ struct Plan {
     vblocks_sc: VBlocks,
     vblocks_scs: VBlocks,
     /// Compiled dense (unmasked) IP kernels per hardware flavour, built
-    /// on first use.
+    /// on first use. Kept as raw op buffers (not just programs) because
+    /// the verification path lints/traces the op-level streams.
     ip_dense_sc: Option<Vec<Vec<Op>>>,
     ip_dense_scs: Option<Vec<Vec<Op>>>,
+    /// Dense-IP [`Program`]s, one slot per hardware configuration
+    /// ([`Policy::Fixed`] can pin IP to any of the four), lowered from
+    /// the op buffers above on first use.
+    ip_programs: [Option<Program>; 4],
+    /// Matrix-invariant OP column sub-run bounds (see
+    /// [`op::subruns`]), computed on the first OP invocation.
+    op_subruns: Option<Vec<(u32, u32)>>,
+    /// Reusable per-worker op buffers for frontier-dependent kernels
+    /// (masked IP, OP), cleared and refilled each invocation.
+    scratch_ops: Vec<Vec<Op>>,
+    /// Reusable compiled-program scratch the frontier-dependent kernels
+    /// re-lower into ([`Program::recompile`]).
+    scratch_prog: Option<Program>,
+    /// What `scratch_prog` currently holds: `(software, hardware)` slot
+    /// indices plus the exact frontier it was lowered for. An
+    /// invocation matching all three skips op generation and
+    /// re-lowering entirely and re-runs the program as-is — the steady
+    /// state of fixed-frontier callers and converged iterative
+    /// algorithms. (Everything else the lowering reads — matrix,
+    /// layout, partitions, profile — is fixed per [`Plan`].)
+    scratch_key: Option<(usize, usize)>,
+    scratch_frontier: Vec<Idx>,
+    /// Verify-verdict memo, indexed `[software][hardware]`: true once
+    /// the pairing was linted and race-checked on this plan. Later
+    /// invocations of a verified pairing take the fast compiled path.
+    verified: [[bool; 4]; 2],
+}
+
+/// Dense slot index of a hardware configuration in per-config tables.
+fn hw_index(hw: HwConfig) -> usize {
+    match hw {
+        HwConfig::Sc => 0,
+        HwConfig::Scs => 1,
+        HwConfig::Pc => 2,
+        HwConfig::Ps => 3,
+    }
+}
+
+/// Dense slot index of a dataflow in per-config tables.
+fn sw_index(sw: SwConfig) -> usize {
+    match sw {
+        SwConfig::InnerProduct => 0,
+        SwConfig::OuterProduct => 1,
+    }
+}
+
+/// Re-lowers `streams` into the scratch program slot (compiling it on
+/// first use) and returns it ready for [`Machine::run_program`].
+fn recompile_scratch<'a, 's, I>(
+    slot: &'s mut Option<Program>,
+    geometry: Geometry,
+    hw: HwConfig,
+    ua: &MicroArch,
+    streams: I,
+) -> &'s Program
+where
+    I: IntoIterator<Item = (usize, &'a [Op])>,
+{
+    match slot {
+        Some(p) => p.recompile(geometry, hw, ua, streams),
+        None => *slot = Some(Program::compile(geometry, hw, ua, streams)),
+    }
+    slot.as_ref().expect("just compiled")
 }
 
 /// The CoSPARSE runtime for one operand matrix.
@@ -219,9 +284,19 @@ impl CoSparse {
     /// and its trace is checked for data races, accumulated in
     /// [`CoSparse::verification`]. Off by default — verification
     /// materializes streams and records full traces.
+    ///
+    /// The verdict is memoized per `(dataflow, hardware)` pairing on the
+    /// current plan: the first invocation of a pairing pays the full
+    /// lint + trace + race check, later ones re-run the compiled program
+    /// directly (still counted in [`VerifyReport::runs`]). Toggling
+    /// verification — or anything that rebuilds the plan — clears the
+    /// memo.
     pub fn set_verify(&mut self, on: bool) {
         self.verify = on;
         self.verify_report = VerifyReport::default();
+        if let Some(plan) = self.plan.as_mut() {
+            plan.verified = [[false; 4]; 2];
+        }
     }
 
     /// Findings accumulated since verification was enabled.
@@ -383,6 +458,13 @@ impl CoSparse {
             vblocks_scs,
             ip_dense_sc: None,
             ip_dense_scs: None,
+            ip_programs: [None, None, None, None],
+            op_subruns: None,
+            scratch_ops: Vec::new(),
+            scratch_prog: None,
+            scratch_key: None,
+            scratch_frontier: Vec::new(),
+            verified: [[false; 4]; 2],
         });
     }
 
@@ -469,13 +551,16 @@ impl CoSparse {
             });
         }
 
+        let sw_idx = sw_index(decision.software);
+        let hw_idx = hw_index(decision.hardware);
         let mut report = match decision.software {
             SwConfig::InnerProduct => {
                 let use_spm = decision.hardware == HwConfig::Scs;
                 if active.len() >= self.coo.cols() {
-                    // Fully dense frontier: replay the compiled kernel,
+                    // Fully dense frontier: run the compiled program,
                     // building it on first use. This is the steady state
-                    // of PR/CF — no op regeneration per iteration.
+                    // of PR/CF — no op regeneration or re-lowering per
+                    // iteration.
                     let plan = self.plan.as_mut().expect("plan ensured above");
                     let params = ip::IpParams {
                         layout: &plan.layout,
@@ -497,16 +582,35 @@ impl CoSparse {
                     if slot.is_none() {
                         *slot = Some(ip::compile(&self.coo, geometry, params));
                     }
-                    let streams = ip::replay(slot.as_ref().expect("just compiled"), geometry);
-                    if self.verify {
-                        run_checked(
+                    let bufs = slot.as_ref().expect("just compiled");
+                    if self.verify && !plan.verified[sw_idx][hw_idx] {
+                        let streams = ip::replay(bufs, geometry);
+                        let run = run_checked(
                             &mut self.machine,
                             streams,
                             &plan.regions,
                             &mut self.verify_report,
-                        )?
+                        )?;
+                        plan.verified[sw_idx][hw_idx] = true;
+                        run
                     } else {
-                        self.machine.run(streams)?
+                        let prog = match &mut plan.ip_programs[hw_idx] {
+                            Some(p) => &*p,
+                            empty => {
+                                *empty = Some(Program::compile(
+                                    geometry,
+                                    decision.hardware,
+                                    self.machine.uarch(),
+                                    bufs.iter().enumerate().map(|(w, ops)| (w, ops.as_slice())),
+                                ));
+                                empty.as_ref().expect("just compiled")
+                            }
+                        };
+                        let run = self.machine.run_program(prog)?;
+                        if self.verify {
+                            self.verify_report.runs += 1;
+                        }
+                        run
                     }
                 } else {
                     // §IV-C.1: IP inspects every vector element but
@@ -515,7 +619,7 @@ impl CoSparse {
                     for &i in active {
                         self.mask_buf[i as usize] = true;
                     }
-                    let plan = self.plan.as_ref().expect("plan ensured above");
+                    let plan = self.plan.as_mut().expect("plan ensured above");
                     let params = ip::IpParams {
                         layout: &plan.layout,
                         partition: &plan.ip_partition,
@@ -528,17 +632,50 @@ impl CoSparse {
                         active: Some(&self.mask_buf),
                         profile: *profile,
                     };
-                    let compiled = ip::compile(&self.coo, geometry, params);
-                    let streams = ip::replay(&compiled, geometry);
-                    let result = if self.verify {
-                        run_checked(
+                    let result = if self.verify && !plan.verified[sw_idx][hw_idx] {
+                        let compiled = ip::compile(&self.coo, geometry, params);
+                        let streams = ip::replay(&compiled, geometry);
+                        let run = run_checked(
                             &mut self.machine,
                             streams,
                             &plan.regions,
                             &mut self.verify_report,
-                        )
+                        );
+                        if run.is_ok() {
+                            plan.verified[sw_idx][hw_idx] = true;
+                        }
+                        run
                     } else {
-                        self.machine.run(streams)
+                        // Frontier-dependent ops: regenerate into the
+                        // plan's scratch buffers and re-lower into the
+                        // scratch program — no steady-state allocation,
+                        // and no work at all when the scratch already
+                        // holds this exact (config, frontier).
+                        if plan.scratch_key != Some((sw_idx, hw_idx))
+                            || plan.scratch_frontier != *active
+                        {
+                            ip::compile_into(&self.coo, geometry, params, &mut plan.scratch_ops);
+                            let pes = geometry.total_pes();
+                            recompile_scratch(
+                                &mut plan.scratch_prog,
+                                geometry,
+                                decision.hardware,
+                                self.machine.uarch(),
+                                plan.scratch_ops[..pes]
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(w, ops)| (w, ops.as_slice())),
+                            );
+                            plan.scratch_key = Some((sw_idx, hw_idx));
+                            plan.scratch_frontier.clear();
+                            plan.scratch_frontier.extend_from_slice(active);
+                        }
+                        let prog = plan.scratch_prog.as_ref().expect("scratch just compiled");
+                        let run = self.machine.run_program(prog);
+                        if self.verify && run.is_ok() {
+                            self.verify_report.runs += 1;
+                        }
+                        run
                     };
                     // Un-stage before propagating any error: the scratch
                     // must return to all-false no matter what.
@@ -549,7 +686,7 @@ impl CoSparse {
                 }
             }
             SwConfig::OuterProduct => {
-                let plan = self.plan.as_ref().expect("plan ensured above");
+                let plan = self.plan.as_mut().expect("plan ensured above");
                 let heap_in_spm = decision.hardware == HwConfig::Ps;
                 let spm_node_cap = self.machine.uarch().bank_bytes / 8;
                 let params = op::OpParams {
@@ -560,16 +697,46 @@ impl CoSparse {
                     spm_node_cap,
                     profile: *profile,
                 };
-                let streams = op::streams(&self.csc, geometry, params);
-                if self.verify {
-                    run_checked(
+                if self.verify && !plan.verified[sw_idx][hw_idx] {
+                    let streams = op::streams(&self.csc, geometry, params);
+                    let run = run_checked(
                         &mut self.machine,
                         streams,
                         &plan.regions,
                         &mut self.verify_report,
-                    )?
+                    )?;
+                    plan.verified[sw_idx][hw_idx] = true;
+                    run
                 } else {
-                    self.machine.run(streams)?
+                    if plan.scratch_key != Some((sw_idx, hw_idx))
+                        || plan.scratch_frontier != *active
+                    {
+                        if plan.op_subruns.is_none() {
+                            plan.op_subruns = Some(op::subruns(&self.csc, &plan.op_tile_parts));
+                        }
+                        let sub = plan.op_subruns.as_ref().expect("just computed");
+                        op::compile_into(&self.csc, geometry, params, sub, &mut plan.scratch_ops);
+                        let workers = geometry.total_workers();
+                        recompile_scratch(
+                            &mut plan.scratch_prog,
+                            geometry,
+                            decision.hardware,
+                            self.machine.uarch(),
+                            plan.scratch_ops[..workers]
+                                .iter()
+                                .enumerate()
+                                .map(|(w, ops)| (w, ops.as_slice())),
+                        );
+                        plan.scratch_key = Some((sw_idx, hw_idx));
+                        plan.scratch_frontier.clear();
+                        plan.scratch_frontier.extend_from_slice(active);
+                    }
+                    let prog = plan.scratch_prog.as_ref().expect("scratch just compiled");
+                    let run = self.machine.run_program(prog)?;
+                    if self.verify {
+                        self.verify_report.runs += 1;
+                    }
+                    run
                 }
             }
         };

@@ -1,0 +1,75 @@
+//! Runtime-level equivalence of the execution cores: for every
+//! software x hardware pairing, a runtime driving a machine forced into
+//! epoch-parallel tile execution must produce bit-identical reports and
+//! results to a sequential one — including warm-cache re-runs, which
+//! exercise the snapshot/replay/commit machinery against primed state.
+//!
+//! Sc/Scs pairings are ineligible for tile parallelism (shared L2
+//! couples the tiles) and exercise the transparent fallback; Pc/Ps
+//! pairings actually fan the tiles out across threads.
+
+use cosparse::{CoSparse, Frontier, HwConfig, Policy, SwConfig};
+use transmuter::{ExecMode, Geometry, Machine, MicroArch};
+
+const N: usize = 1024;
+const NNZ: usize = 15_000;
+
+fn runtime(mode: ExecMode) -> CoSparse {
+    let m = sparse::generate::uniform(N, N, NNZ, 21).unwrap();
+    let mut machine = Machine::new(Geometry::new(2, 4), MicroArch::paper());
+    machine.set_exec_mode(mode);
+    CoSparse::new(&m, machine)
+}
+
+#[test]
+fn parallel_tiles_matches_sequential_on_all_combos() {
+    for sw in [SwConfig::InnerProduct, SwConfig::OuterProduct] {
+        for hw in [HwConfig::Sc, HwConfig::Scs, HwConfig::Pc, HwConfig::Ps] {
+            let frontier = match sw {
+                SwConfig::InnerProduct => {
+                    Frontier::Dense(sparse::generate::random_dense_vector(N, 3))
+                }
+                SwConfig::OuterProduct => {
+                    Frontier::Sparse(sparse::generate::random_sparse_vector(N, 0.05, 3).unwrap())
+                }
+            };
+            let mut seq = runtime(ExecMode::Sequential);
+            seq.set_policy(Policy::Fixed(sw, hw));
+            let mut par = runtime(ExecMode::ParallelTiles);
+            par.set_policy(Policy::Fixed(sw, hw));
+            // Three calls: cold caches, then two warm replays.
+            for call in 0..3 {
+                let a = seq.spmv(&frontier).unwrap();
+                let b = par.spmv(&frontier).unwrap();
+                assert_eq!(
+                    a.report, b.report,
+                    "{sw:?}/{hw} call {call}: reports diverge"
+                );
+                assert_eq!(a.result, b.result, "{sw:?}/{hw} call {call}");
+                assert_eq!((a.software, a.hardware), (b.software, b.hardware));
+            }
+        }
+    }
+}
+
+#[test]
+fn exec_mode_survives_graph_engine_iterations() {
+    // A BFS-like sweep under the automatic policy switches dataflows
+    // and hardware mid-run; both cores must track each other through
+    // every reconfiguration and conversion.
+    let mut seq = runtime(ExecMode::Sequential);
+    let mut par = runtime(ExecMode::ParallelTiles);
+    let mut fa = Frontier::Sparse(sparse::generate::random_sparse_vector(N, 0.01, 7).unwrap());
+    let mut fb = fa.clone();
+    for step in 0..4 {
+        let a = seq.spmv(&fa).unwrap();
+        let b = par.spmv(&fb).unwrap();
+        assert_eq!(a.report, b.report, "step {step}");
+        assert_eq!(a.result, b.result, "step {step}");
+        fa = a.result;
+        fb = b.result;
+        if fa.nnz() == 0 {
+            break;
+        }
+    }
+}

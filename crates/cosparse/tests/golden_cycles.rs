@@ -1,0 +1,109 @@
+//! Golden cycle-count snapshots for all 8 SW x HW combinations.
+//!
+//! These numbers were captured from the pre-`Program`-IR `Machine::run`
+//! event loop on fixed seeded inputs. They pin the simulator's timing
+//! model bit-for-bit: any execution-core change (including the compiled
+//! `Program` path and the epoch-parallel tile core) must reproduce them
+//! exactly. If a PR *intends* to change the timing model, the new
+//! numbers must be re-captured deliberately and the change called out.
+
+use cosparse::{CoSparse, Frontier, HwConfig, Policy, SwConfig};
+use transmuter::{Geometry, Machine, MicroArch};
+
+const N: usize = 1024;
+const NNZ: usize = 15_000;
+const SEED: u64 = 21;
+
+fn runtime() -> CoSparse {
+    let m = sparse::generate::uniform(N, N, NNZ, SEED).unwrap();
+    CoSparse::new(&m, Machine::new(Geometry::new(2, 4), MicroArch::paper()))
+}
+
+fn frontier(sw: SwConfig) -> Frontier {
+    match sw {
+        SwConfig::InnerProduct => Frontier::Dense(sparse::generate::random_dense_vector(N, 3)),
+        SwConfig::OuterProduct => {
+            Frontier::Sparse(sparse::generate::random_sparse_vector(N, 0.05, 3).unwrap())
+        }
+    }
+}
+
+/// (sw, hw, expected cycles, expected op count) for every combination.
+/// Each entry uses a fresh runtime so no conversion stream is charged.
+const GOLDEN: &[(SwConfig, HwConfig, u64, u64)] = &[
+    (SwConfig::InnerProduct, HwConfig::Sc, 60856, 61024),
+    (SwConfig::InnerProduct, HwConfig::Scs, 63025, 65136),
+    (SwConfig::InnerProduct, HwConfig::Pc, 96282, 61024),
+    (SwConfig::InnerProduct, HwConfig::Ps, 126694, 61024),
+    (SwConfig::OuterProduct, HwConfig::Sc, 7579, 14985),
+    (SwConfig::OuterProduct, HwConfig::Scs, 7649, 14985),
+    (SwConfig::OuterProduct, HwConfig::Pc, 6598, 14985),
+    (SwConfig::OuterProduct, HwConfig::Ps, 6739, 14985),
+];
+
+#[test]
+fn golden_cycle_counts_all_eight_combos() {
+    let mut failures = Vec::new();
+    for &(sw, hw, want_cycles, want_ops) in GOLDEN {
+        let mut rt = runtime();
+        rt.set_policy(Policy::Fixed(sw, hw));
+        let f = frontier(sw);
+        let out = rt.spmv(&f).unwrap_or_else(|e| panic!("{sw:?}/{hw}: {e}"));
+        let (cycles, ops) = (out.report.cycles, out.report.stats.ops);
+        println!("    ({sw:?}, {hw:?}, {cycles}, {ops}),");
+        if (cycles, ops) != (want_cycles, want_ops) {
+            failures.push(format!(
+                "{sw:?}/{hw}: cycles {cycles} ops {ops}, golden {want_cycles}/{want_ops}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Golden cycles for the *second* invocation on the same runtime: the
+/// warm path (plan cache hit, caches primed, no reconfiguration) — the
+/// steady-state iterative hot path the compiled-`Program` core serves.
+const GOLDEN_WARM: &[(SwConfig, HwConfig, u64)] = &[
+    (SwConfig::InnerProduct, HwConfig::Sc, 60372),
+    (SwConfig::InnerProduct, HwConfig::Scs, 62898),
+    (SwConfig::InnerProduct, HwConfig::Pc, 92261),
+    (SwConfig::InnerProduct, HwConfig::Ps, 123789),
+    (SwConfig::OuterProduct, HwConfig::Sc, 4032),
+    (SwConfig::OuterProduct, HwConfig::Scs, 4197),
+    (SwConfig::OuterProduct, HwConfig::Pc, 2497),
+    (SwConfig::OuterProduct, HwConfig::Ps, 3231),
+];
+
+#[test]
+fn golden_warm_cycle_counts_all_eight_combos() {
+    let mut failures = Vec::new();
+    for &(sw, hw, want) in GOLDEN_WARM {
+        let mut rt = runtime();
+        rt.set_policy(Policy::Fixed(sw, hw));
+        let f = frontier(sw);
+        rt.spmv(&f).unwrap();
+        let warm = rt.spmv(&f).unwrap().report.cycles;
+        println!("    ({sw:?}, {hw:?}, {warm}),");
+        if warm != want {
+            failures.push(format!("{sw:?}/{hw}: warm cycles {warm}, golden {want}"));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Two identical fresh runtimes must agree exactly: the simulator is
+/// deterministic end to end (matrix generation, planning, execution).
+#[test]
+fn fresh_runtimes_are_bit_identical() {
+    for &(sw, hw, ..) in GOLDEN {
+        let f = frontier(sw);
+        let run = |_: ()| {
+            let mut rt = runtime();
+            rt.set_policy(Policy::Fixed(sw, hw));
+            rt.spmv(&f).unwrap().report
+        };
+        let (a, b) = (run(()), run(()));
+        assert_eq!(a.cycles, b.cycles, "{sw:?}/{hw}: cycles diverged");
+        assert_eq!(a.stats, b.stats, "{sw:?}/{hw}: stats diverged");
+    }
+}

@@ -228,6 +228,48 @@ impl CacheBank {
         self.misses = 0;
         self.evictions_dirty = 0;
     }
+
+    /// True when this bank will time every future access sequence
+    /// exactly like `other`: same geometry, same resident lines with
+    /// the same dirty bits, the same per-set LRU *ordering*, and the
+    /// same stride-detector state. Absolute LRU stamps and the demand
+    /// counters are excluded — stamps grow monotonically across runs
+    /// while only their relative order drives victim selection, and the
+    /// counters are observational. This is the equivalence behind the
+    /// machine's steady-state memo.
+    pub fn same_behavior(&self, other: &CacheBank) -> bool {
+        if self.sets != other.sets
+            || self.ways != other.ways
+            || self.last_miss_line != other.last_miss_line
+        {
+            return false;
+        }
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            let a = &self.store[base..base + self.ways];
+            let b = &other.store[base..base + self.ways];
+            for (x, y) in a.iter().zip(b) {
+                if x.valid() != y.valid()
+                    || (x.valid() && (x.tag != y.tag || x.dirty() != y.dirty()))
+                {
+                    return false;
+                }
+            }
+            // Victim selection compares keys pairwise (ties keep the
+            // first way), so matching pairwise orderings ⇒ matching
+            // victims forever.
+            for i in 0..self.ways {
+                for j in (i + 1)..self.ways {
+                    if a[i].victim_key().cmp(&a[j].victim_key())
+                        != b[i].victim_key().cmp(&b[j].victim_key())
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

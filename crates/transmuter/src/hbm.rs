@@ -2,6 +2,37 @@
 //! a sustained service rate and an 80–150 ns access latency window
 //! (paper Table II).
 
+/// Sink for HBM-level traffic: either the real [`Hbm`] stack or a
+/// per-tile shadow that logs every call so the epoch-parallel execution
+/// core can replay and validate them against the real stack (see
+/// DESIGN.md §9). The memory-system fill/writeback paths are generic
+/// over this trait so both run against identical code.
+pub(crate) trait HbmSink {
+    /// Demand line read; returns the completion cycle.
+    fn read(&mut self, line: u64, cycle: u64) -> u64;
+    /// Line writeback (consumes bandwidth; caller ignores the result).
+    fn write(&mut self, line: u64, cycle: u64) -> u64;
+    /// Prefetch line read (bandwidth + read count; result ignored).
+    fn prefetch(&mut self, line: u64, cycle: u64) -> u64;
+}
+
+impl HbmSink for Hbm {
+    #[inline]
+    fn read(&mut self, line: u64, cycle: u64) -> u64 {
+        Hbm::read(self, line, cycle)
+    }
+
+    #[inline]
+    fn write(&mut self, line: u64, cycle: u64) -> u64 {
+        Hbm::write(self, line, cycle)
+    }
+
+    #[inline]
+    fn prefetch(&mut self, line: u64, cycle: u64) -> u64 {
+        Hbm::prefetch(self, line, cycle)
+    }
+}
+
 /// HBM2 stack model.
 ///
 /// Channels are line-address interleaved. Each channel serialises line

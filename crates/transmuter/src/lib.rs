@@ -18,7 +18,7 @@
 //! # Example
 //!
 //! ```
-//! use transmuter::{Geometry, HwConfig, Machine, MicroArch, Program, StreamSet};
+//! use transmuter::{Geometry, HwConfig, Machine, MicroArch, StreamBuilder, StreamSet};
 //!
 //! # fn main() -> Result<(), transmuter::SimError> {
 //! let mut machine = Machine::new(Geometry::new(2, 4), MicroArch::paper());
@@ -27,7 +27,7 @@
 //! let mut streams = StreamSet::new(machine.geometry());
 //! for tile in 0..2 {
 //!     for pe in 0..4 {
-//!         let mut p = Program::new();
+//!         let mut p = StreamBuilder::new();
 //!         p.load(0x1000 + pe as u64 * 64).compute(3).spm_load(0);
 //!         streams.set_pe(tile, pe, p.into_stream());
 //!     }
@@ -49,6 +49,7 @@ mod hbm;
 mod machine;
 mod memsys;
 mod op;
+mod program;
 mod stats;
 mod trace;
 pub mod verify;
@@ -57,9 +58,10 @@ pub use cache::{CacheBank, ProbeResult};
 pub use config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use hbm::Hbm;
-pub use machine::{Machine, SimError, StreamSet};
+pub use machine::{ExecMode, Machine, SimError, StreamSet};
 pub use memsys::MemorySystem;
-pub use op::{Addr, Op, OpStream, Program};
+pub use op::{Addr, Op, OpStream, StreamBuilder};
+pub use program::Program;
 pub use stats::{SimReport, SimStats};
 pub use trace::{TraceCapture, TraceConfig, TraceEvent};
 pub use verify::{

@@ -6,10 +6,12 @@
 //! processed together so same-cycle bank conflicts serialize exactly as
 //! the arbitrated crossbar would.
 
-use crate::config::{Geometry, HwConfig, MicroArch};
+use crate::cache::CacheBank;
+use crate::config::{Geometry, HwConfig, L2Mode, MicroArch};
 use crate::energy::EnergyModel;
-use crate::memsys::MemorySystem;
+use crate::memsys::{MemSnapshot, MemorySystem};
 use crate::op::{Op, OpStream};
+use crate::program::{exec_span, HbmCall, HbmCallKind, Lane, LaneState, Program, TileExec};
 use crate::stats::{SimReport, SimStats};
 use crate::trace::{TraceCapture, TraceConfig, TraceEvent, Tracer};
 use crate::verify::{self, Diagnostic, ProgramSet, RegionMap};
@@ -53,6 +55,15 @@ pub enum SimError {
         /// [`verify::Severity::Error`].
         diagnostics: Vec<Diagnostic>,
     },
+    /// [`Machine::run_program`] was given a program compiled for a
+    /// different hardware configuration or microarchitecture than the
+    /// machine's current one.
+    ProgramMismatch {
+        /// The machine's active configuration.
+        machine: HwConfig,
+        /// The configuration the program was compiled for.
+        program: HwConfig,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +97,13 @@ impl fmt::Display for SimError {
                     write!(f, "; first: {first}")?;
                 }
                 Ok(())
+            }
+            SimError::ProgramMismatch { machine, program } => {
+                write!(
+                    f,
+                    "program compiled for {program} but machine is configured as {machine} \
+                     (or for a different microarchitecture)"
+                )
             }
         }
     }
@@ -223,9 +241,9 @@ impl<'a> StreamSet<'a> {
 }
 
 #[derive(Debug, Default)]
-struct BarrierState {
-    expected: usize,
-    waiting: Vec<(u32, u64)>, // (worker, arrival cycle)
+pub(crate) struct BarrierState {
+    pub(crate) expected: usize,
+    pub(crate) waiting: Vec<(u32, u64)>, // (worker, arrival cycle)
 }
 
 /// Sentinel for "worker not scheduled" in the scan scheduler.
@@ -248,7 +266,7 @@ const KEY_W_BITS: u32 = 6;
 /// geometries (or astronomically large cycle counts, which would
 /// overflow the packing) fall back to the heap.
 #[derive(Debug)]
-enum Sched {
+pub(crate) enum Sched {
     /// Dense slot array plus a cached copy of its minimum key, so the
     /// hot "current worker is still earliest" test is a single compare
     /// instead of a scan. Invariant: `min` equals the smallest slot key
@@ -261,7 +279,7 @@ enum Sched {
 }
 
 impl Sched {
-    fn new(workers: usize, start: u64) -> Self {
+    pub(crate) fn new(workers: usize, start: u64) -> Self {
         if workers <= 1 << KEY_W_BITS && start < IDLE >> (KEY_W_BITS + 1) {
             Sched::Scan {
                 // Padded to a whole number of 8-lane chunks (pad slots
@@ -275,7 +293,7 @@ impl Sched {
     }
 
     #[inline]
-    fn push(&mut self, cycle: u64, w: u32) {
+    pub(crate) fn push(&mut self, cycle: u64, w: u32) {
         match self {
             Sched::Scan { next, min } => {
                 let key = (cycle << KEY_W_BITS) | w as u64;
@@ -307,7 +325,7 @@ impl Sched {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<(u64, u32)> {
+    pub(crate) fn pop(&mut self) -> Option<(u64, u32)> {
         match self {
             Sched::Scan { next, min } => {
                 let key = *min;
@@ -331,7 +349,7 @@ impl Sched {
     /// worker has no slot, so the continue-inline fast path leaves the
     /// cached minimum untouched — no scan at all.
     #[inline]
-    fn step(&mut self, done: u64, w: u32) -> Option<(u64, u32)> {
+    pub(crate) fn step(&mut self, done: u64, w: u32) -> Option<(u64, u32)> {
         match self {
             Sched::Scan { next, min } => {
                 let key = (done << KEY_W_BITS) | w as u64;
@@ -360,6 +378,67 @@ impl Sched {
     }
 }
 
+/// Execution strategy for [`Machine::run_program`].
+///
+/// The epoch-parallel core splits a program at its global barriers and
+/// executes each tile's lanes on its own host thread within an epoch —
+/// valid only for epoch-congruent programs under a private L2, where
+/// tiles share no bank and no arbitrated port (HBM interleaving is
+/// validated by replay; see DESIGN.md §9). Cycle counts are bit-for-bit
+/// identical to sequential execution in every mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Epoch-parallel when the program is eligible *and* the host has
+    /// more than one CPU; sequential otherwise.
+    #[default]
+    Auto,
+    /// Always single-threaded.
+    Sequential,
+    /// Epoch-parallel whenever the program is eligible, even on a
+    /// single-CPU host (used by equivalence tests).
+    ParallelTiles,
+}
+
+/// One recorded steady-state [`Machine::run_program`] execution.
+///
+/// A run is a pure function of `(program, pre-run bank state)` once the
+/// reconfiguration carry is empty: [`MemorySystem::begin_run`] resets
+/// every other piece of mutable state (run stats, HBM channels, claim
+/// epoch, cycle clock). So when the same program is re-run from
+/// behaviorally identical banks, the machine can reinstate the recorded
+/// post-run state and report instead of re-simulating. Cycle counts are
+/// bit-for-bit what a real run would produce, because the recorded run
+/// *was* a real run from an equivalent state.
+///
+/// The machine keeps a short ring of these rather than one entry:
+/// iterated identical runs usually converge not to a fixed point but to
+/// a short *limit cycle* of bank states (set thrashing plus prefetch
+/// aging make period 2-3 common), and a hit against any point on the
+/// cycle keeps the machine on the cycle forever.
+#[derive(Debug)]
+struct SteadyState {
+    /// [`Program::id`] of the recorded run.
+    program_id: u64,
+    /// Bank state the recorded run started from.
+    pre: (Vec<CacheBank>, Vec<CacheBank>),
+    /// Bank + HBM state the recorded run ended in.
+    post: MemSnapshot,
+    /// Run stats as left in the memory system (for inspection parity).
+    post_stats: SimStats,
+    /// The recorded run's report.
+    report: SimReport,
+}
+
+/// Steady-state memo capacity: enough to span the limit cycles iterated
+/// kernels actually settle into (the shared-cache IP kernel's bank
+/// state recurs with period ≤ 12) with room for an interleaved second
+/// program, while bounding retained bank snapshots.
+const STEADY_ENTRIES: usize = 16;
+
+/// How many distinct recent program ids the machine remembers to tell
+/// long-lived artifacts apart from per-call scratch recompiles.
+const RECENT_IDS: usize = 32;
+
 /// The simulated Transmuter-like machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -368,6 +447,16 @@ pub struct Machine {
     carry: SimStats,
     carry_cycles: u64,
     tracer: Tracer,
+    exec_mode: ExecMode,
+    /// Ring of recorded steady-state runs, most recent last.
+    steady: Vec<SteadyState>,
+    steady_hits: u64,
+    /// Program ids of recent [`Machine::run_program`] calls, most recent
+    /// last. An id that recurs marks a long-lived compiled artifact
+    /// (iterated kernels re-run the same cached `Program`); scratch
+    /// programs are recompiled per call with a fresh id and never recur,
+    /// so they skip the memo's snapshot cost entirely.
+    recent_ids: Vec<u64>,
 }
 
 impl Machine {
@@ -379,7 +468,27 @@ impl Machine {
             carry: SimStats::default(),
             carry_cycles: 0,
             tracer: Tracer::default(),
+            exec_mode: ExecMode::default(),
+            steady: Vec::new(),
+            steady_hits: 0,
+            recent_ids: Vec::new(),
         }
+    }
+
+    /// Number of [`Machine::run_program`] invocations served from the
+    /// steady-state memo instead of being re-simulated.
+    pub fn steady_hits(&self) -> u64 {
+        self.steady_hits
+    }
+
+    /// Sets the execution strategy for [`Machine::run_program`].
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The current [`Machine::run_program`] execution strategy.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Enables (or, with `None`, disables) execution tracing for
@@ -416,8 +525,11 @@ impl Machine {
     }
 
     /// Replaces the energy model (defaults to the 40 nm paper model).
+    /// Drops the steady-state memo: its recorded report priced energy
+    /// under the old model.
     pub fn set_energy_model(&mut self, model: EnergyModel) {
         self.energy_model = model;
+        self.steady.clear();
     }
 
     /// SPM bytes one tile's PEs can use under the current configuration.
@@ -585,24 +697,287 @@ impl Machine {
             return Err(SimError::BarrierDeadlock { blocked });
         }
 
+        Ok(self.finish(last_done))
+    }
+
+    /// Shared run epilogue: syncs HBM counters, folds in the pending
+    /// reconfiguration carry, and prices energy from the final stats
+    /// (energy is a pure function of the stats, so it is identical no
+    /// matter how the stats were produced).
+    fn finish(&mut self, last_done: u64) -> SimReport {
         // HBM channel counters are synced once per run, not per access.
         self.mem.sync_hbm_stats();
         let stats = self.mem.stats.merge(&self.carry);
         self.carry = SimStats::default();
         self.carry_cycles = 0;
         let cycles = last_done;
+        let geom = self.geometry();
         let ua = self.uarch();
         let energy = self
             .energy_model
             .breakdown(&stats, cycles, ua.freq_hz, geom);
-        Ok(SimReport {
+        SimReport {
             geometry: geom,
             config: self.config(),
             cycles,
             seconds: cycles as f64 / ua.freq_hz,
             stats,
             energy,
-        })
+        }
+    }
+
+    /// Runs a compiled [`Program`]: the pre-decoded twin of
+    /// [`Machine::run`], with identical event-loop semantics and
+    /// bit-for-bit identical cycle counts and statistics.
+    ///
+    /// Unlike [`Machine::run`], this path never records traces (compile
+    /// once, replay many — callers wanting a trace use the stream-set
+    /// path), and it may execute tiles on parallel host threads when the
+    /// program and configuration allow it (see [`ExecMode`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::GeometryMismatch`] /
+    /// [`SimError::ProgramMismatch`] when the program was compiled for a
+    /// different machine, [`SimError::Rejected`] when an attached lint
+    /// verdict carries errors, and otherwise exactly the errors
+    /// [`Machine::run`] would produce for the same streams.
+    pub fn run_program(&mut self, prog: &Program) -> Result<SimReport, SimError> {
+        let geom = self.geometry();
+        if prog.geometry() != geom {
+            return Err(SimError::GeometryMismatch {
+                machine: geom,
+                streams: prog.geometry(),
+            });
+        }
+        if prog.hw() != self.config() || prog.uarch() != self.uarch() {
+            return Err(SimError::ProgramMismatch {
+                machine: self.config(),
+                program: prog.hw(),
+            });
+        }
+        if let Some(d) = prog.rejecting_diagnostics() {
+            return Err(SimError::Rejected {
+                diagnostics: d.to_vec(),
+            });
+        }
+        // Steady-state memo: with no pending reconfiguration carry the
+        // run is a pure function of (program, bank state) — begin_run
+        // resets every other mutable structure. A repeat of the
+        // recorded run reinstates its outcome; any other run from a
+        // clean carry is recorded for the next repeat. Only programs
+        // whose id has been seen before participate: a first-time id is
+        // either a long-lived artifact on its cold run (nothing to hit
+        // yet) or a per-call scratch recompile (can never hit), and
+        // neither is worth a bank snapshot.
+        let recurring = self.recent_ids.contains(&prog.id());
+        if !recurring {
+            if self.recent_ids.len() == RECENT_IDS {
+                self.recent_ids.remove(0);
+            }
+            self.recent_ids.push(prog.id());
+        }
+        let memo_eligible =
+            recurring && self.carry_cycles == 0 && self.carry == SimStats::default();
+        if memo_eligible {
+            let hit = self
+                .steady
+                .iter()
+                .position(|s| s.program_id == prog.id() && self.mem.cache_state_matches(&s.pre));
+            if let Some(i) = hit {
+                let s = &self.steady[i];
+                self.mem.begin_run();
+                self.mem.restore(&s.post);
+                self.mem.stats = s.post_stats;
+                self.steady_hits += 1;
+                return Ok(s.report.clone());
+            }
+        }
+        let pre = memo_eligible.then(|| self.mem.cache_state());
+        self.mem.begin_run();
+        let start = self.carry_cycles;
+        let mut lanes = prog.lanes(start);
+        let eligible = prog.parallel_ok()
+            && self.config().l2() == L2Mode::PrivateCache
+            && geom.tiles() > 1
+            && !lanes.is_empty();
+        let parallel = match self.exec_mode {
+            ExecMode::Sequential => false,
+            ExecMode::ParallelTiles => eligible,
+            ExecMode::Auto => {
+                eligible && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+            }
+        };
+        let last_done = if parallel {
+            self.run_epochs(prog, &mut lanes, start)?
+        } else {
+            exec_span(&mut self.mem, prog, &mut lanes, 0, geom.tiles(), false)?;
+            lanes
+                .iter()
+                .map(|l| match l.state {
+                    LaneState::Finished(c) => c,
+                    _ => unreachable!("sequential exec left a lane unfinished"),
+                })
+                .fold(start, u64::max)
+        };
+        let report = self.finish(last_done);
+        if let Some(pre) = pre {
+            if self.steady.len() == STEADY_ENTRIES {
+                self.steady.remove(0);
+            }
+            self.steady.push(SteadyState {
+                program_id: prog.id(),
+                pre,
+                post: self.mem.snapshot(),
+                post_stats: self.mem.stats,
+                report: report.clone(),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Epoch-parallel driver: between global barriers, each tile runs on
+    /// its own host thread against its private banks and a shadow HBM;
+    /// the merged HBM call log is then replayed against the real stack
+    /// in sequential issue order. If every read completion matches, the
+    /// epoch's timing is provably identical to sequential execution and
+    /// it commits; otherwise the epoch is rolled back and re-run
+    /// sequentially. Returns the run's final cycle.
+    fn run_epochs(
+        &mut self,
+        prog: &Program,
+        lanes: &mut [Lane],
+        start: u64,
+    ) -> Result<u64, SimError> {
+        let tiles = self.geometry().tiles();
+        let spm_latency = self.uarch().l1_latency;
+        loop {
+            let snap = self.mem.snapshot();
+            let epoch_start: Vec<Lane> = lanes.to_vec();
+            type TileOut = (Vec<Lane>, SimStats, Vec<HbmCall>);
+            let result: Result<Vec<TileOut>, SimError> = {
+                let split = self.mem.split_tiles();
+                let params = split.params;
+                let hbm_proto = split.hbm.clone();
+                let mut per_tile: Vec<Vec<Lane>> = vec![Vec::new(); tiles];
+                for l in lanes.iter() {
+                    per_tile[l.tile as usize].push(*l);
+                }
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = split
+                        .l1
+                        .into_iter()
+                        .zip(split.l2)
+                        .zip(per_tile)
+                        .enumerate()
+                        .map(|(t, ((l1, l2), mut tl))| {
+                            let hbm = hbm_proto.clone();
+                            s.spawn(move || {
+                                let mut ctx = TileExec::new(l1, l2, hbm, params, spm_latency);
+                                exec_span(&mut ctx, prog, &mut tl, t, 1, true).map(|()| {
+                                    let (stats, log) = ctx.into_parts();
+                                    (tl, stats, log)
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                        .collect()
+                })
+            };
+            let committed = match result {
+                Ok(outs) => {
+                    let mut calls: Vec<HbmCall> = outs
+                        .iter()
+                        .flat_map(|(_, _, log)| log.iter().copied())
+                        .collect();
+                    // Sequential issue order: the event loop processes
+                    // ops in (cycle, worker) lexicographic order, and
+                    // one op's HBM calls happen in seq order.
+                    calls.sort_unstable_by_key(|c| (c.cycle, c.worker, c.seq));
+                    let hbm = self.mem.hbm_mut();
+                    let mut reads_match = true;
+                    for c in &calls {
+                        let got = match c.kind {
+                            HbmCallKind::Read => hbm.read(c.line, c.at),
+                            HbmCallKind::Write => hbm.write(c.line, c.at),
+                            HbmCallKind::Prefetch => hbm.prefetch(c.line, c.at),
+                        };
+                        if c.kind == HbmCallKind::Read && got != c.done {
+                            reads_match = false;
+                            break;
+                        }
+                    }
+                    if reads_match {
+                        let mut cursors = vec![0usize; tiles];
+                        for l in lanes.iter_mut() {
+                            let t = l.tile as usize;
+                            *l = outs[t].0[cursors[t]];
+                            cursors[t] += 1;
+                        }
+                        for (_, stats, _) in &outs {
+                            self.mem.stats = self.mem.stats.merge(stats);
+                        }
+                    }
+                    reads_match
+                }
+                // A tile error (poison, deadlock) cannot occur for a
+                // congruent program, but if it does the sequential
+                // re-run below reproduces it deterministically.
+                Err(_) => false,
+            };
+            if !committed {
+                self.mem.restore(&snap);
+                lanes.copy_from_slice(&epoch_start);
+                exec_span(&mut self.mem, prog, lanes, 0, tiles, true)?;
+            }
+
+            // Epoch boundary: every lane is either done or parked at the
+            // global barrier (congruence guarantees all-or-none).
+            let mut max_fin = start;
+            let mut n_glob = 0usize;
+            let mut n_fin = 0usize;
+            let mut release = 0u64;
+            for l in lanes.iter() {
+                match l.state {
+                    LaneState::Finished(c) => {
+                        n_fin += 1;
+                        max_fin = max_fin.max(c);
+                    }
+                    LaneState::AtGlobal(c) => {
+                        n_glob += 1;
+                        release = release.max(c);
+                    }
+                    LaneState::Running => unreachable!("exec_span left a lane running"),
+                }
+            }
+            if n_glob == 0 {
+                return Ok(max_fin);
+            }
+            if n_fin > 0 {
+                // Some workers finished while others wait at a global
+                // barrier that can now never complete — the same
+                // deadlock Machine::run reports.
+                let mut blocked: Vec<usize> = lanes
+                    .iter()
+                    .filter_map(|l| {
+                        matches!(l.state, LaneState::AtGlobal(_)).then_some(l.worker as usize)
+                    })
+                    .collect();
+                blocked.sort_unstable();
+                return Err(SimError::BarrierDeadlock { blocked });
+            }
+            for l in lanes.iter_mut() {
+                let LaneState::AtGlobal(arrived) = l.state else {
+                    unreachable!()
+                };
+                self.mem.stats.barrier_stall_cycles += release - arrived;
+                l.cycle = release + 1;
+                l.state = LaneState::Running;
+            }
+        }
     }
 
     /// Lints `programs` against the machine's current configuration and,
@@ -636,7 +1011,7 @@ impl Machine {
     }
 }
 
-fn release(b: &mut BarrierState, cycle: u64, sched: &mut Sched, stats: &mut SimStats) {
+pub(crate) fn release(b: &mut BarrierState, cycle: u64, sched: &mut Sched, stats: &mut SimStats) {
     for &(worker, arrived) in &b.waiting {
         stats.barrier_stall_cycles += cycle - arrived;
         sched.push(cycle + 1, worker);
@@ -673,7 +1048,7 @@ fn diff(after: &SimStats, before: &SimStats) -> SimStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::Program;
+    use crate::op::StreamBuilder;
 
     fn machine(tiles: usize, pes: usize) -> Machine {
         Machine::new(Geometry::new(tiles, pes), MicroArch::paper())
@@ -691,7 +1066,7 @@ mod tests {
     fn compute_only_stream_times_exactly() {
         let mut m = machine(1, 1);
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(10).compute(5);
         s.set_pe(0, 0, p.into_stream());
         let r = m.run(s).unwrap();
@@ -706,7 +1081,7 @@ mod tests {
         let mut s = StreamSet::new(m.geometry());
         for t in 0..2 {
             for pe in 0..4 {
-                let mut p = Program::new();
+                let mut p = StreamBuilder::new();
                 p.compute(100);
                 s.set_pe(t, pe, p.into_stream());
             }
@@ -720,7 +1095,7 @@ mod tests {
     fn memory_stalls_counted() {
         let mut m = machine(1, 1);
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.load(0x1000);
         s.set_pe(0, 0, p.into_stream());
         let r = m.run(s).unwrap();
@@ -733,9 +1108,9 @@ mod tests {
     fn tile_barrier_synchronizes() {
         let mut m = machine(1, 2);
         let mut s = StreamSet::new(m.geometry());
-        let mut fast = Program::new();
+        let mut fast = StreamBuilder::new();
         fast.compute(1).tile_barrier().compute(1);
-        let mut slow = Program::new();
+        let mut slow = StreamBuilder::new();
         slow.compute(100).tile_barrier().compute(1);
         s.set_pe(0, 0, fast.into_stream());
         s.set_pe(0, 1, slow.into_stream());
@@ -749,9 +1124,9 @@ mod tests {
         let mut m = machine(2, 1);
         let mut s = StreamSet::new(m.geometry());
         // Tile 0 barriers alone; tile 1 never barriers. Must not deadlock.
-        let mut a = Program::new();
+        let mut a = StreamBuilder::new();
         a.tile_barrier().compute(1);
-        let mut b = Program::new();
+        let mut b = StreamBuilder::new();
         b.compute(5);
         s.set_pe(0, 0, a.into_stream());
         s.set_pe(1, 0, b.into_stream());
@@ -764,11 +1139,11 @@ mod tests {
         let mut m = machine(2, 1);
         let mut s = StreamSet::new(m.geometry());
         for t in 0..2 {
-            let mut p = Program::new();
+            let mut p = StreamBuilder::new();
             p.compute(10).global_barrier().compute(1);
             s.set_pe(t, 0, p.into_stream());
         }
-        let mut lcp = Program::new();
+        let mut lcp = StreamBuilder::new();
         lcp.compute(50).global_barrier();
         s.set_lcp(0, lcp.into_stream());
         let r = m.run(s).unwrap();
@@ -779,9 +1154,9 @@ mod tests {
     fn barrier_deadlock_detected() {
         let mut m = machine(1, 2);
         let mut s = StreamSet::new(m.geometry());
-        let mut a = Program::new();
+        let mut a = StreamBuilder::new();
         a.tile_barrier();
-        let mut b = Program::new();
+        let mut b = StreamBuilder::new();
         b.compute(1); // never barriers
         s.set_pe(0, 0, a.into_stream());
         s.set_pe(0, 1, b.into_stream());
@@ -795,7 +1170,7 @@ mod tests {
     fn lcp_tile_barrier_rejected() {
         let mut m = machine(1, 1);
         let mut s = StreamSet::new(m.geometry());
-        let mut lcp = Program::new();
+        let mut lcp = StreamBuilder::new();
         lcp.tile_barrier();
         s.set_lcp(0, lcp.into_stream());
         assert!(matches!(m.run(s), Err(SimError::LcpBarrier { tile: 0 })));
@@ -806,7 +1181,7 @@ mod tests {
         let mut m = machine(1, 1);
         assert_eq!(m.config(), HwConfig::Sc);
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.spm_load(0);
         s.set_pe(0, 0, p.into_stream());
         assert!(matches!(m.run(s), Err(SimError::SpmUnavailable { .. })));
@@ -824,7 +1199,7 @@ mod tests {
         let mut m = machine(1, 2);
         // Dirty some lines so the flush has work.
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         for i in 0..64 {
             p.store(0x1000 + i * 64);
         }
@@ -833,7 +1208,7 @@ mod tests {
         let cost = m.reconfigure(HwConfig::Ps);
         assert!(cost >= 10);
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(5);
         s.set_pe(0, 0, p.into_stream());
         let r = m.run(s).unwrap();
@@ -842,7 +1217,7 @@ mod tests {
         assert!(r.stats.flush_writebacks > 0);
         // Carry cleared after use.
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(5);
         s.set_pe(0, 0, p.into_stream());
         assert_eq!(m.run(s).unwrap().cycles, 5);
@@ -852,7 +1227,7 @@ mod tests {
     fn energy_reported_positive() {
         let mut m = machine(1, 1);
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(100).load(0).load(4);
         s.set_pe(0, 0, p.into_stream());
         let r = m.run(s).unwrap();
@@ -866,7 +1241,7 @@ mod tests {
         let mut m = machine(1, 4);
         m.reconfigure(HwConfig::Scs);
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.spm_store(0).spm_load(0).spm_load(4);
         s.set_pe(0, 0, p.into_stream());
         let r = m.run(s).unwrap();
@@ -877,13 +1252,13 @@ mod tests {
 #[cfg(test)]
 mod stress_tests {
     use super::*;
-    use crate::op::{Op, Program};
+    use crate::op::{Op, StreamBuilder};
 
     #[test]
     fn lcp_only_stream_runs() {
         let mut m = Machine::new(Geometry::new(2, 2), MicroArch::paper());
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(7).load(0x100).store(0x104);
         s.set_lcp(1, p.into_stream());
         let r = m.run(s).unwrap();
@@ -920,7 +1295,7 @@ mod stress_tests {
         let make = || {
             // Pseudo-random lines (prefetch-immune) inside a 16 kB set
             // that fits in L1+L2.
-            let mut p = Program::new();
+            let mut p = StreamBuilder::new();
             let mut z = 0x1234_5678u64;
             for _ in 0..64u64 {
                 z ^= z << 13;
@@ -957,7 +1332,7 @@ mod stress_tests {
         let mut m = Machine::new(g, MicroArch::paper());
         let mut s = StreamSet::new(g);
         for pe in 0..4 {
-            let mut p = Program::new();
+            let mut p = StreamBuilder::new();
             p.compute(10 * (pe as u32 + 1));
             s.set_pe(0, pe, p.into_stream());
         }
@@ -970,7 +1345,7 @@ mod stress_tests {
         let g = Geometry::new(1, 1);
         let mut m = Machine::new(g, MicroArch::paper());
         let mut s = StreamSet::new(g);
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(1_000);
         s.set_pe(0, 0, p.into_stream());
         let r = m.run(s).unwrap();
@@ -982,9 +1357,344 @@ mod stress_tests {
 }
 
 #[cfg(test)]
+mod program_tests {
+    use super::*;
+    use crate::op::StreamBuilder;
+
+    /// A barrier-heavy workload mixing compute, strided and pseudo-random
+    /// global traffic, SPM ops (when `spm`), tile and global barriers —
+    /// the op mix CoSPARSE kernels produce.
+    fn workload(geom: Geometry, spm: bool) -> Vec<(usize, Vec<Op>)> {
+        let mut streams = Vec::new();
+        for tile in 0..geom.tiles() {
+            for pe in 0..geom.pes_per_tile() {
+                let w = geom.pe_id(tile, pe);
+                let mut b = StreamBuilder::new();
+                let mut z = (w as u64 + 1) * 0x9e37_79b9;
+                for phase in 0..3u64 {
+                    for i in 0..40u64 {
+                        z ^= z << 13;
+                        z ^= z >> 7;
+                        z ^= z << 17;
+                        b.compute((z % 4) as u32 + 1);
+                        let base = phase * 0x10_0000 + w as u64 * 0x2000;
+                        b.load(base + i * 64);
+                        if z.is_multiple_of(3) {
+                            b.store(0x80_0000 + (z % 512) * 64);
+                        } else {
+                            b.load(0x40_0000 + (z % 2048) * 64);
+                        }
+                        if spm && z.is_multiple_of(5) {
+                            b.spm_store((z % 256) as u32 * 4);
+                            b.spm_load((z % 256) as u32 * 4);
+                        }
+                    }
+                    b.tile_barrier();
+                    if phase < 2 {
+                        b.global_barrier();
+                    }
+                }
+                streams.push((w, b.into_stream().collect()));
+            }
+            let mut lcp = StreamBuilder::new();
+            lcp.compute(5);
+            for phase in 0..3u64 {
+                lcp.load(0xC0_0000 + tile as u64 * 0x1000 + phase * 64);
+                lcp.store(0xC8_0000 + tile as u64 * 0x1000 + phase * 64);
+                if phase < 2 {
+                    lcp.global_barrier();
+                }
+            }
+            streams.push((geom.lcp_id(tile), lcp.into_stream().collect()));
+        }
+        streams
+    }
+
+    fn stream_set(geom: Geometry, streams: &[(usize, Vec<Op>)]) -> StreamSet<'_> {
+        let mut s = StreamSet::new(geom);
+        for (w, ops) in streams {
+            let (tile, pe) = geom.locate(*w);
+            match pe {
+                Some(pe) => s.set_pe_ops(tile, pe, ops),
+                None => s.set_lcp_ops(tile, ops),
+            }
+        }
+        s
+    }
+
+    fn run_all_modes(hw: HwConfig) {
+        let geom = Geometry::new(2, 4);
+        let spm = matches!(hw, HwConfig::Scs | HwConfig::Ps);
+        let streams = workload(geom, spm);
+
+        let prog = Program::compile(
+            geom,
+            hw,
+            &MicroArch::paper(),
+            streams.iter().map(|(w, v)| (*w, v.as_slice())),
+        );
+        for mode in [ExecMode::Sequential, ExecMode::ParallelTiles] {
+            let mut legacy = Machine::new(geom, MicroArch::paper());
+            legacy.reconfigure(hw);
+            let mut m = Machine::new(geom, MicroArch::paper());
+            m.reconfigure(hw);
+            m.set_exec_mode(mode);
+            // Four runs: cold, warm, then steady state — where a run may
+            // be served from the steady-state memo. Every one must match
+            // the legacy event loop bit for bit.
+            for run in 0..4 {
+                let want = legacy.run(stream_set(geom, &streams)).unwrap();
+                let got = m.run_program(&prog).unwrap();
+                assert_eq!(
+                    got.cycles, want.cycles,
+                    "{hw:?} {mode:?} run {run} cycle drift"
+                );
+                assert_eq!(
+                    got.stats, want.stats,
+                    "{hw:?} {mode:?} run {run} stats drift"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn program_matches_run_sc() {
+        run_all_modes(HwConfig::Sc);
+    }
+
+    #[test]
+    fn program_matches_run_scs() {
+        run_all_modes(HwConfig::Scs);
+    }
+
+    #[test]
+    fn program_matches_run_pc() {
+        run_all_modes(HwConfig::Pc);
+    }
+
+    #[test]
+    fn program_matches_run_ps() {
+        run_all_modes(HwConfig::Ps);
+    }
+
+    /// A working set small enough to be fully resident: the bank state
+    /// reaches its behavioral fixed point after the first warm run, so
+    /// every later identical run must be served from the memo — and the
+    /// memoized reports must still match the legacy event loop exactly.
+    #[test]
+    fn steady_state_memo_hits_and_matches_legacy() {
+        let geom = Geometry::new(2, 4);
+        let mut streams: Vec<(usize, Vec<Op>)> = Vec::new();
+        for tile in 0..geom.tiles() {
+            for pe in 0..geom.pes_per_tile() {
+                let w = geom.pe_id(tile, pe);
+                let mut b = StreamBuilder::new();
+                for i in 0..16u64 {
+                    b.compute(2);
+                    b.load(w as u64 * 0x1000 + i * 64);
+                    if i % 4 == 0 {
+                        b.store(0x20_0000 + w as u64 * 0x1000 + i * 64);
+                    }
+                }
+                b.tile_barrier();
+                streams.push((w, b.into_stream().collect()));
+            }
+        }
+        let prog = Program::compile(
+            geom,
+            HwConfig::Pc,
+            &MicroArch::paper(),
+            streams.iter().map(|(w, v)| (*w, v.as_slice())),
+        );
+        let mut legacy = Machine::new(geom, MicroArch::paper());
+        legacy.reconfigure(HwConfig::Pc);
+        let mut m = Machine::new(geom, MicroArch::paper());
+        m.reconfigure(HwConfig::Pc);
+        for run in 0..5 {
+            let want = legacy.run(stream_set(geom, &streams)).unwrap();
+            let got = m.run_program(&prog).unwrap();
+            assert_eq!(got, want, "run {run} diverged from the legacy loop");
+        }
+        // Run 0 carries the reconfiguration cost (no memo); the bank
+        // state then needs one warm run to fix (cold-run prefetches age
+        // out of the LRU order), so runs 3-4 replay the memo.
+        assert!(m.steady_hits() >= 2, "steady-state memo never engaged");
+        let hits = m.steady_hits();
+
+        // A recompiled program gets a fresh identity: the stale memo must
+        // not serve it, and the re-simulated run must still agree.
+        let mut prog2 = prog.clone();
+        prog2.recompile(
+            geom,
+            HwConfig::Pc,
+            &MicroArch::paper(),
+            streams.iter().map(|(w, v)| (*w, v.as_slice())),
+        );
+        let want = legacy.run(stream_set(geom, &streams)).unwrap();
+        let got = m.run_program(&prog2).unwrap();
+        assert_eq!(got, want, "recompiled program diverged");
+        assert_eq!(
+            m.steady_hits(),
+            hits,
+            "stale memo served a recompiled program"
+        );
+    }
+
+    #[test]
+    fn parallel_tiles_actually_eligible() {
+        let geom = Geometry::new(2, 4);
+        let streams = workload(geom, false);
+        let prog = Program::compile(
+            geom,
+            HwConfig::Pc,
+            &MicroArch::paper(),
+            streams.iter().map(|(w, v)| (*w, v.as_slice())),
+        );
+        assert!(
+            prog.parallel_ok(),
+            "workload must exercise the parallel core"
+        );
+    }
+
+    #[test]
+    fn program_mismatch_rejected() {
+        let geom = Geometry::new(1, 2);
+        let mut b = StreamBuilder::new();
+        b.compute(1);
+        let ops: Vec<Op> = b.into_stream().collect();
+        let prog = Program::compile(
+            geom,
+            HwConfig::Pc,
+            &MicroArch::paper(),
+            [(0usize, ops.as_slice())],
+        );
+        let mut m = Machine::new(geom, MicroArch::paper());
+        assert!(matches!(
+            m.run_program(&prog),
+            Err(SimError::ProgramMismatch { .. })
+        ));
+        let other = Program::compile(
+            Geometry::new(2, 2),
+            HwConfig::Sc,
+            &MicroArch::paper(),
+            [(0usize, ops.as_slice())],
+        );
+        assert!(matches!(
+            m.run_program(&other),
+            Err(SimError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn poisoned_program_reproduces_run_errors() {
+        let geom = Geometry::new(1, 2);
+        let mut spm = StreamBuilder::new();
+        spm.compute(2).spm_load(0);
+        let spm_ops: Vec<Op> = spm.into_stream().collect();
+        let prog = Program::compile(
+            geom,
+            HwConfig::Sc,
+            &MicroArch::paper(),
+            [(0usize, spm_ops.as_slice())],
+        );
+        let mut m = Machine::new(geom, MicroArch::paper());
+        assert!(matches!(
+            m.run_program(&prog),
+            Err(SimError::SpmUnavailable {
+                config: HwConfig::Sc,
+                worker: 0
+            })
+        ));
+
+        let mut bar = StreamBuilder::new();
+        bar.tile_barrier();
+        let bar_ops: Vec<Op> = bar.into_stream().collect();
+        let prog = Program::compile(
+            geom,
+            HwConfig::Sc,
+            &MicroArch::paper(),
+            [(geom.lcp_id(0), bar_ops.as_slice())],
+        );
+        assert!(matches!(
+            m.run_program(&prog),
+            Err(SimError::LcpBarrier { tile: 0 })
+        ));
+
+        // Mismatched tile-barrier counts deadlock, as in run().
+        let mut a = StreamBuilder::new();
+        a.tile_barrier();
+        let a_ops: Vec<Op> = a.into_stream().collect();
+        let mut b = StreamBuilder::new();
+        b.compute(1);
+        let b_ops: Vec<Op> = b.into_stream().collect();
+        let prog = Program::compile(
+            geom,
+            HwConfig::Sc,
+            &MicroArch::paper(),
+            [(0usize, a_ops.as_slice()), (1usize, b_ops.as_slice())],
+        );
+        match m.run_program(&prog) {
+            Err(SimError::BarrierDeadlock { blocked }) => assert_eq!(blocked, vec![0]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejected_lint_travels_with_program() {
+        let geom = Geometry::new(1, 1);
+        let mut b = StreamBuilder::new();
+        b.spm_load(0);
+        let ops: Vec<Op> = b.into_stream().collect();
+        let mut prog = Program::compile(
+            geom,
+            HwConfig::Sc,
+            &MicroArch::paper(),
+            [(0usize, ops.as_slice())],
+        );
+        let mut set = verify::ProgramSet::new(geom);
+        set.set_pe(0, 0, ops.iter().copied());
+        let diags = verify::lint(&set, HwConfig::Sc, &MicroArch::paper(), None);
+        assert!(!verify::is_clean(&diags));
+        prog.attach_lint(diags);
+        let mut m = Machine::new(geom, MicroArch::paper());
+        assert!(matches!(
+            m.run_program(&prog),
+            Err(SimError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    fn reconfigure_carry_included_in_program_run() {
+        let geom = Geometry::new(1, 2);
+        let mut m = Machine::new(geom, MicroArch::paper());
+        let mut s = StreamSet::new(geom);
+        let mut p = StreamBuilder::new();
+        for i in 0..64 {
+            p.store(0x1000 + i * 64);
+        }
+        s.set_pe(0, 0, p.into_stream());
+        let _ = m.run(s).unwrap();
+        let cost = m.reconfigure(HwConfig::Ps);
+        assert!(cost >= 10);
+        let mut b = StreamBuilder::new();
+        b.compute(5);
+        let ops: Vec<Op> = b.into_stream().collect();
+        let prog = Program::compile(
+            geom,
+            HwConfig::Ps,
+            &MicroArch::paper(),
+            [(0usize, ops.as_slice())],
+        );
+        let r = m.run_program(&prog).unwrap();
+        assert_eq!(r.cycles, cost + 5);
+        assert_eq!(r.stats.reconfigurations, 1);
+    }
+}
+
+#[cfg(test)]
 mod trace_tests {
     use super::*;
-    use crate::op::{Op, Program};
+    use crate::op::{Op, StreamBuilder};
     use crate::trace::TraceConfig;
 
     #[test]
@@ -992,10 +1702,10 @@ mod trace_tests {
         let mut m = Machine::new(Geometry::new(1, 2), MicroArch::paper());
         m.set_trace(Some(TraceConfig::default()));
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(3).load(0x40).store(0x44);
         s.set_pe(0, 0, p.into_stream());
-        let mut q = Program::new();
+        let mut q = StreamBuilder::new();
         q.compute(1);
         s.set_pe(0, 1, q.into_stream());
         let _ = m.run(s).unwrap();
@@ -1020,7 +1730,7 @@ mod trace_tests {
     fn trace_disabled_by_default_and_after_take() {
         let mut m = Machine::new(Geometry::new(1, 1), MicroArch::paper());
         let mut s = StreamSet::new(m.geometry());
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(1);
         s.set_pe(0, 0, p.into_stream());
         let _ = m.run(s).unwrap();
@@ -1036,7 +1746,7 @@ mod trace_tests {
         }));
         let mut s = StreamSet::new(m.geometry());
         for pe in 0..2 {
-            let mut p = Program::new();
+            let mut p = StreamBuilder::new();
             p.compute(2);
             s.set_pe(0, pe, p.into_stream());
         }

@@ -12,7 +12,7 @@
 
 use crate::cache::{CacheBank, ProbeResult};
 use crate::config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
-use crate::hbm::Hbm;
+use crate::hbm::{Hbm, HbmSink};
 use crate::op::Addr;
 use crate::stats::SimStats;
 
@@ -28,13 +28,13 @@ const PORT_KINDS: usize = 3;
 /// divisor is a power of two (line sizes and bank counts almost always
 /// are; the fallback keeps odd geometries correct).
 #[derive(Debug, Clone, Copy)]
-struct FastDiv {
+pub(crate) struct FastDiv {
     n: u64,
     shift: Option<u32>,
 }
 
 impl FastDiv {
-    fn new(n: u64) -> Self {
+    pub(crate) fn new(n: u64) -> Self {
         let n = n.max(1);
         FastDiv {
             n,
@@ -43,7 +43,7 @@ impl FastDiv {
     }
 
     #[inline]
-    fn div(self, x: u64) -> u64 {
+    pub(crate) fn div(self, x: u64) -> u64 {
         match self.shift {
             Some(s) => x >> s,
             None => x / self.n,
@@ -51,7 +51,7 @@ impl FastDiv {
     }
 
     #[inline]
-    fn rem(self, x: u64) -> u64 {
+    pub(crate) fn rem(self, x: u64) -> u64 {
         match self.shift {
             Some(_) => x & (self.n - 1),
             None => x % self.n,
@@ -241,92 +241,141 @@ impl MemorySystem {
         let tile = tile32 as usize;
         let pe = (pe32 >= 0).then_some(pe32 as usize);
         let completion = match (pe, self.hw.l1()) {
-            // LCPs have no L1; they access the L2 level directly.
-            (None, _) | (Some(_), L1Mode::PrivateSpm) => {
-                let at = cycle + self.ua.xbar_latency;
-                let done = self.l2_fill(tile, pe, line, is_store, at);
-                if is_store {
-                    cycle + self.ua.xbar_latency + 1
-                } else {
-                    done
+            // LCPs have no L1; they access the L2 level directly, as do
+            // PEs in PS mode (their level-1 banks are scratchpad).
+            (None, _) | (Some(_), L1Mode::PrivateSpm) => match self.hw.l2() {
+                L2Mode::SharedCache => self.shared_direct_access(tile, line, is_store, cycle),
+                L2Mode::PrivateCache => {
+                    let (mut t, p) = self.priv_tile(tile);
+                    priv_direct_access(&mut t, &p, pe, line, is_store, cycle)
                 }
-            }
-            (Some(pe), l1mode) => {
+            },
+            (Some(_), L1Mode::SharedCache | L1Mode::SharedCacheSpm) => {
                 // `l1_div` tracks the bank count for the *current* L1
                 // mode (rebuilt alongside the banks on reconfigure).
-                let nbanks = self.l1_div.n;
-                let (bank, local, base_lat) = match l1mode {
-                    L1Mode::SharedCache | L1Mode::SharedCacheSpm => {
-                        let bank = self.l1_div.rem(line) as usize;
-                        let conflicts = self.claim(cycle, PORT_L1, tile, bank);
-                        self.stats.xbar_traversals += 1;
-                        (
-                            bank,
-                            self.l1_div.div(line),
-                            self.ua.xbar_latency
-                                + self.ua.arbitration_latency
-                                + conflicts
-                                + self.ua.l1_latency,
-                        )
-                    }
-                    L1Mode::PrivateCache => (pe, line, self.ua.l1_latency),
-                    L1Mode::PrivateSpm => unreachable!("handled above"),
-                };
-                let bidx = tile * self.l1_banks + bank;
-                let prefetch = self.ua.prefetch;
-                let bank_ref = &mut self.l1[bidx];
-                let probe = bank_ref.access(local, is_store);
-                // Per-bank tagged stride prefetcher (Table II lists one on
-                // every RCache bank): any sequential access — hit or miss —
-                // pulls the bank's next line into L1. This is what makes
-                // COO/CSC streaming fast, and what pollutes the bank for
-                // resident structures (merge heaps, vector segments), the
-                // §III-C.3 effect.
-                let stride = prefetch && bank_ref.stride_detected(local);
-                let pf_wanted = stride && !bank_ref.contains(local + 1);
-                let completion = match probe {
-                    ProbeResult::Hit => {
-                        self.stats.l1_hits += 1;
-                        cycle + base_lat
-                    }
-                    ProbeResult::Miss {
-                        victim_dirty,
-                        victim_line,
-                    } => {
-                        self.stats.l1_misses += 1;
-                        if victim_dirty {
-                            let victim_global =
-                                victim_line.expect("dirty implies valid") * nbanks + bank as u64;
-                            self.l2_writeback(tile, Some(pe), victim_global, cycle + base_lat);
-                        }
-                        let fill_done = self.l2_fill(tile, Some(pe), line, false, cycle + base_lat);
-                        if is_store {
-                            cycle + base_lat + 1
-                        } else {
-                            fill_done
-                        }
-                    }
-                };
-                if pf_wanted {
-                    let pf_local = local + 1;
-                    let pf_global = pf_local * nbanks + bank as u64;
-                    // Asynchronous: charge the L2-side traffic, don't
-                    // extend the demand access.
-                    let _ = self.l2_fill(tile, Some(pe), pf_global, false, cycle + base_lat);
-                    self.stats.prefetches += 1;
-                    if let Some(dirty_local) = self.l1[bidx].install(pf_local) {
-                        self.l2_writeback(
-                            tile,
-                            Some(pe),
-                            dirty_local * nbanks + bank as u64,
-                            cycle + base_lat,
-                        );
-                    }
-                }
-                completion
+                let bank = self.l1_div.rem(line) as usize;
+                let local = self.l1_div.div(line);
+                self.shared_l1_access(tile, bank, local, line, is_store, cycle)
+            }
+            (Some(pe), L1Mode::PrivateCache) => {
+                let (mut t, p) = self.priv_tile(tile);
+                priv_l1_access(&mut t, &p, pe, line, is_store, cycle)
             }
         };
         completion.max(cycle + 1)
+    }
+
+    /// Direct L2 access under a *shared* L2 (LCPs in SC/SCS). The bank
+    /// route ignores the requester, so no PE identity is needed.
+    pub(crate) fn shared_direct_access(
+        &mut self,
+        tile: usize,
+        line: u64,
+        is_store: bool,
+        cycle: u64,
+    ) -> u64 {
+        let at = cycle + self.ua.xbar_latency;
+        let done = self.l2_fill(tile, None, line, is_store, at);
+        if is_store {
+            cycle + self.ua.xbar_latency + 1
+        } else {
+            done
+        }
+    }
+
+    /// Shared (arbitrated) L1 access for a PE in SC/SCS with the bank
+    /// route already resolved (`bank = line % nbanks`,
+    /// `local = line / nbanks`). Shared L1 implies shared L2, whose
+    /// route ignores the requesting PE, so none is passed.
+    pub(crate) fn shared_l1_access(
+        &mut self,
+        tile: usize,
+        bank: usize,
+        local: u64,
+        line: u64,
+        is_store: bool,
+        cycle: u64,
+    ) -> u64 {
+        let conflicts = self.claim(cycle, PORT_L1, tile, bank);
+        self.stats.xbar_traversals += 1;
+        let base_lat =
+            self.ua.xbar_latency + self.ua.arbitration_latency + conflicts + self.ua.l1_latency;
+        let nbanks = self.l1_div.n;
+        let bidx = tile * self.l1_banks + bank;
+        let prefetch = self.ua.prefetch;
+        let bank_ref = &mut self.l1[bidx];
+        let probe = bank_ref.access(local, is_store);
+        // Per-bank tagged stride prefetcher (Table II lists one on
+        // every RCache bank): any sequential access — hit or miss —
+        // pulls the bank's next line into L1. This is what makes
+        // COO/CSC streaming fast, and what pollutes the bank for
+        // resident structures (merge heaps, vector segments), the
+        // §III-C.3 effect.
+        let stride = prefetch && bank_ref.stride_detected(local);
+        let pf_wanted = stride && !bank_ref.contains(local + 1);
+        let completion = match probe {
+            ProbeResult::Hit => {
+                self.stats.l1_hits += 1;
+                cycle + base_lat
+            }
+            ProbeResult::Miss {
+                victim_dirty,
+                victim_line,
+            } => self.shared_l1_miss(
+                tile,
+                bank,
+                line,
+                nbanks,
+                victim_dirty,
+                victim_line,
+                is_store,
+                cycle + base_lat,
+            ),
+        };
+        if pf_wanted {
+            let pf_local = local + 1;
+            let pf_global = pf_local * nbanks + bank as u64;
+            // Asynchronous: charge the L2-side traffic, don't
+            // extend the demand access.
+            let _ = self.l2_fill(tile, None, pf_global, false, cycle + base_lat);
+            self.stats.prefetches += 1;
+            if let Some(dirty_local) = self.l1[bidx].install(pf_local) {
+                self.l2_writeback(
+                    tile,
+                    None,
+                    dirty_local * nbanks + bank as u64,
+                    cycle + base_lat,
+                );
+            }
+        }
+        completion
+    }
+
+    /// Shared-L1 miss slow path, outlined so the hit loop stays compact.
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn shared_l1_miss(
+        &mut self,
+        tile: usize,
+        bank: usize,
+        line: u64,
+        nbanks: u64,
+        victim_dirty: bool,
+        victim_line: Option<u64>,
+        is_store: bool,
+        at: u64,
+    ) -> u64 {
+        self.stats.l1_misses += 1;
+        if victim_dirty {
+            let victim_global = victim_line.expect("dirty implies valid") * nbanks + bank as u64;
+            self.l2_writeback(tile, None, victim_global, at);
+        }
+        let fill_done = self.l2_fill(tile, None, line, false, at);
+        if is_store {
+            at + 1
+        } else {
+            fill_done
+        }
     }
 
     /// L2 bank selection: returns `(tile, bank, local_line, nbanks_total,
@@ -455,27 +504,153 @@ impl MemorySystem {
         let (tile32, pe32) = self.locs[worker];
         let tile = tile32 as usize;
         assert!(pe32 >= 0, "LCPs have no scratchpad");
-        let pe = pe32 as usize;
         match self.hw.l1() {
             L1Mode::SharedCacheSpm => {
                 let word = self.word_div.div(offset as u64);
                 let bank = self.spm_div.rem(word) as usize;
-                let conflicts = self.claim(cycle, PORT_SPM, tile, bank);
-                self.stats.xbar_traversals += 1;
-                cycle
-                    + self.ua.xbar_latency
-                    + self.ua.arbitration_latency
-                    + conflicts
-                    + self.ua.l1_latency
+                self.spm_shared_access(tile, bank, cycle)
             }
-            L1Mode::PrivateSpm => {
-                let _ = pe; // own bank, transparent crossbar
-                cycle + self.ua.l1_latency
-            }
+            // Own bank, transparent crossbar.
+            L1Mode::PrivateSpm => cycle + self.ua.l1_latency,
             L1Mode::SharedCache | L1Mode::PrivateCache => {
                 panic!("spm access in a cache-only configuration ({:?})", self.hw)
             }
         }
+    }
+
+    /// Shared-SPM access (SCS) with the bank already resolved
+    /// (`bank = (offset / word_bytes) % spm_banks`).
+    pub(crate) fn spm_shared_access(&mut self, tile: usize, bank: usize, cycle: u64) -> u64 {
+        let conflicts = self.claim(cycle, PORT_SPM, tile, bank);
+        self.stats.xbar_traversals += 1;
+        cycle + self.ua.xbar_latency + self.ua.arbitration_latency + conflicts + self.ua.l1_latency
+    }
+
+    /// Parameter block for the private-hierarchy access paths (PC/PS):
+    /// everything those paths read from the memory system besides the
+    /// tile's own banks, so they can run against either the real system
+    /// or a per-tile split (see [`MemorySystem::split_tiles`]).
+    pub(crate) fn priv_params(&self) -> PrivParams {
+        PrivParams {
+            xbar: self.ua.xbar_latency,
+            l1_latency: self.ua.l1_latency,
+            l2_latency: self.ua.l2_latency,
+            prefetch: self.ua.prefetch,
+            l1_nbanks: self.l1_div.n,
+            b_div: self.b_div,
+        }
+    }
+
+    /// Mutable view of one tile's private banks plus the HBM and stats.
+    pub(crate) fn priv_tile(&mut self, tile: usize) -> (PrivTile<'_, Hbm>, PrivParams) {
+        let p = self.priv_params();
+        let l1_lo = tile * self.l1_banks;
+        let l2_lo = tile * self.l2_banks;
+        (
+            PrivTile {
+                l1: &mut self.l1[l1_lo..l1_lo + self.l1_banks],
+                l2: &mut self.l2[l2_lo..l2_lo + self.l2_banks],
+                hbm: &mut self.hbm,
+                stats: &mut self.stats,
+            },
+            p,
+        )
+    }
+
+    /// Private-L1 access (PC) routed through [`priv_l1_access`] — the
+    /// same code path the epoch-parallel tile core executes.
+    pub(crate) fn priv_l1(
+        &mut self,
+        tile: usize,
+        pe: usize,
+        line: u64,
+        is_store: bool,
+        cycle: u64,
+    ) -> u64 {
+        let (mut t, p) = self.priv_tile(tile);
+        priv_l1_access(&mut t, &p, pe, line, is_store, cycle)
+    }
+
+    /// Direct private-L2 access (PS PEs, or LCPs under PC/PS).
+    pub(crate) fn priv_direct(
+        &mut self,
+        tile: usize,
+        pe: Option<usize>,
+        line: u64,
+        is_store: bool,
+        cycle: u64,
+    ) -> u64 {
+        let (mut t, p) = self.priv_tile(tile);
+        priv_direct_access(&mut t, &p, pe, line, is_store, cycle)
+    }
+
+    /// Splits the memory system into independent per-tile views (L1 and
+    /// L2 bank slices) plus the shared HBM, run stats and parameters.
+    /// Only meaningful under PC/PS, where tiles share no bank and no
+    /// arbitrated port — HBM is the sole cross-tile coupling.
+    pub(crate) fn split_tiles(&mut self) -> TileSplit<'_> {
+        let tiles = self.geom.tiles();
+        let params = self.priv_params();
+        let l1: Vec<&mut [CacheBank]> = if self.l1_banks == 0 {
+            (0..tiles).map(|_| Default::default()).collect()
+        } else {
+            self.l1.chunks_mut(self.l1_banks).collect()
+        };
+        let l2: Vec<&mut [CacheBank]> = self.l2.chunks_mut(self.l2_banks).collect();
+        TileSplit {
+            l1,
+            l2,
+            hbm: &mut self.hbm,
+            params,
+        }
+    }
+
+    /// Snapshot of every mutable structure the private-path accesses can
+    /// touch (bank contents + HBM), for epoch rollback on replay
+    /// mismatch. Claim ports are untouched under PC/PS and run stats are
+    /// merged only on commit, so neither needs saving.
+    pub(crate) fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            hbm: self.hbm.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`MemorySystem::snapshot`].
+    pub(crate) fn restore(&mut self, snap: &MemSnapshot) {
+        self.l1.clone_from(&snap.l1);
+        self.l2.clone_from(&snap.l2);
+        self.hbm = snap.hbm.clone();
+    }
+
+    /// Mutable access to the HBM stack (epoch replay).
+    pub(crate) fn hbm_mut(&mut self) -> &mut Hbm {
+        &mut self.hbm
+    }
+
+    /// Clones the bank state (L1 + L2) for the steady-state memo. The
+    /// HBM is deliberately excluded: [`MemorySystem::begin_run`] resets
+    /// it, so pre-run HBM state never influences a run.
+    pub(crate) fn cache_state(&self) -> (Vec<CacheBank>, Vec<CacheBank>) {
+        (self.l1.clone(), self.l2.clone())
+    }
+
+    /// True when the live banks would behave identically to `state`
+    /// (see [`CacheBank::same_behavior`]).
+    pub(crate) fn cache_state_matches(&self, state: &(Vec<CacheBank>, Vec<CacheBank>)) -> bool {
+        self.l1.len() == state.0.len()
+            && self.l2.len() == state.1.len()
+            && self
+                .l1
+                .iter()
+                .zip(&state.0)
+                .all(|(a, b)| a.same_behavior(b))
+            && self
+                .l2
+                .iter()
+                .zip(&state.1)
+                .all(|(a, b)| a.same_behavior(b))
     }
 
     /// Runtime reconfiguration to `new_hw`: flushes dirty lines, rebuilds
@@ -515,6 +690,236 @@ impl MemorySystem {
     pub fn spm_bytes_per_tile(&self) -> usize {
         self.ua
             .spm_bytes_per_tile(self.geom.pes_per_tile(), self.hw.l1())
+    }
+}
+
+/// Copy of the microarchitectural parameters the private access paths
+/// need, detached from `&MemorySystem` so per-tile splits can carry it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrivParams {
+    pub(crate) xbar: u64,
+    pub(crate) l1_latency: u64,
+    pub(crate) l2_latency: u64,
+    pub(crate) prefetch: bool,
+    /// L1 bank count in the current mode (`l1_div.n`; `B` under PC).
+    pub(crate) l1_nbanks: u64,
+    /// Divisor for PEs per tile (LCP round-robin over private L2 banks).
+    pub(crate) b_div: FastDiv,
+}
+
+/// One tile's mutable memory state for the private-hierarchy paths:
+/// its L1 banks (empty under PS), its L2 banks, an HBM sink and a stats
+/// block. `H` is the real [`Hbm`] in sequential execution and a logging
+/// shadow in the epoch-parallel core.
+#[derive(Debug)]
+pub(crate) struct PrivTile<'a, H> {
+    pub(crate) l1: &'a mut [CacheBank],
+    pub(crate) l2: &'a mut [CacheBank],
+    pub(crate) hbm: &'a mut H,
+    pub(crate) stats: &'a mut SimStats,
+}
+
+/// Independent per-tile views of the whole memory system (PC/PS only).
+#[derive(Debug)]
+pub(crate) struct TileSplit<'a> {
+    pub(crate) l1: Vec<&'a mut [CacheBank]>,
+    pub(crate) l2: Vec<&'a mut [CacheBank]>,
+    pub(crate) hbm: &'a mut Hbm,
+    pub(crate) params: PrivParams,
+}
+
+/// Bank/HBM snapshot for epoch rollback.
+#[derive(Debug)]
+pub(crate) struct MemSnapshot {
+    l1: Vec<CacheBank>,
+    l2: Vec<CacheBank>,
+    hbm: Hbm,
+}
+
+/// Private-L2 bank selection within a tile: `(bank, local_line, nbanks)`.
+/// A PE owns bank `pe` outright (full line space, transparent crossbar);
+/// the LCP round-robins over the tile's banks.
+#[inline]
+pub(crate) fn priv_route(p: &PrivParams, pe: Option<usize>, line: u64) -> (usize, u64, u64) {
+    match pe {
+        Some(pe) => (pe, line, 1),
+        None => (p.b_div.rem(line) as usize, p.b_div.div(line), p.b_div.n),
+    }
+}
+
+/// Direct private-L2 access: PS PEs (no L1 cache level) and LCPs under
+/// PC/PS. Mirrors the store-ack convention of
+/// [`MemorySystem::shared_direct_access`].
+pub(crate) fn priv_direct_access<H: HbmSink>(
+    t: &mut PrivTile<'_, H>,
+    p: &PrivParams,
+    pe: Option<usize>,
+    line: u64,
+    is_store: bool,
+    cycle: u64,
+) -> u64 {
+    let at = cycle + p.xbar;
+    let done = priv_l2_fill(t, p, pe, line, is_store, at);
+    if is_store {
+        cycle + p.xbar + 1
+    } else {
+        done
+    }
+}
+
+/// Fills `line` in the tile's private L2 (no arbitration, no claims —
+/// the transparent crossbar has no shared port to conflict on).
+pub(crate) fn priv_l2_fill<H: HbmSink>(
+    t: &mut PrivTile<'_, H>,
+    p: &PrivParams,
+    pe: Option<usize>,
+    line: u64,
+    is_store: bool,
+    at: u64,
+) -> u64 {
+    let (bank, local, nbanks) = priv_route(p, pe, line);
+    let lat = p.xbar + p.l2_latency;
+    let bank_ref = &mut t.l2[bank];
+    let probe = bank_ref.access(local, is_store);
+    // Tagged stride prefetcher on the L2 banks as well: sequential
+    // access streams (hit or miss) keep pulling the next line from
+    // main memory.
+    let stride = p.prefetch && bank_ref.stride_detected(local);
+    let pf_wanted = stride && !bank_ref.contains(local + 1);
+    let completion = match probe {
+        ProbeResult::Hit => {
+            t.stats.l2_hits += 1;
+            at + lat
+        }
+        ProbeResult::Miss {
+            victim_dirty,
+            victim_line,
+        } => {
+            t.stats.l2_misses += 1;
+            if victim_dirty {
+                let victim_global =
+                    victim_line.expect("dirty implies valid") * nbanks + (line % nbanks);
+                // Writebacks consume HBM bandwidth off the critical path.
+                let _ = t.hbm.write(victim_global, at + lat);
+            }
+            let done = t.hbm.read(line, at + lat);
+            done + p.xbar
+        }
+    };
+    if pf_wanted {
+        let pf_local = local + 1;
+        let pf_global = pf_local * nbanks + (line % nbanks);
+        let _ = t.hbm.prefetch(pf_global, at + lat);
+        t.stats.prefetches += 1;
+        if let Some(dirty_local) = t.l2[bank].install(pf_local) {
+            let _ = t
+                .hbm
+                .write(dirty_local * nbanks + (line % nbanks), at + lat);
+        }
+    }
+    completion
+}
+
+/// Installs an L1 dirty victim into the tile's private L2.
+pub(crate) fn priv_l2_writeback<H: HbmSink>(
+    t: &mut PrivTile<'_, H>,
+    p: &PrivParams,
+    pe: Option<usize>,
+    line: u64,
+    at: u64,
+) {
+    let (bank, local, nbanks) = priv_route(p, pe, line);
+    t.stats.l2_writeback_installs += 1;
+    // A full-line writeback needs no fetch: install directly, dirty.
+    if let Some(dirty_local) = t.l2[bank].install(local) {
+        let _ = t.hbm.write(dirty_local * nbanks + (line % nbanks), at);
+    }
+    // Mark dirty via a store probe (guaranteed hit after install;
+    // only bank-internal counters are touched, not run stats).
+    let _ = t.l2[bank].access(local, true);
+}
+
+/// Private-L1 access for PE `pe` (PC mode): bank `pe`, full line space
+/// locally, single-cycle base latency, no arbitration.
+pub(crate) fn priv_l1_access<H: HbmSink>(
+    t: &mut PrivTile<'_, H>,
+    p: &PrivParams,
+    pe: usize,
+    line: u64,
+    is_store: bool,
+    cycle: u64,
+) -> u64 {
+    let nbanks = p.l1_nbanks;
+    let local = line;
+    let base_lat = p.l1_latency;
+    let bank_ref = &mut t.l1[pe];
+    let probe = bank_ref.access(local, is_store);
+    let stride = p.prefetch && bank_ref.stride_detected(local);
+    let pf_wanted = stride && !bank_ref.contains(local + 1);
+    let completion = match probe {
+        ProbeResult::Hit => {
+            t.stats.l1_hits += 1;
+            cycle + base_lat
+        }
+        ProbeResult::Miss {
+            victim_dirty,
+            victim_line,
+        } => priv_l1_miss(
+            t,
+            p,
+            pe,
+            line,
+            nbanks,
+            victim_dirty,
+            victim_line,
+            is_store,
+            cycle + base_lat,
+        ),
+    };
+    if pf_wanted {
+        let pf_local = local + 1;
+        let pf_global = pf_local * nbanks + pe as u64;
+        // Asynchronous: charge the L2-side traffic, don't extend the
+        // demand access.
+        let _ = priv_l2_fill(t, p, Some(pe), pf_global, false, cycle + base_lat);
+        t.stats.prefetches += 1;
+        if let Some(dirty_local) = t.l1[pe].install(pf_local) {
+            priv_l2_writeback(
+                t,
+                p,
+                Some(pe),
+                dirty_local * nbanks + pe as u64,
+                cycle + base_lat,
+            );
+        }
+    }
+    completion
+}
+
+/// Private-L1 miss slow path, outlined so the hit loop stays compact.
+#[cold]
+#[allow(clippy::too_many_arguments)]
+fn priv_l1_miss<H: HbmSink>(
+    t: &mut PrivTile<'_, H>,
+    p: &PrivParams,
+    pe: usize,
+    line: u64,
+    nbanks: u64,
+    victim_dirty: bool,
+    victim_line: Option<u64>,
+    is_store: bool,
+    at: u64,
+) -> u64 {
+    t.stats.l1_misses += 1;
+    if victim_dirty {
+        let victim_global = victim_line.expect("dirty implies valid") * nbanks + pe as u64;
+        priv_l2_writeback(t, p, Some(pe), victim_global, at);
+    }
+    let fill_done = priv_l2_fill(t, p, Some(pe), line, false, at);
+    if is_store {
+        at + 1
+    } else {
+        fill_done
     }
 }
 

@@ -45,14 +45,14 @@ impl<I: Iterator<Item = Op>> OpStream for I {}
 /// A convenience builder that records ops into a buffer; useful in tests
 /// and for short LCP programs where laziness does not matter.
 #[derive(Debug, Clone, Default)]
-pub struct Program {
+pub struct StreamBuilder {
     ops: Vec<Op>,
 }
 
-impl Program {
+impl StreamBuilder {
     /// Creates an empty program.
     pub fn new() -> Self {
-        Program::default()
+        StreamBuilder::default()
     }
 
     /// Appends a compute burst (clamped to at least one cycle).
@@ -113,7 +113,7 @@ impl Program {
     }
 }
 
-impl IntoIterator for Program {
+impl IntoIterator for StreamBuilder {
     type Item = Op;
     type IntoIter = std::vec::IntoIter<Op>;
     fn into_iter(self) -> Self::IntoIter {
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn program_builder_records_in_order() {
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(3)
             .load(0x100)
             .store(0x104)
@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn compute_clamps_to_one() {
-        let mut p = Program::new();
+        let mut p = StreamBuilder::new();
         p.compute(0);
         assert_eq!(p.into_stream().next(), Some(Op::Compute(1)));
     }

@@ -1,0 +1,1006 @@
+//! Compiled program IR: the single artifact that crosses the
+//! kernel → verifier → machine boundary.
+//!
+//! Kernels lower their per-worker [`Op`] streams into a [`Program`]
+//! once; the machine then executes the pre-decoded micro-ops directly
+//! ([`crate::Machine::run_program`]), without per-step enum matching or
+//! boxed-iterator dispatch, and the verifier's verdict can be attached
+//! to the artifact so a cached program is linted exactly once
+//! ([`Program::attach_lint`]).
+//!
+//! Lowering resolves everything that is invariant for a given
+//! `(Geometry, HwConfig, MicroArch)` at build time: line numbers, L1
+//! bank routing, SPM bank selection, compute-cost clamping, and the
+//! *poisoning* of ops that the event loop would reject at run time
+//! (SPM ops without SPM, LCP tile barriers) — executing a poisoned op
+//! reproduces [`crate::Machine::run`]'s exact error or panic at the
+//! exact same point in the schedule.
+//!
+//! Lowering also segments the program by its global barriers and
+//! decides whether the *epoch-parallel* execution core may run it:
+//! under a private L2 ([`L2Mode::PrivateCache`]) tiles share no bank
+//! and no arbitrated port, so between two global barriers each tile
+//! can execute on its own host thread against a shadow HBM, with the
+//! real HBM replayed and validated afterwards (DESIGN.md §9).
+
+use crate::cache::CacheBank;
+use crate::config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
+use crate::hbm::{Hbm, HbmSink};
+use crate::machine::{release, BarrierState, Sched, SimError};
+use crate::memsys::{
+    priv_direct_access, priv_l1_access, FastDiv, MemorySystem, PrivParams, PrivTile,
+};
+use crate::op::Op;
+use crate::stats::SimStats;
+use crate::verify::{self, Diagnostic};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of [`Program::id`] values; 0 is reserved (never issued).
+static NEXT_PROGRAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Pre-decoded operation kind. The hardware-dependent routing decision
+/// (shared vs private, PE vs LCP) is taken at compile time, so the
+/// interpreter dispatches on a flat enum with no per-op mode checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MicroKind {
+    /// Busy the core for `a` cycles (already clamped to ≥ 1).
+    Compute,
+    /// Shared-L1 load/store (SC/SCS PE): `bank` = L1 bank,
+    /// `a` = bank-local line, `b` = global line.
+    SharedLoad,
+    SharedStore,
+    /// Direct shared-L2 load/store (LCP under a shared L2): `b` = line.
+    SharedDirLoad,
+    SharedDirStore,
+    /// Private-L1 load/store (PC PE): `bank` = PE, `b` = line.
+    PrivLoad,
+    PrivStore,
+    /// Direct private-L2 load/store (PS PE): `bank` = PE, `b` = line.
+    DirPeLoad,
+    DirPeStore,
+    /// Direct private-L2 load/store (LCP under a private L2): `b` = line.
+    DirLcpLoad,
+    DirLcpStore,
+    /// Shared-SPM access (SCS): `bank` = SPM bank. Loads and stores
+    /// time identically, so one kind covers both.
+    SpmShared,
+    /// Private-SPM access (PS): fixed bank latency.
+    SpmPrivate,
+    /// PE tile barrier.
+    TileBarrier,
+    /// Global barrier (epoch boundary).
+    GlobalBarrier,
+    /// SPM op compiled against a configuration without SPM: executing
+    /// it yields [`SimError::SpmUnavailable`].
+    PoisonSpm,
+    /// SPM op issued by an LCP (configuration has SPM): executing it
+    /// panics, as the memory system's own assertion would.
+    PoisonLcpSpm,
+    /// Tile barrier issued by an LCP: executing it yields
+    /// [`SimError::LcpBarrier`].
+    PoisonLcpBar,
+}
+
+/// One pre-decoded micro-op (24 bytes; the interpreter walks dense
+/// arrays of these).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MicroOp {
+    /// Compute cycles, or the bank-local line for shared-L1 accesses.
+    pub(crate) a: u64,
+    /// Global line number for memory accesses.
+    pub(crate) b: u64,
+    pub(crate) kind: MicroKind,
+    /// Resolved bank / PE index, where the kind needs one.
+    pub(crate) bank: u16,
+}
+
+impl MicroOp {
+    #[inline]
+    fn plain(kind: MicroKind) -> Self {
+        MicroOp {
+            a: 0,
+            b: 0,
+            kind,
+            bank: 0,
+        }
+    }
+}
+
+/// Verifier verdict attached to a compiled program.
+#[derive(Debug, Clone)]
+struct LintStatus {
+    clean: bool,
+    diagnostics: Vec<Diagnostic>,
+}
+
+/// A compiled, immutable execution artifact: every worker's op stream
+/// lowered to pre-decoded micro-ops for one specific
+/// `(Geometry, HwConfig, MicroArch)`.
+///
+/// A `Program` is the unit of **caching** (kernels compile once and
+/// re-run many times), **linting** ([`Program::attach_lint`] pins the
+/// verifier's verdict to the artifact) and **execution**
+/// ([`crate::Machine::run_program`]).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Process-unique identity of this compiled artifact, refreshed on
+    /// every [`Program::recompile`]: two runs observing the same id are
+    /// guaranteed to have executed the same micro-op streams, which is
+    /// what keys the machine's steady-state memo. Clones share the id
+    /// (a clone is the same immutable artifact).
+    id: u64,
+    geom: Geometry,
+    hw: HwConfig,
+    ua: MicroArch,
+    /// All workers' micro-ops, concatenated.
+    ops: Vec<MicroOp>,
+    /// Per-worker `(start, end)` range into `ops`; `None` = no stream.
+    ranges: Vec<Option<(u32, u32)>>,
+    /// True when the program is *epoch-congruent*: no poisoned ops,
+    /// every stream-bearing worker has the same global-barrier count,
+    /// and within each tile every PE stream has the same tile-barrier
+    /// count per global-barrier segment. Congruent programs under a
+    /// private L2 are eligible for epoch-parallel execution.
+    parallel_ok: bool,
+    lint: Option<LintStatus>,
+}
+
+impl Program {
+    /// Compiles per-worker op streams (pairs of global worker id and op
+    /// slice) into a program for the given machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker id is out of range for `geom`, or a worker is
+    /// given two streams.
+    pub fn compile<'a, I>(geom: Geometry, hw: HwConfig, ua: &MicroArch, streams: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, &'a [Op])>,
+    {
+        let mut p = Program {
+            id: 0,
+            geom,
+            hw,
+            ua: ua.clone(),
+            ops: Vec::new(),
+            ranges: Vec::new(),
+            parallel_ok: false,
+            lint: None,
+        };
+        p.recompile(geom, hw, ua, streams);
+        p
+    }
+
+    /// Re-lowers new streams into this program's buffers, avoiding
+    /// reallocation when a kernel compiles fresh ops every invocation
+    /// (masked / frontier-dependent streams). Any attached lint verdict
+    /// is discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker id is out of range for `geom`, or a worker is
+    /// given two streams.
+    pub fn recompile<'a, I>(&mut self, geom: Geometry, hw: HwConfig, ua: &MicroArch, streams: I)
+    where
+        I: IntoIterator<Item = (usize, &'a [Op])>,
+    {
+        self.id = NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed);
+        self.geom = geom;
+        self.hw = hw;
+        if self.ua != *ua {
+            self.ua = ua.clone();
+        }
+        self.ops.clear();
+        self.ranges.clear();
+        self.ranges.resize(geom.total_workers(), None);
+        self.lint = None;
+
+        let b = geom.pes_per_tile();
+        let line_div = FastDiv::new(ua.line_bytes as u64);
+        let word_div = FastDiv::new(ua.word_bytes as u64);
+        let l1_banks = ua.l1_cache_banks(b, hw.l1());
+        let l1_div = FastDiv::new(l1_banks as u64);
+        let spm_div = FastDiv::new((b - l1_banks) as u64);
+        let has_spm = matches!(hw.l1(), L1Mode::SharedCacheSpm | L1Mode::PrivateSpm);
+        let shared_l2 = hw.l2() == L2Mode::SharedCache;
+
+        let mut poisoned = false;
+        // Per stream-bearing worker: tile-barrier count in each
+        // global-barrier segment (last entry = tail segment), used for
+        // the congruence check below. The global-barrier count is the
+        // vector length minus one.
+        let mut segments: Vec<(usize, Vec<u32>)> = Vec::new();
+
+        for (worker, ops) in streams {
+            assert!(worker < geom.total_workers(), "worker id out of range");
+            assert!(self.ranges[worker].is_none(), "worker given two streams");
+            let (_, pe) = geom.locate(worker);
+            let lo = self.ops.len() as u32;
+            let mut segs: Vec<u32> = vec![0];
+            for &op in ops {
+                let m = match op {
+                    Op::Compute(n) => MicroOp {
+                        a: n.max(1) as u64,
+                        b: 0,
+                        kind: MicroKind::Compute,
+                        bank: 0,
+                    },
+                    Op::Load(addr) | Op::Store(addr) => {
+                        let is_store = matches!(op, Op::Store(_));
+                        let line = line_div.div(addr);
+                        match (pe, hw.l1()) {
+                            (None, _) => MicroOp {
+                                a: 0,
+                                b: line,
+                                kind: match (shared_l2, is_store) {
+                                    (true, false) => MicroKind::SharedDirLoad,
+                                    (true, true) => MicroKind::SharedDirStore,
+                                    (false, false) => MicroKind::DirLcpLoad,
+                                    (false, true) => MicroKind::DirLcpStore,
+                                },
+                                bank: 0,
+                            },
+                            (Some(_), L1Mode::SharedCache | L1Mode::SharedCacheSpm) => MicroOp {
+                                a: l1_div.div(line),
+                                b: line,
+                                kind: if is_store {
+                                    MicroKind::SharedStore
+                                } else {
+                                    MicroKind::SharedLoad
+                                },
+                                bank: l1_div.rem(line) as u16,
+                            },
+                            (Some(pe), L1Mode::PrivateCache) => MicroOp {
+                                a: 0,
+                                b: line,
+                                kind: if is_store {
+                                    MicroKind::PrivStore
+                                } else {
+                                    MicroKind::PrivLoad
+                                },
+                                bank: pe as u16,
+                            },
+                            (Some(pe), L1Mode::PrivateSpm) => MicroOp {
+                                a: 0,
+                                b: line,
+                                kind: if is_store {
+                                    MicroKind::DirPeStore
+                                } else {
+                                    MicroKind::DirPeLoad
+                                },
+                                bank: pe as u16,
+                            },
+                        }
+                    }
+                    Op::SpmLoad(off) | Op::SpmStore(off) => {
+                        if !has_spm {
+                            poisoned = true;
+                            MicroOp::plain(MicroKind::PoisonSpm)
+                        } else if pe.is_none() {
+                            poisoned = true;
+                            MicroOp::plain(MicroKind::PoisonLcpSpm)
+                        } else if hw.l1() == L1Mode::SharedCacheSpm {
+                            let word = word_div.div(off as u64);
+                            MicroOp {
+                                a: 0,
+                                b: 0,
+                                kind: MicroKind::SpmShared,
+                                bank: spm_div.rem(word) as u16,
+                            }
+                        } else {
+                            MicroOp::plain(MicroKind::SpmPrivate)
+                        }
+                    }
+                    Op::TileBarrier => {
+                        if pe.is_none() {
+                            poisoned = true;
+                            MicroOp::plain(MicroKind::PoisonLcpBar)
+                        } else {
+                            *segs.last_mut().expect("segment vector non-empty") += 1;
+                            MicroOp::plain(MicroKind::TileBarrier)
+                        }
+                    }
+                    Op::GlobalBarrier => {
+                        segs.push(0);
+                        MicroOp::plain(MicroKind::GlobalBarrier)
+                    }
+                };
+                self.ops.push(m);
+            }
+            let hi = self.ops.len() as u32;
+            self.ranges[worker] = Some((lo, hi));
+            segments.push((worker, segs));
+        }
+
+        self.parallel_ok = !poisoned && congruent(geom, &segments);
+    }
+
+    /// Attaches a verifier verdict ([`verify::lint`] diagnostics) to the
+    /// program. A program carrying error-severity diagnostics is
+    /// rejected by [`crate::Machine::run_program`] with
+    /// [`SimError::Rejected`] — the same contract as
+    /// [`crate::Machine::run_verified`], but the verdict travels with
+    /// the cached artifact instead of being recomputed per run.
+    pub fn attach_lint(&mut self, diagnostics: Vec<Diagnostic>) {
+        let clean = verify::is_clean(&diagnostics);
+        self.lint = Some(LintStatus { clean, diagnostics });
+    }
+
+    /// The lint verdict, if one was attached: `Some(true)` = clean.
+    pub fn lint_clean(&self) -> Option<bool> {
+        self.lint.as_ref().map(|l| l.clean)
+    }
+
+    /// Diagnostics that reject this program, if the attached lint found
+    /// error-severity findings.
+    pub(crate) fn rejecting_diagnostics(&self) -> Option<&[Diagnostic]> {
+        match &self.lint {
+            Some(l) if !l.clean => Some(&l.diagnostics),
+            _ => None,
+        }
+    }
+
+    /// Process-unique identity of the compiled streams (see the field
+    /// docs); refreshed by every [`Program::recompile`].
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Geometry the program was compiled for.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Hardware configuration the program was compiled for.
+    pub fn hw(&self) -> HwConfig {
+        self.hw
+    }
+
+    /// Microarchitecture the program was compiled for.
+    pub(crate) fn uarch(&self) -> &MicroArch {
+        &self.ua
+    }
+
+    /// True if the program is epoch-congruent (see the type docs); a
+    /// prerequisite for epoch-parallel execution.
+    pub fn parallel_ok(&self) -> bool {
+        self.parallel_ok
+    }
+
+    /// Total micro-ops across all workers.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no worker has any ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub(crate) fn micro_ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Builds the interpreter lane per stream-bearing worker, in
+    /// ascending worker order (the order is load-bearing: the lane
+    /// index is the scheduler tie-break key, and ascending worker order
+    /// makes it match [`crate::Machine::run`]'s worker-id tie-break).
+    pub(crate) fn lanes(&self, start: u64) -> Vec<Lane> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter_map(|(w, r)| {
+                r.map(|(lo, hi)| {
+                    let (tile, pe) = self.geom.locate(w);
+                    Lane {
+                        worker: w as u32,
+                        tile: tile as u32,
+                        lcp: pe.is_none(),
+                        pos: lo,
+                        end: hi,
+                        cycle: start,
+                        state: LaneState::Running,
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Checks epoch congruence: equal global-barrier counts across all
+/// stream-bearing workers, and per tile, identical per-segment
+/// tile-barrier counts across its PE streams.
+fn congruent(geom: Geometry, segments: &[(usize, Vec<u32>)]) -> bool {
+    let mut gb: Option<usize> = None;
+    for (_, segs) in segments {
+        let count = segs.len() - 1;
+        if *gb.get_or_insert(count) != count {
+            return false;
+        }
+    }
+    for tile in 0..geom.tiles() {
+        let mut proto: Option<&Vec<u32>> = None;
+        for (w, segs) in segments {
+            let (t, pe) = geom.locate(*w);
+            if t != tile || pe.is_none() {
+                continue;
+            }
+            match proto {
+                None => proto = Some(segs),
+                Some(p) if p == segs => {}
+                Some(_) => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Interpreter state for one stream-bearing worker.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Lane {
+    pub(crate) worker: u32,
+    pub(crate) tile: u32,
+    pub(crate) lcp: bool,
+    pub(crate) pos: u32,
+    pub(crate) end: u32,
+    pub(crate) cycle: u64,
+    pub(crate) state: LaneState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneState {
+    Running,
+    /// Paused at a global barrier it arrived at on the recorded cycle
+    /// (epoch-parallel execution stops here; the driver releases).
+    AtGlobal(u64),
+    /// Stream exhausted at the recorded cycle.
+    Finished(u64),
+}
+
+/// Memory-access context the micro-op interpreter runs against: the
+/// full [`MemorySystem`] for sequential execution, or a single tile's
+/// private banks plus a shadow HBM for epoch-parallel execution.
+pub(crate) trait ExecCtx {
+    fn stats(&mut self) -> &mut SimStats;
+    /// Called before each memory micro-op with its issue point; the
+    /// shadow-HBM context uses it to key its call log.
+    #[inline]
+    fn set_op_ctx(&mut self, _cycle: u64, _worker: u32) {}
+    /// Resolves one memory micro-op to its completion cycle.
+    fn access(&mut self, op: &MicroOp, tile: usize, cycle: u64) -> u64;
+}
+
+impl ExecCtx for MemorySystem {
+    #[inline]
+    fn stats(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
+    #[inline]
+    fn access(&mut self, op: &MicroOp, tile: usize, cycle: u64) -> u64 {
+        match op.kind {
+            MicroKind::SharedLoad | MicroKind::SharedStore => {
+                let is_store = op.kind == MicroKind::SharedStore;
+                self.shared_l1_access(tile, op.bank as usize, op.a, op.b, is_store, cycle)
+            }
+            MicroKind::SharedDirLoad | MicroKind::SharedDirStore => {
+                let is_store = op.kind == MicroKind::SharedDirStore;
+                self.shared_direct_access(tile, op.b, is_store, cycle)
+            }
+            MicroKind::PrivLoad | MicroKind::PrivStore => {
+                let is_store = op.kind == MicroKind::PrivStore;
+                self.priv_l1(tile, op.bank as usize, op.b, is_store, cycle)
+            }
+            MicroKind::DirPeLoad | MicroKind::DirPeStore => {
+                let is_store = op.kind == MicroKind::DirPeStore;
+                self.priv_direct(tile, Some(op.bank as usize), op.b, is_store, cycle)
+            }
+            MicroKind::DirLcpLoad | MicroKind::DirLcpStore => {
+                let is_store = op.kind == MicroKind::DirLcpStore;
+                self.priv_direct(tile, None, op.b, is_store, cycle)
+            }
+            MicroKind::SpmShared => self.spm_shared_access(tile, op.bank as usize, cycle),
+            MicroKind::SpmPrivate => cycle + self.uarch().l1_latency,
+            _ => unreachable!("non-memory micro-op reached access()"),
+        }
+    }
+}
+
+/// HBM call record for epoch replay (see [`ShadowHbm`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HbmCall {
+    /// Issue cycle of the micro-op that triggered the call.
+    pub(crate) cycle: u64,
+    /// Global worker id of the issuer.
+    pub(crate) worker: u32,
+    /// Call index within the micro-op (one op can fill, write back and
+    /// prefetch).
+    pub(crate) seq: u32,
+    pub(crate) kind: HbmCallKind,
+    pub(crate) line: u64,
+    pub(crate) at: u64,
+    /// Completion the shadow returned (validated for reads on replay).
+    pub(crate) done: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HbmCallKind {
+    Read,
+    Write,
+    Prefetch,
+}
+
+/// An [`Hbm`] clone that logs every call. Each tile of an epoch runs
+/// against its own shadow (seeded from the epoch-start HBM state);
+/// afterwards the logs are merged into the order sequential execution
+/// would have issued them — `(op issue cycle, worker, seq)`, which is
+/// exactly the event loop's processing order — and replayed against the
+/// real stack. If every *read* completion matches, per-tile timing was
+/// unaffected by cross-tile channel contention and the epoch commits
+/// (write/prefetch completions are discarded by every caller, so their
+/// divergence cannot alter timing; the replay still applies them, which
+/// also reproduces the sequential read/write counters exactly).
+#[derive(Debug)]
+pub(crate) struct ShadowHbm {
+    inner: Hbm,
+    log: Vec<HbmCall>,
+    cycle: u64,
+    worker: u32,
+    seq: u32,
+}
+
+impl ShadowHbm {
+    pub(crate) fn new(inner: Hbm) -> Self {
+        ShadowHbm {
+            inner,
+            log: Vec::new(),
+            cycle: 0,
+            worker: 0,
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn set_op(&mut self, cycle: u64, worker: u32) {
+        self.cycle = cycle;
+        self.worker = worker;
+        self.seq = 0;
+    }
+
+    #[inline]
+    fn record(&mut self, kind: HbmCallKind, line: u64, at: u64, done: u64) {
+        self.log.push(HbmCall {
+            cycle: self.cycle,
+            worker: self.worker,
+            seq: self.seq,
+            kind,
+            line,
+            at,
+            done,
+        });
+        self.seq += 1;
+    }
+
+    pub(crate) fn into_log(self) -> Vec<HbmCall> {
+        self.log
+    }
+}
+
+impl HbmSink for ShadowHbm {
+    #[inline]
+    fn read(&mut self, line: u64, cycle: u64) -> u64 {
+        let done = self.inner.read(line, cycle);
+        self.record(HbmCallKind::Read, line, cycle, done);
+        done
+    }
+
+    #[inline]
+    fn write(&mut self, line: u64, cycle: u64) -> u64 {
+        let done = self.inner.write(line, cycle);
+        self.record(HbmCallKind::Write, line, cycle, done);
+        done
+    }
+
+    #[inline]
+    fn prefetch(&mut self, line: u64, cycle: u64) -> u64 {
+        let done = self.inner.prefetch(line, cycle);
+        self.record(HbmCallKind::Prefetch, line, cycle, done);
+        done
+    }
+}
+
+/// One tile's execution context for the epoch-parallel core: the tile's
+/// private bank slices, a shadow HBM and a local stats block.
+#[derive(Debug)]
+pub(crate) struct TileExec<'a> {
+    l1: &'a mut [CacheBank],
+    l2: &'a mut [CacheBank],
+    shadow: ShadowHbm,
+    stats: SimStats,
+    params: PrivParams,
+    spm_latency: u64,
+}
+
+impl<'a> TileExec<'a> {
+    pub(crate) fn new(
+        l1: &'a mut [CacheBank],
+        l2: &'a mut [CacheBank],
+        hbm: Hbm,
+        params: PrivParams,
+        spm_latency: u64,
+    ) -> Self {
+        TileExec {
+            l1,
+            l2,
+            shadow: ShadowHbm::new(hbm),
+            stats: SimStats::default(),
+            params,
+            spm_latency,
+        }
+    }
+
+    /// Consumes the context into its local stats and HBM call log.
+    pub(crate) fn into_parts(self) -> (SimStats, Vec<HbmCall>) {
+        (self.stats, self.shadow.into_log())
+    }
+}
+
+impl ExecCtx for TileExec<'_> {
+    #[inline]
+    fn stats(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
+    #[inline]
+    fn set_op_ctx(&mut self, cycle: u64, worker: u32) {
+        self.shadow.set_op(cycle, worker);
+    }
+
+    #[inline]
+    fn access(&mut self, op: &MicroOp, _tile: usize, cycle: u64) -> u64 {
+        let mut t = PrivTile {
+            l1: &mut *self.l1,
+            l2: &mut *self.l2,
+            hbm: &mut self.shadow,
+            stats: &mut self.stats,
+        };
+        match op.kind {
+            MicroKind::PrivLoad | MicroKind::PrivStore => {
+                let is_store = op.kind == MicroKind::PrivStore;
+                priv_l1_access(
+                    &mut t,
+                    &self.params,
+                    op.bank as usize,
+                    op.b,
+                    is_store,
+                    cycle,
+                )
+            }
+            MicroKind::DirPeLoad | MicroKind::DirPeStore => {
+                let is_store = op.kind == MicroKind::DirPeStore;
+                priv_direct_access(
+                    &mut t,
+                    &self.params,
+                    Some(op.bank as usize),
+                    op.b,
+                    is_store,
+                    cycle,
+                )
+            }
+            MicroKind::DirLcpLoad | MicroKind::DirLcpStore => {
+                let is_store = op.kind == MicroKind::DirLcpStore;
+                priv_direct_access(&mut t, &self.params, None, op.b, is_store, cycle)
+            }
+            MicroKind::SpmPrivate => cycle + self.spm_latency,
+            _ => unreachable!("shared-path micro-op in a private-tile context"),
+        }
+    }
+}
+
+/// Executes `lanes` over `prog`'s micro-ops until every lane finishes
+/// or (with `stop_at_global`) pauses at a global barrier.
+///
+/// This is the micro-op twin of [`crate::Machine::run`]'s event loop:
+/// same scheduler, same tie-breaks, same inline-continue rule, same
+/// stat-update order — cycle counts are bit-for-bit identical.
+///
+/// `tile_base` is the tile index of `lanes[*].tile`'s smallest value
+/// when executing a single tile (`tiles == 1`); sequential execution
+/// passes `0` and the full tile count. Lanes must be in ascending
+/// global-worker order: the scheduler breaks cycle ties by lane index,
+/// which then matches the worker-id tie-break of [`crate::Machine::run`].
+pub(crate) fn exec_span<C: ExecCtx>(
+    ctx: &mut C,
+    prog: &Program,
+    lanes: &mut [Lane],
+    tile_base: usize,
+    tiles: usize,
+    stop_at_global: bool,
+) -> Result<(), SimError> {
+    let ops = prog.micro_ops();
+    let mut tile_barriers: Vec<BarrierState> = (0..tiles)
+        .map(|t| BarrierState {
+            expected: lanes
+                .iter()
+                .filter(|l| l.tile as usize == tile_base + t && !l.lcp)
+                .count(),
+            waiting: Vec::new(),
+        })
+        .collect();
+    let mut global_barrier = BarrierState {
+        expected: lanes.len(),
+        waiting: Vec::new(),
+    };
+
+    let start_max = lanes.iter().map(|l| l.cycle).max().unwrap_or(0);
+    let mut sched = Sched::new(lanes.len(), start_max);
+    for (i, lane) in lanes.iter().enumerate() {
+        if lane.state == LaneState::Running {
+            sched.push(lane.cycle, i as u32);
+        }
+    }
+
+    let mut cur = sched.pop();
+    'outer: while let Some((mut cycle, li)) = cur {
+        let lane = &mut lanes[li as usize];
+        let tile = lane.tile as usize;
+        loop {
+            if lane.pos == lane.end {
+                lane.cycle = cycle;
+                lane.state = LaneState::Finished(cycle);
+                cur = sched.pop();
+                continue 'outer;
+            }
+            let op = &ops[lane.pos as usize];
+            lane.pos += 1;
+            ctx.stats().ops += 1;
+            let done = match op.kind {
+                MicroKind::Compute => {
+                    ctx.stats().compute_cycles += op.a;
+                    cycle + op.a
+                }
+                MicroKind::SharedLoad
+                | MicroKind::SharedDirLoad
+                | MicroKind::PrivLoad
+                | MicroKind::DirPeLoad
+                | MicroKind::DirLcpLoad => {
+                    ctx.stats().loads += 1;
+                    ctx.set_op_ctx(cycle, lane.worker);
+                    let done = ctx.access(op, tile, cycle).max(cycle + 1);
+                    ctx.stats().mem_stall_cycles += (done - cycle).saturating_sub(1);
+                    done
+                }
+                MicroKind::SharedStore
+                | MicroKind::SharedDirStore
+                | MicroKind::PrivStore
+                | MicroKind::DirPeStore
+                | MicroKind::DirLcpStore => {
+                    ctx.stats().stores += 1;
+                    ctx.set_op_ctx(cycle, lane.worker);
+                    let done = ctx.access(op, tile, cycle).max(cycle + 1);
+                    ctx.stats().mem_stall_cycles += (done - cycle).saturating_sub(1);
+                    done
+                }
+                MicroKind::SpmShared | MicroKind::SpmPrivate => {
+                    ctx.stats().spm_accesses += 1;
+                    ctx.set_op_ctx(cycle, lane.worker);
+                    let done = ctx.access(op, tile, cycle);
+                    ctx.stats().mem_stall_cycles += (done - cycle).saturating_sub(1);
+                    done
+                }
+                MicroKind::TileBarrier => {
+                    let b = &mut tile_barriers[tile - tile_base];
+                    b.waiting.push((li, cycle));
+                    if b.waiting.len() == b.expected {
+                        release(b, cycle, &mut sched, ctx.stats());
+                    }
+                    cur = sched.pop();
+                    continue 'outer;
+                }
+                MicroKind::GlobalBarrier => {
+                    if stop_at_global {
+                        lane.cycle = cycle;
+                        lane.state = LaneState::AtGlobal(cycle);
+                    } else {
+                        let b = &mut global_barrier;
+                        b.waiting.push((li, cycle));
+                        if b.waiting.len() == b.expected {
+                            release(b, cycle, &mut sched, ctx.stats());
+                        }
+                    }
+                    cur = sched.pop();
+                    continue 'outer;
+                }
+                MicroKind::PoisonSpm => {
+                    return Err(SimError::SpmUnavailable {
+                        config: prog.hw,
+                        worker: lane.worker as usize,
+                    });
+                }
+                MicroKind::PoisonLcpSpm => {
+                    // Reproduce the memory system's own assertion: the
+                    // access is counted, then the access path panics.
+                    ctx.stats().spm_accesses += 1;
+                    panic!("LCPs have no scratchpad");
+                }
+                MicroKind::PoisonLcpBar => {
+                    return Err(SimError::LcpBarrier { tile });
+                }
+            };
+            match sched.step(done, li) {
+                Some(next) => {
+                    cur = Some(next);
+                    continue 'outer;
+                }
+                None => cycle = done,
+            }
+        }
+    }
+
+    let mut blocked: Vec<usize> = tile_barriers
+        .iter()
+        .flat_map(|b| {
+            b.waiting
+                .iter()
+                .map(|&(l, _)| lanes[l as usize].worker as usize)
+        })
+        .collect();
+    blocked.extend(
+        global_barrier
+            .waiting
+            .iter()
+            .map(|&(l, _)| lanes[l as usize].worker as usize),
+    );
+    if !blocked.is_empty() {
+        if stop_at_global {
+            // Lanes paused at the global barrier are blocked too: the
+            // barrier can never complete once a peer is deadlocked.
+            blocked.extend(lanes.iter().filter_map(|l| {
+                matches!(l.state, LaneState::AtGlobal(_)).then_some(l.worker as usize)
+            }));
+        }
+        blocked.sort_unstable();
+        return Err(SimError::BarrierDeadlock { blocked });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::StreamBuilder;
+
+    fn geom() -> Geometry {
+        Geometry::new(2, 4)
+    }
+
+    fn ua() -> MicroArch {
+        MicroArch::paper()
+    }
+
+    fn ops_of(builders: Vec<(usize, StreamBuilder)>) -> Vec<(usize, Vec<Op>)> {
+        builders
+            .into_iter()
+            .map(|(w, b)| (w, b.into_stream().collect()))
+            .collect()
+    }
+
+    fn compile(hw: HwConfig, streams: &[(usize, Vec<Op>)]) -> Program {
+        Program::compile(
+            geom(),
+            hw,
+            &ua(),
+            streams.iter().map(|(w, v)| (*w, v.as_slice())),
+        )
+    }
+
+    #[test]
+    fn lowers_shared_routing_at_compile_time() {
+        let mut b = StreamBuilder::new();
+        b.load(0x1000).store(0x1040).compute(0);
+        let streams = ops_of(vec![(0, b)]);
+        let p = compile(HwConfig::Sc, &streams);
+        let ops = p.micro_ops();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].kind, MicroKind::SharedLoad);
+        // line = 0x1000 / 64 = 64; 4 L1 banks in SC: bank 0, local 16.
+        assert_eq!(ops[0].b, 64);
+        assert_eq!(ops[0].bank, 0);
+        assert_eq!(ops[0].a, 16);
+        assert_eq!(ops[1].kind, MicroKind::SharedStore);
+        assert_eq!(ops[1].bank, 1);
+        // Compute(0) clamps to 1 at compile time.
+        assert_eq!(ops[2].kind, MicroKind::Compute);
+        assert_eq!(ops[2].a, 1);
+    }
+
+    #[test]
+    fn lowers_private_and_lcp_kinds() {
+        let mut pe = StreamBuilder::new();
+        pe.load(0);
+        let mut lcp = StreamBuilder::new();
+        lcp.store(0);
+        let g = geom();
+        let streams = ops_of(vec![(g.pe_id(1, 2), pe), (g.lcp_id(0), lcp)]);
+        let p = compile(HwConfig::Pc, &streams);
+        let pe_ops = {
+            let (lo, hi) = p.ranges[g.pe_id(1, 2)].unwrap();
+            &p.micro_ops()[lo as usize..hi as usize]
+        };
+        assert_eq!(pe_ops[0].kind, MicroKind::PrivLoad);
+        assert_eq!(pe_ops[0].bank, 2);
+        let lcp_ops = {
+            let (lo, hi) = p.ranges[g.lcp_id(0)].unwrap();
+            &p.micro_ops()[lo as usize..hi as usize]
+        };
+        assert_eq!(lcp_ops[0].kind, MicroKind::DirLcpStore);
+
+        let p = compile(HwConfig::Sc, &streams);
+        let (lo, _) = p.ranges[g.lcp_id(0)].unwrap();
+        assert_eq!(p.micro_ops()[lo as usize].kind, MicroKind::SharedDirStore);
+    }
+
+    #[test]
+    fn poisons_invalid_ops_instead_of_failing_compile() {
+        let mut spm = StreamBuilder::new();
+        spm.spm_load(0);
+        let mut lcp_bar = StreamBuilder::new();
+        lcp_bar.tile_barrier();
+        let g = geom();
+        let streams = ops_of(vec![(g.pe_id(0, 0), spm), (g.lcp_id(1), lcp_bar)]);
+        let p = compile(HwConfig::Pc, &streams);
+        assert_eq!(p.micro_ops()[0].kind, MicroKind::PoisonSpm);
+        assert_eq!(p.micro_ops()[1].kind, MicroKind::PoisonLcpBar);
+        assert!(!p.parallel_ok(), "poisoned programs are not parallel-safe");
+    }
+
+    #[test]
+    fn congruence_requires_matching_barriers() {
+        let g = geom();
+        // Congruent: both PEs of tile 0 barrier identically.
+        let mk = |tb: u32| {
+            let mut b = StreamBuilder::new();
+            for _ in 0..tb {
+                b.tile_barrier();
+            }
+            b.global_barrier().compute(1);
+            b
+        };
+        let streams = ops_of(vec![(g.pe_id(0, 0), mk(2)), (g.pe_id(0, 1), mk(2))]);
+        assert!(compile(HwConfig::Pc, &streams).parallel_ok());
+
+        // Tile-barrier counts differ within the segment: not congruent.
+        let streams = ops_of(vec![(g.pe_id(0, 0), mk(2)), (g.pe_id(0, 1), mk(1))]);
+        assert!(!compile(HwConfig::Pc, &streams).parallel_ok());
+
+        // Global-barrier counts differ: not congruent.
+        let mut no_gb = StreamBuilder::new();
+        no_gb.compute(1);
+        let streams = ops_of(vec![(g.pe_id(0, 0), mk(0)), (g.pe_id(0, 1), no_gb)]);
+        assert!(!compile(HwConfig::Pc, &streams).parallel_ok());
+    }
+
+    #[test]
+    fn recompile_reuses_buffers_and_clears_lint() {
+        let mut b = StreamBuilder::new();
+        b.compute(5);
+        let streams = ops_of(vec![(0, b)]);
+        let mut p = compile(HwConfig::Sc, &streams);
+        p.attach_lint(Vec::new());
+        assert_eq!(p.lint_clean(), Some(true));
+        let mut b2 = StreamBuilder::new();
+        b2.compute(1).compute(2);
+        let streams2 = ops_of(vec![(1, b2)]);
+        p.recompile(
+            geom(),
+            HwConfig::Ps,
+            &ua(),
+            streams2.iter().map(|(w, v)| (*w, v.as_slice())),
+        );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.hw(), HwConfig::Ps);
+        assert!(p.ranges[0].is_none());
+        assert_eq!(p.ranges[1], Some((0, 2)));
+        assert_eq!(p.lint_clean(), None);
+    }
+}

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use transmuter::verify::{self, LintKind, ProgramSet, RaceKind, RegionMap, Severity};
 use transmuter::{
-    Geometry, HwConfig, Machine, MicroArch, Op, Program, SimError, TraceConfig, TraceEvent,
+    Geometry, HwConfig, Machine, MicroArch, Op, SimError, StreamBuilder, TraceConfig, TraceEvent,
 };
 
 fn machine_with(geom: Geometry, hw: HwConfig) -> Machine {
@@ -22,9 +22,9 @@ fn machine_with(geom: Geometry, hw: HwConfig) -> Machine {
 fn linter_catches_tile_barrier_mismatch() {
     let geom = Geometry::new(1, 2);
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.compute(1).tile_barrier().compute(1);
-    let mut b = Program::new();
+    let mut b = StreamBuilder::new();
     b.compute(1); // seeded fault: no barrier
     p.set_pe(0, 0, a);
     p.set_pe(0, 1, b);
@@ -49,7 +49,7 @@ fn linter_catches_spm_offset_past_capacity() {
     let ua = MicroArch::paper();
     let cap = ua.spm_bytes_per_pe(HwConfig::Ps.l1());
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.spm_store(cap as u32); // seeded fault: one word past the end
     p.set_pe(0, 0, a);
     let diags = verify::lint(&p, HwConfig::Ps, &ua, None);
@@ -59,7 +59,7 @@ fn linter_catches_spm_offset_past_capacity() {
     )));
     // The last in-bounds word is fine.
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.spm_store(cap as u32 - 4);
     p.set_pe(0, 0, a);
     assert!(verify::is_clean(&verify::lint(&p, HwConfig::Ps, &ua, None)));
@@ -70,7 +70,7 @@ fn linter_catches_spm_under_cache_only_configs() {
     let geom = Geometry::new(1, 2);
     for hw in [HwConfig::Sc, HwConfig::Pc] {
         let mut p = ProgramSet::new(geom);
-        let mut a = Program::new();
+        let mut a = StreamBuilder::new();
         a.spm_load(0);
         p.set_pe(0, 0, a);
         let diags = verify::lint(&p, hw, &MicroArch::paper(), None);
@@ -87,10 +87,10 @@ fn linter_catches_spm_under_cache_only_configs() {
 fn linter_catches_lcp_tile_barrier_and_unmapped_address() {
     let geom = Geometry::new(1, 1);
     let mut p = ProgramSet::new(geom);
-    let mut lcp = Program::new();
+    let mut lcp = StreamBuilder::new();
     lcp.tile_barrier();
     p.set_lcp(0, lcp);
-    let mut pe = Program::new();
+    let mut pe = StreamBuilder::new();
     pe.load(0x9999_0000);
     p.set_pe(0, 0, pe);
     let mut map = RegionMap::new();
@@ -102,7 +102,7 @@ fn linter_catches_lcp_tile_barrier_and_unmapped_address() {
         .any(|d| matches!(d.kind, LintKind::UnmappedAddress { addr: 0x9999_0000 })));
     // Mapped accesses are accepted.
     let mut p = ProgramSet::new(geom);
-    let mut pe = Program::new();
+    let mut pe = StreamBuilder::new();
     pe.load(0x1_0000).store(0x1_0ffc);
     p.set_pe(0, 0, pe);
     assert!(verify::is_clean(&verify::lint(
@@ -136,9 +136,9 @@ fn race_detector_flags_seeded_same_epoch_store_store() {
     let mut m = machine_with(geom, HwConfig::Sc);
     m.set_trace(Some(TraceConfig::default()));
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.store(0x2000);
-    let mut b = Program::new();
+    let mut b = StreamBuilder::new();
     b.compute(5).store(0x2000);
     p.set_pe(0, 0, a);
     p.set_pe(1, 0, b);
@@ -159,9 +159,9 @@ fn race_detector_accepts_global_barrier_separation() {
     let mut m = machine_with(geom, HwConfig::Sc);
     m.set_trace(Some(TraceConfig::default()));
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.store(0x2000).global_barrier();
-    let mut b = Program::new();
+    let mut b = StreamBuilder::new();
     b.global_barrier().store(0x2000);
     p.set_pe(0, 0, a);
     p.set_pe(1, 0, b);
@@ -179,9 +179,9 @@ fn race_detector_accepts_tile_barrier_separation_within_tile() {
     let mut m = machine_with(geom, HwConfig::Sc);
     m.set_trace(Some(TraceConfig::default()));
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.store(0x3000).tile_barrier();
-    let mut b = Program::new();
+    let mut b = StreamBuilder::new();
     b.tile_barrier().store(0x3000);
     p.set_pe(0, 0, a);
     p.set_pe(0, 1, b);
@@ -197,13 +197,13 @@ fn race_detector_accepts_tile_barrier_separation_within_tile() {
     let mut m = machine_with(geom, HwConfig::Sc);
     m.set_trace(Some(TraceConfig::default()));
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.store(0x3000).tile_barrier();
-    let mut a2 = Program::new();
+    let mut a2 = StreamBuilder::new();
     a2.tile_barrier();
-    let mut b = Program::new();
+    let mut b = StreamBuilder::new();
     b.tile_barrier().store(0x3000);
-    let mut b2 = Program::new();
+    let mut b2 = StreamBuilder::new();
     b2.tile_barrier();
     p.set_pe(0, 0, a);
     p.set_pe(0, 1, a2);
@@ -224,9 +224,9 @@ fn race_detector_reports_load_store_conflicts() {
     let mut m = machine_with(geom, HwConfig::Sc);
     m.set_trace(Some(TraceConfig::default()));
     let mut p = ProgramSet::new(geom);
-    let mut a = Program::new();
+    let mut a = StreamBuilder::new();
     a.load(0x2000);
-    let mut b = Program::new();
+    let mut b = StreamBuilder::new();
     b.store(0x2000);
     p.set_pe(0, 0, a);
     p.set_pe(1, 0, b);
@@ -244,7 +244,7 @@ fn private_spm_never_races() {
     m.set_trace(Some(TraceConfig::default()));
     let mut p = ProgramSet::new(geom);
     for pe in 0..2 {
-        let mut q = Program::new();
+        let mut q = StreamBuilder::new();
         q.spm_store(0).spm_load(0);
         p.set_pe(0, pe, q);
     }
@@ -262,7 +262,7 @@ fn shared_spm_store_store_races() {
     m.set_trace(Some(TraceConfig::default()));
     let mut p = ProgramSet::new(geom);
     for pe in 0..2 {
-        let mut q = Program::new();
+        let mut q = StreamBuilder::new();
         q.spm_store(64);
         p.set_pe(0, pe, q);
     }
