@@ -116,6 +116,27 @@ fn spmv_pass(rt: &mut CoSparse, frontier: &Frontier, calls: usize) -> f64 {
     calls as f64
 }
 
+/// Prints the runtime's pipeline-cache counters for the workload that
+/// just ran: plan/program build counts and the scratch + steady-memo
+/// hit rates. CI's perf-smoke job surfaces these lines so cache
+/// regressions are visible alongside the throughput numbers.
+fn print_cache_stats(rt: &CoSparse) {
+    let cs = rt.cache_stats();
+    let memo = cs.steady_memo;
+    println!(
+        "    caches: plans {} | programs dense {} conv {} scratch {} built / {} hit | \
+         steady-memo {} hit / {} miss ({:.1}% hit)",
+        cs.plan_builds,
+        cs.dense_program_builds,
+        cs.conversion_builds,
+        cs.scratch_program_builds,
+        cs.scratch_program_hits,
+        memo.hits,
+        memo.misses,
+        memo.hit_rate() * 100.0,
+    );
+}
+
 fn run_workloads(smoke: bool) -> Vec<Workload> {
     let (warmup, repeats) = if smoke { (1, 3) } else { (2, 7) };
     let calls = if smoke { 3 } else { 10 };
@@ -130,6 +151,7 @@ fn run_workloads(smoke: bool) -> Vec<Workload> {
         out.push(measure("spmv_dense_2048", "spmv", warmup, repeats, || {
             spmv_pass(&mut rt, &x, calls)
         }));
+        print_cache_stats(&rt);
     }
 
     // 2. Sparse-frontier SpMV (OP/PC) on the 2048-vertex synthetic.
@@ -142,6 +164,7 @@ fn run_workloads(smoke: bool) -> Vec<Workload> {
         out.push(measure("spmv_sparse_2048", "spmv", warmup, repeats, || {
             spmv_pass(&mut rt, &x, calls)
         }));
+        print_cache_stats(&rt);
     }
 
     // 3. Engine iterations/sec: PageRank on the 2048-vertex synthetic —
@@ -162,6 +185,7 @@ fn run_workloads(smoke: bool) -> Vec<Workload> {
                 r.iterations.len() as f64
             },
         ));
+        print_cache_stats(engine.runtime());
     }
 
     // 4. Engine iterations/sec: SSSP on a pokec-like power-law graph —
@@ -185,6 +209,39 @@ fn run_workloads(smoke: bool) -> Vec<Workload> {
                 r.iterations.len().max(1) as f64
             },
         ));
+        print_cache_stats(engine.runtime());
+    }
+
+    // 5. One-shot OP SpMV: every call presents a *distinct* sparse
+    //    frontier, so the scratch program can never be reused and the
+    //    steady memo never engages — the pure per-call lowering path
+    //    the single-pass kernel→Program pipeline keeps cheap.
+    {
+        let m = synthetic(2048, 30_000, 4);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+        let frontiers: Vec<Frontier> = (0..calls.max(2) as u64)
+            .map(|i| {
+                Frontier::Sparse(
+                    sparse::generate::random_sparse_vector(2048, 0.02, 100 + i)
+                        .expect("valid density"),
+                )
+            })
+            .collect();
+        out.push(measure(
+            "spmv_op_oneshot_2048",
+            "spmv",
+            warmup,
+            repeats,
+            || {
+                for f in &frontiers {
+                    let out = rt.spmv(f).expect("simulation succeeds");
+                    std::hint::black_box(out.report.cycles);
+                }
+                frontiers.len() as f64
+            },
+        ));
+        print_cache_stats(&rt);
     }
 
     out

@@ -5,8 +5,13 @@
 //! the machine configuration and the layout's address map, runs them
 //! under tracing, and feeds the trace through the race detector.
 //!
+//! Each combination is additionally cross-checked against the
+//! single-pass `ProgramBuilder` pipeline (verification off): both
+//! paths must report identical simulated cycles.
+//!
 //! Exit status is nonzero if any combination is rejected by the linter,
-//! produces a race, or truncates its trace.
+//! produces a race, truncates its trace, or diverges from the builder
+//! pipeline.
 //!
 //! ```text
 //! cosparse-verify [--tiles A] [--pes B] [--n N] [--nnz M]
@@ -118,7 +123,25 @@ fn check_combo(matrix: &CooMatrix, sw: SwConfig, hw: HwConfig, opts: &Opts) -> b
             for race in &report.races {
                 println!("    RACE: {race}");
             }
-            clean
+            // Cross-check: the single-pass builder pipeline (verify
+            // off) must time identically to the checked op-stream path.
+            let mut rt2 = CoSparse::new(matrix, Machine::new(geom, MicroArch::paper()));
+            rt2.set_policy(Policy::Fixed(sw, hw));
+            let agree = match rt2.spmv(&frontier_for(sw, opts)) {
+                Ok(o2) if o2.report.cycles == out.report.cycles => true,
+                Ok(o2) => {
+                    println!(
+                        "    PIPELINE DIVERGENCE: builder path {} cycles vs checked {}",
+                        o2.report.cycles, out.report.cycles
+                    );
+                    false
+                }
+                Err(e) => {
+                    println!("    builder path error: {e}");
+                    false
+                }
+            };
+            clean && agree
         }
         Err(e) => {
             println!("{label:24} REJECTED: {e}");

@@ -7,9 +7,10 @@
 //! paper's algorithms this happens only once or twice per run (BFS and
 //! SSSP frontiers go sparse→dense→sparse; PR and CF never convert).
 
+use crate::kernels::{KernelSink, OpBufSink};
 use crate::layout::Layout;
 use crate::ops::OpProfile;
-use transmuter::{Geometry, Op, StreamSet};
+use transmuter::{Geometry, Op, ProgramBuilder, StreamSet};
 
 /// Direction of a frontier conversion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,9 +35,55 @@ pub fn streams(
     direction: Direction,
     profile: OpProfile,
 ) -> StreamSet<'static> {
+    let mut bufs: Vec<Vec<Op>> = Vec::new();
+    {
+        let mut sink = OpBufSink::new(geometry, &mut bufs, geometry.total_pes());
+        emit(
+            layout, geometry, dim, active_nnz, direction, profile, &mut sink,
+        );
+    }
+    let mut set = StreamSet::new(geometry);
+    let mut it = bufs.into_iter();
+    for tile in 0..geometry.tiles() {
+        for pe in 0..geometry.pes_per_tile() {
+            let ops = it.next().expect("emit fills one buffer per PE");
+            set.set_pe(tile, pe, ops.into_iter());
+        }
+    }
+    set
+}
+
+/// Emits the conversion kernel straight into a lowering
+/// [`ProgramBuilder`] — the single-pass hot path. The caller must have
+/// `begin`-reset the builder for the target configuration and
+/// `finish`es it afterwards.
+pub fn build(
+    layout: &Layout,
+    geometry: Geometry,
+    dim: usize,
+    active_nnz: usize,
+    direction: Direction,
+    profile: OpProfile,
+    builder: &mut ProgramBuilder,
+) {
+    emit(
+        layout, geometry, dim, active_nnz, direction, profile, builder,
+    );
+}
+
+/// The one conversion emitter both representations share (see the module
+/// docs of [`crate::kernels`]).
+fn emit<K: KernelSink>(
+    layout: &Layout,
+    geometry: Geometry,
+    dim: usize,
+    active_nnz: usize,
+    direction: Direction,
+    profile: OpProfile,
+    sink: &mut K,
+) {
     let pes = geometry.total_pes();
     let vw = profile.value_words;
-    let mut set = StreamSet::new(geometry);
     for tile in 0..geometry.tiles() {
         for pe in 0..geometry.pes_per_tile() {
             let p = geometry.pe_id(tile, pe);
@@ -44,35 +91,34 @@ pub fn streams(
             let start = dim * p / pes;
             let outs = (active_nnz * (p + 1) / pes) - (active_nnz * p / pes);
             let out_start = active_nnz * p / pes;
-            let mut ops: Vec<Op> = Vec::with_capacity(elems * (vw + 1) + outs * (vw + 1));
+            sink.begin_pe(tile, pe);
+            sink.reserve(elems * (vw + 1) + outs * (vw + 1));
             match direction {
                 Direction::DenseToSparse => {
                     for e in 0..elems {
-                        ops.push(Op::Load(layout.x_elem(start + e, 0)));
-                        ops.push(Op::Compute(1));
+                        sink.load(layout.x_elem(start + e, 0));
+                        sink.compute(1);
                     }
                     for o in 0..outs {
-                        ops.push(Op::Store(layout.sv_entry(out_start + o)));
+                        sink.store(layout.sv_entry(out_start + o));
                     }
                 }
                 Direction::SparseToDense => {
                     // Line-granular memset of the background value.
                     let words = elems * vw;
                     for w in (0..words).step_by(16) {
-                        ops.push(Op::Store(layout.x_elem(start + w / vw, w % vw)));
-                        ops.push(Op::Compute(1));
+                        sink.store(layout.x_elem(start + w / vw, w % vw));
+                        sink.compute(1);
                     }
                     for o in 0..outs {
-                        ops.push(Op::Load(layout.sv_entry(out_start + o)));
-                        ops.push(Op::Compute(1));
-                        ops.push(Op::Store(layout.x_elem(start + o % elems.max(1), 0)));
+                        sink.load(layout.sv_entry(out_start + o));
+                        sink.compute(1);
+                        sink.store(layout.x_elem(start + o % elems.max(1), 0));
                     }
                 }
             }
-            set.set_pe(tile, pe, ops.into_iter());
         }
     }
-    set
 }
 
 #[cfg(test)]

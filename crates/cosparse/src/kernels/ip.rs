@@ -7,11 +7,12 @@
 //! the shared caches (SC). Output accumulation happens in a register and
 //! is written back once per (row, vblock) run.
 
+use crate::kernels::{KernelSink, OpBufSink};
 use crate::layout::Layout;
 use crate::ops::OpProfile;
 use sparse::partition::{RowPartition, VBlocks};
 use sparse::CooMatrix;
-use transmuter::{Geometry, Op, StreamSet};
+use transmuter::{Geometry, Op, ProgramBuilder, StreamSet};
 
 /// Configuration of one IP invocation.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +67,30 @@ pub fn compile_into(
     params: IpParams<'_>,
     out: &mut Vec<Vec<Op>>,
 ) {
+    let mut sink = OpBufSink::new(geometry, out, geometry.total_pes());
+    emit(coo_t, geometry, params, &mut sink);
+}
+
+/// Emits the IP kernel straight into a lowering [`ProgramBuilder`] — the
+/// single-pass hot path, producing micro-ops and a lint verdict with no
+/// intermediate op buffers. The caller must have `begin`-reset the
+/// builder for the target configuration and `finish`es it afterwards.
+///
+/// # Panics
+///
+/// Panics if `partition.len() != geometry.total_pes()`.
+pub fn build(
+    coo_t: &CooMatrix,
+    geometry: Geometry,
+    params: IpParams<'_>,
+    builder: &mut ProgramBuilder,
+) {
+    emit(coo_t, geometry, params, builder);
+}
+
+/// The one IP emitter both representations share (see the module docs of
+/// [`crate::kernels`]).
+fn emit<K: KernelSink>(coo_t: &CooMatrix, geometry: Geometry, params: IpParams<'_>, sink: &mut K) {
     assert_eq!(
         params.partition.len(),
         geometry.total_pes(),
@@ -74,9 +99,6 @@ pub fn compile_into(
     let vw = params.profile.value_words;
     let mac_cost = 2 + params.profile.extra_compute_per_edge;
     let b = geometry.pes_per_tile();
-    if out.len() < geometry.total_pes() {
-        out.resize_with(geometry.total_pes(), Vec::new);
-    }
 
     for tile in 0..geometry.tiles() {
         for pe in 0..b {
@@ -85,30 +107,30 @@ pub fn compile_into(
             let part_start = trange.start;
             let entries = &coo_t.entries()[trange];
 
+            sink.begin_pe(tile, pe);
+
             // Single-vblock SC fast path: no bucketing, no preload — the
             // triplets are already in storage order and the whole vector
             // is one "block". This is the common steady-state shape
             // (VBlocks::whole), so skipping the sort matters.
             if params.vblocks.len() <= 1 && !params.use_spm {
-                let ops = &mut out[part];
-                ops.clear();
-                ops.reserve(entries.len() * (3 + vw) + vw);
+                sink.reserve(entries.len() * (3 + vw) + vw);
                 let mut prev_row: Option<u32> = None;
                 for (seq, t) in entries.iter().enumerate() {
                     let (row, col) = (t.row, t.col);
-                    ops.push(Op::Load(params.layout.coo_entry(part_start + seq)));
-                    ops.push(Op::Compute(1));
+                    sink.load(params.layout.coo_entry(part_start + seq));
+                    sink.compute(1);
                     let is_active = params.active.is_none_or(|mask| mask[col as usize]);
                     let words = if is_active { vw } else { 1 };
                     for w in 0..words {
-                        ops.push(Op::Load(params.layout.x_elem(col as usize, w)));
+                        sink.load(params.layout.x_elem(col as usize, w));
                     }
                     if is_active {
-                        ops.push(Op::Compute(mac_cost));
+                        sink.compute(mac_cost);
                         if let Some(p) = prev_row {
                             if p != row {
                                 for w in 0..vw {
-                                    ops.push(Op::Store(params.layout.y_elem(p as usize, w)));
+                                    sink.store(params.layout.y_elem(p as usize, w));
                                 }
                             }
                         }
@@ -117,7 +139,7 @@ pub fn compile_into(
                 }
                 if let Some(p) = prev_row {
                     for w in 0..vw {
-                        ops.push(Op::Store(params.layout.y_elem(p as usize, w)));
+                        sink.store(params.layout.y_elem(p as usize, w));
                     }
                 }
                 continue;
@@ -132,9 +154,7 @@ pub fn compile_into(
                 .collect();
             bucketed.sort_by_key(|&(vb, _, _)| vb);
 
-            let ops = &mut out[part];
-            ops.clear();
-            ops.reserve(bucketed.len() * 5 + 16);
+            sink.reserve(bucketed.len() * 5 + 16);
             let mut cursor = 0usize; // index into bucketed
             let mut seq = 0usize; // storage order within the partition
             for vb in 0..params.vblocks.len() {
@@ -147,17 +167,17 @@ pub fn compile_into(
                     let hi = words * (pe + 1) / b;
                     for w in lo..hi {
                         let elem = vb_range.start + w / vw;
-                        ops.push(Op::Load(params.layout.x_elem(elem, w % vw)));
-                        ops.push(Op::SpmStore((w * 4) as u32));
+                        sink.load(params.layout.x_elem(elem, w % vw));
+                        sink.spm_store((w * 4) as u32);
                     }
-                    ops.push(Op::TileBarrier);
+                    sink.tile_barrier();
                 }
                 // Process this PE's entries of the vblock.
                 let mut prev_row: Option<u32> = None;
                 while cursor < bucketed.len() && bucketed[cursor].0 == vb {
                     let (_, row, col) = bucketed[cursor];
-                    ops.push(Op::Load(params.layout.coo_entry(part_start + seq)));
-                    ops.push(Op::Compute(1));
+                    sink.load(params.layout.coo_entry(part_start + seq));
+                    sink.compute(1);
                     let is_active = params.active.is_none_or(|mask| mask[col as usize]);
                     // The first vector word must always be inspected; the
                     // remaining words and the MAC only happen for active
@@ -166,17 +186,17 @@ pub fn compile_into(
                     for w in 0..words {
                         if params.use_spm {
                             let local = (col as usize - vb_range.start) * vw + w;
-                            ops.push(Op::SpmLoad((local * 4) as u32));
+                            sink.spm_load((local * 4) as u32);
                         } else {
-                            ops.push(Op::Load(params.layout.x_elem(col as usize, w)));
+                            sink.load(params.layout.x_elem(col as usize, w));
                         }
                     }
                     if is_active {
-                        ops.push(Op::Compute(mac_cost));
+                        sink.compute(mac_cost);
                         if let Some(p) = prev_row {
                             if p != row {
                                 for w in 0..vw {
-                                    ops.push(Op::Store(params.layout.y_elem(p as usize, w)));
+                                    sink.store(params.layout.y_elem(p as usize, w));
                                 }
                             }
                         }
@@ -187,13 +207,13 @@ pub fn compile_into(
                 }
                 if let Some(p) = prev_row {
                     for w in 0..vw {
-                        ops.push(Op::Store(params.layout.y_elem(p as usize, w)));
+                        sink.store(params.layout.y_elem(p as usize, w));
                     }
                 }
                 if params.use_spm {
                     // Drain barrier: nobody overwrites the SPM while a
                     // sibling PE is still reading this vblock's segment.
-                    ops.push(Op::TileBarrier);
+                    sink.tile_barrier();
                 }
             }
         }

@@ -1,5 +1,5 @@
 //! Op-stream generators: compile an SpMV workload into per-worker
-//! [`transmuter::Op`] streams for the simulator.
+//! emission for the simulator.
 //!
 //! Two dataflows, matching §III-A of the paper:
 //!
@@ -8,33 +8,187 @@
 //! * [`op`] — outer product: sparse frontier, CSC column merge through a
 //!   per-PE heap held in private SPM (PS) or cache (PC/SC), results
 //!   forwarded to the tile's LCP.
+//!
+//! Each kernel has **one** generic emitter, parameterised over a
+//! [`KernelSink`]. The hot path plugs in a lowering
+//! [`transmuter::ProgramBuilder`] and gets a verified
+//! [`transmuter::Program`] in a single pass; the verification and
+//! differential-testing oracle plugs in [`OpBufSink`] and gets the
+//! legacy per-worker [`transmuter::Op`] buffers. Because both
+//! representations come out of the same emitter body, they cannot
+//! drift.
 
 pub mod convert;
 pub mod ip;
 pub mod op;
 
-use transmuter::Op;
+use transmuter::{Addr, Geometry, Op, ProgramBuilder};
+
+/// Emission target of the kernel compilers.
+///
+/// A kernel opens one worker stream at a time (`begin_pe` /
+/// `begin_lcp`) and appends that worker's ops through the verbs; a
+/// worker whose stream is opened but receives no ops still participates
+/// in barriers and congruence, exactly like an empty op buffer.
+pub trait KernelSink {
+    /// Starts (or restarts) PE `(tile, pe)`'s stream; subsequent verbs
+    /// apply to it until the next `begin_*`.
+    fn begin_pe(&mut self, tile: usize, pe: usize);
+    /// Starts (or restarts) tile `tile`'s LCP stream.
+    fn begin_lcp(&mut self, tile: usize);
+    /// Capacity hint for ops about to be emitted.
+    fn reserve(&mut self, additional: usize);
+    /// Busies the current worker for `cycles`.
+    fn compute(&mut self, cycles: u32);
+    /// Global-memory load of `addr`.
+    fn load(&mut self, addr: Addr);
+    /// Global-memory store to `addr`.
+    fn store(&mut self, addr: Addr);
+    /// Scratchpad load of byte offset `offset`.
+    fn spm_load(&mut self, offset: u32);
+    /// Scratchpad store to byte offset `offset`.
+    fn spm_store(&mut self, offset: u32);
+    /// Tile barrier (PEs of one tile).
+    fn tile_barrier(&mut self);
+    /// Global barrier (epoch boundary).
+    fn global_barrier(&mut self);
+}
+
+/// The hot path: ops lower to micro-ops on append, and the lint verdict
+/// comes out of `finish()` — no intermediate [`Op`] stream exists.
+impl KernelSink for ProgramBuilder {
+    #[inline]
+    fn begin_pe(&mut self, tile: usize, pe: usize) {
+        ProgramBuilder::begin_pe(self, tile, pe);
+    }
+    #[inline]
+    fn begin_lcp(&mut self, tile: usize) {
+        ProgramBuilder::begin_lcp(self, tile);
+    }
+    #[inline]
+    fn reserve(&mut self, additional: usize) {
+        ProgramBuilder::reserve(self, additional);
+    }
+    #[inline]
+    fn compute(&mut self, cycles: u32) {
+        ProgramBuilder::compute(self, cycles);
+    }
+    #[inline]
+    fn load(&mut self, addr: Addr) {
+        ProgramBuilder::load(self, addr);
+    }
+    #[inline]
+    fn store(&mut self, addr: Addr) {
+        ProgramBuilder::store(self, addr);
+    }
+    #[inline]
+    fn spm_load(&mut self, offset: u32) {
+        ProgramBuilder::spm_load(self, offset);
+    }
+    #[inline]
+    fn spm_store(&mut self, offset: u32) {
+        ProgramBuilder::spm_store(self, offset);
+    }
+    #[inline]
+    fn tile_barrier(&mut self) {
+        ProgramBuilder::tile_barrier(self);
+    }
+    #[inline]
+    fn global_barrier(&mut self) {
+        ProgramBuilder::global_barrier(self);
+    }
+}
+
+/// Legacy sink: materializes per-worker [`Op`] buffers indexed by
+/// global worker id, reusing the caller's allocations. This is the
+/// representation the stream verifier (`verify::run_checked`, trace
+/// capture, race detection) consumes, and the oracle the differential
+/// suites compare the builder path against.
+#[derive(Debug)]
+pub struct OpBufSink<'a> {
+    geom: Geometry,
+    bufs: &'a mut Vec<Vec<Op>>,
+    cur: usize,
+}
+
+impl<'a> OpBufSink<'a> {
+    /// Wraps `bufs`, growing it to at least `workers` buffers; buffers
+    /// beyond that (and buffers never begun) are left untouched.
+    pub fn new(geom: Geometry, bufs: &'a mut Vec<Vec<Op>>, workers: usize) -> Self {
+        if bufs.len() < workers {
+            bufs.resize_with(workers, Vec::new);
+        }
+        OpBufSink {
+            geom,
+            bufs,
+            cur: usize::MAX,
+        }
+    }
+}
+
+impl KernelSink for OpBufSink<'_> {
+    fn begin_pe(&mut self, tile: usize, pe: usize) {
+        self.cur = self.geom.pe_id(tile, pe);
+        self.bufs[self.cur].clear();
+    }
+    fn begin_lcp(&mut self, tile: usize) {
+        self.cur = self.geom.lcp_id(tile);
+        self.bufs[self.cur].clear();
+    }
+    #[inline]
+    fn reserve(&mut self, additional: usize) {
+        self.bufs[self.cur].reserve(additional);
+    }
+    #[inline]
+    fn compute(&mut self, cycles: u32) {
+        self.bufs[self.cur].push(Op::Compute(cycles));
+    }
+    #[inline]
+    fn load(&mut self, addr: Addr) {
+        self.bufs[self.cur].push(Op::Load(addr));
+    }
+    #[inline]
+    fn store(&mut self, addr: Addr) {
+        self.bufs[self.cur].push(Op::Store(addr));
+    }
+    #[inline]
+    fn spm_load(&mut self, offset: u32) {
+        self.bufs[self.cur].push(Op::SpmLoad(offset));
+    }
+    #[inline]
+    fn spm_store(&mut self, offset: u32) {
+        self.bufs[self.cur].push(Op::SpmStore(offset));
+    }
+    #[inline]
+    fn tile_barrier(&mut self) {
+        self.bufs[self.cur].push(Op::TileBarrier);
+    }
+    #[inline]
+    fn global_barrier(&mut self) {
+        self.bufs[self.cur].push(Op::GlobalBarrier);
+    }
+}
 
 /// Emits the access pattern of one sift (up or down) through a binary
 /// heap of current size `len`: one node visit per level, each a
 /// read-modify-write of the node storage.
 ///
-/// `node_addr(level_node_index)` maps the touched node index to ops;
-/// levels touch nodes `0, 1, 3, 7, ...` (the canonical root-to-leaf
-/// path), so with the heap stored breadth-first the shallow levels stay
-/// in fast storage and deep levels spill — exactly the paper's
-/// "the tree nature of heap ensures that the majority of comparisons
-/// and swaps still happen in the SPM" (§III-A).
-pub(crate) fn heap_sift_ops(
+/// `node_ops(level_node_index, sink)` maps the touched node index to
+/// ops; levels touch nodes `0, 1, 3, 7, ...` (the canonical
+/// root-to-leaf path), so with the heap stored breadth-first the
+/// shallow levels stay in fast storage and deep levels spill — exactly
+/// the paper's "the tree nature of heap ensures that the majority of
+/// comparisons and swaps still happen in the SPM" (§III-A).
+pub(crate) fn heap_sift<K: KernelSink>(
     len: usize,
-    ops: &mut Vec<Op>,
-    mut node_ops: impl FnMut(usize, &mut Vec<Op>),
+    sink: &mut K,
+    mut node_ops: impl FnMut(usize, &mut K),
 ) {
     let levels = (usize::BITS - len.max(1).leading_zeros()) as usize;
     for l in 0..levels.max(1) {
         let node = (1usize << l) - 1;
-        node_ops(node, ops);
-        ops.push(Op::Compute(1));
+        node_ops(node, sink);
+        sink.compute(1);
     }
 }
 
@@ -42,13 +196,18 @@ pub(crate) fn heap_sift_ops(
 mod tests {
     use super::*;
 
+    fn sift_into(len: usize, mut node_ops: impl FnMut(usize, &mut OpBufSink<'_>)) -> Vec<Op> {
+        let g = Geometry::new(1, 1);
+        let mut bufs: Vec<Vec<Op>> = Vec::new();
+        let mut sink = OpBufSink::new(g, &mut bufs, 1);
+        sink.begin_pe(0, 0);
+        heap_sift(len, &mut sink, &mut node_ops);
+        bufs.swap_remove(0)
+    }
+
     #[test]
     fn sift_depth_grows_logarithmically() {
-        let count = |len: usize| {
-            let mut v = Vec::new();
-            heap_sift_ops(len, &mut v, |_, ops| ops.push(Op::Compute(1)));
-            v.len()
-        };
+        let count = |len: usize| sift_into(len, |_, s| s.compute(1)).len();
         assert_eq!(count(1), 2); // one level: node op + compare
         assert!(count(8) > count(2));
         assert!(count(1024) >= 10 * 2);
@@ -58,8 +217,7 @@ mod tests {
     #[test]
     fn sift_touches_root_to_leaf_path() {
         let mut nodes = Vec::new();
-        let mut v = Vec::new();
-        heap_sift_ops(7, &mut v, |n, _| nodes.push(n));
+        let _ = sift_into(7, |n, _| nodes.push(n));
         assert_eq!(nodes, vec![0, 1, 3]);
     }
 }

@@ -11,14 +11,14 @@
 //! final sparse output to main memory.
 
 use crate::balance::distribute_frontier;
-use crate::kernels::heap_sift_ops;
+use crate::kernels::{heap_sift, KernelSink, OpBufSink};
 use crate::layout::Layout;
 use crate::ops::OpProfile;
 use sparse::partition::RowPartition;
 use sparse::{CscMatrix, Idx};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use transmuter::{Geometry, Op, StreamSet};
+use transmuter::{Geometry, Op, ProgramBuilder, StreamSet};
 
 /// Configuration of one OP invocation.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +81,40 @@ pub fn compile_into(
     sub: &[(u32, u32)],
     out: &mut Vec<Vec<Op>>,
 ) {
+    let mut sink = OpBufSink::new(geometry, out, geometry.total_workers());
+    emit(csc_t, geometry, params, sub, &mut sink);
+}
+
+/// Emits the OP kernel straight into a lowering [`ProgramBuilder`] — the
+/// single-pass hot path, producing micro-ops and a lint verdict with no
+/// intermediate op buffers. The caller must have `begin`-reset the
+/// builder for the target configuration and `finish`es it afterwards.
+/// `sub` must come from [`subruns`] for the same matrix and tile
+/// partition.
+///
+/// # Panics
+///
+/// Panics if `tile_parts.len() != geometry.tiles()` or the frontier is
+/// not strictly increasing.
+pub fn build(
+    csc_t: &CscMatrix,
+    geometry: Geometry,
+    params: OpParams<'_>,
+    sub: &[(u32, u32)],
+    builder: &mut ProgramBuilder,
+) {
+    emit(csc_t, geometry, params, sub, builder);
+}
+
+/// The one OP emitter both representations share (see the module docs of
+/// [`crate::kernels`]).
+fn emit<K: KernelSink>(
+    csc_t: &CscMatrix,
+    geometry: Geometry,
+    params: OpParams<'_>,
+    sub: &[(u32, u32)],
+    sink: &mut K,
+) {
     assert_eq!(
         params.tile_parts.len(),
         geometry.tiles(),
@@ -94,9 +128,6 @@ pub fn compile_into(
     let cols = csc_t.cols();
     let vw = params.profile.value_words;
     let merge_cost = 1 + params.profile.extra_compute_per_edge;
-    if out.len() < geometry.total_workers() {
-        out.resize_with(geometry.total_workers(), Vec::new);
-    }
 
     for tile in 0..geometry.tiles() {
         let chunks = distribute_frontier(params.frontier.len(), b);
@@ -105,23 +136,22 @@ pub fn compile_into(
 
         for (pe, chunk) in chunks.into_iter().enumerate() {
             let worker = geometry.pe_id(tile, pe);
-            let ops = &mut out[worker];
-            ops.clear();
-            let heap_node = |node: usize, ops: &mut Vec<Op>, store: bool| {
+            sink.begin_pe(tile, pe);
+            let heap_node = |node: usize, sink: &mut K, store: bool| {
                 if params.heap_in_spm && node < params.spm_node_cap {
                     let off = (node * 8) as u32;
-                    ops.push(if store {
-                        Op::SpmStore(off)
+                    if store {
+                        sink.spm_store(off);
                     } else {
-                        Op::SpmLoad(off)
-                    });
+                        sink.spm_load(off);
+                    }
                 } else {
                     let addr = params.layout.heap_node(worker, node);
-                    ops.push(if store {
-                        Op::Store(addr)
+                    if store {
+                        sink.store(addr);
                     } else {
-                        Op::Load(addr)
-                    });
+                        sink.load(addr);
+                    }
                 }
             };
 
@@ -131,24 +161,24 @@ pub fn compile_into(
             for k in chunk {
                 let src = params.frontier[k] as usize;
                 // Frontier entry (index, value) — one line-adjacent load.
-                ops.push(Op::Load(params.layout.sv_entry(k)));
-                ops.push(Op::Compute(1));
+                sink.load(params.layout.sv_entry(k));
+                sink.compute(1);
                 // Column bounds from the column-pointer array.
-                ops.push(Op::Load(params.layout.csc_ptr(src)));
-                ops.push(Op::Compute(1));
+                sink.load(params.layout.csc_ptr(src));
+                sink.compute(1);
                 // Cached sub-run of the column inside this tile's row
                 // partition (see [`subruns`]).
                 let (lo, hi) = sub[tile * cols + src];
                 let (lo, hi) = (lo as usize, hi as usize);
                 if lo < hi {
                     // Load the head element and insert it: sift up.
-                    ops.push(Op::Load(params.layout.csc_entry(lo)));
-                    ops.push(Op::Compute(1));
+                    sink.load(params.layout.csc_entry(lo));
+                    sink.compute(1);
                     let head_row = csc_t.row_idx()[lo];
                     heap.push(Reverse((head_row, lo, hi)));
-                    heap_sift_ops(heap.len(), ops, |n, o| {
-                        heap_node(n, o, false);
-                        heap_node(n, o, true);
+                    heap_sift(heap.len(), sink, |n, s| {
+                        heap_node(n, s, false);
+                        heap_node(n, s, true);
                     });
                 }
             }
@@ -158,11 +188,11 @@ pub fn compile_into(
             let mut prev_row: Option<u32> = None;
             while let Some(Reverse((row, cursor, end))) = heap.pop() {
                 // Pop-and-replace root, sift down.
-                heap_sift_ops(heap.len() + 1, ops, |n, o| {
-                    heap_node(n, o, false);
-                    heap_node(n, o, true);
+                heap_sift(heap.len() + 1, sink, |n, s| {
+                    heap_node(n, s, false);
+                    heap_node(n, s, true);
                 });
-                ops.push(Op::Compute(merge_cost));
+                sink.compute(merge_cost);
                 match prev_row {
                     Some(p) if p == row => {} // merged into the accumulator
                     _ => {
@@ -170,7 +200,7 @@ pub fn compile_into(
                             // Enqueue the completed element to the LCP
                             // (hardware mailbox: fixed-latency push, one
                             // beat per value word).
-                            ops.push(Op::Compute(1 + vw as u32));
+                            sink.compute(1 + vw as u32);
                             out_k += 1;
                         }
                         prev_row = Some(row);
@@ -182,14 +212,14 @@ pub fn compile_into(
                 }
                 // Advance this column.
                 if cursor + 1 < end {
-                    ops.push(Op::Load(params.layout.csc_entry(cursor + 1)));
-                    ops.push(Op::Compute(1));
+                    sink.load(params.layout.csc_entry(cursor + 1));
+                    sink.compute(1);
                     let next_row = csc_t.row_idx()[cursor + 1];
                     heap.push(Reverse((next_row, cursor + 1, end)));
                 }
             }
             if prev_row.is_some() {
-                ops.push(Op::Compute(1 + vw as u32));
+                sink.compute(1 + vw as u32);
                 out_k += 1;
             }
             lcp_elements += out_k;
@@ -199,23 +229,22 @@ pub fn compile_into(
         tile_outputs.sort_unstable();
         tile_outputs.dedup();
         let distinct = tile_outputs.len();
-        let lcp_ops = &mut out[geometry.lcp_id(tile)];
-        lcp_ops.clear();
-        lcp_ops.reserve(lcp_elements * 2 + distinct * (1 + vw));
+        sink.begin_lcp(tile);
+        sink.reserve(lcp_elements * 2 + distinct * (1 + vw));
         let way_cost = usize::BITS - b.leading_zeros(); // log2(B) compare steps
         let mut element = 0usize;
         let mut written = 0usize;
         for _ in 0..lcp_elements {
             // Dequeue from the per-PE mailbox (fixed latency) and run one
             // B-way merge step.
-            lcp_ops.push(Op::Compute(1 + vw as u32));
-            lcp_ops.push(Op::Compute(way_cost.max(1)));
+            sink.compute(1 + vw as u32);
+            sink.compute(way_cost.max(1));
             element += 1;
             // Interleave final writes at the distinct-output rate.
             if written < distinct && element * distinct >= (written + 1) * lcp_elements.max(1) {
                 let row = tile_outputs[written];
                 for w in 0..vw {
-                    lcp_ops.push(Op::Store(params.layout.y_elem(row as usize, w)));
+                    sink.store(params.layout.y_elem(row as usize, w));
                 }
                 written += 1;
             }
@@ -223,7 +252,7 @@ pub fn compile_into(
         while written < distinct {
             let row = tile_outputs[written];
             for w in 0..vw {
-                lcp_ops.push(Op::Store(params.layout.y_elem(row as usize, w)));
+                sink.store(params.layout.y_elem(row as usize, w));
             }
             written += 1;
         }

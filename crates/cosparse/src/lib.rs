@@ -61,7 +61,7 @@ pub mod verify;
 pub use heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
 pub use layout::Layout;
 pub use ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
-pub use runtime::{CoSparse, Frontier, Policy, SpmvOutcome, StepOutcome};
+pub use runtime::{CacheStats, CoSparse, Frontier, Policy, SpmvOutcome, StepOutcome};
 pub use verify::{run_checked, VerifyReport};
 // Re-export so downstream crates name the hardware configs from here.
 pub use transmuter::HwConfig;

@@ -13,7 +13,7 @@ use crate::verify::{run_checked, VerifyReport};
 use sparse::partition::{RowPartition, VBlocks};
 use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
 use transmuter::verify::RegionMap;
-use transmuter::{Geometry, HwConfig, Machine, MicroArch, Op, Program, SimError, SimReport};
+use transmuter::{HwConfig, Machine, MemoStats, Program, ProgramBuilder, SimError, SimReport};
 
 /// A frontier (input vector) in one of the two representations the
 /// runtime converts between.
@@ -58,6 +58,9 @@ impl Frontier {
     }
 
     /// Sorted `(index, value)` pairs of the active elements.
+    #[deprecated(
+        note = "allocates a fresh Vec per call; use `collect_active` with a reusable buffer"
+    )]
     pub fn active_entries(&self) -> Vec<(Idx, f32)> {
         let mut out = Vec::new();
         self.collect_active(&mut out);
@@ -130,10 +133,9 @@ pub struct StepOutcome<V> {
 
 /// Memoized per-invocation tuning state (an OSKI-style "plan"): the
 /// address-space layout, its region map, the workload-balanced
-/// partitions for both dataflows, the vblock tilings — and, for the
-/// fully dense IP case, the compiled per-PE op buffers and the
-/// [`Program`]s lowered from them, re-run on every subsequent
-/// iteration.
+/// partitions for both dataflows, the vblock tilings — and the reusable
+/// [`ProgramBuilder`] every kernel emits through, plus the finished
+/// dense-IP [`Program`]s, re-run on every subsequent iteration.
 ///
 /// The matrix and geometry are fixed for a runtime's lifetime, so the
 /// plan stays valid until the op profile or the balancing scheme
@@ -148,31 +150,29 @@ struct Plan {
     op_tile_parts: RowPartition,
     vblocks_sc: VBlocks,
     vblocks_scs: VBlocks,
-    /// Compiled dense (unmasked) IP kernels per hardware flavour, built
-    /// on first use. Kept as raw op buffers (not just programs) because
-    /// the verification path lints/traces the op-level streams.
-    ip_dense_sc: Option<Vec<Vec<Op>>>,
-    ip_dense_scs: Option<Vec<Vec<Op>>>,
+    /// The single-pass lowering pipeline: kernels emit micro-ops
+    /// straight into this builder (`begin` → `kernels::*::build` →
+    /// `finish`), so no intermediate op buffers are materialized on the
+    /// non-verify path. Between rebuilds it holds the most recent
+    /// frontier-dependent program (see `scratch_key`).
+    builder: ProgramBuilder,
     /// Dense-IP [`Program`]s, one slot per hardware configuration
-    /// ([`Policy::Fixed`] can pin IP to any of the four), lowered from
-    /// the op buffers above on first use.
+    /// ([`Policy::Fixed`] can pin IP to any of the four), built through
+    /// the builder on first use and cloned out so later scratch builds
+    /// don't overwrite them.
     ip_programs: [Option<Program>; 4],
     /// Matrix-invariant OP column sub-run bounds (see
     /// [`op::subruns`]), computed on the first OP invocation.
     op_subruns: Option<Vec<(u32, u32)>>,
-    /// Reusable per-worker op buffers for frontier-dependent kernels
-    /// (masked IP, OP), cleared and refilled each invocation.
-    scratch_ops: Vec<Vec<Op>>,
-    /// Reusable compiled-program scratch the frontier-dependent kernels
-    /// re-lower into ([`Program::recompile`]).
-    scratch_prog: Option<Program>,
-    /// What `scratch_prog` currently holds: `(software, hardware)` slot
-    /// indices plus the exact frontier it was lowered for. An
-    /// invocation matching all three skips op generation and
-    /// re-lowering entirely and re-runs the program as-is — the steady
-    /// state of fixed-frontier callers and converged iterative
-    /// algorithms. (Everything else the lowering reads — matrix,
-    /// layout, partitions, profile — is fixed per [`Plan`].)
+    /// What the builder's finished program currently holds:
+    /// `(software, hardware)` slot indices plus the exact frontier it
+    /// was built for. An invocation matching all three skips emission
+    /// entirely and re-runs the program as-is — the steady state of
+    /// fixed-frontier callers and converged iterative algorithms.
+    /// (Everything else the lowering reads — matrix, layout,
+    /// partitions, profile — is fixed per [`Plan`].) `None` whenever
+    /// the builder was last used for something else (a dense-IP or
+    /// conversion build).
     scratch_key: Option<(usize, usize)>,
     scratch_frontier: Vec<Idx>,
     /// Verify-verdict memo, indexed `[software][hardware]`: true once
@@ -199,23 +199,30 @@ fn sw_index(sw: SwConfig) -> usize {
     }
 }
 
-/// Re-lowers `streams` into the scratch program slot (compiling it on
-/// first use) and returns it ready for [`Machine::run_program`].
-fn recompile_scratch<'a, 's, I>(
-    slot: &'s mut Option<Program>,
-    geometry: Geometry,
-    hw: HwConfig,
-    ua: &MicroArch,
-    streams: I,
-) -> &'s Program
-where
-    I: IntoIterator<Item = (usize, &'a [Op])>,
-{
-    match slot {
-        Some(p) => p.recompile(geometry, hw, ua, streams),
-        None => *slot = Some(Program::compile(geometry, hw, ua, streams)),
-    }
-    slot.as_ref().expect("just compiled")
+/// Cache-effectiveness counters of one [`CoSparse`] runtime: how often
+/// the kernel→program pipeline actually ran versus being served from a
+/// cached artifact. `plan_builds` counts full plan (re)builds;
+/// `dense_program_builds` counts dense-IP programs built through the
+/// builder (each then cached per hardware slot);
+/// `scratch_program_builds` / `scratch_program_hits` count
+/// frontier-dependent emissions versus same-(config, frontier) reuses;
+/// `steady_memo` is the machine's epoch-memo verdict for the programs
+/// those paths ran (see [`MemoStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Full plan (re)builds (profile or balancing change, or first use).
+    pub plan_builds: u64,
+    /// Dense-IP programs built and cached per hardware slot.
+    pub dense_program_builds: u64,
+    /// Frontier-dependent (masked-IP / OP) builder emissions.
+    pub scratch_program_builds: u64,
+    /// Frontier-dependent invocations served by the builder's current
+    /// program without re-emission.
+    pub scratch_program_hits: u64,
+    /// Conversion-kernel builder emissions (dataflow switches).
+    pub conversion_builds: u64,
+    /// The machine's steady-state memo counters.
+    pub steady_memo: MemoStats,
 }
 
 /// The CoSPARSE runtime for one operand matrix.
@@ -249,6 +256,16 @@ pub struct CoSparse {
     indices_buf: Vec<Idx>,
     /// Reusable staging for the active `(index, value)` entries.
     entries_buf: Vec<(Idx, f32)>,
+    /// All-zero per-row state for the plain-SpMV golden model, allocated
+    /// once (it is only ever read).
+    zero_state: Vec<f32>,
+    /// Pipeline cache counters (everything except the machine-owned
+    /// steady-memo pair, which [`CoSparse::cache_stats`] merges in).
+    plan_builds: u64,
+    dense_program_builds: u64,
+    scratch_program_builds: u64,
+    scratch_program_hits: u64,
+    conversion_builds: u64,
 }
 
 impl CoSparse {
@@ -260,6 +277,7 @@ impl CoSparse {
         let row_counts = matrix.row_counts();
         CoSparse {
             mask_buf: vec![false; matrix.cols()],
+            zero_state: vec![0.0f32; matrix.rows()],
             coo: matrix.clone(),
             csc,
             degrees,
@@ -275,6 +293,25 @@ impl CoSparse {
             plan: None,
             indices_buf: Vec::new(),
             entries_buf: Vec::new(),
+            plan_builds: 0,
+            dense_program_builds: 0,
+            scratch_program_builds: 0,
+            scratch_program_hits: 0,
+            conversion_builds: 0,
+        }
+    }
+
+    /// Pipeline cache counters accumulated over this runtime's lifetime
+    /// (plan builds, program builds/hits, and the machine's steady-state
+    /// memo verdict).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            plan_builds: self.plan_builds,
+            dense_program_builds: self.dense_program_builds,
+            scratch_program_builds: self.scratch_program_builds,
+            scratch_program_hits: self.scratch_program_hits,
+            conversion_builds: self.conversion_builds,
+            steady_memo: self.machine.memo_stats(),
         }
     }
 
@@ -447,6 +484,7 @@ impl CoSparse {
         } else {
             vblocks_sc.clone()
         };
+        self.plan_builds += 1;
         self.plan = Some(Plan {
             profile: *profile,
             balancing: self.balancing,
@@ -456,12 +494,9 @@ impl CoSparse {
             op_tile_parts,
             vblocks_sc,
             vblocks_scs,
-            ip_dense_sc: None,
-            ip_dense_scs: None,
+            builder: ProgramBuilder::new(),
             ip_programs: [None, None, None, None],
             op_subruns: None,
-            scratch_ops: Vec::new(),
-            scratch_prog: None,
             scratch_key: None,
             scratch_frontier: Vec::new(),
             verified: [[false; 4]; 2],
@@ -530,16 +565,16 @@ impl CoSparse {
         };
         let mut conversion_report = None;
         if let Some(direction) = conversion {
-            let plan = self.plan.as_ref().expect("plan ensured above");
-            let streams = convert::streams(
-                &plan.layout,
-                geometry,
-                self.coo.cols(),
-                active.len(),
-                direction,
-                *profile,
-            );
+            let plan = self.plan.as_mut().expect("plan ensured above");
             conversion_report = Some(if self.verify {
+                let streams = convert::streams(
+                    &plan.layout,
+                    geometry,
+                    self.coo.cols(),
+                    active.len(),
+                    direction,
+                    *profile,
+                );
                 run_checked(
                     &mut self.machine,
                     streams,
@@ -547,7 +582,23 @@ impl CoSparse {
                     &mut self.verify_report,
                 )?
             } else {
-                self.machine.run(streams)?
+                // Single-pass path: emit straight into the plan's
+                // builder. This repurposes the builder, so any cached
+                // frontier-dependent program is gone.
+                plan.builder
+                    .begin(geometry, decision.hardware, self.machine.uarch());
+                convert::build(
+                    &plan.layout,
+                    geometry,
+                    self.coo.cols(),
+                    active.len(),
+                    direction,
+                    *profile,
+                    &mut plan.builder,
+                );
+                plan.scratch_key = None;
+                self.conversion_builds += 1;
+                self.machine.run_program(plan.builder.finish())?
             });
         }
 
@@ -557,10 +608,10 @@ impl CoSparse {
             SwConfig::InnerProduct => {
                 let use_spm = decision.hardware == HwConfig::Scs;
                 if active.len() >= self.coo.cols() {
-                    // Fully dense frontier: run the compiled program,
-                    // building it on first use. This is the steady state
-                    // of PR/CF — no op regeneration or re-lowering per
-                    // iteration.
+                    // Fully dense frontier: run the cached program,
+                    // building it through the plan's builder on first
+                    // use. This is the steady state of PR/CF — no op
+                    // regeneration or re-lowering per iteration.
                     let plan = self.plan.as_mut().expect("plan ensured above");
                     let params = ip::IpParams {
                         layout: &plan.layout,
@@ -574,17 +625,9 @@ impl CoSparse {
                         active: None,
                         profile: *profile,
                     };
-                    let slot = if use_spm {
-                        &mut plan.ip_dense_scs
-                    } else {
-                        &mut plan.ip_dense_sc
-                    };
-                    if slot.is_none() {
-                        *slot = Some(ip::compile(&self.coo, geometry, params));
-                    }
-                    let bufs = slot.as_ref().expect("just compiled");
                     if self.verify && !plan.verified[sw_idx][hw_idx] {
-                        let streams = ip::replay(bufs, geometry);
+                        let compiled = ip::compile(&self.coo, geometry, params);
+                        let streams = ip::replay(&compiled, geometry);
                         let run = run_checked(
                             &mut self.machine,
                             streams,
@@ -594,18 +637,20 @@ impl CoSparse {
                         plan.verified[sw_idx][hw_idx] = true;
                         run
                     } else {
-                        let prog = match &mut plan.ip_programs[hw_idx] {
-                            Some(p) => &*p,
-                            empty => {
-                                *empty = Some(Program::compile(
-                                    geometry,
-                                    decision.hardware,
-                                    self.machine.uarch(),
-                                    bufs.iter().enumerate().map(|(w, ops)| (w, ops.as_slice())),
-                                ));
-                                empty.as_ref().expect("just compiled")
-                            }
-                        };
+                        if plan.ip_programs[hw_idx].is_none() {
+                            plan.builder
+                                .begin(geometry, decision.hardware, self.machine.uarch());
+                            ip::build(&self.coo, geometry, params, &mut plan.builder);
+                            // Clone the finished program out so the next
+                            // frontier-dependent build can't evict it;
+                            // the clone keeps the program id, so the
+                            // machine's steady-state memo still sees the
+                            // same recurring program every iteration.
+                            plan.ip_programs[hw_idx] = Some(plan.builder.finish().clone());
+                            plan.scratch_key = None;
+                            self.dense_program_builds += 1;
+                        }
+                        let prog = plan.ip_programs[hw_idx].as_ref().expect("just built");
                         let run = self.machine.run_program(prog)?;
                         if self.verify {
                             self.verify_report.runs += 1;
@@ -646,32 +691,26 @@ impl CoSparse {
                         }
                         run
                     } else {
-                        // Frontier-dependent ops: regenerate into the
-                        // plan's scratch buffers and re-lower into the
-                        // scratch program — no steady-state allocation,
-                        // and no work at all when the scratch already
-                        // holds this exact (config, frontier).
+                        // Frontier-dependent ops: emit straight into the
+                        // plan's builder in one pass — no op buffers, no
+                        // separate lowering walk — and no work at all
+                        // when the builder already holds this exact
+                        // (config, frontier).
                         if plan.scratch_key != Some((sw_idx, hw_idx))
                             || plan.scratch_frontier != *active
                         {
-                            ip::compile_into(&self.coo, geometry, params, &mut plan.scratch_ops);
-                            let pes = geometry.total_pes();
-                            recompile_scratch(
-                                &mut plan.scratch_prog,
-                                geometry,
-                                decision.hardware,
-                                self.machine.uarch(),
-                                plan.scratch_ops[..pes]
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(w, ops)| (w, ops.as_slice())),
-                            );
+                            plan.builder
+                                .begin(geometry, decision.hardware, self.machine.uarch());
+                            ip::build(&self.coo, geometry, params, &mut plan.builder);
+                            plan.builder.finish();
                             plan.scratch_key = Some((sw_idx, hw_idx));
                             plan.scratch_frontier.clear();
                             plan.scratch_frontier.extend_from_slice(active);
+                            self.scratch_program_builds += 1;
+                        } else {
+                            self.scratch_program_hits += 1;
                         }
-                        let prog = plan.scratch_prog.as_ref().expect("scratch just compiled");
-                        let run = self.machine.run_program(prog);
+                        let run = self.machine.run_program(plan.builder.program());
                         if self.verify && run.is_ok() {
                             self.verify_report.runs += 1;
                         }
@@ -715,24 +754,18 @@ impl CoSparse {
                             plan.op_subruns = Some(op::subruns(&self.csc, &plan.op_tile_parts));
                         }
                         let sub = plan.op_subruns.as_ref().expect("just computed");
-                        op::compile_into(&self.csc, geometry, params, sub, &mut plan.scratch_ops);
-                        let workers = geometry.total_workers();
-                        recompile_scratch(
-                            &mut plan.scratch_prog,
-                            geometry,
-                            decision.hardware,
-                            self.machine.uarch(),
-                            plan.scratch_ops[..workers]
-                                .iter()
-                                .enumerate()
-                                .map(|(w, ops)| (w, ops.as_slice())),
-                        );
+                        plan.builder
+                            .begin(geometry, decision.hardware, self.machine.uarch());
+                        op::build(&self.csc, geometry, params, sub, &mut plan.builder);
+                        plan.builder.finish();
                         plan.scratch_key = Some((sw_idx, hw_idx));
                         plan.scratch_frontier.clear();
                         plan.scratch_frontier.extend_from_slice(active);
+                        self.scratch_program_builds += 1;
+                    } else {
+                        self.scratch_program_hits += 1;
                     }
-                    let prog = plan.scratch_prog.as_ref().expect("scratch just compiled");
-                    let run = self.machine.run_program(prog)?;
+                    let run = self.machine.run_program(plan.builder.program())?;
                     if self.verify {
                         self.verify_report.runs += 1;
                     }
@@ -825,8 +858,13 @@ impl CoSparse {
         }
 
         // Functional product (golden model).
-        let state = vec![0.0f32; self.coo.rows()];
-        let updates = apply(&SpmvOp, &self.csc, &entries, &state, &self.degrees);
+        let updates = apply(
+            &SpmvOp,
+            &self.csc,
+            &entries,
+            &self.zero_state,
+            &self.degrees,
+        );
         self.entries_buf = entries;
         let result = match decision.software {
             SwConfig::InnerProduct => {
@@ -1040,6 +1078,7 @@ mod frontier_tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn frontier_accessors() {
         let d = Frontier::Dense(DenseVector::from(vec![0.0f32, 2.0, 0.0, 3.0]));
         assert_eq!(d.dim(), 4);

@@ -91,6 +91,56 @@ fn golden_warm_cycle_counts_all_eight_combos() {
     assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
 
+/// The single-pass pipeline's caches behave as designed: a repeated
+/// dense-IP invocation builds its program exactly once, a repeated
+/// sparse-OP invocation hits the scratch-program cache, and the warm
+/// path reaches the machine's steady-state memo.
+#[test]
+fn pipeline_caches_hit_on_repeat_invocations() {
+    // Dense IP: program cached per hardware slot after the first build.
+    let mut rt = runtime();
+    rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+    let f = frontier(SwConfig::InnerProduct);
+    rt.spmv(&f).unwrap();
+    rt.spmv(&f).unwrap();
+    let cs = rt.cache_stats();
+    assert_eq!(cs.plan_builds, 1, "one plan for one matrix");
+    assert_eq!(cs.dense_program_builds, 1, "dense program built once");
+    assert_eq!(cs.scratch_program_builds, 0);
+    assert_eq!(cs.conversion_builds, 0, "no dataflow switch occurred");
+
+    // Sparse OP: identical frontier reuses the scratch program in place.
+    let mut rt = runtime();
+    rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+    let f = frontier(SwConfig::OuterProduct);
+    rt.spmv(&f).unwrap();
+    rt.spmv(&f).unwrap();
+    let cs = rt.cache_stats();
+    assert_eq!(cs.scratch_program_builds, 1, "scratch built on first call");
+    assert_eq!(cs.scratch_program_hits, 1, "second call reuses it");
+    assert_eq!(cs.dense_program_builds, 0);
+
+    // Steady-state memo: keep re-running the identical program until the
+    // machine recognizes the recurring steady state. OP/PC reaches its
+    // cache-state fixpoint after a handful of calls (measured: 7); the
+    // dense-IP working set never converges within the memo's 16-entry
+    // ring — see `steady_memo_wanders_past_ring_capacity` in the
+    // transmuter machine tests for the characterization.
+    let mut rt = runtime();
+    rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+    let f = frontier(SwConfig::OuterProduct);
+    for _ in 0..8 {
+        rt.spmv(&f).unwrap();
+    }
+    let cs = rt.cache_stats();
+    assert!(
+        cs.steady_memo.hits >= 1,
+        "repeated identical program should reach the steady memo: {:?}",
+        cs.steady_memo
+    );
+    assert!(cs.steady_memo.hit_rate() > 0.0);
+}
+
 /// Two identical fresh runtimes must agree exactly: the simulator is
 /// deterministic end to end (matrix generation, planning, execution).
 #[test]

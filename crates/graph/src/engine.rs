@@ -175,6 +175,10 @@ impl Engine {
         let mut state = algorithm.initial_state(n);
         assert_eq!(state.len(), n, "initial state must cover every vertex");
         let mut frontier = algorithm.initial_frontier(n);
+        // Double-buffered frontier: the next iteration's pairs are
+        // staged here and swapped in, so the steady state allocates
+        // nothing per iteration.
+        let mut staged: Vec<(Idx, Value<A>)> = Vec::new();
         let mut iterations = Vec::new();
 
         for iteration in 0..algorithm.max_iterations(n) {
@@ -195,20 +199,22 @@ impl Engine {
                 updates: update_count,
             });
 
+            staged.clear();
             if algorithm.dense_frontier() {
-                frontier = (0..n)
-                    .map(|v| (v as Idx, algorithm.frontier_value(v as Idx, state[v])))
-                    .collect();
+                staged.extend(
+                    (0..n).map(|v| (v as Idx, algorithm.frontier_value(v as Idx, state[v]))),
+                );
                 if update_count == 0 {
                     break;
                 }
             } else {
-                frontier = out
-                    .updates
-                    .into_iter()
-                    .map(|(dst, v)| (dst, algorithm.frontier_value(dst, v)))
-                    .collect();
+                staged.extend(
+                    out.updates
+                        .iter()
+                        .map(|&(dst, v)| (dst, algorithm.frontier_value(dst, v))),
+                );
             }
+            std::mem::swap(&mut frontier, &mut staged);
         }
         Ok(RunResult { state, iterations })
     }

@@ -61,8 +61,8 @@ pub use hbm::Hbm;
 pub use machine::{ExecMode, Machine, SimError, StreamSet};
 pub use memsys::MemorySystem;
 pub use op::{Addr, Op, OpStream, StreamBuilder};
-pub use program::Program;
-pub use stats::{SimReport, SimStats};
+pub use program::{Program, ProgramBuilder};
+pub use stats::{MemoStats, SimReport, SimStats};
 pub use trace::{TraceCapture, TraceConfig, TraceEvent};
 pub use verify::{
     detect_races, lint, Diagnostic, LintKind, ProgramSet, Race, RaceKind, RaceSite, Region,

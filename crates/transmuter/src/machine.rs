@@ -12,7 +12,7 @@ use crate::energy::EnergyModel;
 use crate::memsys::{MemSnapshot, MemorySystem};
 use crate::op::{Op, OpStream};
 use crate::program::{exec_span, HbmCall, HbmCallKind, Lane, LaneState, Program, TileExec};
-use crate::stats::{SimReport, SimStats};
+use crate::stats::{MemoStats, SimReport, SimStats};
 use crate::trace::{TraceCapture, TraceConfig, TraceEvent, Tracer};
 use crate::verify::{self, Diagnostic, ProgramSet, RegionMap};
 use std::cmp::Reverse;
@@ -451,6 +451,7 @@ pub struct Machine {
     /// Ring of recorded steady-state runs, most recent last.
     steady: Vec<SteadyState>,
     steady_hits: u64,
+    steady_misses: u64,
     /// Program ids of recent [`Machine::run_program`] calls, most recent
     /// last. An id that recurs marks a long-lived compiled artifact
     /// (iterated kernels re-run the same cached `Program`); scratch
@@ -471,6 +472,7 @@ impl Machine {
             exec_mode: ExecMode::default(),
             steady: Vec::new(),
             steady_hits: 0,
+            steady_misses: 0,
             recent_ids: Vec::new(),
         }
     }
@@ -479,6 +481,15 @@ impl Machine {
     /// steady-state memo instead of being re-simulated.
     pub fn steady_hits(&self) -> u64 {
         self.steady_hits
+    }
+
+    /// Steady-state memo hit/miss counters (a miss is a memo-eligible
+    /// run that matched no recorded snapshot and was re-simulated).
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.steady_hits,
+            misses: self.steady_misses,
+        }
     }
 
     /// Sets the execution strategy for [`Machine::run_program`].
@@ -792,6 +803,7 @@ impl Machine {
                 self.steady_hits += 1;
                 return Ok(s.report.clone());
             }
+            self.steady_misses += 1;
         }
         let pre = memo_eligible.then(|| self.mem.cache_state());
         self.mem.begin_run();
@@ -1537,6 +1549,79 @@ mod program_tests {
             m.steady_hits(),
             hits,
             "stale memo served a recompiled program"
+        );
+    }
+
+    /// Diagnostic for the ROADMAP note that memo periods above the ring
+    /// capacity "wander chaotically" under SC: the memo ring is a FIFO
+    /// of [`STEADY_ENTRIES`] snapshots, so a program whose recurrence
+    /// period exceeds the capacity has its snapshot evicted before it
+    /// comes around again and can *never* hit — every eligible run is a
+    /// miss, which reads as chaotic wandering from the outside. The same
+    /// workloads interleaved with a period inside the capacity hit fine.
+    /// (The dense-IP flavor of this: one program whose *bank-state*
+    /// trajectory has a long limit cycle — same capacity math, one id.)
+    #[test]
+    fn steady_memo_wanders_past_ring_capacity() {
+        let geom = Geometry::new(2, 4);
+        let build = |k: u64| {
+            let mut streams: Vec<(usize, Vec<Op>)> = Vec::new();
+            for tile in 0..geom.tiles() {
+                for pe in 0..geom.pes_per_tile() {
+                    let w = geom.pe_id(tile, pe);
+                    let mut b = StreamBuilder::new();
+                    for i in 0..8u64 {
+                        b.compute(1);
+                        // Distinct per-program working sets.
+                        b.load(k * 0x10_0000 + w as u64 * 0x1000 + i * 64);
+                    }
+                    streams.push((w, b.into_stream().collect()));
+                }
+            }
+            Program::compile(
+                geom,
+                HwConfig::Sc,
+                &MicroArch::paper(),
+                streams.iter().map(|(w, v)| (*w, v.as_slice())),
+            )
+        };
+        let run_cycle = |count: usize| {
+            let progs: Vec<Program> = (0..count as u64).map(build).collect();
+            let mut m = Machine::new(geom, MicroArch::paper());
+            m.reconfigure(HwConfig::Sc);
+            for _ in 0..6 {
+                for p in &progs {
+                    m.run_program(p).unwrap();
+                }
+            }
+            m.memo_stats()
+        };
+
+        // Recurrence period within the ring: the memo engages once each
+        // program's bank state fixes.
+        let inside = run_cycle(STEADY_ENTRIES / 2);
+        assert!(
+            inside.hits > 0,
+            "period {} should fit the {}-entry ring: {:?}",
+            STEADY_ENTRIES / 2,
+            STEADY_ENTRIES,
+            inside
+        );
+
+        // Recurrence period past the ring: every snapshot is evicted
+        // before its program recurs — misses only, forever.
+        let outside = run_cycle(STEADY_ENTRIES + 4);
+        assert_eq!(
+            outside.hits,
+            0,
+            "period {} cannot fit the {}-entry FIFO ring: {:?}",
+            STEADY_ENTRIES + 4,
+            STEADY_ENTRIES,
+            outside
+        );
+        assert!(
+            outside.misses > inside.misses,
+            "the over-capacity cycle should miss on every eligible run"
         );
     }
 

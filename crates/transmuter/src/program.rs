@@ -30,9 +30,9 @@ use crate::machine::{release, BarrierState, Sched, SimError};
 use crate::memsys::{
     priv_direct_access, priv_l1_access, FastDiv, MemorySystem, PrivParams, PrivTile,
 };
-use crate::op::Op;
+use crate::op::{Addr, Op};
 use crate::stats::SimStats;
-use crate::verify::{self, Diagnostic};
+use crate::verify::{self, Diagnostic, LintKind, Severity};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Source of [`Program::id`] values; 0 is reserved (never issued).
@@ -83,7 +83,7 @@ pub(crate) enum MicroKind {
 
 /// One pre-decoded micro-op (24 bytes; the interpreter walks dense
 /// arrays of these).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct MicroOp {
     /// Compute cycles, or the bank-local line for shared-L1 accesses.
     pub(crate) a: u64,
@@ -195,14 +195,7 @@ impl Program {
         self.ranges.resize(geom.total_workers(), None);
         self.lint = None;
 
-        let b = geom.pes_per_tile();
-        let line_div = FastDiv::new(ua.line_bytes as u64);
-        let word_div = FastDiv::new(ua.word_bytes as u64);
-        let l1_banks = ua.l1_cache_banks(b, hw.l1());
-        let l1_div = FastDiv::new(l1_banks as u64);
-        let spm_div = FastDiv::new((b - l1_banks) as u64);
-        let has_spm = matches!(hw.l1(), L1Mode::SharedCacheSpm | L1Mode::PrivateSpm);
-        let shared_l2 = hw.l2() == L2Mode::SharedCache;
+        let ctx = LowerCtx::new(geom, hw, ua);
 
         let mut poisoned = false;
         // Per stream-bearing worker: tile-barrier count in each
@@ -225,72 +218,9 @@ impl Program {
                         kind: MicroKind::Compute,
                         bank: 0,
                     },
-                    Op::Load(addr) | Op::Store(addr) => {
-                        let is_store = matches!(op, Op::Store(_));
-                        let line = line_div.div(addr);
-                        match (pe, hw.l1()) {
-                            (None, _) => MicroOp {
-                                a: 0,
-                                b: line,
-                                kind: match (shared_l2, is_store) {
-                                    (true, false) => MicroKind::SharedDirLoad,
-                                    (true, true) => MicroKind::SharedDirStore,
-                                    (false, false) => MicroKind::DirLcpLoad,
-                                    (false, true) => MicroKind::DirLcpStore,
-                                },
-                                bank: 0,
-                            },
-                            (Some(_), L1Mode::SharedCache | L1Mode::SharedCacheSpm) => MicroOp {
-                                a: l1_div.div(line),
-                                b: line,
-                                kind: if is_store {
-                                    MicroKind::SharedStore
-                                } else {
-                                    MicroKind::SharedLoad
-                                },
-                                bank: l1_div.rem(line) as u16,
-                            },
-                            (Some(pe), L1Mode::PrivateCache) => MicroOp {
-                                a: 0,
-                                b: line,
-                                kind: if is_store {
-                                    MicroKind::PrivStore
-                                } else {
-                                    MicroKind::PrivLoad
-                                },
-                                bank: pe as u16,
-                            },
-                            (Some(pe), L1Mode::PrivateSpm) => MicroOp {
-                                a: 0,
-                                b: line,
-                                kind: if is_store {
-                                    MicroKind::DirPeStore
-                                } else {
-                                    MicroKind::DirPeLoad
-                                },
-                                bank: pe as u16,
-                            },
-                        }
-                    }
-                    Op::SpmLoad(off) | Op::SpmStore(off) => {
-                        if !has_spm {
-                            poisoned = true;
-                            MicroOp::plain(MicroKind::PoisonSpm)
-                        } else if pe.is_none() {
-                            poisoned = true;
-                            MicroOp::plain(MicroKind::PoisonLcpSpm)
-                        } else if hw.l1() == L1Mode::SharedCacheSpm {
-                            let word = word_div.div(off as u64);
-                            MicroOp {
-                                a: 0,
-                                b: 0,
-                                kind: MicroKind::SpmShared,
-                                bank: spm_div.rem(word) as u16,
-                            }
-                        } else {
-                            MicroOp::plain(MicroKind::SpmPrivate)
-                        }
-                    }
+                    Op::Load(addr) => ctx.mem_access(addr, false, pe),
+                    Op::Store(addr) => ctx.mem_access(addr, true, pe),
+                    Op::SpmLoad(off) | Op::SpmStore(off) => ctx.spm_access(off, pe, &mut poisoned),
                     Op::TileBarrier => {
                         if pe.is_none() {
                             poisoned = true;
@@ -312,7 +242,8 @@ impl Program {
             segments.push((worker, segs));
         }
 
-        self.parallel_ok = !poisoned && congruent(geom, &segments);
+        self.parallel_ok =
+            !poisoned && congruent(geom, segments.iter().map(|(w, s)| (*w, s.as_slice())));
     }
 
     /// Attaches a verifier verdict ([`verify::lint`] diagnostics) to the
@@ -329,6 +260,14 @@ impl Program {
     /// The lint verdict, if one was attached: `Some(true)` = clean.
     pub fn lint_clean(&self) -> Option<bool> {
         self.lint.as_ref().map(|l| l.clean)
+    }
+
+    /// The attached lint diagnostics (warnings included), if a verdict
+    /// was attached. Used by the differential suites to prove the
+    /// streaming builder and the batch `lint` pass agree finding for
+    /// finding.
+    pub fn lint_diagnostics(&self) -> Option<&[Diagnostic]> {
+        self.lint.as_ref().map(|l| l.diagnostics.as_slice())
     }
 
     /// Diagnostics that reject this program, if the attached lint found
@@ -409,19 +348,24 @@ impl Program {
 
 /// Checks epoch congruence: equal global-barrier counts across all
 /// stream-bearing workers, and per tile, identical per-segment
-/// tile-barrier counts across its PE streams.
-fn congruent(geom: Geometry, segments: &[(usize, Vec<u32>)]) -> bool {
+/// tile-barrier counts across its PE streams. Takes the segment vectors
+/// as a re-iterable view so both [`Program::recompile`] (owned vectors)
+/// and [`ProgramBuilder`] (flat arena) can share it.
+fn congruent<'a, I>(geom: Geometry, segments: I) -> bool
+where
+    I: Iterator<Item = (usize, &'a [u32])> + Clone,
+{
     let mut gb: Option<usize> = None;
-    for (_, segs) in segments {
+    for (_, segs) in segments.clone() {
         let count = segs.len() - 1;
         if *gb.get_or_insert(count) != count {
             return false;
         }
     }
     for tile in 0..geom.tiles() {
-        let mut proto: Option<&Vec<u32>> = None;
-        for (w, segs) in segments {
-            let (t, pe) = geom.locate(*w);
+        let mut proto: Option<&[u32]> = None;
+        for (w, segs) in segments.clone() {
+            let (t, pe) = geom.locate(w);
             if t != tile || pe.is_none() {
                 continue;
             }
@@ -433,6 +377,567 @@ fn congruent(geom: Geometry, segments: &[(usize, Vec<u32>)]) -> bool {
         }
     }
     true
+}
+
+/// Compile-time lowering context for one `(Geometry, HwConfig,
+/// MicroArch)` target: everything the per-op Op→[`MicroOp`] translation
+/// depends on, hoisted out of the loop. [`Program::recompile`] (batch)
+/// and [`ProgramBuilder`] (streaming) share it, so the two lowering
+/// paths cannot drift.
+#[derive(Debug, Clone)]
+struct LowerCtx {
+    line_div: FastDiv,
+    word_div: FastDiv,
+    l1_div: FastDiv,
+    spm_div: FastDiv,
+    l1: L1Mode,
+    has_spm: bool,
+    shared_l2: bool,
+}
+
+impl LowerCtx {
+    fn new(geom: Geometry, hw: HwConfig, ua: &MicroArch) -> Self {
+        let b = geom.pes_per_tile();
+        // SCS needs at least one cache bank *and* one SPM bank per tile;
+        // on a <2-PE tile there is no legal split. Fall back to an
+        // all-cache split so construction still succeeds — the lint
+        // rejects such a program as UnsupportedConfig before it can run.
+        let l1_banks = if hw == HwConfig::Scs && b < 2 {
+            b
+        } else {
+            ua.l1_cache_banks(b, hw.l1())
+        };
+        LowerCtx {
+            line_div: FastDiv::new(ua.line_bytes as u64),
+            word_div: FastDiv::new(ua.word_bytes as u64),
+            l1_div: FastDiv::new(l1_banks as u64),
+            spm_div: FastDiv::new((b - l1_banks) as u64),
+            l1: hw.l1(),
+            has_spm: matches!(hw.l1(), L1Mode::SharedCacheSpm | L1Mode::PrivateSpm),
+            shared_l2: hw.l2() == L2Mode::SharedCache,
+        }
+    }
+
+    /// Lowers a `Load`/`Store` of `addr` issued by `pe` (`None` = LCP).
+    #[inline]
+    fn mem_access(&self, addr: Addr, is_store: bool, pe: Option<usize>) -> MicroOp {
+        let line = self.line_div.div(addr);
+        match (pe, self.l1) {
+            (None, _) => MicroOp {
+                a: 0,
+                b: line,
+                kind: match (self.shared_l2, is_store) {
+                    (true, false) => MicroKind::SharedDirLoad,
+                    (true, true) => MicroKind::SharedDirStore,
+                    (false, false) => MicroKind::DirLcpLoad,
+                    (false, true) => MicroKind::DirLcpStore,
+                },
+                bank: 0,
+            },
+            (Some(_), L1Mode::SharedCache | L1Mode::SharedCacheSpm) => MicroOp {
+                a: self.l1_div.div(line),
+                b: line,
+                kind: if is_store {
+                    MicroKind::SharedStore
+                } else {
+                    MicroKind::SharedLoad
+                },
+                bank: self.l1_div.rem(line) as u16,
+            },
+            (Some(pe), L1Mode::PrivateCache) => MicroOp {
+                a: 0,
+                b: line,
+                kind: if is_store {
+                    MicroKind::PrivStore
+                } else {
+                    MicroKind::PrivLoad
+                },
+                bank: pe as u16,
+            },
+            (Some(pe), L1Mode::PrivateSpm) => MicroOp {
+                a: 0,
+                b: line,
+                kind: if is_store {
+                    MicroKind::DirPeStore
+                } else {
+                    MicroKind::DirPeLoad
+                },
+                bank: pe as u16,
+            },
+        }
+    }
+
+    /// Lowers an `SpmLoad`/`SpmStore` of `off` issued by `pe`
+    /// (`None` = LCP); loads and stores time identically, so one kind
+    /// covers both. Sets `poisoned` when the op can never execute.
+    #[inline]
+    fn spm_access(&self, off: u32, pe: Option<usize>, poisoned: &mut bool) -> MicroOp {
+        if !self.has_spm {
+            *poisoned = true;
+            MicroOp::plain(MicroKind::PoisonSpm)
+        } else if pe.is_none() {
+            *poisoned = true;
+            MicroOp::plain(MicroKind::PoisonLcpSpm)
+        } else if self.l1 == L1Mode::SharedCacheSpm {
+            let word = self.word_div.div(off as u64);
+            MicroOp {
+                a: 0,
+                b: 0,
+                kind: MicroKind::SpmShared,
+                bank: self.spm_div.rem(word) as u16,
+            }
+        } else {
+            MicroOp::plain(MicroKind::SpmPrivate)
+        }
+    }
+}
+
+/// First index at which the barrier projections of two segment vectors
+/// diverge — the `barrier_index` [`verify::lint`] reports for a
+/// [`LintKind::BarrierMismatch`]. A segment vector `[s0, s1, ..]`
+/// projects to `T^s0 G T^s1 G ...` (no trailing `G`); `lint` zips the
+/// two projections and takes the first differing position, falling back
+/// to the shorter projection's length.
+fn barrier_divergence(r: &[u32], s: &[u32]) -> usize {
+    let mut idx = 0usize;
+    for i in 0..r.len().min(s.len()) {
+        let (a, b) = (r[i], s[i]);
+        idx += a.min(b) as usize;
+        if a != b {
+            return idx;
+        }
+        if i + 1 < r.len() && i + 1 < s.len() {
+            idx += 1; // both projections continue with a G separator
+        } else {
+            return idx; // one projection ends here; zip is exhausted
+        }
+    }
+    idx
+}
+
+/// Streaming, verifying program builder: the single-pass fusion of the
+/// kernel → `Op` buffer → [`Program::compile`] → [`verify::lint`]
+/// pipeline. Kernels open one worker stream at a time
+/// ([`ProgramBuilder::begin_pe`] / [`ProgramBuilder::begin_lcp`]) and
+/// append ops through the emission verbs; each op is lowered to a
+/// [`MicroOp`] on append — cache lines, bank routing, SPM offsets and
+/// compute-cost clamping resolved exactly as [`Program::recompile`]
+/// would — while barrier-epoch congruence and the [`verify::lint`]
+/// checks run online. [`ProgramBuilder::finish`] therefore yields a
+/// [`Program`] with the lint verdict already attached, without ever
+/// materializing an [`Op`] stream.
+///
+/// The builder owns its [`Program`] and is reused across invocations:
+/// [`ProgramBuilder::begin`] is a `recompile`-style in-place reset, so
+/// steady-state emission allocates nothing beyond buffer growth.
+///
+/// Equivalence with the two-pass path is pinned by unit tests below and
+/// by the differential suites in `transmuter/tests` and the `cosparse`
+/// crate. One deliberate difference: the builder takes no address-region
+/// map, so it never reports [`LintKind::UnmappedAddress`] — its verdict
+/// equals [`verify::lint`] called with `regions: None`.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+    lower: LowerCtx,
+    /// Word size in bytes, for the SPM-capacity lint.
+    word: u64,
+    /// SPM bytes one PE's `spm_load`/`spm_store` offsets may address.
+    spm_capacity: usize,
+    /// SCS on a <2-PE tile: the config is unrealisable, per-op lints
+    /// are meaningless, and [`ProgramBuilder::finish`] attaches only
+    /// [`LintKind::UnsupportedConfig`] — exactly as [`verify::lint`]
+    /// short-circuits.
+    unsupported: bool,
+    poisoned: bool,
+    /// Tile-barrier counts per global-barrier segment, all workers
+    /// concatenated in one arena; the open worker's segments are the
+    /// live tail.
+    seg_data: Vec<u32>,
+    /// Per sealed worker: `(worker, start, end)` into `seg_data`, in
+    /// emission order.
+    seg_index: Vec<(usize, u32, u32)>,
+    /// Per-op lint findings in emission order; sorted into
+    /// worker-ascending report order at [`ProgramBuilder::finish`].
+    diags: Vec<Diagnostic>,
+    cur_worker: usize,
+    cur_pe: Option<usize>,
+    cur_lo: u32,
+    cur_seg_lo: u32,
+    open: bool,
+    finished: bool,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        ProgramBuilder::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates an idle builder; call [`ProgramBuilder::begin`] before
+    /// emitting.
+    pub fn new() -> Self {
+        let geom = Geometry::new(1, 1);
+        let hw = HwConfig::Sc;
+        let ua = MicroArch::paper();
+        let lower = LowerCtx::new(geom, hw, &ua);
+        let word = ua.word_bytes as u64;
+        ProgramBuilder {
+            prog: Program {
+                id: 0,
+                geom,
+                hw,
+                ua,
+                ops: Vec::new(),
+                ranges: Vec::new(),
+                parallel_ok: false,
+                lint: None,
+            },
+            lower,
+            word,
+            spm_capacity: 0,
+            unsupported: false,
+            poisoned: false,
+            seg_data: Vec::new(),
+            seg_index: Vec::new(),
+            diags: Vec::new(),
+            cur_worker: 0,
+            cur_pe: None,
+            cur_lo: 0,
+            cur_seg_lo: 0,
+            open: false,
+            // A fresh builder holds no emission; require begin() first.
+            finished: true,
+        }
+    }
+
+    /// Resets the builder in place for a new build against
+    /// `(geom, hw, ua)`, reusing every internal buffer (the streaming
+    /// twin of [`Program::recompile`]). The owned program gets a fresh
+    /// identity; any attached lint verdict is discarded.
+    pub fn begin(&mut self, geom: Geometry, hw: HwConfig, ua: &MicroArch) {
+        self.prog.id = NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed);
+        self.prog.geom = geom;
+        self.prog.hw = hw;
+        if self.prog.ua != *ua {
+            self.prog.ua = ua.clone();
+        }
+        self.prog.ops.clear();
+        self.prog.ranges.clear();
+        self.prog.ranges.resize(geom.total_workers(), None);
+        self.prog.parallel_ok = false;
+        self.prog.lint = None;
+        self.unsupported = hw == HwConfig::Scs && geom.pes_per_tile() < 2;
+        self.lower = LowerCtx::new(geom, hw, ua);
+        self.word = ua.word_bytes as u64;
+        self.spm_capacity = if self.unsupported {
+            0
+        } else {
+            match hw.l1() {
+                L1Mode::SharedCacheSpm => ua.spm_bytes_per_tile(geom.pes_per_tile(), hw.l1()),
+                L1Mode::PrivateSpm => ua.spm_bytes_per_pe(hw.l1()),
+                _ => 0,
+            }
+        };
+        self.poisoned = false;
+        self.seg_data.clear();
+        self.seg_index.clear();
+        self.diags.clear();
+        self.open = false;
+        self.finished = false;
+    }
+
+    /// Opens PE `(tile, pe)`'s stream; emission verbs apply to it until
+    /// the next `begin_*` or [`ProgramBuilder::finish`]. A worker with a
+    /// stream — even an empty one — takes part in barriers and
+    /// congruence, exactly like an empty `Op` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range, the worker already has a
+    /// stream, or the builder is finished (call
+    /// [`ProgramBuilder::begin`] first).
+    pub fn begin_pe(&mut self, tile: usize, pe: usize) {
+        let worker = self.prog.geom.pe_id(tile, pe);
+        self.open_worker(worker, Some(pe));
+    }
+
+    /// Opens tile `tile`'s LCP stream (see [`ProgramBuilder::begin_pe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ProgramBuilder::begin_pe`].
+    pub fn begin_lcp(&mut self, tile: usize) {
+        let worker = self.prog.geom.lcp_id(tile);
+        self.open_worker(worker, None);
+    }
+
+    fn open_worker(&mut self, worker: usize, pe: Option<usize>) {
+        assert!(
+            !self.finished,
+            "builder already finished; call begin() to start a new build"
+        );
+        self.seal();
+        assert!(
+            worker < self.prog.geom.total_workers(),
+            "worker id out of range"
+        );
+        assert!(
+            self.prog.ranges[worker].is_none(),
+            "worker given two streams"
+        );
+        self.cur_worker = worker;
+        self.cur_pe = pe;
+        self.cur_lo = self.prog.ops.len() as u32;
+        self.cur_seg_lo = self.seg_data.len() as u32;
+        self.seg_data.push(0);
+        self.open = true;
+    }
+
+    /// Seals the open worker: records its op range and segment vector.
+    fn seal(&mut self) {
+        if self.open {
+            let hi = self.prog.ops.len() as u32;
+            self.prog.ranges[self.cur_worker] = Some((self.cur_lo, hi));
+            self.seg_index
+                .push((self.cur_worker, self.cur_seg_lo, self.seg_data.len() as u32));
+            self.open = false;
+        }
+    }
+
+    /// Capacity hint: reserves room for `additional` more micro-ops.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.prog.ops.reserve(additional);
+    }
+
+    /// Emits a compute burst of `cycles` (clamped to ≥ 1 like the
+    /// machine; a zero burst draws the `ZeroCycleCompute` lint warning).
+    #[inline]
+    pub fn compute(&mut self, cycles: u32) {
+        debug_assert!(self.open, "no worker stream open");
+        if cycles == 0 && !self.unsupported {
+            self.diag_at_cursor(Severity::Warning, LintKind::ZeroCycleCompute);
+        }
+        self.prog.ops.push(MicroOp {
+            a: cycles.max(1) as u64,
+            b: 0,
+            kind: MicroKind::Compute,
+            bank: 0,
+        });
+    }
+
+    /// Emits a global-memory load of `addr`.
+    #[inline]
+    pub fn load(&mut self, addr: Addr) {
+        debug_assert!(self.open, "no worker stream open");
+        let m = self.lower.mem_access(addr, false, self.cur_pe);
+        self.prog.ops.push(m);
+    }
+
+    /// Emits a global-memory store to `addr`.
+    #[inline]
+    pub fn store(&mut self, addr: Addr) {
+        debug_assert!(self.open, "no worker stream open");
+        let m = self.lower.mem_access(addr, true, self.cur_pe);
+        self.prog.ops.push(m);
+    }
+
+    /// Emits a scratchpad load of byte offset `offset`.
+    #[inline]
+    pub fn spm_load(&mut self, offset: u32) {
+        self.spm_access(offset);
+    }
+
+    /// Emits a scratchpad store to byte offset `offset`.
+    #[inline]
+    pub fn spm_store(&mut self, offset: u32) {
+        self.spm_access(offset);
+    }
+
+    /// SPM loads and stores lower and lint identically (one micro-kind
+    /// covers both), hence a single internal verb.
+    #[inline]
+    fn spm_access(&mut self, offset: u32) {
+        debug_assert!(self.open, "no worker stream open");
+        if !self.unsupported {
+            if !self.lower.has_spm {
+                self.diag_at_cursor(
+                    Severity::Error,
+                    LintKind::SpmUnavailable {
+                        config: self.prog.hw,
+                    },
+                );
+            } else if self.cur_pe.is_none() {
+                self.diag_at_cursor(Severity::Error, LintKind::LcpSpmAccess);
+            } else if offset as u64 + self.word > self.spm_capacity as u64 {
+                self.diag_at_cursor(
+                    Severity::Error,
+                    LintKind::SpmOffsetOutOfRange {
+                        offset,
+                        capacity: self.spm_capacity,
+                    },
+                );
+            }
+        }
+        let m = self
+            .lower
+            .spm_access(offset, self.cur_pe, &mut self.poisoned);
+        self.prog.ops.push(m);
+    }
+
+    /// Emits a tile barrier (poisoned, and an error lint, on an LCP).
+    pub fn tile_barrier(&mut self) {
+        debug_assert!(self.open, "no worker stream open");
+        if self.cur_pe.is_none() {
+            if !self.unsupported {
+                self.diag_at_cursor(Severity::Error, LintKind::LcpTileBarrier);
+            }
+            self.poisoned = true;
+            self.prog.ops.push(MicroOp::plain(MicroKind::PoisonLcpBar));
+        } else {
+            *self.seg_data.last_mut().expect("open worker has a segment") += 1;
+            self.prog.ops.push(MicroOp::plain(MicroKind::TileBarrier));
+        }
+    }
+
+    /// Emits a global barrier (epoch boundary).
+    pub fn global_barrier(&mut self) {
+        debug_assert!(self.open, "no worker stream open");
+        self.seg_data.push(0);
+        self.prog.ops.push(MicroOp::plain(MicroKind::GlobalBarrier));
+    }
+
+    #[cold]
+    fn diag_at_cursor(&mut self, severity: Severity, kind: LintKind) {
+        self.diags.push(Diagnostic {
+            worker: self.cur_worker,
+            position: Some(self.prog.ops.len() - self.cur_lo as usize),
+            severity,
+            kind,
+        });
+    }
+
+    /// Seals the build: resolves epoch congruence, assembles the lint
+    /// verdict in [`verify::lint`]'s report order, attaches it, and
+    /// returns the finished program (also reachable afterwards via
+    /// [`ProgramBuilder::program`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without an intervening
+    /// [`ProgramBuilder::begin`].
+    pub fn finish(&mut self) -> &Program {
+        assert!(
+            !self.finished,
+            "finish() called twice; call begin() to start a new build"
+        );
+        self.seal();
+        self.finished = true;
+        let seg_data = &self.seg_data;
+        let congr = congruent(
+            self.prog.geom,
+            self.seg_index
+                .iter()
+                .map(|&(w, lo, hi)| (w, &seg_data[lo as usize..hi as usize])),
+        );
+        self.prog.parallel_ok = !self.poisoned && congr;
+
+        let mut diags = std::mem::take(&mut self.diags);
+        if self.unsupported {
+            diags.clear();
+            diags.push(Diagnostic {
+                worker: 0,
+                position: None,
+                severity: Severity::Error,
+                kind: LintKind::UnsupportedConfig {
+                    config: self.prog.hw,
+                },
+            });
+        } else {
+            // Per-op findings were pushed in emission order; the batch
+            // lint reports workers in ascending id order (positions
+            // ascending within a worker, which emission order already
+            // guarantees) — a stable sort restores exactly that.
+            diags.sort_by_key(|d| d.worker);
+            self.push_congruence_diags(&mut diags);
+        }
+        self.prog.attach_lint(diags);
+        &self.prog
+    }
+
+    /// Appends the barrier-congruence findings in [`verify::lint`]'s
+    /// order: per-tile mismatches (tiles ascending, PEs ascending, the
+    /// first stream-bearing PE as reference), then global-barrier
+    /// mismatches over every stream-bearing worker in ascending id
+    /// order. Segment vectors are compared instead of materialized
+    /// barrier projections — the mapping is bijective, so equality and
+    /// first-divergence agree with the batch pass.
+    fn push_congruence_diags(&self, diags: &mut Vec<Diagnostic>) {
+        let geom = self.prog.geom;
+        let mut by_worker: Vec<Option<&[u32]>> = vec![None; geom.total_workers()];
+        for &(w, lo, hi) in &self.seg_index {
+            by_worker[w] = Some(&self.seg_data[lo as usize..hi as usize]);
+        }
+        for tile in 0..geom.tiles() {
+            let mut reference: Option<(usize, &[u32])> = None;
+            for pe in 0..geom.pes_per_tile() {
+                let w = geom.pe_id(tile, pe);
+                let Some(segs) = by_worker[w] else { continue };
+                match reference {
+                    None => reference = Some((w, segs)),
+                    Some((rw, rsegs)) => {
+                        if segs != rsegs {
+                            diags.push(Diagnostic {
+                                worker: w,
+                                position: None,
+                                severity: Severity::Error,
+                                kind: LintKind::BarrierMismatch {
+                                    tile,
+                                    reference: rw,
+                                    barrier_index: barrier_divergence(rsegs, segs),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let mut reference: Option<(usize, usize)> = None;
+        for (w, segs) in by_worker.iter().enumerate() {
+            let Some(segs) = segs else { continue };
+            let globals = segs.len() - 1;
+            match reference {
+                None => reference = Some((w, globals)),
+                Some((rw, expected)) => {
+                    if globals != expected {
+                        diags.push(Diagnostic {
+                            worker: w,
+                            position: None,
+                            severity: Severity::Error,
+                            kind: LintKind::GlobalBarrierMismatch {
+                                reference: rw,
+                                expected,
+                                found: globals,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The finished program, borrowed from the builder (clone it to
+    /// cache beyond the next [`ProgramBuilder::begin`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current build was never finished.
+    pub fn program(&self) -> &Program {
+        assert!(self.finished, "program() before finish()");
+        &self.prog
+    }
 }
 
 /// Interpreter state for one stream-bearing worker.
@@ -1002,5 +1507,208 @@ mod tests {
         assert!(p.ranges[0].is_none());
         assert_eq!(p.ranges[1], Some((0, 2)));
         assert_eq!(p.lint_clean(), None);
+    }
+
+    /// Replays `(worker, ops)` streams through the streaming builder,
+    /// exactly as `Program::compile` consumes them.
+    fn build(hw: HwConfig, streams: &[(usize, Vec<Op>)]) -> Program {
+        let g = geom();
+        let mut b = ProgramBuilder::new();
+        b.begin(g, hw, &ua());
+        for (w, ops) in streams {
+            match g.locate(*w) {
+                (tile, Some(pe)) => b.begin_pe(tile, pe),
+                (tile, None) => b.begin_lcp(tile),
+            }
+            for &op in ops {
+                match op {
+                    Op::Compute(n) => b.compute(n),
+                    Op::Load(a) => b.load(a),
+                    Op::Store(a) => b.store(a),
+                    Op::SpmLoad(o) => b.spm_load(o),
+                    Op::SpmStore(o) => b.spm_store(o),
+                    Op::TileBarrier => b.tile_barrier(),
+                    Op::GlobalBarrier => b.global_barrier(),
+                }
+            }
+        }
+        b.finish().clone()
+    }
+
+    /// The same streams as a `ProgramSet`, for the batch lint oracle.
+    fn materialize(streams: &[(usize, Vec<Op>)]) -> verify::ProgramSet {
+        let g = geom();
+        let mut set = verify::ProgramSet::new(g);
+        for (w, ops) in streams {
+            match g.locate(*w) {
+                (tile, Some(pe)) => set.set_pe(tile, pe, ops.iter().copied()),
+                (tile, None) => set.set_lcp(tile, ops.iter().copied()),
+            }
+        }
+        set
+    }
+
+    /// Exercises every op kind, both worker kinds and a non-ascending
+    /// emission order (LCP between the PE streams, as the OP kernel
+    /// emits) on every hardware config.
+    fn mixed_streams() -> Vec<(usize, Vec<Op>)> {
+        let g = geom();
+        let mk_pe = |seed: u64| {
+            let mut b = StreamBuilder::new();
+            b.load(0x1000 + seed * 64)
+                .compute(2)
+                .spm_load(8)
+                .spm_store(16)
+                .store(0x2000 + seed * 4)
+                .tile_barrier()
+                .global_barrier()
+                .compute(0);
+            b
+        };
+        let mut lcp = StreamBuilder::new();
+        lcp.load(0x3000).compute(1).global_barrier().store(0x3040);
+        ops_of(vec![
+            (g.pe_id(0, 0), mk_pe(0)),
+            (g.pe_id(0, 1), mk_pe(1)),
+            (g.lcp_id(0), lcp),
+            (g.pe_id(1, 0), mk_pe(2)),
+            (g.pe_id(1, 1), mk_pe(3)),
+        ])
+    }
+
+    #[test]
+    fn builder_matches_compile_on_every_config() {
+        let streams = mixed_streams();
+        for hw in [HwConfig::Sc, HwConfig::Scs, HwConfig::Pc, HwConfig::Ps] {
+            let p = compile(hw, &streams);
+            let b = build(hw, &streams);
+            assert_eq!(b.micro_ops(), p.micro_ops(), "{hw}: micro-ops diverge");
+            assert_eq!(b.ranges, p.ranges, "{hw}: ranges diverge");
+            assert_eq!(b.parallel_ok(), p.parallel_ok(), "{hw}: parallel_ok");
+            assert_eq!(b.geometry(), p.geometry());
+            assert_eq!(b.hw(), p.hw());
+            assert_ne!(b.id(), p.id(), "each build is a fresh artifact");
+        }
+    }
+
+    #[test]
+    fn builder_lint_matches_batch_lint() {
+        // mixed_streams carries Compute(0) warnings plus, depending on
+        // config, SPM-unavailability errors; add barrier-congruence
+        // violations (tile and global) and LCP misuse on top.
+        let g = geom();
+        let mut streams = mixed_streams();
+        let mut skewed = StreamBuilder::new();
+        skewed.tile_barrier().global_barrier().global_barrier();
+        streams.push((g.pe_id(1, 2), skewed.into_stream().collect()));
+        let mut lcp_bad = StreamBuilder::new();
+        lcp_bad.tile_barrier().spm_load(0);
+        streams.push((g.lcp_id(1), lcp_bad.into_stream().collect()));
+
+        for hw in [HwConfig::Sc, HwConfig::Scs, HwConfig::Pc, HwConfig::Ps] {
+            let b = build(hw, &streams);
+            let want = verify::lint(&materialize(&streams), hw, &ua(), None);
+            assert_eq!(
+                b.lint_diagnostics().expect("finish attaches a verdict"),
+                want.as_slice(),
+                "{hw}: lint reports diverge"
+            );
+            assert_eq!(b.lint_clean(), Some(verify::is_clean(&want)));
+        }
+    }
+
+    #[test]
+    fn builder_reuse_resets_everything() {
+        let mut b = ProgramBuilder::new();
+        // Build 1: poisoned (SPM under PC) and congruence-broken.
+        b.begin(geom(), HwConfig::Pc, &ua());
+        b.begin_pe(0, 0);
+        b.spm_load(0);
+        b.global_barrier();
+        b.begin_pe(0, 1);
+        b.compute(3);
+        let first_id = {
+            let p = b.finish();
+            assert_eq!(p.lint_clean(), Some(false));
+            assert!(!p.parallel_ok());
+            p.id()
+        };
+        // Build 2: clean; nothing from build 1 may leak through.
+        b.begin(geom(), HwConfig::Ps, &ua());
+        b.begin_pe(0, 0);
+        b.compute(2);
+        b.global_barrier();
+        b.begin_pe(0, 1);
+        b.compute(5);
+        b.global_barrier();
+        let p = b.finish();
+        assert_ne!(p.id(), first_id);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.hw(), HwConfig::Ps);
+        assert_eq!(p.lint_clean(), Some(true));
+        assert!(p.lint_diagnostics().expect("verdict attached").is_empty());
+        assert!(p.parallel_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker given two streams")]
+    fn builder_rejects_duplicate_worker() {
+        let mut b = ProgramBuilder::new();
+        b.begin(geom(), HwConfig::Sc, &ua());
+        b.begin_pe(0, 0);
+        b.compute(1);
+        b.begin_pe(0, 0);
+    }
+
+    #[test]
+    fn builder_unsupported_config_is_rejected_like_lint() {
+        let g = Geometry::new(1, 1);
+        let mut b = ProgramBuilder::new();
+        b.begin(g, HwConfig::Scs, &ua());
+        b.begin_pe(0, 0);
+        b.spm_load(0); // would be a per-op error; suppressed when unsupported
+        let p = b.finish();
+        assert_eq!(p.lint_clean(), Some(false));
+        let diags = p.lint_diagnostics().unwrap();
+        assert_eq!(diags.len(), 1);
+        assert!(matches!(
+            diags[0].kind,
+            LintKind::UnsupportedConfig {
+                config: HwConfig::Scs
+            }
+        ));
+    }
+
+    #[test]
+    fn barrier_divergence_matches_projection_zip() {
+        // Oracle: materialize the projections and zip, as lint does.
+        let project = |segs: &[u32]| {
+            let mut ops = Vec::new();
+            for (i, &t) in segs.iter().enumerate() {
+                ops.resize(ops.len() + t as usize, Op::TileBarrier);
+                if i + 1 < segs.len() {
+                    ops.push(Op::GlobalBarrier);
+                }
+            }
+            ops
+        };
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[2], &[1]),
+            (&[2], &[2, 0]),
+            (&[1], &[1, 0]),
+            (&[0, 3], &[0, 1]),
+            (&[1, 0, 2], &[1, 0]),
+            (&[0], &[5, 1]),
+            (&[3, 1], &[3, 2, 1]),
+        ];
+        for &(r, s) in cases {
+            let (rp, sp) = (project(r), project(s));
+            let want = rp
+                .iter()
+                .zip(sp.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| rp.len().min(sp.len()));
+            assert_eq!(barrier_divergence(r, s), want, "segs {r:?} vs {s:?}");
+        }
     }
 }

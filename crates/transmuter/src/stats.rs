@@ -3,6 +3,30 @@
 use crate::config::{Geometry, HwConfig};
 use crate::energy::EnergyBreakdown;
 
+/// Steady-state memo counters for [`crate::Machine::run_program`]:
+/// how often a memo-eligible run (recurring program id, no pending
+/// reconfiguration carry) was served from a recorded bank snapshot
+/// versus re-simulated and recorded for the next repeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Runs replayed from the memo instead of being re-simulated.
+    pub hits: u64,
+    /// Memo-eligible runs that matched no recorded snapshot.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// `hits / (hits + misses)`, or 0 when no run was memo-eligible.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Raw event counters accumulated during simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimStats {
