@@ -13,14 +13,20 @@
 //! produces a race, truncates its trace, or diverges from the builder
 //! pipeline.
 //!
+//! With `--explain`, each combination additionally prints the static
+//! epoch-dependence analyzer's verdict (epochs proven replay-free
+//! versus dynamically checked) and, when parallel execution is denied,
+//! the first blocking interference witness — which epoch's tiles
+//! interfere, and on what address.
+//!
 //! ```text
 //! cosparse-verify [--tiles A] [--pes B] [--n N] [--nnz M]
-//!                 [--density D] [--seed S]
+//!                 [--density D] [--seed S] [--explain]
 //! ```
 
 use cosparse::{CoSparse, Frontier, HwConfig, Policy, SwConfig};
 use sparse::CooMatrix;
-use transmuter::{Geometry, Machine, MicroArch};
+use transmuter::{Geometry, Machine, MicroArch, ParCommit};
 
 struct Opts {
     tiles: usize,
@@ -29,6 +35,7 @@ struct Opts {
     nnz: usize,
     density: f64,
     seed: u64,
+    explain: bool,
 }
 
 impl Default for Opts {
@@ -40,6 +47,7 @@ impl Default for Opts {
             nnz: 4096,
             density: 0.05,
             seed: 17,
+            explain: false,
         }
     }
 }
@@ -51,9 +59,13 @@ fn parse_args() -> Result<Opts, String> {
         if flag == "--help" || flag == "-h" {
             println!(
                 "usage: cosparse-verify [--tiles A] [--pes B] [--n N] \
-                 [--nnz M] [--density D] [--seed S]"
+                 [--nnz M] [--density D] [--seed S] [--explain]"
             );
             std::process::exit(0);
+        }
+        if flag == "--explain" {
+            opts.explain = true;
+            continue;
         }
         let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
         fn set<T: std::str::FromStr>(slot: &mut T, flag: &str, value: &str) -> Result<(), String> {
@@ -127,6 +139,11 @@ fn check_combo(matrix: &CooMatrix, sw: SwConfig, hw: HwConfig, opts: &Opts) -> b
             // off) must time identically to the checked op-stream path.
             let mut rt2 = CoSparse::new(matrix, Machine::new(geom, MicroArch::paper()));
             rt2.set_policy(Policy::Fixed(sw, hw));
+            if opts.explain {
+                // Analyze one-shot scratch/conversion builds too, so
+                // every combo has a verdict to explain.
+                rt2.set_deep_analysis(true);
+            }
             let agree = match rt2.spmv(&frontier_for(sw, opts)) {
                 Ok(o2) if o2.report.cycles == out.report.cycles => true,
                 Ok(o2) => {
@@ -141,11 +158,44 @@ fn check_combo(matrix: &CooMatrix, sw: SwConfig, hw: HwConfig, opts: &Opts) -> b
                     false
                 }
             };
+            if opts.explain {
+                explain_analysis(&rt2);
+            }
             clean && agree
         }
         Err(e) => {
             println!("{label:24} REJECTED: {e}");
             false
+        }
+    }
+}
+
+/// Prints the analyzer verdict of the combo's last executed program:
+/// the per-epoch commit tally and, when replay-free parallel commit was
+/// denied for some epoch, the first blocking interference witness.
+fn explain_analysis(rt: &CoSparse) {
+    let Some(a) = rt.last_analysis() else {
+        println!("    analyzer: no compiled program executed");
+        return;
+    };
+    if !a.congruent() {
+        println!("    analyzer: inapplicable (incongruent, poisoned or unsupported program)");
+        return;
+    }
+    let total = a.epochs().len();
+    let proven = a
+        .epochs()
+        .iter()
+        .filter(|e| matches!(e, ParCommit::Proven(_)))
+        .count();
+    println!(
+        "    analyzer: {total} epoch(s): {proven} proven replay-free, {} dynamically checked",
+        total - proven
+    );
+    if proven < total {
+        match a.conflict() {
+            Some(c) => println!("    analyzer: parallel commit denied: {c}"),
+            None => println!("    analyzer: parallel commit denied (no single witness)"),
         }
     }
 }

@@ -13,7 +13,10 @@ use crate::verify::{run_checked, VerifyReport};
 use sparse::partition::{RowPartition, VBlocks};
 use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
 use transmuter::verify::RegionMap;
-use transmuter::{HwConfig, Machine, MemoStats, Program, ProgramBuilder, SimError, SimReport};
+use transmuter::{
+    Analysis, EpochStats, HwConfig, Machine, MemoStats, Program, ProgramBuilder, SimError,
+    SimReport,
+};
 
 /// A frontier (input vector) in one of the two representations the
 /// runtime converts between.
@@ -57,19 +60,9 @@ impl Frontier {
         }
     }
 
-    /// Sorted `(index, value)` pairs of the active elements.
-    #[deprecated(
-        note = "allocates a fresh Vec per call; use `collect_active` with a reusable buffer"
-    )]
-    pub fn active_entries(&self) -> Vec<(Idx, f32)> {
-        let mut out = Vec::new();
-        self.collect_active(&mut out);
-        out
-    }
-
-    /// Appends the sorted active `(index, value)` pairs to `out` — the
-    /// reusable-buffer form of [`Frontier::active_entries`], used by the
-    /// runtime to avoid an O(frontier) allocation per iteration.
+    /// Appends the sorted active `(index, value)` pairs to `out` — a
+    /// reusable-buffer interface, used by the runtime to avoid an
+    /// O(frontier) allocation per iteration.
     pub fn collect_active(&self, out: &mut Vec<(Idx, f32)>) {
         match self {
             Frontier::Dense(v) => out.extend(
@@ -223,6 +216,10 @@ pub struct CacheStats {
     pub conversion_builds: u64,
     /// The machine's steady-state memo counters.
     pub steady_memo: MemoStats,
+    /// The machine's epoch-commit counters: epochs committed replay-free
+    /// on a static `Proven` verdict, epochs dynamically replayed, and
+    /// replays rolled back to sequential (see [`EpochStats`]).
+    pub epochs: EpochStats,
 }
 
 /// The CoSPARSE runtime for one operand matrix.
@@ -256,6 +253,13 @@ pub struct CoSparse {
     indices_buf: Vec<Idx>,
     /// Reusable staging for the active `(index, value)` entries.
     entries_buf: Vec<(Idx, f32)>,
+    /// Analyzer verdict of the most recently executed program (cloned
+    /// off the program at dispatch; see [`CoSparse::last_analysis`]).
+    last_analysis: Option<Analysis>,
+    /// When true, one-shot builds (conversions, frontier-dependent
+    /// scratch programs) also run the epoch-dependence analysis; see
+    /// [`CoSparse::set_deep_analysis`].
+    deep_analysis: bool,
     /// All-zero per-row state for the plain-SpMV golden model, allocated
     /// once (it is only ever read).
     zero_state: Vec<f32>,
@@ -293,6 +297,8 @@ impl CoSparse {
             plan: None,
             indices_buf: Vec::new(),
             entries_buf: Vec::new(),
+            last_analysis: None,
+            deep_analysis: false,
             plan_builds: 0,
             dense_program_builds: 0,
             scratch_program_builds: 0,
@@ -312,7 +318,31 @@ impl CoSparse {
             scratch_program_hits: self.scratch_program_hits,
             conversion_builds: self.conversion_builds,
             steady_memo: self.machine.memo_stats(),
+            epochs: self.machine.epoch_stats(),
         }
+    }
+
+    /// The static epoch-dependence verdict of the most recently executed
+    /// program (see [`transmuter::analyze`]): per-epoch commit modes,
+    /// the first interference witness, and the analyzer lints. `None`
+    /// until an invocation has run, or when the last program was a
+    /// one-shot build with the analysis skipped (see
+    /// [`CoSparse::set_deep_analysis`]).
+    pub fn last_analysis(&self) -> Option<&Analysis> {
+        self.last_analysis.as_ref()
+    }
+
+    /// Extends the epoch-dependence analysis to one-shot program builds
+    /// (conversions and frontier-dependent scratch programs). Off by
+    /// default: those programs execute exactly once, so the machine
+    /// gains nothing from a static verdict it can only use on repeats,
+    /// while the analysis itself sorts every access the program makes —
+    /// a measurable host-time cost in iteration-heavy runs. Plan-cached
+    /// dense programs are always analyzed. Turn this on to get
+    /// [`CoSparse::last_analysis`] for every combo (as
+    /// `cosparse-verify --explain` does).
+    pub fn set_deep_analysis(&mut self, on: bool) {
+        self.deep_analysis = on;
     }
 
     /// Enables (or disables) kernel verification: every subsequent
@@ -585,6 +615,7 @@ impl CoSparse {
                 // Single-pass path: emit straight into the plan's
                 // builder. This repurposes the builder, so any cached
                 // frontier-dependent program is gone.
+                plan.builder.set_analysis(self.deep_analysis);
                 plan.builder
                     .begin(geometry, decision.hardware, self.machine.uarch());
                 convert::build(
@@ -598,7 +629,9 @@ impl CoSparse {
                 );
                 plan.scratch_key = None;
                 self.conversion_builds += 1;
-                self.machine.run_program(plan.builder.finish())?
+                let prog = plan.builder.finish();
+                self.last_analysis = prog.analysis().cloned();
+                self.machine.run_program(prog)?
             });
         }
 
@@ -638,6 +671,10 @@ impl CoSparse {
                         run
                     } else {
                         if plan.ip_programs[hw_idx].is_none() {
+                            // Plan-cached: built once, re-run every
+                            // iteration — the analysis cost amortizes
+                            // and the proven-epoch verdict pays off.
+                            plan.builder.set_analysis(true);
                             plan.builder
                                 .begin(geometry, decision.hardware, self.machine.uarch());
                             ip::build(&self.coo, geometry, params, &mut plan.builder);
@@ -651,6 +688,7 @@ impl CoSparse {
                             self.dense_program_builds += 1;
                         }
                         let prog = plan.ip_programs[hw_idx].as_ref().expect("just built");
+                        self.last_analysis = prog.analysis().cloned();
                         let run = self.machine.run_program(prog)?;
                         if self.verify {
                             self.verify_report.runs += 1;
@@ -699,6 +737,7 @@ impl CoSparse {
                         if plan.scratch_key != Some((sw_idx, hw_idx))
                             || plan.scratch_frontier != *active
                         {
+                            plan.builder.set_analysis(self.deep_analysis);
                             plan.builder
                                 .begin(geometry, decision.hardware, self.machine.uarch());
                             ip::build(&self.coo, geometry, params, &mut plan.builder);
@@ -710,6 +749,7 @@ impl CoSparse {
                         } else {
                             self.scratch_program_hits += 1;
                         }
+                        self.last_analysis = plan.builder.program().analysis().cloned();
                         let run = self.machine.run_program(plan.builder.program());
                         if self.verify && run.is_ok() {
                             self.verify_report.runs += 1;
@@ -754,6 +794,7 @@ impl CoSparse {
                             plan.op_subruns = Some(op::subruns(&self.csc, &plan.op_tile_parts));
                         }
                         let sub = plan.op_subruns.as_ref().expect("just computed");
+                        plan.builder.set_analysis(self.deep_analysis);
                         plan.builder
                             .begin(geometry, decision.hardware, self.machine.uarch());
                         op::build(&self.csc, geometry, params, sub, &mut plan.builder);
@@ -765,6 +806,7 @@ impl CoSparse {
                     } else {
                         self.scratch_program_hits += 1;
                     }
+                    self.last_analysis = plan.builder.program().analysis().cloned();
                     let run = self.machine.run_program(plan.builder.program())?;
                     if self.verify {
                         self.verify_report.runs += 1;
@@ -1078,19 +1120,22 @@ mod frontier_tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn frontier_accessors() {
         let d = Frontier::Dense(DenseVector::from(vec![0.0f32, 2.0, 0.0, 3.0]));
         assert_eq!(d.dim(), 4);
         assert_eq!(d.nnz(), 2);
         assert_eq!(d.density(), 0.5);
         assert!(!d.is_sparse());
-        assert_eq!(d.active_entries(), vec![(1, 2.0), (3, 3.0)]);
+        let mut dense_active = Vec::new();
+        d.collect_active(&mut dense_active);
+        assert_eq!(dense_active, vec![(1, 2.0), (3, 3.0)]);
 
         let s =
             Frontier::Sparse(SparseVector::from_entries(4, vec![(1, 2.0f32), (3, 3.0)]).unwrap());
         assert!(s.is_sparse());
-        assert_eq!(s.active_entries(), d.active_entries());
+        let mut sparse_active = Vec::new();
+        s.collect_active(&mut sparse_active);
+        assert_eq!(sparse_active, dense_active);
         assert_eq!(s.density(), 0.5);
     }
 

@@ -136,6 +136,31 @@ impl Hbm {
         self.queue_cycles
     }
 
+    /// Commits a set of per-tile shadow stacks whose channel footprints
+    /// are pairwise disjoint: each channel's occupancy becomes the
+    /// maximum over the shadows (each channel was driven by at most one
+    /// shadow, so the max *is* that owner's exact sequential value —
+    /// channel occupancy only ever increases on issue), and the traffic
+    /// counters absorb each shadow's delta over the shared `proto`
+    /// snapshot all shadows started from.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a shadow's channel count differs from ours.
+    pub(crate) fn merge_disjoint(&mut self, proto: &Hbm, shadows: &[Hbm]) {
+        for s in shadows {
+            debug_assert_eq!(s.channels.len(), self.channels.len());
+            for (ch, &occ) in s.channels.iter().enumerate() {
+                if occ > self.channels[ch] {
+                    self.channels[ch] = occ;
+                }
+            }
+            self.reads += s.reads - proto.reads;
+            self.writes += s.writes - proto.writes;
+            self.queue_cycles += s.queue_cycles - proto.queue_cycles;
+        }
+    }
+
     /// Resets statistics and channel occupancy.
     pub fn reset(&mut self) {
         self.channels.fill(0);

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analyze;
 mod cache;
 mod config;
 mod energy;
@@ -54,6 +55,7 @@ mod stats;
 mod trace;
 pub mod verify;
 
+pub use analyze::{analyze, Analysis, Conflict, ParCommit, ProvenKind};
 pub use cache::{CacheBank, ProbeResult};
 pub use config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -62,7 +64,7 @@ pub use machine::{ExecMode, Machine, SimError, StreamSet};
 pub use memsys::MemorySystem;
 pub use op::{Addr, Op, OpStream, StreamBuilder};
 pub use program::{Program, ProgramBuilder};
-pub use stats::{MemoStats, SimReport, SimStats};
+pub use stats::{EpochStats, MemoStats, SimReport, SimStats};
 pub use trace::{TraceCapture, TraceConfig, TraceEvent};
 pub use verify::{
     detect_races, lint, Diagnostic, LintKind, ProgramSet, Race, RaceKind, RaceSite, Region,

@@ -6,13 +6,15 @@
 //! processed together so same-cycle bank conflicts serialize exactly as
 //! the arbitrated crossbar would.
 
+use crate::analyze::{ParCommit, ProvenKind};
 use crate::cache::CacheBank;
 use crate::config::{Geometry, HwConfig, L2Mode, MicroArch};
 use crate::energy::EnergyModel;
+use crate::hbm::Hbm;
 use crate::memsys::{MemSnapshot, MemorySystem};
 use crate::op::{Op, OpStream};
 use crate::program::{exec_span, HbmCall, HbmCallKind, Lane, LaneState, Program, TileExec};
-use crate::stats::{MemoStats, SimReport, SimStats};
+use crate::stats::{EpochStats, MemoStats, SimReport, SimStats};
 use crate::trace::{TraceCapture, TraceConfig, TraceEvent, Tracer};
 use crate::verify::{self, Diagnostic, ProgramSet, RegionMap};
 use std::cmp::Reverse;
@@ -458,6 +460,13 @@ pub struct Machine {
     /// programs are recompiled per call with a fresh id and never recur,
     /// so they skip the memo's snapshot cost entirely.
     recent_ids: Vec<u64>,
+    /// Epochs committed replay-free on a static [`ParCommit::Proven`]
+    /// verdict (cumulative, like the memo counters).
+    epochs_proven: u64,
+    /// Epochs committed through the dynamic shadow-HBM replay.
+    epochs_replayed: u64,
+    /// Replayed epochs rolled back to sequential on a timing mismatch.
+    epochs_rolled_back: u64,
 }
 
 impl Machine {
@@ -474,6 +483,9 @@ impl Machine {
             steady_hits: 0,
             steady_misses: 0,
             recent_ids: Vec::new(),
+            epochs_proven: 0,
+            epochs_replayed: 0,
+            epochs_rolled_back: 0,
         }
     }
 
@@ -489,6 +501,20 @@ impl Machine {
         MemoStats {
             hits: self.steady_hits,
             misses: self.steady_misses,
+        }
+    }
+
+    /// Epoch-commit counters for epoch-parallel [`Machine::run_program`]
+    /// runs: how many global-barrier epochs committed replay-free on a
+    /// static [`ParCommit::Proven`] verdict, how many went through the
+    /// dynamic shadow-HBM replay, and how many of those rolled back to
+    /// sequential execution. Cumulative over the machine's lifetime;
+    /// memo-served runs skip epoch execution and leave them untouched.
+    pub fn epoch_stats(&self) -> EpochStats {
+        EpochStats {
+            proven: self.epochs_proven,
+            replayed: self.epochs_replayed,
+            rolled_back: self.epochs_rolled_back,
         }
     }
 
@@ -809,8 +835,13 @@ impl Machine {
         self.mem.begin_run();
         let start = self.carry_cycles;
         let mut lanes = prog.lanes(start);
+        // Private-L2 configs are always epoch-parallel eligible (tiles
+        // own their banks; the shadow-HBM replay validates the rest).
+        // Shared-L2 configs become eligible when the static analyzer
+        // proved every epoch interference-free.
+        let all_proven = prog.analysis().is_some_and(|a| a.all_proven());
         let eligible = prog.parallel_ok()
-            && self.config().l2() == L2Mode::PrivateCache
+            && (self.config().l2() == L2Mode::PrivateCache || all_proven)
             && geom.tiles() > 1
             && !lanes.is_empty();
         let parallel = match self.exec_mode {
@@ -848,13 +879,19 @@ impl Machine {
         Ok(report)
     }
 
-    /// Epoch-parallel driver: between global barriers, each tile runs on
-    /// its own host thread against its private banks and a shadow HBM;
-    /// the merged HBM call log is then replayed against the real stack
-    /// in sequential issue order. If every read completion matches, the
-    /// epoch's timing is provably identical to sequential execution and
-    /// it commits; otherwise the epoch is rolled back and re-run
-    /// sequentially. Returns the run's final cycle.
+    /// Epoch-parallel driver. Epochs the static analyzer marked
+    /// [`ParCommit::Proven`] commit without the shadow-HBM replay:
+    /// single-mem-active-tile and disjoint-shared-line epochs execute
+    /// directly (their parallel and sequential timings provably
+    /// coincide), and disjoint-channel epochs run threaded and merge
+    /// their shadow stacks after a cheap closure-mask check. Everything
+    /// else keeps the dynamic check: between global barriers, each tile
+    /// runs on its own host thread against its private banks and a
+    /// shadow HBM; the merged HBM call log is then replayed against the
+    /// real stack in sequential issue order. If every read completion
+    /// matches, the epoch's timing is provably identical to sequential
+    /// execution and it commits; otherwise the epoch is rolled back and
+    /// re-run sequentially. Returns the run's final cycle.
     fn run_epochs(
         &mut self,
         prog: &Program,
@@ -863,87 +900,36 @@ impl Machine {
     ) -> Result<u64, SimError> {
         let tiles = self.geometry().tiles();
         let spm_latency = self.uarch().l1_latency;
+        let nch = self.uarch().hbm_channels as u64;
+        let mut epoch_idx = 0usize;
         loop {
-            let snap = self.mem.snapshot();
-            let epoch_start: Vec<Lane> = lanes.to_vec();
-            type TileOut = (Vec<Lane>, SimStats, Vec<HbmCall>);
-            let result: Result<Vec<TileOut>, SimError> = {
-                let split = self.mem.split_tiles();
-                let params = split.params;
-                let hbm_proto = split.hbm.clone();
-                let mut per_tile: Vec<Vec<Lane>> = vec![Vec::new(); tiles];
-                for l in lanes.iter() {
-                    per_tile[l.tile as usize].push(*l);
-                }
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = split
-                        .l1
-                        .into_iter()
-                        .zip(split.l2)
-                        .zip(per_tile)
-                        .enumerate()
-                        .map(|(t, ((l1, l2), mut tl))| {
-                            let hbm = hbm_proto.clone();
-                            s.spawn(move || {
-                                let mut ctx = TileExec::new(l1, l2, hbm, params, spm_latency);
-                                exec_span(&mut ctx, prog, &mut tl, t, 1, true).map(|()| {
-                                    let (stats, log) = ctx.into_parts();
-                                    (tl, stats, log)
-                                })
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                        .collect()
-                })
-            };
-            let committed = match result {
-                Ok(outs) => {
-                    let mut calls: Vec<HbmCall> = outs
-                        .iter()
-                        .flat_map(|(_, _, log)| log.iter().copied())
-                        .collect();
-                    // Sequential issue order: the event loop processes
-                    // ops in (cycle, worker) lexicographic order, and
-                    // one op's HBM calls happen in seq order.
-                    calls.sort_unstable_by_key(|c| (c.cycle, c.worker, c.seq));
-                    let hbm = self.mem.hbm_mut();
-                    let mut reads_match = true;
-                    for c in &calls {
-                        let got = match c.kind {
-                            HbmCallKind::Read => hbm.read(c.line, c.at),
-                            HbmCallKind::Write => hbm.write(c.line, c.at),
-                            HbmCallKind::Prefetch => hbm.prefetch(c.line, c.at),
-                        };
-                        if c.kind == HbmCallKind::Read && got != c.done {
-                            reads_match = false;
-                            break;
-                        }
-                    }
-                    if reads_match {
-                        let mut cursors = vec![0usize; tiles];
-                        for l in lanes.iter_mut() {
-                            let t = l.tile as usize;
-                            *l = outs[t].0[cursors[t]];
-                            cursors[t] += 1;
-                        }
-                        for (_, stats, _) in &outs {
-                            self.mem.stats = self.mem.stats.merge(stats);
-                        }
-                    }
-                    reads_match
-                }
-                // A tile error (poison, deadlock) cannot occur for a
-                // congruent program, but if it does the sequential
-                // re-run below reproduces it deterministically.
-                Err(_) => false,
-            };
-            if !committed {
-                self.mem.restore(&snap);
-                lanes.copy_from_slice(&epoch_start);
+            let verdict = prog
+                .analysis()
+                .and_then(|a| a.epochs().get(epoch_idx))
+                .copied();
+            if matches!(
+                verdict,
+                Some(ParCommit::Proven(
+                    ProvenKind::SingleTile | ProvenKind::DisjointLines
+                ))
+            ) {
+                // At most one tile reaches HBM this epoch (or, under a
+                // shared L2, the tiles' line sets are disjoint), so
+                // parallel and sequential timing provably coincide:
+                // execute directly — no shadow state, no replay.
                 exec_span(&mut self.mem, prog, lanes, 0, tiles, true)?;
+                self.epochs_proven += 1;
+            } else {
+                self.run_epoch_threaded(
+                    prog,
+                    lanes,
+                    matches!(
+                        verdict,
+                        Some(ParCommit::Proven(ProvenKind::DisjointChannels))
+                    ),
+                    nch,
+                    spm_latency,
+                )?;
             }
 
             // Epoch boundary: every lane is either done or parked at the
@@ -989,7 +975,147 @@ impl Machine {
                 l.cycle = release + 1;
                 l.state = LaneState::Running;
             }
+            epoch_idx += 1;
         }
+    }
+
+    /// Runs one epoch with every tile on its own host thread against a
+    /// shadow HBM, then commits it: a [`ProvenKind::DisjointChannels`]
+    /// epoch (`disjoint`) merges the shadow stacks directly once the
+    /// call log passes the static channel-closure masks (only stale
+    /// pre-program dirty-line writebacks can escape them); otherwise —
+    /// or on a mask violation — the merged log is replayed against the
+    /// real stack and the epoch rolls back to sequential execution on
+    /// any read-completion mismatch.
+    fn run_epoch_threaded(
+        &mut self,
+        prog: &Program,
+        lanes: &mut [Lane],
+        disjoint: bool,
+        nch: u64,
+        spm_latency: u64,
+    ) -> Result<(), SimError> {
+        let tiles = self.geometry().tiles();
+        let snap = self.mem.snapshot();
+        let epoch_start: Vec<Lane> = lanes.to_vec();
+        type TileOut = (Vec<Lane>, SimStats, Vec<HbmCall>, Hbm);
+        let (result, hbm_proto): (Result<Vec<TileOut>, SimError>, Hbm) = {
+            let split = self.mem.split_tiles();
+            let params = split.params;
+            let hbm_proto = split.hbm.clone();
+            let mut per_tile: Vec<Vec<Lane>> = vec![Vec::new(); tiles];
+            for l in lanes.iter() {
+                per_tile[l.tile as usize].push(*l);
+            }
+            let result = std::thread::scope(|s| {
+                let handles: Vec<_> = split
+                    .l1
+                    .into_iter()
+                    .zip(split.l2)
+                    .zip(per_tile)
+                    .enumerate()
+                    .map(|(t, ((l1, l2), mut tl))| {
+                        let hbm = hbm_proto.clone();
+                        s.spawn(move || {
+                            let mut ctx = TileExec::new(l1, l2, hbm, params, spm_latency);
+                            exec_span(&mut ctx, prog, &mut tl, t, 1, true).map(|()| {
+                                let (stats, log, shadow) = ctx.into_parts();
+                                (tl, stats, log, shadow)
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            });
+            (result, hbm_proto)
+        };
+        let committed = match result {
+            Ok(outs) => {
+                let masks = prog
+                    .analysis()
+                    .map(|a| a.tile_channel_masks())
+                    .unwrap_or(&[]);
+                let within_masks = disjoint
+                    && masks.len() == tiles
+                    && outs.iter().enumerate().all(|(t, (_, _, log, _))| {
+                        log.iter().all(|c| masks[t] & (1u64 << (c.line % nch)) != 0)
+                    });
+                if within_masks {
+                    // Every channel a logged call touched is owned by
+                    // exactly one tile, so each shadow stack already
+                    // holds that channel's exact sequential state:
+                    // commit by merging, replay-free.
+                    let shadows: Vec<Hbm> = outs.iter().map(|(_, _, _, h)| h.clone()).collect();
+                    self.mem.hbm_mut().merge_disjoint(&hbm_proto, &shadows);
+                    let mut cursors = vec![0usize; tiles];
+                    for l in lanes.iter_mut() {
+                        let t = l.tile as usize;
+                        *l = outs[t].0[cursors[t]];
+                        cursors[t] += 1;
+                    }
+                    for (_, stats, _, _) in &outs {
+                        self.mem.stats = self.mem.stats.merge(stats);
+                    }
+                    self.epochs_proven += 1;
+                    true
+                } else {
+                    let mut calls: Vec<HbmCall> = outs
+                        .iter()
+                        .flat_map(|(_, _, log, _)| log.iter().copied())
+                        .collect();
+                    // Sequential issue order: the event loop processes
+                    // ops in (cycle, worker) lexicographic order, and
+                    // one op's HBM calls happen in seq order.
+                    calls.sort_unstable_by_key(|c| (c.cycle, c.worker, c.seq));
+                    let hbm = self.mem.hbm_mut();
+                    let mut reads_match = true;
+                    for c in &calls {
+                        let got = match c.kind {
+                            HbmCallKind::Read => hbm.read(c.line, c.at),
+                            HbmCallKind::Write => hbm.write(c.line, c.at),
+                            HbmCallKind::Prefetch => hbm.prefetch(c.line, c.at),
+                        };
+                        if c.kind == HbmCallKind::Read && got != c.done {
+                            reads_match = false;
+                            break;
+                        }
+                    }
+                    if reads_match {
+                        let mut cursors = vec![0usize; tiles];
+                        for l in lanes.iter_mut() {
+                            let t = l.tile as usize;
+                            *l = outs[t].0[cursors[t]];
+                            cursors[t] += 1;
+                        }
+                        for (_, stats, _, _) in &outs {
+                            self.mem.stats = self.mem.stats.merge(stats);
+                        }
+                    }
+                    self.epochs_replayed += 1;
+                    if !reads_match {
+                        self.epochs_rolled_back += 1;
+                    }
+                    reads_match
+                }
+            }
+            // A tile error (poison, deadlock) cannot occur for a
+            // congruent program, but if it does the sequential
+            // re-run below reproduces it deterministically.
+            Err(_) => {
+                self.epochs_replayed += 1;
+                self.epochs_rolled_back += 1;
+                false
+            }
+        };
+        if !committed {
+            self.mem.restore(&snap);
+            lanes.copy_from_slice(&epoch_start);
+            exec_span(&mut self.mem, prog, lanes, 0, tiles, true)?;
+        }
+        Ok(())
     }
 
     /// Lints `programs` against the machine's current configuration and,

@@ -23,6 +23,7 @@
 //! can execute on its own host thread against a shadow HBM, with the
 //! real HBM replayed and validated afterwards (DESIGN.md §9).
 
+use crate::analyze::{self, Analysis};
 use crate::cache::CacheBank;
 use crate::config::{Geometry, HwConfig, L1Mode, L2Mode, MicroArch};
 use crate::hbm::{Hbm, HbmSink};
@@ -143,6 +144,11 @@ pub struct Program {
     /// private L2 are eligible for epoch-parallel execution.
     parallel_ok: bool,
     lint: Option<LintStatus>,
+    /// The static epoch-dependence verdict (see [`crate::analyze`]),
+    /// attached next to the lint verdict: by [`ProgramBuilder::finish`]
+    /// from its incrementally maintained sets, and by
+    /// [`Program::recompile`] via the post-hoc oracle.
+    analysis: Option<Analysis>,
 }
 
 impl Program {
@@ -166,6 +172,7 @@ impl Program {
             ranges: Vec::new(),
             parallel_ok: false,
             lint: None,
+            analysis: None,
         };
         p.recompile(geom, hw, ua, streams);
         p
@@ -194,6 +201,7 @@ impl Program {
         self.ranges.clear();
         self.ranges.resize(geom.total_workers(), None);
         self.lint = None;
+        self.analysis = None;
 
         let ctx = LowerCtx::new(geom, hw, ua);
 
@@ -220,7 +228,8 @@ impl Program {
                     },
                     Op::Load(addr) => ctx.mem_access(addr, false, pe),
                     Op::Store(addr) => ctx.mem_access(addr, true, pe),
-                    Op::SpmLoad(off) | Op::SpmStore(off) => ctx.spm_access(off, pe, &mut poisoned),
+                    Op::SpmLoad(off) => ctx.spm_access(off, false, pe, &mut poisoned),
+                    Op::SpmStore(off) => ctx.spm_access(off, true, pe, &mut poisoned),
                     Op::TileBarrier => {
                         if pe.is_none() {
                             poisoned = true;
@@ -244,6 +253,7 @@ impl Program {
 
         self.parallel_ok =
             !poisoned && congruent(geom, segments.iter().map(|(w, s)| (*w, s.as_slice())));
+        self.analysis = Some(crate::analyze::analyze(self));
     }
 
     /// Attaches a verifier verdict ([`verify::lint`] diagnostics) to the
@@ -268,6 +278,15 @@ impl Program {
     /// finding.
     pub fn lint_diagnostics(&self) -> Option<&[Diagnostic]> {
         self.lint.as_ref().map(|l| l.diagnostics.as_slice())
+    }
+
+    /// The static epoch-dependence verdict attached to this program,
+    /// if one was computed (see [`crate::analyze`]). [`Program::compile`],
+    /// [`Program::recompile`] and [`ProgramBuilder::finish`] all attach
+    /// one; a `None` is treated as all-[`crate::analyze::ParCommit::Check`]
+    /// by the machine.
+    pub fn analysis(&self) -> Option<&Analysis> {
+        self.analysis.as_ref()
     }
 
     /// Diagnostics that reject this program, if the attached lint found
@@ -320,6 +339,13 @@ impl Program {
         &self.ops
     }
 
+    /// Per-worker `(start, end)` ranges into the micro-op array
+    /// (`None` = worker has no stream), for [`crate::analyze`]'s
+    /// post-hoc reconstruction.
+    pub(crate) fn worker_ranges(&self) -> &[Option<(u32, u32)>] {
+        &self.ranges
+    }
+
     /// Builds the interpreter lane per stream-bearing worker, in
     /// ascending worker order (the order is load-bearing: the lane
     /// index is the scheduler tie-break key, and ascending worker order
@@ -351,7 +377,7 @@ impl Program {
 /// tile-barrier counts across its PE streams. Takes the segment vectors
 /// as a re-iterable view so both [`Program::recompile`] (owned vectors)
 /// and [`ProgramBuilder`] (flat arena) can share it.
-fn congruent<'a, I>(geom: Geometry, segments: I) -> bool
+pub(crate) fn congruent<'a, I>(geom: Geometry, segments: I) -> bool
 where
     I: Iterator<Item = (usize, &'a [u32])> + Clone,
 {
@@ -419,12 +445,20 @@ impl LowerCtx {
     }
 
     /// Lowers a `Load`/`Store` of `addr` issued by `pe` (`None` = LCP).
+    ///
+    /// Kinds whose execution path does not consume `a` (every private
+    /// and direct route; see the `ExecCtx` dispatch) carry the *word*
+    /// index there instead, so [`crate::analyze`] can reason at word
+    /// granularity without a second lowering pass. The shared-L1 kinds
+    /// keep the bank-local line in `a` (execution needs it); shared-L2
+    /// analysis is line-granular anyway.
     #[inline]
     fn mem_access(&self, addr: Addr, is_store: bool, pe: Option<usize>) -> MicroOp {
         let line = self.line_div.div(addr);
+        let word = self.word_div.div(addr);
         match (pe, self.l1) {
             (None, _) => MicroOp {
-                a: 0,
+                a: word,
                 b: line,
                 kind: match (self.shared_l2, is_store) {
                     (true, false) => MicroKind::SharedDirLoad,
@@ -445,7 +479,7 @@ impl LowerCtx {
                 bank: self.l1_div.rem(line) as u16,
             },
             (Some(pe), L1Mode::PrivateCache) => MicroOp {
-                a: 0,
+                a: word,
                 b: line,
                 kind: if is_store {
                     MicroKind::PrivStore
@@ -455,7 +489,7 @@ impl LowerCtx {
                 bank: pe as u16,
             },
             (Some(pe), L1Mode::PrivateSpm) => MicroOp {
-                a: 0,
+                a: word,
                 b: line,
                 kind: if is_store {
                     MicroKind::DirPeStore
@@ -469,9 +503,17 @@ impl LowerCtx {
 
     /// Lowers an `SpmLoad`/`SpmStore` of `off` issued by `pe`
     /// (`None` = LCP); loads and stores time identically, so one kind
-    /// covers both. Sets `poisoned` when the op can never execute.
+    /// covers both, with the direction recorded in `a` and the word
+    /// index in `b` for [`crate::analyze`] (execution reads neither).
+    /// Sets `poisoned` when the op can never execute.
     #[inline]
-    fn spm_access(&self, off: u32, pe: Option<usize>, poisoned: &mut bool) -> MicroOp {
+    fn spm_access(
+        &self,
+        off: u32,
+        is_store: bool,
+        pe: Option<usize>,
+        poisoned: &mut bool,
+    ) -> MicroOp {
         if !self.has_spm {
             *poisoned = true;
             MicroOp::plain(MicroKind::PoisonSpm)
@@ -481,13 +523,18 @@ impl LowerCtx {
         } else if self.l1 == L1Mode::SharedCacheSpm {
             let word = self.word_div.div(off as u64);
             MicroOp {
-                a: 0,
-                b: 0,
+                a: is_store as u64,
+                b: word,
                 kind: MicroKind::SpmShared,
                 bank: self.spm_div.rem(word) as u16,
             }
         } else {
-            MicroOp::plain(MicroKind::SpmPrivate)
+            MicroOp {
+                a: is_store as u64,
+                b: self.word_div.div(off as u64),
+                kind: MicroKind::SpmPrivate,
+                bank: 0,
+            }
         }
     }
 }
@@ -560,8 +607,23 @@ pub struct ProgramBuilder {
     /// Per-op lint findings in emission order; sorted into
     /// worker-ascending report order at [`ProgramBuilder::finish`].
     diags: Vec<Diagnostic>,
+    /// Access records for [`crate::analyze`], maintained on append (the
+    /// incremental half of the analysis; [`ProgramBuilder::finish`]
+    /// runs the shared derivation over it).
+    arena: Vec<analyze::Acc>,
+    /// When false, the arena is not maintained and [`finish`] attaches
+    /// no [`Analysis`] — the opt-out for hot one-shot builds
+    /// ([`ProgramBuilder::set_analysis`]).
+    ///
+    /// [`finish`]: ProgramBuilder::finish
+    /// [`Analysis`]: crate::Analysis
+    analysis_enabled: bool,
     cur_worker: usize,
     cur_pe: Option<usize>,
+    cur_tile: u16,
+    /// Global barriers emitted so far on the open worker's stream = the
+    /// epoch index its next op belongs to.
+    cur_epoch: u32,
     cur_lo: u32,
     cur_seg_lo: u32,
     open: bool,
@@ -593,6 +655,7 @@ impl ProgramBuilder {
                 ranges: Vec::new(),
                 parallel_ok: false,
                 lint: None,
+                analysis: None,
             },
             lower,
             word,
@@ -602,8 +665,12 @@ impl ProgramBuilder {
             seg_data: Vec::new(),
             seg_index: Vec::new(),
             diags: Vec::new(),
+            arena: Vec::new(),
+            analysis_enabled: true,
             cur_worker: 0,
             cur_pe: None,
+            cur_tile: 0,
+            cur_epoch: 0,
             cur_lo: 0,
             cur_seg_lo: 0,
             open: false,
@@ -644,8 +711,25 @@ impl ProgramBuilder {
         self.seg_data.clear();
         self.seg_index.clear();
         self.diags.clear();
+        self.arena.clear();
         self.open = false;
         self.finished = false;
+    }
+
+    /// Enables or disables the epoch-dependence analysis
+    /// ([`crate::analyze`]) for subsequent builds. On by default.
+    ///
+    /// Disabled builds skip the incremental access arena and
+    /// [`ProgramBuilder::finish`] attaches no verdict: the machine then
+    /// keeps the conservative dynamic path (shadow-HBM replay, no
+    /// shared-L2 epoch parallelism) for that program. The analysis
+    /// sorts every memory access the program makes, which is a real
+    /// host-time cost for large programs — callers building one-shot
+    /// programs executed exactly once (e.g. per-iteration scratch
+    /// builds) gain nothing from the verdict and should opt out. The
+    /// setting is sticky across [`ProgramBuilder::begin`].
+    pub fn set_analysis(&mut self, enabled: bool) {
+        self.analysis_enabled = enabled;
     }
 
     /// Opens PE `(tile, pe)`'s stream; emission verbs apply to it until
@@ -689,6 +773,8 @@ impl ProgramBuilder {
         );
         self.cur_worker = worker;
         self.cur_pe = pe;
+        self.cur_tile = self.prog.geom.locate(worker).0 as u16;
+        self.cur_epoch = 0;
         self.cur_lo = self.prog.ops.len() as u32;
         self.cur_seg_lo = self.seg_data.len() as u32;
         self.seg_data.push(0);
@@ -733,6 +819,7 @@ impl ProgramBuilder {
     pub fn load(&mut self, addr: Addr) {
         debug_assert!(self.open, "no worker stream open");
         let m = self.lower.mem_access(addr, false, self.cur_pe);
+        self.record(&m);
         self.prog.ops.push(m);
     }
 
@@ -741,25 +828,43 @@ impl ProgramBuilder {
     pub fn store(&mut self, addr: Addr) {
         debug_assert!(self.open, "no worker stream open");
         let m = self.lower.mem_access(addr, true, self.cur_pe);
+        self.record(&m);
         self.prog.ops.push(m);
+    }
+
+    /// Maintains the dependence-analysis arena on append (the
+    /// incremental half of [`crate::analyze`]): records the access the
+    /// freshly lowered micro-op performs, tagged with the open worker's
+    /// identity, current epoch and op position.
+    #[inline]
+    fn record(&mut self, m: &MicroOp) {
+        if !self.analysis_enabled {
+            return;
+        }
+        let pc = self.prog.ops.len() as u32 - self.cur_lo;
+        if let Some(acc) =
+            analyze::acc_of(m, self.cur_worker as u32, self.cur_tile, self.cur_epoch, pc)
+        {
+            self.arena.push(acc);
+        }
     }
 
     /// Emits a scratchpad load of byte offset `offset`.
     #[inline]
     pub fn spm_load(&mut self, offset: u32) {
-        self.spm_access(offset);
+        self.spm_access(offset, false);
     }
 
     /// Emits a scratchpad store to byte offset `offset`.
     #[inline]
     pub fn spm_store(&mut self, offset: u32) {
-        self.spm_access(offset);
+        self.spm_access(offset, true);
     }
 
     /// SPM loads and stores lower and lint identically (one micro-kind
     /// covers both), hence a single internal verb.
     #[inline]
-    fn spm_access(&mut self, offset: u32) {
+    fn spm_access(&mut self, offset: u32, is_store: bool) {
         debug_assert!(self.open, "no worker stream open");
         if !self.unsupported {
             if !self.lower.has_spm {
@@ -783,7 +888,8 @@ impl ProgramBuilder {
         }
         let m = self
             .lower
-            .spm_access(offset, self.cur_pe, &mut self.poisoned);
+            .spm_access(offset, is_store, self.cur_pe, &mut self.poisoned);
+        self.record(&m);
         self.prog.ops.push(m);
     }
 
@@ -806,6 +912,7 @@ impl ProgramBuilder {
     pub fn global_barrier(&mut self) {
         debug_assert!(self.open, "no worker stream open");
         self.seg_data.push(0);
+        self.cur_epoch += 1;
         self.prog.ops.push(MicroOp::plain(MicroKind::GlobalBarrier));
     }
 
@@ -843,6 +950,36 @@ impl ProgramBuilder {
                 .map(|&(w, lo, hi)| (w, &seg_data[lo as usize..hi as usize])),
         );
         self.prog.parallel_ok = !self.poisoned && congr;
+
+        // Derive the dependence verdict from the incrementally
+        // maintained arena — same kernel as the post-hoc oracle
+        // `analyze::analyze`, so the two paths agree by construction.
+        self.prog.analysis = if self.analysis_enabled {
+            let n_epochs = self
+                .seg_index
+                .first()
+                .map(|&(_, lo, hi)| hi - lo)
+                .unwrap_or(0);
+            let first_worker = self
+                .seg_index
+                .iter()
+                .map(|&(w, _, _)| w as u32)
+                .min()
+                .unwrap_or(0);
+            let actx = analyze::Ctx {
+                geom: self.prog.geom,
+                hw: self.prog.hw,
+                nch: self.prog.ua.hbm_channels as u64,
+                word_bytes: self.prog.ua.word_bytes as u64,
+                line_bytes: self.prog.ua.line_bytes as u64,
+                applicable: !self.poisoned && congr && !self.unsupported,
+                n_epochs,
+                first_worker,
+            };
+            Some(analyze::derive(&actx, &mut self.arena))
+        } else {
+            None
+        };
 
         let mut diags = std::mem::take(&mut self.diags);
         if self.unsupported {
@@ -937,6 +1074,96 @@ impl ProgramBuilder {
     pub fn program(&self) -> &Program {
         assert!(self.finished, "program() before finish()");
         &self.prog
+    }
+
+    /// Opt-in barrier elision: removes every global barrier the
+    /// attached [`Analysis`] proved redundant, group-safely — eliding
+    /// barriers `g..h` merges epochs into one unordered group, so a
+    /// barrier only goes when **no** epoch already merged behind it
+    /// depends on the epoch it releases. The elided program is a
+    /// distinct artifact (fresh identity, so the machine's steady-state
+    /// memo cannot replay the un-elided timing) with its analysis
+    /// re-derived and lint positions re-anchored. Returns the number of
+    /// barriers removed. Off by default: nothing calls this unless a
+    /// kernel explicitly opts in after [`ProgramBuilder::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current build was never finished.
+    pub fn elide_proven_barriers(&mut self) -> usize {
+        assert!(self.finished, "elide_proven_barriers() before finish()");
+        let Some(analysis) = self.prog.analysis.as_ref() else {
+            return 0;
+        };
+        if !analysis.congruent() || analysis.elision_candidates().is_empty() {
+            return 0;
+        }
+        let n_barriers = analysis.epochs().len().saturating_sub(1);
+        let edges: Vec<(u32, u32)> = analysis.conflict_edges().to_vec();
+        let has_edge = |e: u32, f: u32| edges.binary_search(&(e, f)).is_ok();
+        let mut elide = vec![false; n_barriers];
+        let mut merged_start = 0u32;
+        for g in 0..n_barriers as u32 {
+            if (merged_start..=g).all(|e| !has_edge(e, g + 1)) {
+                elide[g as usize] = true;
+            } else {
+                merged_start = g + 1;
+            }
+        }
+        let count = elide.iter().filter(|&&e| e).count();
+        if count == 0 {
+            return 0;
+        }
+
+        // Rebuild the op array, dropping each worker's copy of every
+        // elided barrier ordinal while preserving the emission layout.
+        let old_ops = std::mem::take(&mut self.prog.ops);
+        let mut order: Vec<(usize, u32, u32)> = self
+            .prog
+            .ranges
+            .iter()
+            .enumerate()
+            .filter_map(|(w, r)| r.map(|(lo, hi)| (w, lo, hi)))
+            .collect();
+        order.sort_unstable_by_key(|&(_, lo, _)| lo);
+        let mut new_ops: Vec<MicroOp> = Vec::with_capacity(old_ops.len());
+        let mut removed: Vec<(usize, Vec<u32>)> = Vec::with_capacity(order.len());
+        for &(w, lo, hi) in &order {
+            let new_lo = new_ops.len() as u32;
+            let mut ordinal = 0usize;
+            let mut cut: Vec<u32> = Vec::new();
+            for (pc, op) in old_ops[lo as usize..hi as usize].iter().enumerate() {
+                if op.kind == MicroKind::GlobalBarrier {
+                    let g = ordinal;
+                    ordinal += 1;
+                    if g < elide.len() && elide[g] {
+                        cut.push(pc as u32);
+                        continue;
+                    }
+                }
+                new_ops.push(*op);
+            }
+            self.prog.ranges[w] = Some((new_lo, new_ops.len() as u32));
+            removed.push((w, cut));
+        }
+        self.prog.ops = new_ops;
+
+        // Re-anchor attached lint positions past the removed ops.
+        // Uniform removal keeps the program congruent, so parallel_ok
+        // is unaffected.
+        if let Some(lint) = self.prog.lint.as_mut() {
+            for d in lint.diagnostics.iter_mut() {
+                if let Some(pos) = d.position.as_mut() {
+                    if let Some((_, cut)) = removed.iter().find(|(w, _)| *w == d.worker) {
+                        *pos -= cut.iter().filter(|&&c| (c as usize) < *pos).count();
+                    }
+                }
+            }
+        }
+
+        self.prog.id = NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed);
+        self.prog.analysis = Some(analyze::analyze(&self.prog));
+        count
     }
 }
 
@@ -1086,8 +1313,9 @@ impl ShadowHbm {
         self.seq += 1;
     }
 
-    pub(crate) fn into_log(self) -> Vec<HbmCall> {
-        self.log
+    /// Consumes the shadow into its final HBM state and call log.
+    pub(crate) fn into_state_and_log(self) -> (Hbm, Vec<HbmCall>) {
+        (self.inner, self.log)
     }
 }
 
@@ -1144,9 +1372,12 @@ impl<'a> TileExec<'a> {
         }
     }
 
-    /// Consumes the context into its local stats and HBM call log.
-    pub(crate) fn into_parts(self) -> (SimStats, Vec<HbmCall>) {
-        (self.stats, self.shadow.into_log())
+    /// Consumes the context into its local stats, HBM call log and the
+    /// shadow's final HBM state (merged directly into the real HBM on a
+    /// proven replay-free commit).
+    pub(crate) fn into_parts(self) -> (SimStats, Vec<HbmCall>, Hbm) {
+        let (hbm, log) = self.shadow.into_state_and_log();
+        (self.stats, log, hbm)
     }
 }
 

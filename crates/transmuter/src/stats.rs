@@ -27,6 +27,23 @@ impl MemoStats {
     }
 }
 
+/// Epoch-commit counters for [`crate::Machine::run_program`]'s
+/// parallel-tiles mode: how each global-barrier epoch was committed.
+/// Cumulative over the machine's lifetime (like [`MemoStats`]); runs
+/// served from the steady-state memo skip epoch execution entirely and
+/// leave these untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochStats {
+    /// Epochs the static analyzer proved interference-free and that
+    /// committed directly, skipping the shadow-HBM replay.
+    pub proven: u64,
+    /// Epochs committed through the dynamic shadow-HBM replay check.
+    pub replayed: u64,
+    /// Replayed epochs whose parallel timing mismatched the replay and
+    /// were rolled back to sequential execution.
+    pub rolled_back: u64,
+}
+
 /// Raw event counters accumulated during simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimStats {

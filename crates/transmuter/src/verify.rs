@@ -108,6 +108,38 @@ pub enum LintKind {
         /// The active configuration.
         config: HwConfig,
     },
+    /// A global-memory store provably overwritten before any worker
+    /// reads it ([`crate::analyze`]; private-L2 configs only, where the
+    /// analysis is word-granular).
+    DeadStore {
+        /// Byte address of the dead store.
+        addr: Addr,
+    },
+    /// A scratchpad write whose slot is never read back before the next
+    /// overwrite or the end of the program ([`crate::analyze`]).
+    DeadSpmWrite {
+        /// Byte offset of the dead SPM write.
+        offset: u32,
+    },
+    /// Two workers store to the same location in different epochs with
+    /// no intervening read: the first value is lost unseen
+    /// ([`crate::analyze`]).
+    CrossEpochWriteHazard {
+        /// Byte address of the hazard (line-granular under a shared L2).
+        addr: Addr,
+        /// First store's provenance: `(worker, epoch, pc)`.
+        first: (usize, usize, usize),
+        /// Overwriting store's provenance: `(worker, epoch, pc)`.
+        second: (usize, usize, usize),
+    },
+    /// A global barrier separating epochs with no cross-worker
+    /// dependence between them — an elision candidate for
+    /// [`crate::ProgramBuilder::elide_proven_barriers`]
+    /// ([`crate::analyze`]).
+    RedundantBarrier {
+        /// 0-based ordinal of the redundant global barrier.
+        barrier_index: usize,
+    },
 }
 
 /// One lint finding, attached to a worker and (where meaningful) an op
@@ -174,6 +206,27 @@ impl fmt::Display for Diagnostic {
             LintKind::UnsupportedConfig { config } => {
                 write!(f, "{config} is unrealisable on this geometry")
             }
+            LintKind::DeadStore { addr } => {
+                write!(f, "store to {addr:#x} is dead: overwritten before any read")
+            }
+            LintKind::DeadSpmWrite { offset } => {
+                write!(f, "spm store at offset {offset} is dead: never read back")
+            }
+            LintKind::CrossEpochWriteHazard {
+                addr,
+                first,
+                second,
+            } => write!(
+                f,
+                "cross-epoch write-write hazard on {addr:#x}: worker {} (epoch {}, op {}) \
+                 overwritten by worker {} (epoch {}, op {}) with no intervening read",
+                first.0, first.1, first.2, second.0, second.1, second.2
+            ),
+            LintKind::RedundantBarrier { barrier_index } => write!(
+                f,
+                "global barrier {barrier_index} separates provably independent epochs; \
+                 elision candidate"
+            ),
         }
     }
 }
