@@ -52,6 +52,7 @@
 pub mod adaptive;
 pub mod balance;
 pub mod heuristics;
+pub mod host;
 pub mod kernels;
 pub mod layout;
 pub mod ops;
@@ -59,6 +60,7 @@ mod runtime;
 pub mod verify;
 
 pub use heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
+pub use host::ExecBackend;
 pub use layout::Layout;
 pub use ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 pub use runtime::{CacheStats, CoSparse, Frontier, Policy, SpmvOutcome, StepOutcome};

@@ -8,15 +8,21 @@
 //! the per-edge compute cost differ.
 
 use sparse::{CscMatrix, Idx};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A graph-algorithm definition in CoSPARSE's SpMV abstraction.
 ///
 /// `Value` is the per-vertex state (a level for BFS, a distance for
 /// SSSP, a rank for PR, a latent-feature vector for CF).
-pub trait GraphOp {
+///
+/// Ops and their values must be shareable across threads (`Sync` /
+/// `Send + Sync`): the host execution backend ([`crate::host`])
+/// evaluates row partitions on parallel host threads with the op
+/// inlined in the inner loop. Every op is a plain value-semantics
+/// struct over scalar state, so the bounds are satisfied automatically.
+pub trait GraphOp: Sync {
     /// Per-vertex value type.
-    type Value: Copy + PartialEq + std::fmt::Debug;
+    type Value: Copy + PartialEq + Send + Sync + std::fmt::Debug;
 
     /// `Matrix_Op(Sp, V)`: the contribution of edge `src → dst` with
     /// weight `weight`, given the source's frontier value and the
@@ -107,9 +113,13 @@ pub fn apply<O: GraphOp>(
     degrees: &[u32],
 ) -> Vec<Update<O::Value>> {
     // Dense frontiers touch most destinations, so a direct-indexed
-    // accumulator beats hashing; sparse frontiers keep the map to stay
-    // O(touched). Either path reduces contributions in the same
-    // per-edge order, so the results are identical.
+    // accumulator beats a map; sparse frontiers use an ordered map to
+    // stay O(touched · log touched). Either path reduces contributions
+    // in the same per-edge order (ascending active source, then that
+    // source's column order), so the results are bit-identical — and
+    // deterministic: no structure anywhere in this function iterates in
+    // a run-dependent order, which matters because float `reduce` (the
+    // PR/CF sums) is not associative.
     if active.len() * 4 >= state.len() && !state.is_empty() {
         let mut acc: Vec<Option<O::Value>> = vec![None; state.len()];
         for &(src, fval) in active {
@@ -134,7 +144,7 @@ pub fn apply<O: GraphOp>(
             })
             .collect();
     }
-    let mut acc: HashMap<Idx, O::Value> = HashMap::new();
+    let mut acc: BTreeMap<Idx, O::Value> = BTreeMap::new();
     for &(src, fval) in active {
         let deg = degrees[src as usize];
         let (dsts, weights) = csc_t.col(src as usize);
@@ -145,16 +155,15 @@ pub fn apply<O: GraphOp>(
                 .or_insert(contrib);
         }
     }
-    let mut updates: Vec<Update<O::Value>> = acc
-        .into_iter()
+    // BTreeMap iterates in key order: the updates come out sorted by
+    // destination with no post-hoc sort and no hash-order anywhere.
+    acc.into_iter()
         .filter_map(|(dst, reduced)| {
             let old = state[dst as usize];
             let new = op.vector_op(reduced, old);
             op.is_update(new, old).then_some((dst, new))
         })
-        .collect();
-    updates.sort_unstable_by_key(|&(dst, _)| dst);
-    updates
+        .collect()
 }
 
 /// Plain SpMV (Table I, first row): `y = Σ Sp[src,dst] * V[src]`.
@@ -276,6 +285,30 @@ mod tests {
             .map(|(dst, v)| (dst as Idx, *v))
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sparse_path_float_reductions_are_bit_deterministic() {
+        // PR-style float sums over a skewed matrix through the map
+        // (sparse-frontier) path: two applications of the same input
+        // must produce bit-identical f32 results. This pins the
+        // determinism contract — no accumulation structure with a
+        // run-dependent iteration order is allowed in the golden model.
+        let adj = sparse::generate::power_law(400, 400, 6000, 1.1, 8).unwrap();
+        let csc_t = csc_t_of(&adj);
+        let active: Vec<(Idx, f32)> = (0..40)
+            .map(|i| ((i * 9) as Idx, 0.1 + 0.37 * i as f32))
+            .collect();
+        assert!(active.len() * 4 < 400, "must exercise the map path");
+        let state = vec![0.0f32; 400];
+        let degrees: Vec<u32> = adj.col_counts().into_iter().map(|c| c as u32).collect();
+        let a = apply(&SpmvOp, &csc_t, &active, &state, &degrees);
+        let b = apply(&SpmvOp, &csc_t, &active, &state, &degrees);
+        assert_eq!(a.len(), b.len());
+        for ((da, va), (db, vb)) in a.iter().zip(&b) {
+            assert_eq!(da, db);
+            assert_eq!(va.to_bits(), vb.to_bits(), "bitwise equal at dst {da}");
+        }
     }
 
     #[test]

@@ -5,13 +5,14 @@
 use crate::adaptive::AdaptiveState;
 use crate::balance::{self, Balancing};
 use crate::heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
+use crate::host::{self, ExecBackend};
 use crate::kernels::convert::{self, Direction};
 use crate::kernels::{ip, op};
 use crate::layout::Layout;
 use crate::ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 use crate::verify::{run_checked, VerifyReport};
 use sparse::partition::{RowPartition, VBlocks};
-use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
+use sparse::{CooMatrix, CscMatrix, CsrMatrix, DenseVector, Idx, SparseVector};
 use transmuter::verify::RegionMap;
 use transmuter::{
     Analysis, EpochStats, HwConfig, Machine, MemoStats, Program, ProgramBuilder, SimError,
@@ -232,6 +233,12 @@ pub struct CacheStats {
 pub struct CoSparse {
     coo: CooMatrix,
     csc: CscMatrix,
+    /// CSR copy of the operand matrix, built on the first host-backend
+    /// invocation (the inner-product row loops walk it). `None` until
+    /// then — simulate-only runtimes never pay for it.
+    csr: Option<CsrMatrix>,
+    /// Which backend answers invocations (default: the simulator).
+    backend: ExecBackend,
     /// Out-degree of each frontier index in the original graph
     /// (= column counts of the operand matrix).
     degrees: Vec<u32>,
@@ -284,6 +291,8 @@ impl CoSparse {
             zero_state: vec![0.0f32; matrix.rows()],
             coo: matrix.clone(),
             csc,
+            csr: None,
+            backend: ExecBackend::Simulate,
             degrees,
             row_counts,
             machine,
@@ -379,6 +388,26 @@ impl CoSparse {
     /// Selects the workload-balancing scheme (default: nnz-balanced).
     pub fn set_balancing(&mut self, balancing: Balancing) {
         self.balancing = balancing;
+    }
+
+    /// Selects the execution backend (default:
+    /// [`ExecBackend::Simulate`]).
+    ///
+    /// Under [`ExecBackend::Host`] the runtime still walks the decision
+    /// tree (the dataflow choice picks the host path: IP → row loops,
+    /// OP → active-column loops) but no simulated machine is in the
+    /// path: results are computed natively against host memory and
+    /// reports carry wall-clock `seconds` with zero `cycles`.
+    /// [`ExecBackend::Differential`] runs both and asserts bit-equal
+    /// results. Verification ([`CoSparse::set_verify`]) and adaptive
+    /// cycle recording apply only to the simulate path.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// The current execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Selects the configuration policy (default: [`Policy::Auto`]).
@@ -537,6 +566,13 @@ impl CoSparse {
     /// under `decision`, including reconfiguration and (when the
     /// dataflow changed representation) frontier conversion cost.
     ///
+    /// Under [`ExecBackend::Host`] there is no access pattern to time:
+    /// the call returns a zero-cost host report without touching the
+    /// machine (callers that drive their own functional math — the BC
+    /// engine — stay fast in host mode). The differential backend
+    /// simulates normally: a timing-only call has no functional result
+    /// to cross-check.
+    ///
     /// # Errors
     ///
     /// Propagates simulator errors ([`SimError`]).
@@ -546,6 +582,10 @@ impl CoSparse {
         active: &[Idx],
         profile: &OpProfile,
     ) -> Result<SimReport, SimError> {
+        if self.backend == ExecBackend::Host {
+            self.ensure_plan(profile);
+            return Ok(self.host_report(0.0));
+        }
         self.execute_timed(decision, active, profile)
             .map(|(report, _)| report)
     }
@@ -855,9 +895,68 @@ impl CoSparse {
         }
     }
 
+    /// Lazily builds the CSR copy the host backend's inner-product row
+    /// loops walk (the simulate path never needs it).
+    fn ensure_csr(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrMatrix::from(&self.coo));
+        }
+    }
+
+    /// A report for a host-backend invocation that took `seconds` of
+    /// wall-clock time: zero cycles, zero simulated stats — the host
+    /// path has no machine to account.
+    fn host_report(&self, seconds: f64) -> SimReport {
+        SimReport {
+            geometry: self.machine.geometry(),
+            config: self.machine.config(),
+            cycles: 0,
+            seconds,
+            stats: Default::default(),
+            energy: Default::default(),
+        }
+    }
+
+    /// One host-backend step: ensures the plan (for its row
+    /// partitioning) and the CSR copy, then evaluates the decided
+    /// dataflow natively. Returns the updates and a wall-clock report.
+    fn host_step<O: GraphOp>(
+        &mut self,
+        op: &O,
+        decision: Decision,
+        active: &[(Idx, O::Value)],
+        state: &[O::Value],
+        profile: &OpProfile,
+    ) -> (Vec<Update<O::Value>>, SimReport) {
+        self.ensure_plan(profile);
+        self.ensure_csr();
+        let plan = self.plan.as_ref().expect("plan ensured above");
+        let csr = self.csr.as_ref().expect("csr ensured above");
+        let t0 = std::time::Instant::now();
+        let updates = host::execute(
+            op,
+            decision.software,
+            csr,
+            &self.csc,
+            host::StepInputs {
+                active,
+                state,
+                degrees: &self.degrees,
+            },
+            &plan.ip_partition,
+        );
+        let report = self.host_report(t0.elapsed().as_secs_f64());
+        (updates, report)
+    }
+
     /// One reconfigured SpMV: decides configurations from the frontier's
     /// density, simulates the access pattern, and computes `y = M * x`
     /// functionally.
+    ///
+    /// Under [`ExecBackend::Host`] the same decision drives the native
+    /// host path instead (no machine, wall-clock report); under
+    /// [`ExecBackend::Differential`] both run and the results are
+    /// asserted bit-equal.
     ///
     /// # Errors
     ///
@@ -866,7 +965,8 @@ impl CoSparse {
     /// # Panics
     ///
     /// Panics if the frontier dimension does not match the matrix
-    /// column count.
+    /// column count, or (differential backend) if the host and
+    /// simulate results disagree.
     pub fn spmv(&mut self, frontier: &Frontier) -> Result<SpmvOutcome, SimError> {
         assert_eq!(
             frontier.dim(),
@@ -882,6 +982,21 @@ impl CoSparse {
         let mut entries = std::mem::take(&mut self.entries_buf);
         entries.clear();
         frontier.collect_active(&mut entries);
+        if self.backend == ExecBackend::Host {
+            // Native path: no machine anywhere. The all-zero state is
+            // temporarily taken to appease the borrow of `host_step`.
+            let zero = std::mem::take(&mut self.zero_state);
+            let (updates, report) = self.host_step(&SpmvOp, decision, &entries, &zero, &profile);
+            self.zero_state = zero;
+            self.entries_buf = entries;
+            let result = wrap_updates(self.coo.rows(), decision.software, updates);
+            return Ok(SpmvOutcome {
+                software: decision.software,
+                hardware: decision.hardware,
+                report,
+                result,
+            });
+        }
         let mut active = std::mem::take(&mut self.indices_buf);
         active.clear();
         active.extend(entries.iter().map(|&(i, _)| i));
@@ -907,20 +1022,14 @@ impl CoSparse {
             &self.zero_state,
             &self.degrees,
         );
+        if self.backend == ExecBackend::Differential {
+            let zero = std::mem::take(&mut self.zero_state);
+            let (host_updates, _) = self.host_step(&SpmvOp, decision, &entries, &zero, &profile);
+            self.zero_state = zero;
+            assert_backends_agree("spmv", &updates, &host_updates);
+        }
         self.entries_buf = entries;
-        let result = match decision.software {
-            SwConfig::InnerProduct => {
-                let mut y = DenseVector::filled(self.coo.rows(), 0.0f32);
-                for (dst, v) in updates {
-                    y[dst as usize] = v;
-                }
-                Frontier::Dense(y)
-            }
-            SwConfig::OuterProduct => Frontier::Sparse(
-                SparseVector::from_sorted(self.coo.rows(), updates)
-                    .expect("apply returns sorted unique destinations"),
-            ),
-        };
+        let result = wrap_updates(self.coo.rows(), decision.software, updates);
         Ok(SpmvOutcome {
             software: decision.software,
             hardware: decision.hardware,
@@ -949,6 +1058,15 @@ impl CoSparse {
             active.len() as f64 / self.coo.cols() as f64
         };
         let decision = self.decide_exact(active.len(), &profile);
+        if self.backend == ExecBackend::Host {
+            let (updates, report) = self.host_step(op, decision, active, state, &profile);
+            return Ok(StepOutcome {
+                software: decision.software,
+                hardware: decision.hardware,
+                report,
+                updates,
+            });
+        }
         let mut indices = std::mem::take(&mut self.indices_buf);
         indices.clear();
         indices.extend(active.iter().map(|&(i, _)| i));
@@ -960,12 +1078,58 @@ impl CoSparse {
                 .record(density, decision.software, decision.hardware, kernel_cycles);
         }
         let updates = apply(op, &self.csc, active, state, &self.degrees);
+        if self.backend == ExecBackend::Differential {
+            let (host_updates, _) = self.host_step(op, decision, active, state, &profile);
+            assert_backends_agree("step", &updates, &host_updates);
+        }
         Ok(StepOutcome {
             software: decision.software,
             hardware: decision.hardware,
             report,
             updates,
         })
+    }
+}
+
+/// Wraps a sorted update list in the representation the decided
+/// dataflow produces (dense for IP, sparse for OP).
+fn wrap_updates(rows: usize, software: SwConfig, updates: Vec<Update<f32>>) -> Frontier {
+    match software {
+        SwConfig::InnerProduct => {
+            let mut y = DenseVector::filled(rows, 0.0f32);
+            for (dst, v) in updates {
+                y[dst as usize] = v;
+            }
+            Frontier::Dense(y)
+        }
+        SwConfig::OuterProduct => Frontier::Sparse(
+            SparseVector::from_sorted(rows, updates)
+                .expect("updates are sorted unique destinations"),
+        ),
+    }
+}
+
+/// Differential-backend oracle check: the simulate path's functional
+/// result and the host backend's result must agree element-for-element
+/// (for float values this is bit-equality in practice — both reduce in
+/// the same order). Panics with the first divergence.
+fn assert_backends_agree<V: PartialEq + std::fmt::Debug>(
+    what: &str,
+    simulate: &[Update<V>],
+    host_side: &[Update<V>],
+) {
+    assert_eq!(
+        simulate.len(),
+        host_side.len(),
+        "differential {what}: simulate produced {} updates, host {}",
+        simulate.len(),
+        host_side.len(),
+    );
+    for (i, (s, h)) in simulate.iter().zip(host_side).enumerate() {
+        assert!(
+            s == h,
+            "differential {what}: update {i} diverges (simulate {s:?}, host {h:?})"
+        );
     }
 }
 

@@ -10,7 +10,7 @@
 //! unweighted path counts and dependencies are evaluated functionally
 //! on the host (the standard split — see DESIGN.md §2).
 
-use cosparse::{CoSparse, OpProfile, SwConfig};
+use cosparse::{CoSparse, ExecBackend, OpProfile, SwConfig};
 use sparse::{CooMatrix, CsrMatrix, Idx};
 use transmuter::{Geometry, HwConfig, Machine, MicroArch, SimError, SimReport};
 
@@ -75,6 +75,24 @@ pub fn betweenness(
     source: Idx,
     geometry: Geometry,
 ) -> Result<BcResult, SimError> {
+    betweenness_on(adjacency, source, geometry, ExecBackend::Simulate)
+}
+
+/// [`betweenness`] on an explicit execution backend. Under
+/// [`ExecBackend::Host`] the per-level `execute` calls skip the
+/// simulator (reports carry zero cycles); the path-count and dependency
+/// math is host-evaluated either way, so the centrality scores are
+/// identical across backends.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn betweenness_on(
+    adjacency: &CooMatrix,
+    source: Idx,
+    geometry: Geometry,
+    backend: ExecBackend,
+) -> Result<BcResult, SimError> {
     let n = adjacency.rows();
     let out_edges = CsrMatrix::from(adjacency);
     let profile = OpProfile {
@@ -86,6 +104,8 @@ pub fn betweenness(
     let transposed = adjacency.transpose();
     let mut forward_rt = CoSparse::new(&transposed, Machine::new(geometry, MicroArch::paper()));
     let mut backward_rt = CoSparse::new(adjacency, Machine::new(geometry, MicroArch::paper()));
+    forward_rt.set_backend(backend);
+    backward_rt.set_backend(backend);
 
     // --- forward: levels + path counts (host math, simulated timing) ---
     let mut level = vec![u32::MAX; n];

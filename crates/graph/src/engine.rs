@@ -7,7 +7,7 @@
 //! configurations and simulated costs — the raw material of the
 //! paper's Figure 9 case study.
 
-use cosparse::{CoSparse, GraphOp, Update};
+use cosparse::{CoSparse, ExecBackend, GraphOp, Update};
 use sparse::{CooMatrix, Idx};
 use transmuter::{HwConfig, Machine, SimError, SimReport};
 
@@ -156,6 +156,12 @@ impl Engine {
     /// The underlying runtime (to set policy, thresholds or balancing).
     pub fn runtime_mut(&mut self) -> &mut CoSparse {
         &mut self.runtime
+    }
+
+    /// Selects the execution backend ([`ExecBackend::Simulate`] is the
+    /// default) — a convenience over [`Engine::runtime_mut`].
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.runtime.set_backend(backend);
     }
 
     /// The underlying runtime, immutably.

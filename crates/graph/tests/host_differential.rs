@@ -1,0 +1,235 @@
+//! Differential suite for the native host execution backend.
+//!
+//! Every engine runs on several matrices under all three backends:
+//!
+//! * [`ExecBackend::Differential`] asserts **inside the runtime**, on
+//!   every SpMV step, that the host path's updates are bit-equal to the
+//!   simulate path's golden-model updates;
+//! * a host-only run must then reproduce the simulate-only run's final
+//!   state exactly (same fixed point through the engine loop, not just
+//!   per-step agreement);
+//! * for float-valued algorithms the state comparison is `to_bits`
+//!   exact — the host backend's contract is bit-identity, not
+//!   tolerance.
+//!
+//! A property test closes the loop on plain SpMV: random COO matrices
+//! and random frontiers, host result bit-equal to the golden model.
+
+use cosparse::{CoSparse, ExecBackend, Frontier};
+use graph::bc;
+use graph::bfs::Bfs;
+use graph::cc::ConnectedComponents;
+use graph::kbfs::KBfs;
+use graph::pagerank::PageRank;
+use graph::sssp::Sssp;
+use graph::{Algorithm, Engine, RunResult, Value};
+use proptest::prelude::*;
+use sparse::{CooMatrix, Idx, SparseVector};
+use transmuter::{Geometry, Machine, MicroArch};
+
+fn machine() -> Machine {
+    Machine::new(Geometry::new(2, 4), MicroArch::paper())
+}
+
+/// The matrices every engine is checked on: a skewed RMAT graph, a
+/// uniform random one, and a power-law one — small enough to simulate,
+/// shaped differently enough to exercise both dataflows and several
+/// partition layouts.
+fn matrices() -> Vec<(&'static str, CooMatrix)> {
+    vec![
+        (
+            "rmat_9",
+            sparse::generate::rmat(9, 4_000, Default::default(), 42).unwrap(),
+        ),
+        (
+            "uniform_400",
+            sparse::generate::uniform(400, 400, 5_000, 7).unwrap(),
+        ),
+        (
+            "power_law_512",
+            sparse::generate::power_law(512, 512, 6_000, 2.2, 11).unwrap(),
+        ),
+    ]
+}
+
+fn run_on<A: Algorithm>(adj: &CooMatrix, alg: &A, backend: ExecBackend) -> RunResult<Value<A>> {
+    let mut engine = Engine::new(adj, machine());
+    engine.set_backend(backend);
+    engine.run(alg).unwrap()
+}
+
+/// Simulate vs Host vs Differential on every suite matrix. The
+/// differential run would panic on any per-step divergence; the
+/// state/iteration comparisons additionally pin the engine-level fixed
+/// point.
+fn check_all_backends<A: Algorithm>(alg: &A) {
+    for (name, adj) in matrices() {
+        let sim = run_on(&adj, alg, ExecBackend::Simulate);
+        let host = run_on(&adj, alg, ExecBackend::Host);
+        assert_eq!(
+            sim.iterations.len(),
+            host.iterations.len(),
+            "{}/{name}: host took a different number of iterations",
+            alg.name()
+        );
+        assert_eq!(
+            sim.state,
+            host.state,
+            "{}/{name}: host final state diverged",
+            alg.name()
+        );
+        let diff = run_on(&adj, alg, ExecBackend::Differential);
+        assert_eq!(
+            diff.state,
+            sim.state,
+            "{}/{name}: differential final state diverged",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn bfs_host_matches_simulate() {
+    check_all_backends(&Bfs::new(0));
+}
+
+#[test]
+fn sssp_host_matches_simulate() {
+    check_all_backends(&Sssp::new(0));
+}
+
+#[test]
+fn pagerank_host_matches_simulate() {
+    check_all_backends(&PageRank::new(0.85, 15));
+}
+
+#[test]
+fn cc_host_matches_simulate() {
+    check_all_backends(&ConnectedComponents::new());
+}
+
+#[test]
+fn kbfs_host_matches_simulate() {
+    check_all_backends(&KBfs::new(vec![0, 3, 11, 42]));
+}
+
+/// Float states compared bit-for-bit, not by `==`: SSSP and PageRank
+/// are the two f32-valued engines, so their host runs pin the
+/// bit-identity contract end-to-end.
+#[test]
+fn float_engines_are_bit_exact_across_backends() {
+    for (name, adj) in matrices() {
+        let sim = run_on(&adj, &Sssp::new(0), ExecBackend::Simulate);
+        let host = run_on(&adj, &Sssp::new(0), ExecBackend::Host);
+        for (v, (a, b)) in sim.state.iter().zip(&host.state).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "sssp/{name} vertex {v}: {a} vs {b}"
+            );
+        }
+        let sim = run_on(&adj, &PageRank::new(0.85, 15), ExecBackend::Simulate);
+        let host = run_on(&adj, &PageRank::new(0.85, 15), ExecBackend::Host);
+        for (v, (a, b)) in sim.state.iter().zip(&host.state).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "pr/{name} vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+/// Two host-mode PageRank runs produce bit-identical scores: the
+/// parallel partition fan-out concatenates in deterministic partition
+/// order and every reduce happens in ascending source order, so nothing
+/// about thread scheduling can leak into the result.
+#[test]
+fn pagerank_host_runs_are_bit_identical() {
+    let adj = sparse::generate::power_law(512, 512, 6_000, 2.2, 11).unwrap();
+    let pr = PageRank::new(0.85, 20);
+    let a = run_on(&adj, &pr, ExecBackend::Host);
+    let b = run_on(&adj, &pr, ExecBackend::Host);
+    for (v, (x, y)) in a.state.iter().zip(&b.state).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "vertex {v}: {x} vs {y}");
+    }
+}
+
+/// Betweenness centrality across backends: the per-level SpMV costs
+/// differ (host reports carry zero cycles) but the centrality math is
+/// host-evaluated either way, so scores are bit-identical; the
+/// differential run additionally cross-checks every level's timing
+/// path.
+#[test]
+fn bc_host_matches_simulate() {
+    for (name, adj) in matrices() {
+        let geometry = Geometry::new(2, 4);
+        let sim = bc::betweenness(&adj, 0, geometry).unwrap();
+        let host = bc::betweenness_on(&adj, 0, geometry, ExecBackend::Host).unwrap();
+        let diff = bc::betweenness_on(&adj, 0, geometry, ExecBackend::Differential).unwrap();
+        assert_eq!(
+            sim.levels.len(),
+            host.levels.len(),
+            "bc/{name}: level count"
+        );
+        for (v, (a, b)) in sim.centrality.iter().zip(&host.centrality).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "bc/{name} vertex {v}: {a} vs {b}");
+        }
+        assert_eq!(diff.centrality, sim.centrality, "bc/{name}: differential");
+        // Host mode really skipped the simulator.
+        assert!(host.total_cycles() == 0, "bc/{name}: host run cost cycles");
+        assert!(sim.total_cycles() > 0, "bc/{name}: simulate run was free");
+    }
+}
+
+/// One encoded random SpMV case: a square dimension, raw COO triplets
+/// (duplicates summed by the constructor) and raw frontier actives
+/// (deduplicated below).
+type SpmvCase = (usize, Vec<(u32, u32, f32)>, Vec<(u32, f32)>);
+
+fn arb_spmv_case() -> impl Strategy<Value = SpmvCase> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, -4.0f32..4.0), 1..120),
+            proptest::collection::vec((0u32..n as u32, 0.25f32..4.0), 0..n.min(24)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plain SpMV on random COO matrices: the host backend's product is
+    /// bit-equal to the simulate backend's golden-model product, and a
+    /// differential runtime (asserting internally) agrees with both.
+    #[test]
+    fn spmv_host_matches_simulate_on_random_coo(case in arb_spmv_case()) {
+        let (n, triplets, raw_active) = case;
+        let coo = CooMatrix::from_triplets(n, n, triplets).unwrap();
+        let mut active: Vec<(Idx, f32)> = raw_active;
+        active.sort_unstable_by_key(|&(i, _)| i);
+        active.dedup_by_key(|&mut (i, _)| i);
+        let frontier = Frontier::Sparse(
+            SparseVector::from_sorted(n, active).expect("sorted dedup'd actives"),
+        );
+
+        let mut sim = CoSparse::new(&coo, machine());
+        let mut host = CoSparse::new(&coo, machine());
+        host.set_backend(ExecBackend::Host);
+        let mut diff = CoSparse::new(&coo, machine());
+        diff.set_backend(ExecBackend::Differential);
+
+        let want = sim.spmv(&frontier).unwrap();
+        let got = host.spmv(&frontier).unwrap();
+        prop_assert_eq!(&got.software, &want.software);
+        let mut want_pairs = Vec::new();
+        let mut got_pairs = Vec::new();
+        want.result.collect_active(&mut want_pairs);
+        got.result.collect_active(&mut got_pairs);
+        prop_assert_eq!(want_pairs.len(), got_pairs.len());
+        for ((wi, wv), (gi, gv)) in want_pairs.iter().zip(&got_pairs) {
+            prop_assert_eq!(wi, gi);
+            prop_assert_eq!(wv.to_bits(), gv.to_bits());
+        }
+        // The differential backend asserts host ≡ simulate internally.
+        let checked = diff.spmv(&frontier).unwrap();
+        prop_assert_eq!(&checked.result, &want.result);
+    }
+}

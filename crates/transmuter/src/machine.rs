@@ -427,6 +427,13 @@ struct SteadyState {
     post: MemSnapshot,
     /// Run stats as left in the memory system (for inspection parity).
     post_stats: SimStats,
+    /// Epoch-commit counter deltas the recorded run accrued, re-applied
+    /// on every memo hit so [`Machine::epoch_stats`] counts memo-served
+    /// runs exactly as if they had been re-simulated. (Before this, a
+    /// memo hit skipped `run_epochs` and froze the counters, so long
+    /// epoch-parallel workloads under-reported proven commits once the
+    /// memo engaged.)
+    epochs: EpochStats,
     /// The recorded run's report.
     report: SimReport,
 }
@@ -509,7 +516,9 @@ impl Machine {
     /// static [`ParCommit::Proven`] verdict, how many went through the
     /// dynamic shadow-HBM replay, and how many of those rolled back to
     /// sequential execution. Cumulative over the machine's lifetime;
-    /// memo-served runs skip epoch execution and leave them untouched.
+    /// memo-served runs skip epoch execution but re-apply the recorded
+    /// run's deltas, so the counters track what simulation would have
+    /// reported.
     pub fn epoch_stats(&self) -> EpochStats {
         EpochStats {
             proven: self.epochs_proven,
@@ -826,12 +835,21 @@ impl Machine {
                 self.mem.begin_run();
                 self.mem.restore(&s.post);
                 self.mem.stats = s.post_stats;
+                let epochs = s.epochs;
+                let report = s.report.clone();
                 self.steady_hits += 1;
-                return Ok(s.report.clone());
+                // Re-apply the recorded run's epoch-commit deltas: the
+                // memo hit stands in for a full re-simulation, so the
+                // cumulative counters must advance as one would have.
+                self.epochs_proven += epochs.proven;
+                self.epochs_replayed += epochs.replayed;
+                self.epochs_rolled_back += epochs.rolled_back;
+                return Ok(report);
             }
             self.steady_misses += 1;
         }
         let pre = memo_eligible.then(|| self.mem.cache_state());
+        let epochs_before = self.epoch_stats();
         self.mem.begin_run();
         let start = self.carry_cycles;
         let mut lanes = prog.lanes(start);
@@ -873,6 +891,11 @@ impl Machine {
                 pre,
                 post: self.mem.snapshot(),
                 post_stats: self.mem.stats,
+                epochs: EpochStats {
+                    proven: self.epochs_proven - epochs_before.proven,
+                    replayed: self.epochs_replayed - epochs_before.replayed,
+                    rolled_back: self.epochs_rolled_back - epochs_before.rolled_back,
+                },
                 report: report.clone(),
             });
         }
@@ -1676,6 +1699,79 @@ mod program_tests {
             hits,
             "stale memo served a recompiled program"
         );
+    }
+
+    /// Pins the epoch-counter fix: a steady-state memo hit skips
+    /// `run_epochs`, but it must still advance [`Machine::epoch_stats`]
+    /// by the recorded run's deltas — otherwise long epoch-parallel
+    /// workloads under-report commits as soon as the memo engages
+    /// (the original bug: counters froze at the warm-run value while
+    /// memo hits accumulated). Also pins the legitimate zero: in
+    /// [`ExecMode::Sequential`] no epochs are ever committed, so the
+    /// counters stay exactly zero.
+    #[test]
+    fn memo_hits_advance_epoch_counters() {
+        let geom = Geometry::new(2, 4);
+        let mut streams: Vec<(usize, Vec<Op>)> = Vec::new();
+        for tile in 0..geom.tiles() {
+            for pe in 0..geom.pes_per_tile() {
+                let w = geom.pe_id(tile, pe);
+                let mut b = StreamBuilder::new();
+                for i in 0..16u64 {
+                    b.compute(2);
+                    b.load(w as u64 * 0x1000 + i * 64);
+                    if i % 4 == 0 {
+                        b.store(0x20_0000 + w as u64 * 0x1000 + i * 64);
+                    }
+                }
+                b.tile_barrier();
+                streams.push((w, b.into_stream().collect()));
+            }
+        }
+        // PC: private L2, always epoch-parallel eligible.
+        let prog = Program::compile(
+            geom,
+            HwConfig::Pc,
+            &MicroArch::paper(),
+            streams.iter().map(|(w, v)| (*w, v.as_slice())),
+        );
+
+        let mut m = Machine::new(geom, MicroArch::paper());
+        m.set_exec_mode(ExecMode::ParallelTiles);
+        m.reconfigure(HwConfig::Pc);
+        let mut per_run: Vec<(u64, u64)> = Vec::new();
+        let mut prev = m.epoch_stats();
+        for _ in 0..6 {
+            m.run_program(&prog).unwrap();
+            let now = m.epoch_stats();
+            per_run.push((now.proven - prev.proven, now.replayed - prev.replayed));
+            prev = now;
+        }
+        assert!(m.steady_hits() >= 2, "memo never engaged; test is vacuous");
+        let per_commit = per_run[0].0 + per_run[0].1;
+        assert!(
+            per_commit > 0,
+            "program committed no epochs; test is vacuous"
+        );
+        // Every run — simulated or memo-served — advances the counters
+        // by the same per-run delta (the simulation is deterministic).
+        for (run, d) in per_run.iter().enumerate() {
+            assert_eq!(
+                *d, per_run[0],
+                "run {run} epoch delta {d:?} != run 0 delta {:?} (memo hit froze the counters?)",
+                per_run[0]
+            );
+        }
+
+        // Sequential execution commits no epochs: zero is the correct
+        // report there, not a counter bug.
+        let mut seq = Machine::new(geom, MicroArch::paper());
+        seq.set_exec_mode(ExecMode::Sequential);
+        seq.reconfigure(HwConfig::Pc);
+        for _ in 0..3 {
+            seq.run_program(&prog).unwrap();
+        }
+        assert_eq!(seq.epoch_stats(), EpochStats::default());
     }
 
     /// Diagnostic for the ROADMAP note that memo periods above the ring

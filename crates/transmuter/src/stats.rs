@@ -29,9 +29,10 @@ impl MemoStats {
 
 /// Epoch-commit counters for [`crate::Machine::run_program`]'s
 /// parallel-tiles mode: how each global-barrier epoch was committed.
-/// Cumulative over the machine's lifetime (like [`MemoStats`]); runs
-/// served from the steady-state memo skip epoch execution entirely and
-/// leave these untouched.
+/// Cumulative over the machine's lifetime (like [`MemoStats`]). Runs
+/// served from the steady-state memo skip epoch execution, but the memo
+/// re-applies the recorded run's counter deltas so these keep growing
+/// exactly as if every run had been simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EpochStats {
     /// Epochs the static analyzer proved interference-free and that
