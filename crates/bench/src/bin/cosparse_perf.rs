@@ -20,28 +20,45 @@
 //! the same host and build measure the same work.
 //!
 //! Usage:
-//!   cosparse-perf [--smoke] [--sim-only|--host-only] [--out PATH]
-//!                 [--baseline PATH] [--check PATH]
+//!   cosparse-perf [--smoke] [--sim-only|--host-only|--serve-only]
+//!                 [--out PATH] [--baseline PATH] [--check PATH]
 //!
-//! Workloads come in two sections: the simulate-backend ones (prefixed
-//! plainly) and the `host_`-prefixed native-host-backend ones
+//! Workloads come in three sections: the simulate-backend ones
+//! (prefixed plainly), the `host_`-prefixed native-host-backend ones
 //! ([`cosparse::ExecBackend::Host`] — real answers, no simulated
-//! machine). `--sim-only` / `--host-only` select a section, letting CI
-//! gate the two separately. `--smoke` shrinks repeats for CI artifacts;
+//! machine), and the `serve_`/`independent_` multi-tenant QPS pair —
+//! eight closed-loop client threads submitting a BFS/SSSP/PageRank mix
+//! either through one [`GraphService`](cosparse::GraphService) over a
+//! shared graph, or each query on a freshly built engine (the
+//! no-sharing baseline the service must beat). `--sim-only` /
+//! `--host-only` / `--serve-only` select a section, letting CI gate
+//! them separately. `--smoke` shrinks repeats for CI artifacts;
 //! `--baseline` embeds a previous report's `workloads` as `"baseline"`
 //! in the output (used to commit before/after numbers in the same
 //! file); `--check` compares each workload's median against a committed
-//! report and exits non-zero when any regresses by more than 20% — the
-//! CI perf gate (workloads with no baseline entry are skipped, so the
-//! two sections gate independently). `--check` requires full mode:
-//! smoke passes run too few calls to reach the plan-cache/memo steady
-//! state the committed medians measure.
+//! report and exits non-zero when any regresses by more than 20%, and
+//! for the `serve_*` workloads additionally when p50 latency grows by
+//! more than 50% (p50 under closed-loop queueing is noisier than
+//! aggregate QPS, so its gate is wider) — the CI perf gate (workloads
+//! with no baseline entry
+//! are skipped, so the sections gate independently). `--check` requires
+//! full mode: smoke passes run too few calls to reach the
+//! plan-cache/memo steady state the committed medians measure.
+//!
+//! Every workload reports `p50_ms`/`p99_ms` per unit of work: for the
+//! spmv/iter workloads these derive from the per-pass rates (each pass
+//! is one latency sample per unit), while the serve workloads sample
+//! every individual query's submit→answer wall time across the timed
+//! passes, so the tail a tenant actually observes is what lands in the
+//! report (schema `cosparse-perf/2`).
 
 use cosparse::balance::Balancing;
-use cosparse::{CoSparse, ExecBackend, Frontier, Policy, SwConfig};
+use cosparse::{CoSparse, ExecBackend, Frontier, Policy, ServeConfig, SwConfig};
+use graph::serve::{start_service, GraphQuery};
 use graph::{pagerank::PageRank, sssp::Sssp, Engine};
 use sparse::CooMatrix;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use transmuter::{EpochStats, ExecMode, Geometry, HwConfig, Machine, MicroArch};
 
@@ -58,6 +75,11 @@ struct Workload {
     /// plan construction and program lowering. Excluded from the
     /// min/median/max samples; recorded so build cost stays visible.
     cold: f64,
+    /// Latency percentiles per unit of work, milliseconds. For batch
+    /// workloads each timed pass contributes one per-unit sample; the
+    /// serve workloads sample every individual query instead.
+    p50_ms: f64,
+    p99_ms: f64,
     /// Epoch-commit counters accumulated by the workload's machine
     /// (proven replay-free / dynamically replayed / rolled back).
     epochs: EpochStats,
@@ -76,14 +98,42 @@ fn median_of(mut xs: Vec<f64>) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of `xs` (sorted in place); `p` in `(0, 1]`.
+fn percentile(xs: &mut [f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let rank = (p * xs.len() as f64).ceil() as usize;
+    xs[rank.clamp(1, xs.len()) - 1]
+}
+
 /// Times `pass` (returning its units of work) `repeats` times, after
 /// one separately-timed cold pass (reported, not sampled) and `warmup`
-/// further untimed passes.
+/// further untimed passes. Latency percentiles come from the per-pass
+/// per-unit times.
 fn measure<F: FnMut() -> f64>(
     name: &'static str,
     unit: &'static str,
     warmup: usize,
     repeats: usize,
+    pass: F,
+) -> Workload {
+    measure_with(name, unit, warmup, repeats, None, pass)
+}
+
+/// [`measure`] with an optional external latency-sample sink: when
+/// `latencies` is given, the pass records one wall-clock sample (ms)
+/// per unit of work into it, the sink is cleared after cold + warmup,
+/// and the p50/p99 come from those per-unit samples instead of the
+/// per-pass averages — the serve workloads use this to report the
+/// latency an individual query observes, tail included.
+fn measure_with<F: FnMut() -> f64>(
+    name: &'static str,
+    unit: &'static str,
+    warmup: usize,
+    repeats: usize,
+    latencies: Option<&Mutex<Vec<f64>>>,
     mut pass: F,
 ) -> Workload {
     // The cold pass pays the one-time build cost (plan, programs, memo
@@ -94,6 +144,9 @@ fn measure<F: FnMut() -> f64>(
     let cold = cold_work / t0.elapsed().as_secs_f64().max(1e-12);
     for _ in 0..warmup {
         let _ = pass();
+    }
+    if let Some(sink) = latencies {
+        sink.lock().expect("latency sink").clear();
     }
     let mut work = 0.0;
     let mut rates = Vec::with_capacity(repeats);
@@ -109,8 +162,15 @@ fn measure<F: FnMut() -> f64>(
         lo = lo.min(*r);
         hi = hi.max(*r);
     }
+    let mut samples: Vec<f64> = match latencies {
+        Some(sink) => sink.lock().expect("latency sink").clone(),
+        None => rates.iter().map(|r| 1e3 / r.max(1e-12)).collect(),
+    };
+    let p50_ms = percentile(&mut samples, 0.50);
+    let p99_ms = percentile(&mut samples, 0.99);
     println!(
-        "{name:<28} {median:>12.1} {unit}/s  (min {lo:.1}, max {hi:.1}, cold {cold:.1}, work {work})"
+        "{name:<28} {median:>12.1} {unit}/s  (min {lo:.1}, max {hi:.1}, cold {cold:.1}, \
+         p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms, work {work})"
     );
     Workload {
         name,
@@ -120,6 +180,8 @@ fn measure<F: FnMut() -> f64>(
         min: lo,
         max: hi,
         cold,
+        p50_ms,
+        p99_ms,
         epochs: EpochStats::default(),
     }
 }
@@ -165,10 +227,12 @@ fn print_cache_stats(rt: &CoSparse) {
     let cs = rt.cache_stats();
     let memo = cs.steady_memo;
     println!(
-        "    caches: plans {} | programs dense {} conv {} scratch {} built / {} hit | \
-         steady-memo {} hit / {} miss ({:.1}% hit)",
+        "    caches: plans {} built / {} hit | programs dense {} built / {} hit, conv {}, \
+         scratch {} built / {} hit | steady-memo {} hit / {} miss ({:.1}% hit)",
         cs.plan_builds,
+        cs.plan_hits,
         cs.dense_program_builds,
+        cs.dense_program_hits,
         cs.conversion_builds,
         cs.scratch_program_builds,
         cs.scratch_program_hits,
@@ -390,13 +454,152 @@ fn run_host_workloads(smoke: bool, out: &mut Vec<Workload>) {
     }
 }
 
-fn run_workloads(smoke: bool, sim: bool, host: bool) -> Vec<Workload> {
+/// The query mix every serve client submits closed-loop: a BFS, an
+/// SSSP and a PageRank snapshot — the three serving-layer query types,
+/// mixing sparse-ramp and always-dense engine loops on each worker.
+fn query_mix() -> [GraphQuery; 3] {
+    [
+        GraphQuery::Bfs { source: 0 },
+        GraphQuery::Sssp { source: 0 },
+        GraphQuery::PageRank {
+            damping: 0.85,
+            iterations: 10,
+        },
+    ]
+}
+
+/// The multi-tenant QPS section: `CLIENTS` closed-loop client threads
+/// submit [`query_mix`] repeatedly, once through a single
+/// [`GraphService`](cosparse::GraphService) over one shared graph
+/// (`serve_mixed_qps_8c`) and once with every query building its own
+/// engine from the raw matrix (`independent_mixed_qps_8c` — the
+/// no-sharing baseline). Both run the host backend; the shared-graph
+/// amortization (layout, CSC, plans, dense programs built once) is what
+/// the serve workload's QPS lead and cache-stats line make visible.
+fn run_serve_workloads(smoke: bool, out: &mut Vec<Workload>) {
+    const CLIENTS: usize = 8;
+    let (warmup, repeats) = if smoke { (1, 3) } else { (2, 7) };
+    let rounds = if smoke { 1 } else { 4 };
+    let (n, nnz) = if smoke { (1024, 8_000) } else { (2048, 16_000) };
+    let adj = pokec_like(n, nnz);
+    let geometry = Geometry::new(2, 4);
+    let queries_per_pass = (CLIENTS * rounds * query_mix().len()) as f64;
+
+    // 1. One GraphService over one shared graph; every query's
+    //    submit→answer wall time is a latency sample.
+    let serve_median = {
+        let graph = Engine::shared_graph(&adj, geometry, MicroArch::paper());
+        let service = start_service(
+            Arc::clone(&graph),
+            ServeConfig {
+                workers: 4,
+                batch: 4,
+                backend: ExecBackend::Host,
+            },
+        );
+        let lat = Mutex::new(Vec::new());
+        let w = measure_with(
+            "serve_mixed_qps_8c",
+            "query",
+            warmup,
+            repeats,
+            Some(&lat),
+            || {
+                std::thread::scope(|s| {
+                    for _ in 0..CLIENTS {
+                        let service = &service;
+                        let lat = &lat;
+                        s.spawn(move || {
+                            for _ in 0..rounds {
+                                for q in query_mix() {
+                                    let t0 = Instant::now();
+                                    service.submit(q.into_job()).wait().expect("query");
+                                    lat.lock()
+                                        .expect("latency sink")
+                                        .push(t0.elapsed().as_secs_f64() * 1e3);
+                                }
+                            }
+                        });
+                    }
+                });
+                queries_per_pass
+            },
+        );
+        let median = w.median;
+        out.push(w);
+        // The amortization signal: one plan/program build total across
+        // all workers and passes, everything after the cold pass a hit.
+        let cs = graph.cache_stats();
+        println!(
+            "    shared-graph caches: plans {} built / {} hit | dense {} built / {} hit | \
+             scratch {} built / {} hit | conv {}",
+            cs.plan_builds,
+            cs.plan_hits,
+            cs.dense_program_builds,
+            cs.dense_program_hits,
+            cs.scratch_program_builds,
+            cs.scratch_program_hits,
+            cs.conversion_builds,
+        );
+        service.shutdown();
+        median
+    };
+
+    // 2. The same client load with zero sharing: each query pays graph
+    //    ingestion, layout/CSC and plan construction from scratch.
+    {
+        let lat = Mutex::new(Vec::new());
+        let w = measure_with(
+            "independent_mixed_qps_8c",
+            "query",
+            warmup,
+            repeats,
+            Some(&lat),
+            || {
+                std::thread::scope(|s| {
+                    for _ in 0..CLIENTS {
+                        let adj = &adj;
+                        let lat = &lat;
+                        s.spawn(move || {
+                            for _ in 0..rounds {
+                                for q in query_mix() {
+                                    let t0 = Instant::now();
+                                    let graph =
+                                        Engine::shared_graph(adj, geometry, MicroArch::paper());
+                                    let mut session = graph.session();
+                                    session.set_backend(ExecBackend::Host);
+                                    q.run(&mut session).expect("query");
+                                    lat.lock()
+                                        .expect("latency sink")
+                                        .push(t0.elapsed().as_secs_f64() * 1e3);
+                                }
+                            }
+                        });
+                    }
+                });
+                queries_per_pass
+            },
+        );
+        if w.median > 0.0 {
+            println!(
+                "    serve vs independent: {:.2}x QPS from the shared graph",
+                serve_median / w.median
+            );
+        }
+        out.push(w);
+    }
+}
+
+fn run_workloads(smoke: bool, sim: bool, host: bool, serve: bool) -> Vec<Workload> {
     let mut out = Vec::new();
     if sim {
         run_sim_workloads(smoke, &mut out);
     }
     if host {
         run_host_workloads(smoke, &mut out);
+    }
+    if serve {
+        run_serve_workloads(smoke, &mut out);
     }
     out
 }
@@ -413,7 +616,7 @@ fn workloads_json(workloads: &[Workload], indent: &str) -> String {
             s,
             "{indent}  {{\"name\": \"{}\", \"unit\": \"{}\", \"work_per_pass\": {}, \
              \"median_per_sec\": {:.3}, \"min_per_sec\": {:.3}, \"max_per_sec\": {:.3}, \
-             \"cold_per_sec\": {:.3}, \
+             \"cold_per_sec\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
              \"epochs_proven\": {}, \"epochs_replayed\": {}, \"epochs_rolled_back\": {}}}{comma}",
             json_escape(w.name),
             json_escape(w.unit),
@@ -422,6 +625,8 @@ fn workloads_json(workloads: &[Workload], indent: &str) -> String {
             w.min,
             w.max,
             w.cold,
+            w.p50_ms,
+            w.p99_ms,
             w.epochs.proven,
             w.epochs.replayed,
             w.epochs.rolled_back,
@@ -454,12 +659,17 @@ fn extract_workloads(report: &str) -> Option<String> {
     None
 }
 
-/// Parses `(name, median_per_sec)` pairs out of a report's top-level
-/// workloads array (the embedded `"baseline"` section, if any, is
-/// deliberately not scanned).
-fn parse_medians(report: &str) -> Vec<(String, f64)> {
+/// One baseline entry: `(name, median_per_sec, p50_ms)`. `p50_ms` is 0
+/// for reports written before schema 2.
+fn parse_medians(report: &str) -> Vec<(String, f64, f64)> {
     let Some(arr) = extract_workloads(report) else {
         return Vec::new();
+    };
+    let num_field = |obj: &str, key: &str| {
+        obj.split(key)
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse::<f64>().ok())
     };
     let mut out = Vec::new();
     for obj in arr.split('{').skip(1) {
@@ -467,33 +677,39 @@ fn parse_medians(report: &str) -> Vec<(String, f64)> {
             .split("\"name\": \"")
             .nth(1)
             .and_then(|s| s.split('"').next());
-        let median = obj
-            .split("\"median_per_sec\": ")
-            .nth(1)
-            .and_then(|s| s.split([',', '}']).next())
-            .and_then(|s| s.trim().parse::<f64>().ok());
+        let median = num_field(obj, "\"median_per_sec\": ");
+        let p50 = num_field(obj, "\"p50_ms\": ").unwrap_or(0.0);
         if let (Some(n), Some(m)) = (name, median) {
-            out.push((n.to_string(), m));
+            out.push((n.to_string(), m, p50));
         }
     }
     out
 }
 
 /// Compares measured medians against a committed report; returns false
-/// when any shared workload regressed by more than 20%.
+/// when any shared workload's throughput regressed by more than 20%,
+/// or when a `serve_*` workload's p50 latency grew by more than 50%
+/// (tenants feel latency, not just aggregate QPS; the wider margin
+/// absorbs queue-wait noise under closed-loop load).
 fn check_against(workloads: &[Workload], path: &str) -> bool {
     let base = std::fs::read_to_string(path).expect("read check baseline");
     let medians = parse_medians(&base);
     assert!(!medians.is_empty(), "no workloads found in {path}");
-    println!("\nchecking against {path} (fail below 0.8x baseline median):");
+    println!("\nchecking against {path} (fail below 0.8x baseline median; serve_* also above 1.5x baseline p50):");
     let mut ok = true;
     for w in workloads {
-        match medians.iter().find(|(n, _)| n == w.name) {
-            Some((_, base_median)) if *base_median > 0.0 => {
+        match medians.iter().find(|(n, _, _)| n == w.name) {
+            Some((_, base_median, base_p50)) if *base_median > 0.0 => {
                 let ratio = w.median / base_median;
-                let pass = ratio >= 0.8;
+                let mut pass = ratio >= 0.8;
+                let mut detail = String::new();
+                if w.name.starts_with("serve_") && *base_p50 > 0.0 && w.p50_ms > 0.0 {
+                    let lat_ratio = w.p50_ms / base_p50;
+                    let _ = write!(detail, ", p50 {lat_ratio:.3}x");
+                    pass &= lat_ratio <= 1.5;
+                }
                 println!(
-                    "  {:<28} {ratio:>7.3}x baseline  {}",
+                    "  {:<28} {ratio:>7.3}x baseline{detail}  {}",
                     w.name,
                     if pass { "ok" } else { "REGRESSION" }
                 );
@@ -510,9 +726,14 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let host_only = args.iter().any(|a| a == "--host-only");
     let sim_only = args.iter().any(|a| a == "--sim-only");
+    let serve_only = args.iter().any(|a| a == "--serve-only");
     assert!(
-        !(host_only && sim_only),
-        "--host-only and --sim-only are mutually exclusive"
+        [host_only, sim_only, serve_only]
+            .iter()
+            .filter(|b| **b)
+            .count()
+            <= 1,
+        "--host-only, --sim-only and --serve-only are mutually exclusive"
     );
     let arg_value = |flag: &str| {
         args.iter()
@@ -529,10 +750,15 @@ fn main() {
         "cosparse-perf ({}): wall-clock host throughput, median of repeated passes",
         if smoke { "smoke" } else { "full" }
     );
-    let workloads = run_workloads(smoke, !host_only, !sim_only);
+    let workloads = run_workloads(
+        smoke,
+        !host_only && !serve_only,
+        !sim_only && !serve_only,
+        !sim_only && !host_only,
+    );
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"cosparse-perf/1\",");
+    let _ = writeln!(json, "  \"schema\": \"cosparse-perf/2\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

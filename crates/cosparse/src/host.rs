@@ -89,23 +89,50 @@ pub fn execute<O: GraphOp>(
     inputs: StepInputs<'_, O::Value>,
     partition: &RowPartition,
 ) -> Vec<Update<O::Value>> {
+    execute_with(
+        op,
+        software,
+        csr,
+        csc,
+        inputs,
+        partition,
+        worker_count(partition.len()),
+    )
+}
+
+/// [`execute`] with an explicit host worker-thread count instead of the
+/// host's available parallelism — `1` forces the sequential partition
+/// walk, `≥2` forces the scoped-thread fan-out even on a single-CPU
+/// host. Results are bit-identical for any count: each partition fills
+/// its own output slot regardless of which thread runs it.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with<O: GraphOp>(
+    op: &O,
+    software: SwConfig,
+    csr: &CsrMatrix,
+    csc: &CscMatrix,
+    inputs: StepInputs<'_, O::Value>,
+    partition: &RowPartition,
+    workers: usize,
+) -> Vec<Update<O::Value>> {
     match software {
-        SwConfig::InnerProduct => dense_rows(op, csr, inputs, partition),
-        SwConfig::OuterProduct => sparse_columns(op, csc, inputs, partition),
+        SwConfig::InnerProduct => dense_rows(op, csr, inputs, partition, workers),
+        SwConfig::OuterProduct => sparse_columns(op, csc, inputs, partition, workers),
     }
 }
 
-/// Runs `work(part_index, out)` for every partition, filling one output
-/// vector per partition, and concatenates them in partition order.
-/// Partitions are contiguous ascending row ranges, so the concatenation
-/// is sorted by destination by construction.
-fn fan_out<V, F>(parts: usize, work: F) -> Vec<Update<V>>
+/// Runs `work(part_index, out)` for every partition on `workers`
+/// threads, filling one output vector per partition, and concatenates
+/// them in partition order. Partitions are contiguous ascending row
+/// ranges, so the concatenation is sorted by destination by
+/// construction.
+fn fan_out<V, F>(parts: usize, workers: usize, work: F) -> Vec<Update<V>>
 where
     V: Send,
     F: Fn(usize, &mut Vec<Update<V>>) + Sync,
 {
     let mut outs: Vec<Vec<Update<V>>> = (0..parts).map(|_| Vec::new()).collect();
-    let workers = worker_count(parts);
+    let workers = workers.min(parts).max(1);
     if workers <= 1 {
         for (p, out) in outs.iter_mut().enumerate() {
             work(p, out);
@@ -144,6 +171,7 @@ fn dense_rows<O: GraphOp>(
     csr: &CsrMatrix,
     inputs: StepInputs<'_, O::Value>,
     partition: &RowPartition,
+    workers: usize,
 ) -> Vec<Update<O::Value>> {
     let StepInputs {
         active,
@@ -161,7 +189,7 @@ fn dense_rows<O: GraphOp>(
         fvals[src as usize] = v;
         mask[src as usize] = true;
     }
-    fan_out(partition.len(), |p, out| {
+    fan_out(partition.len(), workers, |p, out| {
         for dst in partition.range(p) {
             let (srcs, weights) = csr.row(dst);
             let mut acc: Option<O::Value> = None;
@@ -198,6 +226,7 @@ fn sparse_columns<O: GraphOp>(
     csc: &CscMatrix,
     inputs: StepInputs<'_, O::Value>,
     partition: &RowPartition,
+    workers: usize,
 ) -> Vec<Update<O::Value>> {
     let StepInputs {
         active,
@@ -207,7 +236,7 @@ fn sparse_columns<O: GraphOp>(
     if active.is_empty() {
         return Vec::new();
     }
-    fan_out(partition.len(), |p, out| {
+    fan_out(partition.len(), workers, |p, out| {
         let range = partition.range(p);
         let base = range.start;
         let mut acc: Vec<Option<O::Value>> = vec![None; range.len()];
@@ -323,6 +352,68 @@ mod tests {
         for sw in [SwConfig::InnerProduct, SwConfig::OuterProduct] {
             let got = execute(&MinPlus, sw, &csr, &csc, inputs, &parts);
             assert_eq!(got, want, "{sw:?}");
+        }
+    }
+
+    /// The ROADMAP flagged the scoped-thread fan-out as never having
+    /// run with >1 CPU (single-CPU container ⇒ `worker_count` folds to
+    /// the sequential walk). Force the threaded path over a genuine
+    /// multi-partition split and assert it is bit-identical to the
+    /// sequential walk and to the golden model — for both dataflows,
+    /// an f32 min-reduce included, at several worker counts.
+    #[test]
+    fn forced_fan_out_is_bit_identical_to_sequential() {
+        #[derive(Debug)]
+        struct MinPlus;
+        impl GraphOp for MinPlus {
+            type Value = f32;
+            fn matrix_op(&self, w: f32, src: f32, _dst: f32, _deg: u32) -> f32 {
+                src + w
+            }
+            fn reduce(&self, a: f32, b: f32) -> f32 {
+                a.min(b)
+            }
+            fn is_update(&self, new: f32, old: f32) -> bool {
+                new < old
+            }
+        }
+        let n = 600;
+        let (csr, csc, degrees) = setup(n, 9000, 41);
+        let parts = RowPartition::nnz_balanced_csr(&csr, 8);
+        assert!(parts.len() >= 4, "split must be multi-partition");
+        let zero_state = vec![0.0f32; n];
+        let inf_state = vec![f32::INFINITY; n];
+        for active_n in [3usize, 80, 600] {
+            let active: Vec<(Idx, f32)> = (0..active_n)
+                .map(|i| ((i * n / active_n) as Idx, 0.5 + i as f32))
+                .collect();
+            for sw in [SwConfig::InnerProduct, SwConfig::OuterProduct] {
+                let spmv_inputs = StepInputs {
+                    active: &active,
+                    state: &zero_state,
+                    degrees: &degrees,
+                };
+                let minplus_inputs = StepInputs {
+                    active: &active,
+                    state: &inf_state,
+                    degrees: &degrees,
+                };
+                let seq = execute_with(&SpmvOp, sw, &csr, &csc, spmv_inputs, &parts, 1);
+                let seq_min = execute_with(&MinPlus, sw, &csr, &csc, minplus_inputs, &parts, 1);
+                let golden = apply(&SpmvOp, &csc, &active, &zero_state, &degrees);
+                for workers in [2usize, 4, 8] {
+                    let par = execute_with(&SpmvOp, sw, &csr, &csc, spmv_inputs, &parts, workers);
+                    assert_eq!(par.len(), seq.len(), "{sw:?} w={workers}");
+                    for ((pd, pv), (sd, sv)) in par.iter().zip(&seq) {
+                        assert_eq!(pd, sd);
+                        assert_eq!(pv.to_bits(), sv.to_bits(), "dst {pd}, {sw:?} w={workers}");
+                    }
+                    assert_eq!(par, golden, "{sw:?} w={workers} vs golden model");
+                    let par_min =
+                        execute_with(&MinPlus, sw, &csr, &csc, minplus_inputs, &parts, workers);
+                    assert_eq!(par_min, seq_min, "min-reduce {sw:?} w={workers}");
+                }
+            }
         }
     }
 }

@@ -57,6 +57,8 @@ pub mod kernels;
 pub mod layout;
 pub mod ops;
 mod runtime;
+pub mod serve;
+pub mod shared;
 pub mod verify;
 
 pub use heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
@@ -64,6 +66,8 @@ pub use host::ExecBackend;
 pub use layout::Layout;
 pub use ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 pub use runtime::{CacheStats, CoSparse, Frontier, Policy, SpmvOutcome, StepOutcome};
+pub use serve::{GraphService, ServeConfig, ServeStats, Ticket};
+pub use shared::{SharedCacheStats, SharedGraph};
 pub use verify::{run_checked, VerifyReport};
 // Re-export so downstream crates name the hardware configs from here.
 pub use transmuter::HwConfig;

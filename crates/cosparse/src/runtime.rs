@@ -1,22 +1,31 @@
-//! The CoSPARSE runtime: owns the dual-format matrix, drives the
-//! decision tree, triggers hardware reconfiguration, generates kernel
-//! streams, and pairs the simulated timing with the functional result.
+//! The CoSPARSE runtime session: drives the decision tree, triggers
+//! hardware reconfiguration, generates kernel streams, and pairs the
+//! simulated timing with the functional result — over matrix state
+//! owned by an `Arc`-shared [`SharedGraph`].
+//!
+//! A [`CoSparse`] is one *session*: it owns a [`Machine`], frontier
+//! scratch buffers, policy/adaptive state and a builder for
+//! frontier-dependent programs, while everything derivable from the
+//! matrix alone (formats, layout, partitions, compiled dense-IP
+//! programs, verify verdicts) lives in the shared graph and is read
+//! lock-free (see [`crate::shared`]). `CoSparse::new` builds a private
+//! graph for the common single-session case;
+//! [`SharedGraph::session`] opens additional cheap sessions over an
+//! existing one.
 
 use crate::adaptive::AdaptiveState;
-use crate::balance::{self, Balancing};
+use crate::balance::Balancing;
 use crate::heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
 use crate::host::{self, ExecBackend};
 use crate::kernels::convert::{self, Direction};
 use crate::kernels::{ip, op};
-use crate::layout::Layout;
 use crate::ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
+use crate::shared::{SharedCounters, SharedGraph, SharedPlan};
 use crate::verify::{run_checked, VerifyReport};
-use sparse::partition::{RowPartition, VBlocks};
-use sparse::{CooMatrix, CscMatrix, CsrMatrix, DenseVector, Idx, SparseVector};
-use transmuter::verify::RegionMap;
+use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
+use std::sync::Arc;
 use transmuter::{
-    Analysis, EpochStats, HwConfig, Machine, MemoStats, Program, ProgramBuilder, SimError,
-    SimReport,
+    Analysis, EpochStats, HwConfig, Machine, MemoStats, ProgramBuilder, SimError, SimReport,
 };
 
 /// A frontier (input vector) in one of the two representations the
@@ -125,54 +134,33 @@ pub struct StepOutcome<V> {
     pub updates: Vec<Update<V>>,
 }
 
-/// Memoized per-invocation tuning state (an OSKI-style "plan"): the
-/// address-space layout, its region map, the workload-balanced
-/// partitions for both dataflows, the vblock tilings — and the reusable
-/// [`ProgramBuilder`] every kernel emits through, plus the finished
-/// dense-IP [`Program`]s, re-run on every subsequent iteration.
+/// The session's binding to one shared plan: an `Arc` to the immutable
+/// per-(profile, balancing) tuning state plus the per-session builder
+/// scratch that rides on it.
 ///
-/// The matrix and geometry are fixed for a runtime's lifetime, so the
-/// plan stays valid until the op profile or the balancing scheme
-/// changes.
+/// The bound `Arc` doubles as the session's plan cache key: as long as
+/// the op profile and balancing scheme match, invocations never touch
+/// the graph's plan registry (or its lock) at all.
 #[derive(Debug)]
 struct Plan {
-    profile: OpProfile,
-    balancing: Balancing,
-    layout: Layout,
-    regions: RegionMap,
-    ip_partition: RowPartition,
-    op_tile_parts: RowPartition,
-    vblocks_sc: VBlocks,
-    vblocks_scs: VBlocks,
+    shared: Arc<SharedPlan>,
     /// The single-pass lowering pipeline: kernels emit micro-ops
     /// straight into this builder (`begin` → `kernels::*::build` →
     /// `finish`), so no intermediate op buffers are materialized on the
     /// non-verify path. Between rebuilds it holds the most recent
     /// frontier-dependent program (see `scratch_key`).
     builder: ProgramBuilder,
-    /// Dense-IP [`Program`]s, one slot per hardware configuration
-    /// ([`Policy::Fixed`] can pin IP to any of the four), built through
-    /// the builder on first use and cloned out so later scratch builds
-    /// don't overwrite them.
-    ip_programs: [Option<Program>; 4],
-    /// Matrix-invariant OP column sub-run bounds (see
-    /// [`op::subruns`]), computed on the first OP invocation.
-    op_subruns: Option<Vec<(u32, u32)>>,
     /// What the builder's finished program currently holds:
     /// `(software, hardware)` slot indices plus the exact frontier it
     /// was built for. An invocation matching all three skips emission
     /// entirely and re-runs the program as-is — the steady state of
     /// fixed-frontier callers and converged iterative algorithms.
     /// (Everything else the lowering reads — matrix, layout,
-    /// partitions, profile — is fixed per [`Plan`].) `None` whenever
-    /// the builder was last used for something else (a dense-IP or
+    /// partitions, profile — is fixed per [`SharedPlan`].) `None`
+    /// whenever the builder was last used for something else (a
     /// conversion build).
     scratch_key: Option<(usize, usize)>,
     scratch_frontier: Vec<Idx>,
-    /// Verify-verdict memo, indexed `[software][hardware]`: true once
-    /// the pairing was linted and race-checked on this plan. Later
-    /// invocations of a verified pairing take the fast compiled path.
-    verified: [[bool; 4]; 2],
 }
 
 /// Dense slot index of a hardware configuration in per-config tables.
@@ -193,21 +181,29 @@ fn sw_index(sw: SwConfig) -> usize {
     }
 }
 
-/// Cache-effectiveness counters of one [`CoSparse`] runtime: how often
-/// the kernel→program pipeline actually ran versus being served from a
-/// cached artifact. `plan_builds` counts full plan (re)builds;
-/// `dense_program_builds` counts dense-IP programs built through the
-/// builder (each then cached per hardware slot);
-/// `scratch_program_builds` / `scratch_program_hits` count
-/// frontier-dependent emissions versus same-(config, frontier) reuses;
-/// `steady_memo` is the machine's epoch-memo verdict for the programs
-/// those paths ran (see [`MemoStats`]).
+/// Cache-effectiveness counters as seen from one [`CoSparse`] session:
+/// how often the kernel→program pipeline actually ran versus being
+/// served from a cached artifact. The build/hit counter pairs live on
+/// the session's [`SharedGraph`] and are summed over *every* session
+/// sharing it (for a privately-built runtime they are simply its own);
+/// `steady_memo`/`epochs` are this session's machine verdicts.
+///
+/// `plan_builds`/`plan_hits` count plan registry builds versus reuses;
+/// `dense_program_builds`/`dense_program_hits` count dense-IP programs
+/// compiled versus invocations served from a shared compiled program;
+/// `scratch_program_builds`/`scratch_program_hits` count
+/// frontier-dependent emissions versus same-(config, frontier) reuses
+/// (see [`MemoStats`] for the memo pair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Full plan (re)builds (profile or balancing change, or first use).
+    /// Full plan builds (one per distinct (profile, balancing) key).
     pub plan_builds: u64,
+    /// Plan rebinds served from the graph's registry without building.
+    pub plan_hits: u64,
     /// Dense-IP programs built and cached per hardware slot.
     pub dense_program_builds: u64,
+    /// Dense-IP invocations that reused a shared compiled program.
+    pub dense_program_hits: u64,
     /// Frontier-dependent (masked-IP / OP) builder emissions.
     pub scratch_program_builds: u64,
     /// Frontier-dependent invocations served by the builder's current
@@ -223,7 +219,7 @@ pub struct CacheStats {
     pub epochs: EpochStats,
 }
 
-/// The CoSPARSE runtime for one operand matrix.
+/// One CoSPARSE session over a shared operand matrix.
 ///
 /// Computes `y = M * x` under the generalized semiring of a
 /// [`GraphOp`]. Graph engines pass the *transposed* adjacency matrix so
@@ -231,18 +227,11 @@ pub struct CacheStats {
 /// §III).
 #[derive(Debug)]
 pub struct CoSparse {
-    coo: CooMatrix,
-    csc: CscMatrix,
-    /// CSR copy of the operand matrix, built on the first host-backend
-    /// invocation (the inner-product row loops walk it). `None` until
-    /// then — simulate-only runtimes never pay for it.
-    csr: Option<CsrMatrix>,
+    /// The shared per-matrix state this session reads through (see
+    /// [`crate::shared`]).
+    shared: Arc<SharedGraph>,
     /// Which backend answers invocations (default: the simulator).
     backend: ExecBackend,
-    /// Out-degree of each frontier index in the original graph
-    /// (= column counts of the operand matrix).
-    degrees: Vec<u32>,
-    row_counts: Vec<usize>,
     machine: Machine,
     thresholds: Thresholds,
     balancing: Balancing,
@@ -267,34 +256,43 @@ pub struct CoSparse {
     /// scratch programs) also run the epoch-dependence analysis; see
     /// [`CoSparse::set_deep_analysis`].
     deep_analysis: bool,
-    /// All-zero per-row state for the plain-SpMV golden model, allocated
-    /// once (it is only ever read).
-    zero_state: Vec<f32>,
-    /// Pipeline cache counters (everything except the machine-owned
-    /// steady-memo pair, which [`CoSparse::cache_stats`] merges in).
-    plan_builds: u64,
-    dense_program_builds: u64,
-    scratch_program_builds: u64,
-    scratch_program_hits: u64,
-    conversion_builds: u64,
 }
 
 impl CoSparse {
-    /// Creates a runtime for `matrix` on `machine`, storing the COO and
-    /// CSC copies (§III-D.2) and precomputing partitioning metadata.
+    /// Creates a single-session runtime for `matrix` on `machine`: the
+    /// shared graph state (COO and CSC copies, §III-D.2, plus
+    /// partitioning metadata) is built privately for this session. To
+    /// share that state across sessions, build it once with
+    /// [`SharedGraph::new`] and open sessions via
+    /// [`SharedGraph::session`] / [`SharedGraph::session_on`].
     pub fn new(matrix: &CooMatrix, machine: Machine) -> Self {
-        let csc = CscMatrix::from(matrix);
-        let degrees = matrix.col_counts().into_iter().map(|c| c as u32).collect();
-        let row_counts = matrix.row_counts();
+        let shared = SharedGraph::new(matrix, machine.geometry(), machine.uarch().clone());
+        CoSparse::with_shared(shared, machine)
+    }
+
+    /// Opens a session over an existing shared graph, running on
+    /// `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's geometry or microarchitecture differ
+    /// from the graph's — every shared plan and program is derived
+    /// from that shape.
+    pub fn with_shared(shared: Arc<SharedGraph>, machine: Machine) -> Self {
+        assert_eq!(
+            machine.geometry(),
+            shared.geometry(),
+            "session machine geometry must match the shared graph's"
+        );
+        assert_eq!(
+            machine.uarch(),
+            shared.uarch(),
+            "session machine microarchitecture must match the shared graph's"
+        );
         CoSparse {
-            mask_buf: vec![false; matrix.cols()],
-            zero_state: vec![0.0f32; matrix.rows()],
-            coo: matrix.clone(),
-            csc,
-            csr: None,
+            mask_buf: vec![false; shared.matrix().cols()],
+            shared,
             backend: ExecBackend::Simulate,
-            degrees,
-            row_counts,
             machine,
             thresholds: Thresholds::paper(),
             balancing: Balancing::NnzBalanced,
@@ -308,24 +306,28 @@ impl CoSparse {
             entries_buf: Vec::new(),
             last_analysis: None,
             deep_analysis: false,
-            plan_builds: 0,
-            dense_program_builds: 0,
-            scratch_program_builds: 0,
-            scratch_program_hits: 0,
-            conversion_builds: 0,
         }
     }
 
-    /// Pipeline cache counters accumulated over this runtime's lifetime
-    /// (plan builds, program builds/hits, and the machine's steady-state
-    /// memo verdict).
+    /// The shared graph state this session reads through.
+    pub fn shared(&self) -> &Arc<SharedGraph> {
+        &self.shared
+    }
+
+    /// Pipeline cache counters: the shared graph's build/hit pairs
+    /// (summed over every session on the graph — a privately-built
+    /// runtime's own history) merged with this session machine's
+    /// steady-state memo and epoch verdicts.
     pub fn cache_stats(&self) -> CacheStats {
+        let shared = self.shared.cache_stats();
         CacheStats {
-            plan_builds: self.plan_builds,
-            dense_program_builds: self.dense_program_builds,
-            scratch_program_builds: self.scratch_program_builds,
-            scratch_program_hits: self.scratch_program_hits,
-            conversion_builds: self.conversion_builds,
+            plan_builds: shared.plan_builds,
+            plan_hits: shared.plan_hits,
+            dense_program_builds: shared.dense_program_builds,
+            dense_program_hits: shared.dense_program_hits,
+            scratch_program_builds: shared.scratch_program_builds,
+            scratch_program_hits: shared.scratch_program_hits,
+            conversion_builds: shared.conversion_builds,
             steady_memo: self.machine.memo_stats(),
             epochs: self.machine.epoch_stats(),
         }
@@ -362,17 +364,16 @@ impl CoSparse {
     /// materializes streams and records full traces.
     ///
     /// The verdict is memoized per `(dataflow, hardware)` pairing on the
-    /// current plan: the first invocation of a pairing pays the full
-    /// lint + trace + race check, later ones re-run the compiled program
-    /// directly (still counted in [`VerifyReport::runs`]). Toggling
-    /// verification — or anything that rebuilds the plan — clears the
-    /// memo.
+    /// *shared plan*: the first session to run a pairing under
+    /// verification pays the full lint + trace + race check, later
+    /// invocations — from any session on the graph — re-run the
+    /// compiled program directly (still counted in
+    /// [`VerifyReport::runs`]). The verdict is a property of the
+    /// immutable plan, so toggling verification resets this session's
+    /// report but not the plan's memo.
     pub fn set_verify(&mut self, on: bool) {
         self.verify = on;
         self.verify_report = VerifyReport::default();
-        if let Some(plan) = self.plan.as_mut() {
-            plan.verified = [[false; 4]; 2];
-        }
     }
 
     /// Findings accumulated since verification was enabled.
@@ -432,12 +433,12 @@ impl CoSparse {
 
     /// The operand matrix (COO copy).
     pub fn matrix(&self) -> &CooMatrix {
-        &self.coo
+        self.shared.matrix()
     }
 
     /// The operand matrix (CSC copy).
     pub fn matrix_csc(&self) -> &CscMatrix {
-        &self.csc
+        self.shared.matrix_csc()
     }
 
     /// The simulated machine.
@@ -447,10 +448,11 @@ impl CoSparse {
 
     /// Structural summary used by the decision tree.
     pub fn summary(&self) -> MatrixSummary {
+        let coo = self.shared.matrix();
         MatrixSummary {
-            rows: self.coo.rows(),
-            cols: self.coo.cols(),
-            nnz: self.coo.nnz(),
+            rows: coo.rows(),
+            cols: coo.cols(),
+            nnz: coo.nnz(),
         }
     }
 
@@ -503,62 +505,35 @@ impl CoSparse {
                 cvd: f64::NAN,
             },
             Policy::Adaptive => {
-                let density = if self.coo.cols() == 0 {
+                let density = if self.shared.matrix().cols() == 0 {
                     0.0
                 } else {
-                    frontier_nnz as f64 / self.coo.cols() as f64
+                    frontier_nnz as f64 / self.shared.matrix().cols() as f64
                 };
                 self.adaptive.choose(density, tree())
             }
         }
     }
 
-    /// Builds (or rebuilds) the cached [`Plan`] when none exists or its
-    /// key — op profile + balancing scheme — no longer matches.
+    /// (Re)binds the session's [`Plan`] when none is bound or its key —
+    /// op profile + balancing scheme — no longer matches. The plan
+    /// itself comes from the shared graph's registry (built there on
+    /// the first request for the key, from any session); only the
+    /// builder scratch is per-session.
     fn ensure_plan(&mut self, profile: &OpProfile) {
         let stale = self
             .plan
             .as_ref()
-            .is_none_or(|p| p.profile != *profile || p.balancing != self.balancing);
+            .is_none_or(|p| p.shared.profile != *profile || p.shared.balancing != self.balancing);
         if !stale {
             return;
         }
-        let geometry = self.machine.geometry();
-        let layout = Layout::new(
-            self.coo.rows(),
-            self.coo.cols(),
-            self.coo.nnz(),
-            geometry,
-            profile.value_words,
-        );
-        let regions = layout.regions();
-        let ip_partition = balance::ip_partitions(&self.row_counts, geometry, self.balancing);
-        let op_tile_parts = balance::op_tile_partitions(&self.row_counts, geometry, self.balancing);
-        let vblocks_sc = self.ip_vblocks(false, profile);
-        // SCS needs ≥2 PEs per tile (there are no SPM banks otherwise)
-        // and the runtime never executes it on smaller tiles, so reuse
-        // the SC tiling rather than computing an impossible split.
-        let vblocks_scs = if geometry.pes_per_tile() >= 2 {
-            self.ip_vblocks(true, profile)
-        } else {
-            vblocks_sc.clone()
-        };
-        self.plan_builds += 1;
+        let shared = self.shared.plan_for(profile, self.balancing);
         self.plan = Some(Plan {
-            profile: *profile,
-            balancing: self.balancing,
-            layout,
-            regions,
-            ip_partition,
-            op_tile_parts,
-            vblocks_sc,
-            vblocks_scs,
+            shared,
             builder: ProgramBuilder::new(),
-            ip_programs: [None, None, None, None],
-            op_subruns: None,
             scratch_key: None,
             scratch_frontier: Vec::new(),
-            verified: [[false; 4]; 2],
         });
     }
 
@@ -638,9 +613,9 @@ impl CoSparse {
             let plan = self.plan.as_mut().expect("plan ensured above");
             conversion_report = Some(if self.verify {
                 let streams = convert::streams(
-                    &plan.layout,
+                    &plan.shared.layout,
                     geometry,
-                    self.coo.cols(),
+                    self.shared.matrix().cols(),
                     active.len(),
                     direction,
                     *profile,
@@ -648,27 +623,27 @@ impl CoSparse {
                 run_checked(
                     &mut self.machine,
                     streams,
-                    &plan.regions,
+                    &plan.shared.regions,
                     &mut self.verify_report,
                 )?
             } else {
-                // Single-pass path: emit straight into the plan's
+                // Single-pass path: emit straight into the session's
                 // builder. This repurposes the builder, so any cached
                 // frontier-dependent program is gone.
                 plan.builder.set_analysis(self.deep_analysis);
                 plan.builder
                     .begin(geometry, decision.hardware, self.machine.uarch());
                 convert::build(
-                    &plan.layout,
+                    &plan.shared.layout,
                     geometry,
-                    self.coo.cols(),
+                    self.shared.matrix().cols(),
                     active.len(),
                     direction,
                     *profile,
                     &mut plan.builder,
                 );
                 plan.scratch_key = None;
-                self.conversion_builds += 1;
+                SharedCounters::bump(&self.shared.counters().conversion_builds);
                 let prog = plan.builder.finish();
                 self.last_analysis = prog.analysis().cloned();
                 self.machine.run_program(prog)?
@@ -680,54 +655,56 @@ impl CoSparse {
         let mut report = match decision.software {
             SwConfig::InnerProduct => {
                 let use_spm = decision.hardware == HwConfig::Scs;
-                if active.len() >= self.coo.cols() {
-                    // Fully dense frontier: run the cached program,
-                    // building it through the plan's builder on first
-                    // use. This is the steady state of PR/CF — no op
-                    // regeneration or re-lowering per iteration.
+                if active.len() >= self.shared.matrix().cols() {
+                    // Fully dense frontier: run the shared compiled
+                    // program, built by the first session to need this
+                    // hardware slot. This is the steady state of PR/CF
+                    // — no op regeneration or re-lowering per
+                    // iteration, and N sessions share one build.
                     let plan = self.plan.as_mut().expect("plan ensured above");
                     let params = ip::IpParams {
-                        layout: &plan.layout,
-                        partition: &plan.ip_partition,
+                        layout: &plan.shared.layout,
+                        partition: &plan.shared.ip_partition,
                         vblocks: if use_spm {
-                            &plan.vblocks_scs
+                            &plan.shared.vblocks_scs
                         } else {
-                            &plan.vblocks_sc
+                            &plan.shared.vblocks_sc
                         },
                         use_spm,
                         active: None,
                         profile: *profile,
                     };
-                    if self.verify && !plan.verified[sw_idx][hw_idx] {
-                        let compiled = ip::compile(&self.coo, geometry, params);
+                    if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
+                        let compiled = ip::compile(self.shared.matrix(), geometry, params);
                         let streams = ip::replay(&compiled, geometry);
                         let run = run_checked(
                             &mut self.machine,
                             streams,
-                            &plan.regions,
+                            &plan.shared.regions,
                             &mut self.verify_report,
                         )?;
-                        plan.verified[sw_idx][hw_idx] = true;
+                        plan.shared.mark_verified(sw_idx, hw_idx);
                         run
                     } else {
-                        if plan.ip_programs[hw_idx].is_none() {
-                            // Plan-cached: built once, re-run every
-                            // iteration — the analysis cost amortizes
-                            // and the proven-epoch verdict pays off.
-                            plan.builder.set_analysis(true);
-                            plan.builder
-                                .begin(geometry, decision.hardware, self.machine.uarch());
-                            ip::build(&self.coo, geometry, params, &mut plan.builder);
-                            // Clone the finished program out so the next
-                            // frontier-dependent build can't evict it;
-                            // the clone keeps the program id, so the
-                            // machine's steady-state memo still sees the
-                            // same recurring program every iteration.
-                            plan.ip_programs[hw_idx] = Some(plan.builder.finish().clone());
-                            plan.scratch_key = None;
-                            self.dense_program_builds += 1;
-                        }
-                        let prog = plan.ip_programs[hw_idx].as_ref().expect("just built");
+                        // Shared-plan cached: built once per hardware
+                        // slot through a fresh builder (the session's
+                        // own builder keeps its frontier-dependent
+                        // program), analysis always on — the cost
+                        // amortizes over every session and iteration.
+                        // The shared program keeps one id, so each
+                        // machine's steady-state memo sees the same
+                        // recurring program every iteration.
+                        let coo = self.shared.matrix();
+                        let uarch = self.machine.uarch();
+                        let prog =
+                            plan.shared
+                                .dense_program(hw_idx, self.shared.counters(), || {
+                                    let mut builder = ProgramBuilder::new();
+                                    builder.set_analysis(true);
+                                    builder.begin(geometry, decision.hardware, uarch);
+                                    ip::build(coo, geometry, params, &mut builder);
+                                    builder.finish().clone()
+                                });
                         self.last_analysis = prog.analysis().cloned();
                         let run = self.machine.run_program(prog)?;
                         if self.verify {
@@ -744,34 +721,34 @@ impl CoSparse {
                     }
                     let plan = self.plan.as_mut().expect("plan ensured above");
                     let params = ip::IpParams {
-                        layout: &plan.layout,
-                        partition: &plan.ip_partition,
+                        layout: &plan.shared.layout,
+                        partition: &plan.shared.ip_partition,
                         vblocks: if use_spm {
-                            &plan.vblocks_scs
+                            &plan.shared.vblocks_scs
                         } else {
-                            &plan.vblocks_sc
+                            &plan.shared.vblocks_sc
                         },
                         use_spm,
                         active: Some(&self.mask_buf),
                         profile: *profile,
                     };
-                    let result = if self.verify && !plan.verified[sw_idx][hw_idx] {
-                        let compiled = ip::compile(&self.coo, geometry, params);
+                    let result = if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
+                        let compiled = ip::compile(self.shared.matrix(), geometry, params);
                         let streams = ip::replay(&compiled, geometry);
                         let run = run_checked(
                             &mut self.machine,
                             streams,
-                            &plan.regions,
+                            &plan.shared.regions,
                             &mut self.verify_report,
                         );
                         if run.is_ok() {
-                            plan.verified[sw_idx][hw_idx] = true;
+                            plan.shared.mark_verified(sw_idx, hw_idx);
                         }
                         run
                     } else {
                         // Frontier-dependent ops: emit straight into the
-                        // plan's builder in one pass — no op buffers, no
-                        // separate lowering walk — and no work at all
+                        // session's builder in one pass — no op buffers,
+                        // no separate lowering walk — and no work at all
                         // when the builder already holds this exact
                         // (config, frontier).
                         if plan.scratch_key != Some((sw_idx, hw_idx))
@@ -780,14 +757,14 @@ impl CoSparse {
                             plan.builder.set_analysis(self.deep_analysis);
                             plan.builder
                                 .begin(geometry, decision.hardware, self.machine.uarch());
-                            ip::build(&self.coo, geometry, params, &mut plan.builder);
+                            ip::build(self.shared.matrix(), geometry, params, &mut plan.builder);
                             plan.builder.finish();
                             plan.scratch_key = Some((sw_idx, hw_idx));
                             plan.scratch_frontier.clear();
                             plan.scratch_frontier.extend_from_slice(active);
-                            self.scratch_program_builds += 1;
+                            SharedCounters::bump(&self.shared.counters().scratch_program_builds);
                         } else {
-                            self.scratch_program_hits += 1;
+                            SharedCounters::bump(&self.shared.counters().scratch_program_hits);
                         }
                         self.last_analysis = plan.builder.program().analysis().cloned();
                         let run = self.machine.run_program(plan.builder.program());
@@ -809,42 +786,45 @@ impl CoSparse {
                 let heap_in_spm = decision.hardware == HwConfig::Ps;
                 let spm_node_cap = self.machine.uarch().bank_bytes / 8;
                 let params = op::OpParams {
-                    layout: &plan.layout,
-                    tile_parts: &plan.op_tile_parts,
+                    layout: &plan.shared.layout,
+                    tile_parts: &plan.shared.op_tile_parts,
                     frontier: active,
                     heap_in_spm,
                     spm_node_cap,
                     profile: *profile,
                 };
-                if self.verify && !plan.verified[sw_idx][hw_idx] {
-                    let streams = op::streams(&self.csc, geometry, params);
+                if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
+                    let streams = op::streams(self.shared.matrix_csc(), geometry, params);
                     let run = run_checked(
                         &mut self.machine,
                         streams,
-                        &plan.regions,
+                        &plan.shared.regions,
                         &mut self.verify_report,
                     )?;
-                    plan.verified[sw_idx][hw_idx] = true;
+                    plan.shared.mark_verified(sw_idx, hw_idx);
                     run
                 } else {
                     if plan.scratch_key != Some((sw_idx, hw_idx))
                         || plan.scratch_frontier != *active
                     {
-                        if plan.op_subruns.is_none() {
-                            plan.op_subruns = Some(op::subruns(&self.csc, &plan.op_tile_parts));
-                        }
-                        let sub = plan.op_subruns.as_ref().expect("just computed");
+                        let sub = plan.shared.subruns(self.shared.matrix_csc());
                         plan.builder.set_analysis(self.deep_analysis);
                         plan.builder
                             .begin(geometry, decision.hardware, self.machine.uarch());
-                        op::build(&self.csc, geometry, params, sub, &mut plan.builder);
+                        op::build(
+                            self.shared.matrix_csc(),
+                            geometry,
+                            params,
+                            sub,
+                            &mut plan.builder,
+                        );
                         plan.builder.finish();
                         plan.scratch_key = Some((sw_idx, hw_idx));
                         plan.scratch_frontier.clear();
                         plan.scratch_frontier.extend_from_slice(active);
-                        self.scratch_program_builds += 1;
+                        SharedCounters::bump(&self.shared.counters().scratch_program_builds);
                     } else {
-                        self.scratch_program_hits += 1;
+                        SharedCounters::bump(&self.shared.counters().scratch_program_hits);
                     }
                     self.last_analysis = plan.builder.program().analysis().cloned();
                     let run = self.machine.run_program(plan.builder.program())?;
@@ -874,35 +854,6 @@ impl CoSparse {
         Ok((report, kernel_cycles))
     }
 
-    /// Picks the vblock width for an IP pass: the SPM capacity per tile
-    /// in SCS mode, or the L1 cache capacity in SC mode (vertical
-    /// partitioning "is not required for the SC mode but can still be
-    /// beneficial", §III-B).
-    fn ip_vblocks(&self, use_spm: bool, profile: &OpProfile) -> VBlocks {
-        let ua = self.machine.uarch();
-        let b = self.machine.geometry().pes_per_tile();
-        let bytes = if use_spm {
-            ua.spm_bytes_per_tile(b, HwConfig::Scs.l1())
-        } else {
-            // SC: all B banks are cache.
-            b * ua.bank_bytes
-        };
-        let elems = (bytes / 4 / profile.value_words).max(1);
-        if elems >= self.coo.cols() {
-            VBlocks::whole(self.coo.cols())
-        } else {
-            VBlocks::new(self.coo.cols(), elems)
-        }
-    }
-
-    /// Lazily builds the CSR copy the host backend's inner-product row
-    /// loops walk (the simulate path never needs it).
-    fn ensure_csr(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrMatrix::from(&self.coo));
-        }
-    }
-
     /// A report for a host-backend invocation that took `seconds` of
     /// wall-clock time: zero cycles, zero simulated stats — the host
     /// path has no machine to account.
@@ -918,7 +869,7 @@ impl CoSparse {
     }
 
     /// One host-backend step: ensures the plan (for its row
-    /// partitioning) and the CSR copy, then evaluates the decided
+    /// partitioning) and the shared CSR copy, then evaluates the decided
     /// dataflow natively. Returns the updates and a wall-clock report.
     fn host_step<O: GraphOp>(
         &mut self,
@@ -929,21 +880,20 @@ impl CoSparse {
         profile: &OpProfile,
     ) -> (Vec<Update<O::Value>>, SimReport) {
         self.ensure_plan(profile);
-        self.ensure_csr();
         let plan = self.plan.as_ref().expect("plan ensured above");
-        let csr = self.csr.as_ref().expect("csr ensured above");
+        let csr = self.shared.csr();
         let t0 = std::time::Instant::now();
         let updates = host::execute(
             op,
             decision.software,
             csr,
-            &self.csc,
+            self.shared.matrix_csc(),
             host::StepInputs {
                 active,
                 state,
-                degrees: &self.degrees,
+                degrees: self.shared.degrees(),
             },
-            &plan.ip_partition,
+            &plan.shared.ip_partition,
         );
         let report = self.host_report(t0.elapsed().as_secs_f64());
         (updates, report)
@@ -970,9 +920,10 @@ impl CoSparse {
     pub fn spmv(&mut self, frontier: &Frontier) -> Result<SpmvOutcome, SimError> {
         assert_eq!(
             frontier.dim(),
-            self.coo.cols(),
+            self.shared.matrix().cols(),
             "frontier dimension mismatch"
         );
+        let rows = self.shared.matrix().rows();
         let profile = OpProfile::scalar();
         let frontier_nnz = frontier.nnz();
         let density = frontier.density();
@@ -982,14 +933,15 @@ impl CoSparse {
         let mut entries = std::mem::take(&mut self.entries_buf);
         entries.clear();
         frontier.collect_active(&mut entries);
+        // The all-zero state is read out of the shared graph; the local
+        // handle clone keeps it borrowable across `&mut self` calls.
+        let graph = Arc::clone(&self.shared);
         if self.backend == ExecBackend::Host {
-            // Native path: no machine anywhere. The all-zero state is
-            // temporarily taken to appease the borrow of `host_step`.
-            let zero = std::mem::take(&mut self.zero_state);
-            let (updates, report) = self.host_step(&SpmvOp, decision, &entries, &zero, &profile);
-            self.zero_state = zero;
+            // Native path: no machine anywhere.
+            let (updates, report) =
+                self.host_step(&SpmvOp, decision, &entries, graph.zeros(), &profile);
             self.entries_buf = entries;
-            let result = wrap_updates(self.coo.rows(), decision.software, updates);
+            let result = wrap_updates(rows, decision.software, updates);
             return Ok(SpmvOutcome {
                 software: decision.software,
                 hardware: decision.hardware,
@@ -1017,19 +969,18 @@ impl CoSparse {
         // Functional product (golden model).
         let updates = apply(
             &SpmvOp,
-            &self.csc,
+            graph.matrix_csc(),
             &entries,
-            &self.zero_state,
-            &self.degrees,
+            graph.zeros(),
+            graph.degrees(),
         );
         if self.backend == ExecBackend::Differential {
-            let zero = std::mem::take(&mut self.zero_state);
-            let (host_updates, _) = self.host_step(&SpmvOp, decision, &entries, &zero, &profile);
-            self.zero_state = zero;
+            let (host_updates, _) =
+                self.host_step(&SpmvOp, decision, &entries, graph.zeros(), &profile);
             assert_backends_agree("spmv", &updates, &host_updates);
         }
         self.entries_buf = entries;
-        let result = wrap_updates(self.coo.rows(), decision.software, updates);
+        let result = wrap_updates(rows, decision.software, updates);
         Ok(SpmvOutcome {
             software: decision.software,
             hardware: decision.hardware,
@@ -1052,10 +1003,10 @@ impl CoSparse {
         state: &[O::Value],
     ) -> Result<StepOutcome<O::Value>, SimError> {
         let profile = op.profile();
-        let density = if self.coo.cols() == 0 {
+        let density = if self.shared.matrix().cols() == 0 {
             0.0
         } else {
-            active.len() as f64 / self.coo.cols() as f64
+            active.len() as f64 / self.shared.matrix().cols() as f64
         };
         let decision = self.decide_exact(active.len(), &profile);
         if self.backend == ExecBackend::Host {
@@ -1077,7 +1028,8 @@ impl CoSparse {
             self.adaptive
                 .record(density, decision.software, decision.hardware, kernel_cycles);
         }
-        let updates = apply(op, &self.csc, active, state, &self.degrees);
+        let graph = Arc::clone(&self.shared);
+        let updates = apply(op, graph.matrix_csc(), active, state, graph.degrees());
         if self.backend == ExecBackend::Differential {
             let (host_updates, _) = self.host_step(op, decision, active, state, &profile);
             assert_backends_agree("step", &updates, &host_updates);
@@ -1267,6 +1219,15 @@ mod tests {
         let mut rt = runtime(128, 500);
         let x = Frontier::Dense(DenseVector::filled(64, 1.0f32));
         let _ = rt.spmv(&x);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry must match")]
+    fn mismatched_session_machine_panics() {
+        let m = sparse::generate::uniform(64, 64, 300, 2).unwrap();
+        let g = SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper());
+        let wrong = Machine::new(Geometry::new(1, 2), MicroArch::paper());
+        let _ = g.session_on(wrong);
     }
 }
 
@@ -1492,7 +1453,7 @@ mod frontier_tests {
     #[test]
     fn profile_change_rebuilds_plan() {
         // A wide-value op (CF-like) needs a different layout than scalar
-        // SpMV; alternating between them must rebuild the plan each time
+        // SpMV; alternating between them must rebind the plan each time
         // and keep both functionally correct.
         #[derive(Debug)]
         struct Wide;
@@ -1537,5 +1498,13 @@ mod frontier_tests {
         let after = rt.spmv(&Frontier::Dense(xd)).unwrap();
         check(&after);
         assert_eq!(before.report.stats.loads, after.report.stats.loads);
+        // Returning to the scalar profile rebinds the already-built
+        // plan: two distinct keys were ever built, the third bind hit.
+        let cs = rt.cache_stats();
+        assert_eq!(cs.plan_builds, 2);
+        assert_eq!(cs.plan_hits, 1);
+        // The scalar dense-IP program survived the profile round-trip.
+        assert_eq!(cs.dense_program_builds, 2);
+        assert!(cs.dense_program_hits >= 1);
     }
 }

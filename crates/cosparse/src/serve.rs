@@ -1,0 +1,410 @@
+//! The multi-tenant serving layer: many client threads, one shared
+//! graph, a pool of worker sessions.
+//!
+//! A [`GraphService`] accepts queries (arbitrary closures over a
+//! [`CoSparse`] session — BFS/SSSP sources, PageRank snapshots, raw
+//! SpMVs) from any number of threads and executes them on a fixed pool
+//! of worker threads, each owning one long-lived session over the same
+//! `Arc`-shared [`SharedGraph`]. Because sessions are cheap and the
+//! expensive per-matrix artifacts (formats, layout, partitions,
+//! compiled dense-IP programs) live in the graph, N workers serving
+//! thousands of queries build each artifact once — the amortization is
+//! visible in [`SharedGraph::cache_stats`] and is what the
+//! `cosparse-perf` serve workload measures as queries/sec.
+//!
+//! Same-graph queries are *batched*: a worker drains up to
+//! [`ServeConfig::batch`] queued queries in one lock acquisition and
+//! runs them back-to-back on its warm session, so consecutive queries
+//! reuse the session's frontier scratch and builder without returning
+//! to the queue lock in between.
+//!
+//! ```
+//! use cosparse::{Frontier, GraphService, ServeConfig, SharedGraph};
+//! use transmuter::{Geometry, MicroArch};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let matrix = sparse::generate::uniform(512, 512, 4000, 7)?;
+//! let graph = SharedGraph::new(&matrix, Geometry::new(2, 4), MicroArch::paper());
+//! let service = GraphService::start(graph, ServeConfig::default());
+//!
+//! // Submit from any thread; `wait` blocks for this query's answer.
+//! let frontier = Frontier::Dense(sparse::generate::random_dense_vector(512, 3));
+//! let ticket = service.submit(move |session| session.spmv(&frontier));
+//! let outcome = ticket.wait()?;
+//! println!("served under {}/{}", outcome.software, outcome.hardware);
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::host::ExecBackend;
+use crate::runtime::CoSparse;
+use crate::shared::SharedGraph;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A boxed query: runs on a worker's session, produces the answer sent
+/// back through the ticket.
+type QueryFn<T> = Box<dyn FnOnce(&mut CoSparse) -> T + Send + 'static>;
+
+struct Job<T> {
+    run: QueryFn<T>,
+    reply: mpsc::Sender<T>,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<Job<T>>,
+    shutdown: bool,
+}
+
+/// Cumulative counters of a running service (all relaxed atomics;
+/// consistent once the submitting threads have joined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Queries accepted by [`GraphService::submit`].
+    pub submitted: u64,
+    /// Queries whose closure ran to completion on a worker.
+    pub completed: u64,
+    /// Queue drains — each drain ran 1..=batch queries back-to-back on
+    /// one warm session. `completed / batches` is the achieved batching
+    /// factor.
+    pub batches: u64,
+}
+
+#[derive(Default)]
+struct ServeCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct ServeShared<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    counters: ServeCounters,
+}
+
+/// Locks the queue, recovering from poison: the queue state is a plain
+/// job list that is never left half-mutated by the panicking sections
+/// (a submit assert, a query closure), so the service keeps draining
+/// and shutting down cleanly after a client panic.
+fn lock_queue<T>(mutex: &Mutex<QueueState<T>>) -> std::sync::MutexGuard<'_, QueueState<T>> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Configuration of a [`GraphService`] worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads (each owns one session). Default: the host's
+    /// available parallelism, capped at 8.
+    pub workers: usize,
+    /// Maximum queries a worker drains per queue lock acquisition.
+    /// Default 16.
+    pub batch: usize,
+    /// Backend every worker session runs under. Default
+    /// [`ExecBackend::Host`] — the serving layer exists to answer real
+    /// queries fast; pick [`ExecBackend::Simulate`] to serve simulated
+    /// timings or [`ExecBackend::Differential`] to cross-check every
+    /// answer.
+    pub backend: ExecBackend,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ServeConfig {
+            workers,
+            batch: 16,
+            backend: ExecBackend::Host,
+        }
+    }
+}
+
+/// A pending query's handle: [`Ticket::wait`] blocks until a worker has
+/// run the query and returns its answer.
+#[derive(Debug)]
+pub struct Ticket<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the query's answer arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shut down (or a worker died) before
+    /// answering — submitting after [`GraphService::shutdown`] began,
+    /// or a query closure that panicked on the worker.
+    pub fn wait(self) -> T {
+        self.rx
+            .recv()
+            .expect("query dropped: service shut down or worker panicked before answering")
+    }
+}
+
+/// A multi-tenant query service over one shared graph: a pool of worker
+/// threads, each owning a warm [`CoSparse`] session, draining a shared
+/// queue in batches. See the module docs for the contract, and
+/// [`GraphService::submit`] for the query form.
+///
+/// All answers are produced by ordinary sessions over the same
+/// [`SharedGraph`], so per-query results are bit-identical to a
+/// dedicated single-session runtime under every backend.
+pub struct GraphService<T: Send + 'static> {
+    graph: Arc<SharedGraph>,
+    shared: Arc<ServeShared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for GraphService<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphService")
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> GraphService<T> {
+    /// Spawns the worker pool: `config.workers` threads, each opening
+    /// one session over `graph` (fresh machine, `config.backend`) and
+    /// looping on the shared queue until [`GraphService::shutdown`].
+    pub fn start(graph: Arc<SharedGraph>, config: ServeConfig) -> Self {
+        let workers = config.workers.max(1);
+        let batch = config.batch.max(1);
+        let shared = Arc::new(ServeShared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            counters: ServeCounters::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let mut session = graph.session();
+                session.set_backend(config.backend);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cosparse-serve-{i}"))
+                    .spawn(move || worker_loop(session, &shared, batch))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        GraphService {
+            graph,
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a query — any closure over a worker's session — and
+    /// returns its [`Ticket`]. The closure sets whatever per-query
+    /// session state it needs (policy, thresholds, verification) and
+    /// runs steps/SpMVs; session scratch persists across queries on the
+    /// same worker, shared artifacts across all of them.
+    pub fn submit<F>(&self, query: F) -> Ticket<T>
+    where
+        F: FnOnce(&mut CoSparse) -> T + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = lock_queue(&self.shared.state);
+            assert!(!state.shutdown, "submit after GraphService::shutdown");
+            state.jobs.push_back(Job {
+                run: Box::new(query),
+                reply: tx,
+            });
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.available.notify_one();
+        Ticket { rx }
+    }
+
+    /// The shared graph the workers serve.
+    pub fn graph(&self) -> &Arc<SharedGraph> {
+        &self.graph
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the queue, stops the workers and joins them, returning
+    /// the final counters.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker thread's panic (a panicking query closure).
+    pub fn shutdown(mut self) -> ServeStats {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = lock_queue(&self.shared.state);
+        state.shutdown = true;
+        drop(state);
+        self.shared.available.notify_all();
+    }
+}
+
+impl<T: Send + 'static> Drop for GraphService<T> {
+    fn drop(&mut self) {
+        // Explicit `shutdown` already drained `workers`; otherwise stop
+        // and join quietly (worker panics surface as poisoned tickets).
+        if self.workers.is_empty() {
+            return;
+        }
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: wait for work, drain up to `batch` jobs in one lock
+/// acquisition, run them back-to-back on the warm session, repeat.
+/// Exits once shutdown is flagged and the queue is empty.
+fn worker_loop<T: Send + 'static>(mut session: CoSparse, shared: &ServeShared<T>, batch: usize) {
+    let mut drained: Vec<Job<T>> = Vec::with_capacity(batch);
+    loop {
+        {
+            let mut state = lock_queue(&shared.state);
+            while state.jobs.is_empty() && !state.shutdown {
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if state.jobs.is_empty() {
+                return; // shutdown with nothing left to do
+            }
+            let take = state.jobs.len().min(batch);
+            drained.extend(state.jobs.drain(..take));
+            // More work may remain for the other workers.
+            if !state.jobs.is_empty() {
+                shared.available.notify_one();
+            }
+        }
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        for job in drained.drain(..) {
+            let answer = (job.run)(&mut session);
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            // A dropped Ticket (client gave up) is fine; the work is done.
+            let _ = job.reply.send(answer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Frontier;
+    use transmuter::{Geometry, MicroArch};
+
+    fn graph(n: usize, nnz: usize) -> Arc<SharedGraph> {
+        let m = sparse::generate::uniform(n, n, nnz, 11).unwrap();
+        SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper())
+    }
+
+    fn config(workers: usize, backend: ExecBackend) -> ServeConfig {
+        ServeConfig {
+            workers,
+            batch: 4,
+            backend,
+        }
+    }
+
+    #[test]
+    fn serves_queries_and_counts_them() {
+        let g = graph(256, 2000);
+        let service = GraphService::start(Arc::clone(&g), config(2, ExecBackend::Host));
+        let tickets: Vec<_> = (0..10)
+            .map(|_| {
+                service.submit(|session| {
+                    let x = Frontier::Dense(sparse::generate::random_dense_vector(256, 5));
+                    session.spmv(&x).map(|out| out.result)
+                })
+            })
+            .collect();
+        let answers: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert!(answers.iter().all(|a| a.is_ok()));
+        let first = answers[0].as_ref().unwrap();
+        assert!(answers.iter().all(|a| a.as_ref().unwrap() == first));
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+        assert!(stats.batches >= 1 && stats.batches <= 10);
+    }
+
+    #[test]
+    fn workers_share_one_plan_cache() {
+        let g = graph(256, 2000);
+        let service = GraphService::start(Arc::clone(&g), config(4, ExecBackend::Simulate));
+        let tickets: Vec<_> = (0..8)
+            .map(|_| {
+                service.submit(|session| {
+                    let x = Frontier::Dense(sparse::generate::random_dense_vector(256, 5));
+                    session.spmv(&x).map(|out| out.report.cycles)
+                })
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        service.shutdown();
+        let cs = g.cache_stats();
+        assert_eq!(cs.plan_builds, 1, "one plan for every worker");
+        // Auto policy on a dense frontier always lands on one (sw, hw),
+        // so exactly one dense program exists no matter the interleave.
+        assert_eq!(cs.dense_program_builds, 1);
+        assert_eq!(cs.dense_program_builds + cs.dense_program_hits, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "submit after GraphService::shutdown")]
+    fn submit_after_shutdown_panics() {
+        let g = graph(64, 300);
+        let service: GraphService<u32> =
+            GraphService::start(Arc::clone(&g), config(1, ExecBackend::Host));
+        service.begin_shutdown();
+        let _ = service.submit(|_| 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let g = graph(64, 300);
+        let service: GraphService<usize> =
+            GraphService::start(Arc::clone(&g), config(2, ExecBackend::Host));
+        let t = service.submit(|session| session.matrix().nnz());
+        assert_eq!(t.wait(), 300);
+        drop(service); // must not hang or leak threads
+    }
+}

@@ -1,0 +1,422 @@
+//! Shared, immutable per-graph state behind every [`CoSparse`] session.
+//!
+//! Everything derivable from the operand matrix alone — the COO/CSC
+//! (and lazily CSR) copies, the address-space [`Layout`] and its
+//! [`RegionMap`], the workload-balanced partitions and vblock tilings,
+//! the compiled dense-IP [`Program`]s per hardware configuration, and
+//! the per-pairing verify verdicts — lives in one [`SharedGraph`],
+//! built once and shared via [`Arc`] by any number of concurrent
+//! sessions. A [`CoSparse`] session keeps only what is genuinely
+//! per-query: its simulated [`Machine`], frontier scratch, adaptive
+//! state and policy knobs. Creating a session is cheap; creating a
+//! graph is where the setup cost lives.
+//!
+//! Read paths are lock-free in the steady state: a session caches an
+//! `Arc` to its current [`SharedPlan`] (re-looked-up only when the op
+//! profile or balancing scheme changes), and the plan's dense-IP
+//! programs and OP sub-run tables sit behind [`OnceLock`]s — writes
+//! happen only on the cold miss that first derives the artifact. The
+//! single [`Mutex`] in the structure guards the small plan registry and
+//! is touched only when a session (re)binds a plan.
+//!
+//! Shared programs keep their compiled program ids, so every session's
+//! machine sees the *same* recurring id for a given dense kernel and
+//! the per-machine steady-state memo engages exactly as it does for a
+//! single-session runtime (the memo-eligibility property introduced
+//! with the single-pass builder pipeline, DESIGN.md §10).
+
+use crate::balance::{self, Balancing};
+use crate::layout::Layout;
+use crate::ops::OpProfile;
+use crate::runtime::CoSparse;
+use sparse::partition::{RowPartition, VBlocks};
+use sparse::{CooMatrix, CscMatrix, CsrMatrix};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use transmuter::verify::RegionMap;
+use transmuter::{Geometry, HwConfig, Machine, MicroArch, Program};
+
+/// Snapshot of the graph-level cache counters: how often the expensive
+/// per-matrix artifacts were (re)built versus served to a session from
+/// the shared state. Counter pairs are exact: every plan acquisition
+/// increments exactly one of `plan_builds`/`plan_hits`, and every
+/// dense-IP invocation served through the shared cache increments
+/// exactly one of `dense_program_builds`/`dense_program_hits` — under
+/// any number of contending sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedCacheStats {
+    /// Plans built (one per distinct (op profile, balancing) pair).
+    pub plan_builds: u64,
+    /// Plan acquisitions served from the registry without building.
+    pub plan_hits: u64,
+    /// Dense-IP programs built (at most one per plan × hardware slot).
+    pub dense_program_builds: u64,
+    /// Dense-IP invocations that reused a shared compiled program.
+    pub dense_program_hits: u64,
+    /// Frontier-dependent (masked-IP / OP) builder emissions, summed
+    /// over all sessions.
+    pub scratch_program_builds: u64,
+    /// Frontier-dependent invocations served by a session builder's
+    /// current program without re-emission, summed over all sessions.
+    pub scratch_program_hits: u64,
+    /// Conversion-kernel builder emissions (dataflow switches), summed
+    /// over all sessions.
+    pub conversion_builds: u64,
+}
+
+/// Graph-level cache counters, updated with relaxed atomics from every
+/// session sharing the graph.
+#[derive(Debug, Default)]
+pub(crate) struct SharedCounters {
+    plan_builds: AtomicU64,
+    plan_hits: AtomicU64,
+    dense_program_builds: AtomicU64,
+    dense_program_hits: AtomicU64,
+    pub(crate) scratch_program_builds: AtomicU64,
+    pub(crate) scratch_program_hits: AtomicU64,
+    pub(crate) conversion_builds: AtomicU64,
+}
+
+impl SharedCounters {
+    fn snapshot(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            plan_builds: self.plan_builds.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            dense_program_builds: self.dense_program_builds.load(Ordering::Relaxed),
+            dense_program_hits: self.dense_program_hits.load(Ordering::Relaxed),
+            scratch_program_builds: self.scratch_program_builds.load(Ordering::Relaxed),
+            scratch_program_hits: self.scratch_program_hits.load(Ordering::Relaxed),
+            conversion_builds: self.conversion_builds.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One immutable tuning plan over the shared matrix, keyed by
+/// `(op profile, balancing scheme)` — the OSKI-style memo that used to
+/// live inside each runtime, now built once per graph and shared.
+///
+/// The geometry-derived members (layout, partitions, vblocks) are plain
+/// immutable data; the dense-IP programs and OP sub-run bounds are
+/// derived lazily behind [`OnceLock`]s by whichever session first needs
+/// them, then read lock-free by everyone. The verify-verdict matrix is
+/// a property of the plan (a pairing that linted clean stays clean for
+/// this matrix/layout), shared as atomics.
+#[derive(Debug)]
+pub(crate) struct SharedPlan {
+    pub(crate) profile: OpProfile,
+    pub(crate) balancing: Balancing,
+    pub(crate) layout: Layout,
+    pub(crate) regions: RegionMap,
+    pub(crate) ip_partition: RowPartition,
+    pub(crate) op_tile_parts: RowPartition,
+    pub(crate) vblocks_sc: VBlocks,
+    pub(crate) vblocks_scs: VBlocks,
+    /// Dense-IP [`Program`]s, one slot per hardware configuration,
+    /// built by the first session that runs the pairing and shared
+    /// (same program id) by every later one.
+    ip_programs: [OnceLock<Program>; 4],
+    /// Matrix-invariant OP column sub-run bounds (see
+    /// [`crate::kernels::op::subruns`]).
+    op_subruns: OnceLock<Vec<(u32, u32)>>,
+    /// Verify-verdict memo, indexed `[software][hardware]`: true once
+    /// the pairing was linted and race-checked on this plan by any
+    /// session.
+    verified: [[AtomicBool; 4]; 2],
+}
+
+impl SharedPlan {
+    fn build(graph: &SharedGraph, profile: &OpProfile, balancing: Balancing) -> Self {
+        let geometry = graph.geometry;
+        let layout = Layout::new(
+            graph.coo.rows(),
+            graph.coo.cols(),
+            graph.coo.nnz(),
+            geometry,
+            profile.value_words,
+        );
+        let regions = layout.regions();
+        let ip_partition = balance::ip_partitions(&graph.row_counts, geometry, balancing);
+        let op_tile_parts = balance::op_tile_partitions(&graph.row_counts, geometry, balancing);
+        let vblocks_sc = ip_vblocks(graph, false, profile);
+        // SCS needs ≥2 PEs per tile (there are no SPM banks otherwise)
+        // and the runtime never executes it on smaller tiles, so reuse
+        // the SC tiling rather than computing an impossible split.
+        let vblocks_scs = if geometry.pes_per_tile() >= 2 {
+            ip_vblocks(graph, true, profile)
+        } else {
+            vblocks_sc.clone()
+        };
+        SharedPlan {
+            profile: *profile,
+            balancing,
+            layout,
+            regions,
+            ip_partition,
+            op_tile_parts,
+            vblocks_sc,
+            vblocks_scs,
+            ip_programs: std::array::from_fn(|_| OnceLock::new()),
+            op_subruns: OnceLock::new(),
+            verified: std::array::from_fn(|_| std::array::from_fn(|_| AtomicBool::new(false))),
+        }
+    }
+
+    /// The dense-IP program for hardware slot `hw_idx`, building it via
+    /// `build` exactly once per slot across all sessions. Counts one
+    /// build or one hit per call on `counters` (the losing side of an
+    /// init race counts as neither a build — the closure never ran —
+    /// nor a stale read, so it is counted as a hit once the winner's
+    /// program is visible).
+    pub(crate) fn dense_program<F: FnOnce() -> Program>(
+        &self,
+        hw_idx: usize,
+        counters: &SharedCounters,
+        build: F,
+    ) -> &Program {
+        let mut built = false;
+        let prog = self.ip_programs[hw_idx].get_or_init(|| {
+            built = true;
+            build()
+        });
+        if built {
+            SharedCounters::bump(&counters.dense_program_builds);
+        } else {
+            SharedCounters::bump(&counters.dense_program_hits);
+        }
+        prog
+    }
+
+    /// The OP column sub-run bounds, derived from `csc` on first use.
+    pub(crate) fn subruns(&self, csc: &CscMatrix) -> &[(u32, u32)] {
+        self.op_subruns
+            .get_or_init(|| crate::kernels::op::subruns(csc, &self.op_tile_parts))
+    }
+
+    /// True once `(sw_idx, hw_idx)` was verified clean on this plan.
+    pub(crate) fn is_verified(&self, sw_idx: usize, hw_idx: usize) -> bool {
+        self.verified[sw_idx][hw_idx].load(Ordering::Acquire)
+    }
+
+    /// Records a clean verify verdict for `(sw_idx, hw_idx)`.
+    pub(crate) fn mark_verified(&self, sw_idx: usize, hw_idx: usize) {
+        self.verified[sw_idx][hw_idx].store(true, Ordering::Release);
+    }
+}
+
+/// Picks the vblock width for an IP pass: the SPM capacity per tile in
+/// SCS mode, or the L1 cache capacity in SC mode (vertical partitioning
+/// "is not required for the SC mode but can still be beneficial",
+/// §III-B).
+fn ip_vblocks(graph: &SharedGraph, use_spm: bool, profile: &OpProfile) -> VBlocks {
+    let ua = &graph.uarch;
+    let b = graph.geometry.pes_per_tile();
+    let bytes = if use_spm {
+        ua.spm_bytes_per_tile(b, HwConfig::Scs.l1())
+    } else {
+        // SC: all B banks are cache.
+        b * ua.bank_bytes
+    };
+    let elems = (bytes / 4 / profile.value_words).max(1);
+    if elems >= graph.coo.cols() {
+        VBlocks::whole(graph.coo.cols())
+    } else {
+        VBlocks::new(graph.coo.cols(), elems)
+    }
+}
+
+/// The immutable, `Arc`-shared per-matrix state: dual-format matrix
+/// copies, geometry, and the plan/program caches every [`CoSparse`]
+/// session over this graph reads through. See the module docs for the
+/// sharing contract.
+#[derive(Debug)]
+pub struct SharedGraph {
+    coo: CooMatrix,
+    csc: CscMatrix,
+    /// CSR copy, built by the first host-backend invocation from any
+    /// session (simulate-only graphs never pay for it).
+    csr: OnceLock<CsrMatrix>,
+    /// Out-degree of each frontier index in the original graph
+    /// (= column counts of the operand matrix).
+    degrees: Vec<u32>,
+    row_counts: Vec<usize>,
+    /// All-zero per-row state for the plain-SpMV golden model,
+    /// allocated once per graph (it is only ever read).
+    zeros: Vec<f32>,
+    geometry: Geometry,
+    uarch: MicroArch,
+    /// Registry of built plans, keyed by (profile, balancing). Locked
+    /// only when a session (re)binds its plan; a handful of entries in
+    /// practice, so it is a scanned Vec rather than a map.
+    plans: Mutex<Vec<Arc<SharedPlan>>>,
+    counters: SharedCounters,
+}
+
+impl SharedGraph {
+    /// Builds the shared state for `matrix` on a machine shape given by
+    /// `geometry`/`uarch`: stores the COO and CSC copies (§III-D.2) and
+    /// precomputes the degree/row-count metadata partitioning keys on.
+    ///
+    /// Sessions over this graph must run machines of the same geometry
+    /// and microarchitecture (asserted by [`SharedGraph::session_on`]),
+    /// since the shared layout, partitions and compiled programs are
+    /// all derived from that shape.
+    pub fn new(matrix: &CooMatrix, geometry: Geometry, uarch: MicroArch) -> Arc<Self> {
+        let csc = CscMatrix::from(matrix);
+        let degrees = matrix.col_counts().into_iter().map(|c| c as u32).collect();
+        let row_counts = matrix.row_counts();
+        Arc::new(SharedGraph {
+            zeros: vec![0.0f32; matrix.rows()],
+            coo: matrix.clone(),
+            csc,
+            csr: OnceLock::new(),
+            degrees,
+            row_counts,
+            geometry,
+            uarch,
+            plans: Mutex::new(Vec::new()),
+            counters: SharedCounters::default(),
+        })
+    }
+
+    /// Opens a new session over this graph with a fresh machine of the
+    /// graph's geometry/microarchitecture. Sessions are cheap: they
+    /// hold frontier scratch and per-query state, while everything
+    /// matrix-derived is read through this shared handle.
+    pub fn session(self: &Arc<Self>) -> CoSparse {
+        let machine = Machine::new(self.geometry, self.uarch.clone());
+        CoSparse::with_shared(Arc::clone(self), machine)
+    }
+
+    /// Opens a new session running on a caller-supplied `machine`
+    /// (e.g. with a pinned execution mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's geometry or microarchitecture differ
+    /// from the graph's — the shared plans would be invalid for it.
+    pub fn session_on(self: &Arc<Self>, machine: Machine) -> CoSparse {
+        CoSparse::with_shared(Arc::clone(self), machine)
+    }
+
+    /// The operand matrix (COO copy).
+    pub fn matrix(&self) -> &CooMatrix {
+        &self.coo
+    }
+
+    /// The operand matrix (CSC copy).
+    pub fn matrix_csc(&self) -> &CscMatrix {
+        &self.csc
+    }
+
+    /// The machine geometry the shared plans are derived for.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The microarchitecture the shared plans are derived for.
+    pub fn uarch(&self) -> &MicroArch {
+        &self.uarch
+    }
+
+    /// Graph-level cache counters, summed over every session that ever
+    /// shared this graph (see [`SharedCacheStats`] for the counting
+    /// contract).
+    pub fn cache_stats(&self) -> SharedCacheStats {
+        self.counters.snapshot()
+    }
+
+    /// The CSR copy, built on first use (host-backend row loops).
+    pub(crate) fn csr(&self) -> &CsrMatrix {
+        self.csr.get_or_init(|| CsrMatrix::from(&self.coo))
+    }
+
+    /// Out-degrees of the original graph's vertices.
+    pub(crate) fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// The read-only all-zero state vector (rows long).
+    pub(crate) fn zeros(&self) -> &[f32] {
+        &self.zeros
+    }
+
+    pub(crate) fn counters(&self) -> &SharedCounters {
+        &self.counters
+    }
+
+    /// The shared plan for `(profile, balancing)`, building it under
+    /// the registry lock on the first request. Sessions cache the
+    /// returned `Arc` and only come back here when their key changes,
+    /// so the steady state never touches the lock.
+    pub(crate) fn plan_for(&self, profile: &OpProfile, balancing: Balancing) -> Arc<SharedPlan> {
+        let mut plans = self.plans.lock().expect("plan registry poisoned");
+        if let Some(plan) = plans
+            .iter()
+            .find(|p| p.profile == *profile && p.balancing == balancing)
+        {
+            SharedCounters::bump(&self.counters.plan_hits);
+            return Arc::clone(plan);
+        }
+        // Built under the lock: plan construction is the expensive
+        // per-matrix setup, and holding the lock guarantees concurrent
+        // cold sessions build it exactly once.
+        let plan = Arc::new(SharedPlan::build(self, profile, balancing));
+        SharedCounters::bump(&self.counters.plan_builds);
+        plans.push(Arc::clone(&plan));
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, nnz: usize) -> Arc<SharedGraph> {
+        let m = sparse::generate::uniform(n, n, nnz, 3).unwrap();
+        SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper())
+    }
+
+    #[test]
+    fn plan_registry_builds_once_per_key() {
+        let g = graph(256, 2000);
+        let scalar = OpProfile::scalar();
+        let a = g.plan_for(&scalar, Balancing::NnzBalanced);
+        let b = g.plan_for(&scalar, Balancing::NnzBalanced);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one plan");
+        let c = g.plan_for(&scalar, Balancing::EqualRows);
+        assert!(!Arc::ptr_eq(&a, &c), "different balancing, new plan");
+        let cs = g.cache_stats();
+        assert_eq!(cs.plan_builds, 2);
+        assert_eq!(cs.plan_hits, 1);
+    }
+
+    #[test]
+    fn dense_program_slot_counts_builds_and_hits_exactly() {
+        let g = graph(128, 800);
+        let plan = g.plan_for(&OpProfile::scalar(), Balancing::NnzBalanced);
+        let build = || {
+            let mut b = transmuter::ProgramBuilder::new();
+            b.begin(g.geometry(), HwConfig::Sc, g.uarch());
+            b.finish().clone()
+        };
+        let first = plan.dense_program(0, g.counters(), build) as *const Program;
+        let again = plan.dense_program(0, g.counters(), build) as *const Program;
+        assert_eq!(first, again, "slot must hold one shared program");
+        let cs = g.cache_stats();
+        assert_eq!(cs.dense_program_builds, 1);
+        assert_eq!(cs.dense_program_hits, 1);
+    }
+
+    #[test]
+    fn sessions_share_zero_state_and_csr() {
+        let g = graph(64, 400);
+        assert_eq!(g.zeros().len(), 64);
+        let a = g.csr() as *const CsrMatrix;
+        let b = g.csr() as *const CsrMatrix;
+        assert_eq!(a, b, "CSR derived once per graph");
+    }
+}

@@ -1,0 +1,145 @@
+//! `cache_stats()` under contention: many client threads hammering one
+//! `GraphService` must leave the shared graph's counters exactly
+//! consistent — every plan bind and every dense-IP invocation counted
+//! once, dense programs built exactly once per (sw, hw) pairing no
+//! matter the interleaving.
+
+use cosparse::{
+    ExecBackend, Frontier, GraphService, HwConfig, Policy, ServeConfig, SharedGraph, SwConfig,
+};
+use sparse::DenseVector;
+use std::sync::Arc;
+use transmuter::{Geometry, MicroArch};
+
+const N: usize = 512;
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 4;
+const SPMVS_PER_QUERY: u64 = 2;
+
+/// One query: pin the session to `(InnerProduct, hw)`, run the same
+/// fully-dense SpMV twice (both land on the shared dense-IP program for
+/// that hardware slot), answer the result bits.
+fn query(hw: HwConfig) -> impl FnOnce(&mut cosparse::CoSparse) -> Vec<u32> + Send + 'static {
+    move |session| {
+        session.set_policy(Policy::Fixed(SwConfig::InnerProduct, hw));
+        let x = Frontier::Dense(DenseVector::filled(N, 1.0f32));
+        let mut out = session.spmv(&x).expect("spmv");
+        for _ in 1..SPMVS_PER_QUERY {
+            out = session.spmv(&x).expect("spmv");
+        }
+        match out.result {
+            Frontier::Dense(y) => y.iter().map(|v| v.to_bits()).collect(),
+            other => panic!("IP must produce a dense result, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn contended_service_counts_exactly() {
+    let m = sparse::generate::uniform(N, N, 6000, 23).unwrap();
+    let graph = SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper());
+    let service = GraphService::start(
+        Arc::clone(&graph),
+        ServeConfig {
+            workers: 4,
+            batch: 4,
+            backend: ExecBackend::Simulate,
+        },
+    );
+    let service = Arc::new(service);
+
+    // CLIENTS submitter threads, each issuing queries alternating
+    // between the two IP hardware slots.
+    let answers: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    (0..QUERIES_PER_CLIENT)
+                        .map(|q| {
+                            let hw = if (c + q) % 2 == 0 {
+                                HwConfig::Sc
+                            } else {
+                                HwConfig::Scs
+                            };
+                            service.submit(query(hw)).wait()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    // Every query answered, and every answer bit-identical: the SpMV
+    // result does not depend on the hardware slot or the worker.
+    assert_eq!(answers.len(), CLIENTS * QUERIES_PER_CLIENT);
+    for a in &answers {
+        assert_eq!(a, &answers[0], "answers must be bit-identical");
+    }
+
+    let service = Arc::into_inner(service).expect("all clients joined");
+    let workers = service.workers() as u64;
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, (CLIENTS * QUERIES_PER_CLIENT) as u64);
+    assert_eq!(stats.completed, stats.submitted);
+    assert!(stats.batches >= 1 && stats.batches <= stats.completed);
+
+    let cs = graph.cache_stats();
+    // One (profile, balancing) key ⇒ exactly one plan build, ever; each
+    // worker that served at least one query bound it exactly once.
+    assert_eq!(cs.plan_builds, 1);
+    assert!(
+        cs.plan_hits < workers,
+        "at most one bind per worker: {} hits, {workers} workers",
+        cs.plan_hits
+    );
+    // Two hardware slots were exercised ⇒ exactly two dense programs
+    // built across all workers, and builds + hits account for every
+    // single dense invocation — no lost or double counts under races.
+    assert_eq!(cs.dense_program_builds, 2, "one build per (sw, hw) slot");
+    assert_eq!(
+        cs.dense_program_builds + cs.dense_program_hits,
+        (CLIENTS * QUERIES_PER_CLIENT) as u64 * SPMVS_PER_QUERY,
+        "every dense invocation counted exactly once"
+    );
+    // All-dense IP workload: no frontier-dependent or conversion
+    // programs anywhere.
+    assert_eq!(cs.scratch_program_builds, 0);
+    assert_eq!(cs.scratch_program_hits, 0);
+    assert_eq!(cs.conversion_builds, 0);
+}
+
+#[test]
+fn contended_sessions_without_service_count_exactly() {
+    // Same counting contract with raw sessions (no queue in between):
+    // 8 threads each open a session over one graph and run the dense
+    // workload directly.
+    let m = sparse::generate::uniform(N, N, 6000, 29).unwrap();
+    let graph = SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper());
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let graph = Arc::clone(&graph);
+            s.spawn(move || {
+                let hw = if t % 2 == 0 {
+                    HwConfig::Sc
+                } else {
+                    HwConfig::Scs
+                };
+                let mut session = graph.session();
+                query(hw)(&mut session);
+            });
+        }
+    });
+    let cs = graph.cache_stats();
+    assert_eq!(cs.plan_builds, 1);
+    assert_eq!(cs.plan_hits, CLIENTS as u64 - 1, "one bind per session");
+    assert_eq!(cs.dense_program_builds, 2);
+    assert_eq!(
+        cs.dense_program_builds + cs.dense_program_hits,
+        CLIENTS as u64 * SPMVS_PER_QUERY
+    );
+}

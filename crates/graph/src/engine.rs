@@ -7,9 +7,10 @@
 //! configurations and simulated costs — the raw material of the
 //! paper's Figure 9 case study.
 
-use cosparse::{CoSparse, ExecBackend, GraphOp, Update};
+use cosparse::{CoSparse, ExecBackend, GraphOp, SharedGraph, Update};
 use sparse::{CooMatrix, Idx};
-use transmuter::{HwConfig, Machine, SimError, SimReport};
+use std::sync::Arc;
+use transmuter::{Geometry, HwConfig, Machine, MicroArch, SimError, SimReport};
 
 /// Value type of an algorithm.
 pub type Value<A> = <<A as Algorithm>::Op as GraphOp>::Value;
@@ -140,11 +141,40 @@ impl Engine {
     /// Builds an engine for `adjacency` (edge `u → v` stored as entry
     /// `(u, v)`) on `machine`. The runtime operates on the transposed
     /// matrix so destinations reduce over in-edges.
+    ///
+    /// The shared graph state is built privately for this engine; when
+    /// several engines (or a [`cosparse::GraphService`]) run over one
+    /// graph, build it once with [`Engine::shared_graph`] and open each
+    /// engine with [`Engine::with_shared`] so layout/CSC/programs are
+    /// derived a single time.
     pub fn new(adjacency: &CooMatrix, machine: Machine) -> Self {
-        let transposed = adjacency.transpose();
+        let shared = Engine::shared_graph(adjacency, machine.geometry(), machine.uarch().clone());
+        Engine::with_shared(&shared, machine)
+    }
+
+    /// Builds the shared, `Arc`-handed graph state engines run over:
+    /// the *transposed* adjacency (so destinations reduce over
+    /// in-edges) with all matrix-derived artifacts shared between every
+    /// session opened on it.
+    pub fn shared_graph(
+        adjacency: &CooMatrix,
+        geometry: Geometry,
+        uarch: MicroArch,
+    ) -> Arc<SharedGraph> {
+        SharedGraph::new(&adjacency.transpose(), geometry, uarch)
+    }
+
+    /// Opens an engine over an already-built shared graph (from
+    /// [`Engine::shared_graph`]) with a fresh session machine. N
+    /// engines opened this way share one layout/CSC/program cache
+    /// (observable via [`SharedGraph::cache_stats`]).
+    pub fn with_shared(shared: &Arc<SharedGraph>, machine: Machine) -> Self {
+        // The stored matrix is the transposed adjacency: vertices =
+        // its column count (= original row count).
+        let vertices = shared.matrix().cols();
         Engine {
-            runtime: CoSparse::new(&transposed, machine),
-            vertices: adjacency.rows(),
+            runtime: CoSparse::with_shared(Arc::clone(shared), machine),
+            vertices,
         }
     }
 
@@ -176,54 +206,68 @@ impl Engine {
     ///
     /// Propagates simulator errors.
     pub fn run<A: Algorithm>(&mut self, algorithm: &A) -> Result<RunResult<Value<A>>, SimError> {
-        let n = self.vertices;
-        let op = algorithm.op(n);
-        let mut state = algorithm.initial_state(n);
-        assert_eq!(state.len(), n, "initial state must cover every vertex");
-        let mut frontier = algorithm.initial_frontier(n);
-        // Double-buffered frontier: the next iteration's pairs are
-        // staged here and swapped in, so the steady state allocates
-        // nothing per iteration.
-        let mut staged: Vec<(Idx, Value<A>)> = Vec::new();
-        let mut iterations = Vec::new();
+        run_algorithm(&mut self.runtime, self.vertices, algorithm)
+    }
+}
 
-        for iteration in 0..algorithm.max_iterations(n) {
-            if frontier.is_empty() {
+/// Runs `algorithm` over `vertices` vertices on a bare session until
+/// convergence (empty frontier / no updates) or its iteration cap —
+/// the engine loop, usable without an [`Engine`] wrapper (serve-layer
+/// queries drive the worker's session directly).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_algorithm<A: Algorithm>(
+    runtime: &mut CoSparse,
+    vertices: usize,
+    algorithm: &A,
+) -> Result<RunResult<Value<A>>, SimError> {
+    let n = vertices;
+    let op = algorithm.op(n);
+    let mut state = algorithm.initial_state(n);
+    assert_eq!(state.len(), n, "initial state must cover every vertex");
+    let mut frontier = algorithm.initial_frontier(n);
+    // Double-buffered frontier: the next iteration's pairs are
+    // staged here and swapped in, so the steady state allocates
+    // nothing per iteration.
+    let mut staged: Vec<(Idx, Value<A>)> = Vec::new();
+    let mut iterations = Vec::new();
+
+    for iteration in 0..algorithm.max_iterations(n) {
+        if frontier.is_empty() {
+            break;
+        }
+        let density = frontier.len() as f64 / n.max(1) as f64;
+        let out = runtime.step(&op, &frontier, &state)?;
+        let update_count = out.updates.len();
+
+        apply_updates(algorithm, &mut state, &out.updates);
+        iterations.push(IterationRecord {
+            iteration,
+            frontier_density: density,
+            software: out.software,
+            hardware: out.hardware,
+            report: out.report,
+            updates: update_count,
+        });
+
+        staged.clear();
+        if algorithm.dense_frontier() {
+            staged.extend((0..n).map(|v| (v as Idx, algorithm.frontier_value(v as Idx, state[v]))));
+            if update_count == 0 {
                 break;
             }
-            let density = frontier.len() as f64 / n.max(1) as f64;
-            let out = self.runtime.step(&op, &frontier, &state)?;
-            let update_count = out.updates.len();
-
-            apply_updates(algorithm, &mut state, &out.updates);
-            iterations.push(IterationRecord {
-                iteration,
-                frontier_density: density,
-                software: out.software,
-                hardware: out.hardware,
-                report: out.report,
-                updates: update_count,
-            });
-
-            staged.clear();
-            if algorithm.dense_frontier() {
-                staged.extend(
-                    (0..n).map(|v| (v as Idx, algorithm.frontier_value(v as Idx, state[v]))),
-                );
-                if update_count == 0 {
-                    break;
-                }
-            } else {
-                staged.extend(
-                    out.updates
-                        .iter()
-                        .map(|&(dst, v)| (dst, algorithm.frontier_value(dst, v))),
-                );
-            }
-            std::mem::swap(&mut frontier, &mut staged);
+        } else {
+            staged.extend(
+                out.updates
+                    .iter()
+                    .map(|&(dst, v)| (dst, algorithm.frontier_value(dst, v))),
+            );
         }
-        Ok(RunResult { state, iterations })
+        std::mem::swap(&mut frontier, &mut staged);
     }
+    Ok(RunResult { state, iterations })
 }
 
 fn apply_updates<A: Algorithm>(

@@ -48,6 +48,7 @@ pub mod cf;
 mod engine;
 pub mod kbfs;
 pub mod pagerank;
+pub mod serve;
 pub mod sssp;
 
-pub use engine::{Algorithm, Engine, IterationRecord, RunResult, Value};
+pub use engine::{run_algorithm, Algorithm, Engine, IterationRecord, RunResult, Value};
