@@ -20,18 +20,23 @@
 //! the same host and build measure the same work.
 //!
 //! Usage:
-//!   cosparse-perf [--smoke] [--sim-only|--host-only|--serve-only]
+//!   cosparse-perf [--smoke] [--sim-only|--host-only|--serve-only|--formats-only]
 //!                 [--out PATH] [--baseline PATH] [--check PATH]
 //!
-//! Workloads come in three sections: the simulate-backend ones
+//! Workloads come in four sections: the simulate-backend ones
 //! (prefixed plainly), the `host_`-prefixed native-host-backend ones
 //! ([`cosparse::ExecBackend::Host`] — real answers, no simulated
-//! machine), and the `serve_`/`independent_` multi-tenant QPS pair —
+//! machine), the `serve_`/`independent_` multi-tenant QPS pair —
 //! eight closed-loop client threads submitting a BFS/SSSP/PageRank mix
 //! either through one [`GraphService`](cosparse::GraphService) over a
 //! shared graph, or each query on a freshly built engine (the
-//! no-sharing baseline the service must beat). `--sim-only` /
-//! `--host-only` / `--serve-only` select a section, letting CI gate
+//! no-sharing baseline the service must beat) — and the `fmt_`-prefixed
+//! format sweep: a simulated-cycle crossover table over
+//! (matrix family × frontier density × storage format × dataflow) plus
+//! throughput workloads pinning each storage format's kernel path on
+//! the matrix family its probe picks it for, in both backends.
+//! `--sim-only` / `--host-only` / `--serve-only` / `--formats-only`
+//! select a section, letting CI gate
 //! them separately. `--smoke` shrinks repeats for CI artifacts;
 //! `--baseline` embeds a previous report's `workloads` as `"baseline"`
 //! in the output (used to commit before/after numbers in the same
@@ -50,10 +55,10 @@
 //! is one latency sample per unit), while the serve workloads sample
 //! every individual query's submit→answer wall time across the timed
 //! passes, so the tail a tenant actually observes is what lands in the
-//! report (schema `cosparse-perf/2`).
+//! report (schema `cosparse-perf/3`).
 
 use cosparse::balance::Balancing;
-use cosparse::{CoSparse, ExecBackend, Frontier, Policy, ServeConfig, SwConfig};
+use cosparse::{CoSparse, ExecBackend, FormatKind, Frontier, Policy, ServeConfig, SwConfig};
 use graph::serve::{start_service, GraphQuery};
 use graph::{pagerank::PageRank, sssp::Sssp, Engine};
 use sparse::CooMatrix;
@@ -193,6 +198,45 @@ fn synthetic(n: usize, nnz: usize, seed: u64) -> CooMatrix {
 /// Pokec-like skew: power-law degree distribution, directed.
 fn pokec_like(n: usize, nnz: usize) -> CooMatrix {
     sparse::generate::power_law(n, n, nnz, 1.1, 42).expect("valid power-law matrix")
+}
+
+/// A banded matrix — every row one 24-entry dense run, 4-row-aligned —
+/// the clustered-column family whose probe steers the IP stream onto
+/// the hierarchical bitmap.
+fn banded(n: usize) -> CooMatrix {
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        let base = (r / 4) * 4 % (n - 24);
+        for k in 0..24 {
+            triplets.push((
+                r as sparse::Idx,
+                (base + k) as sparse::Idx,
+                1.0 + ((r + k) % 7) as f32 * 0.125,
+            ));
+        }
+    }
+    CooMatrix::from_triplets(n, n, triplets).expect("valid banded matrix")
+}
+
+/// A block-structured matrix — two full 4x4 blocks per block row — the
+/// family whose probe steers the IP stream onto BCSR.
+fn blocked(n: usize) -> CooMatrix {
+    let bn = n / 4;
+    let mut triplets = Vec::new();
+    for brow in 0..bn {
+        for bcol in [brow, (brow * 7 + 3) % bn] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    triplets.push((
+                        (brow * 4 + i) as sparse::Idx,
+                        (bcol * 4 + j) as sparse::Idx,
+                        0.5 + (i * 4 + j) as f32 * 0.0625,
+                    ));
+                }
+            }
+        }
+    }
+    CooMatrix::from_triplets(n, n, triplets).expect("valid blocked matrix")
 }
 
 /// An `n`-square matrix whose nonzeros all land in the top half of the
@@ -494,6 +538,7 @@ fn run_serve_workloads(smoke: bool, out: &mut Vec<Workload>) {
             ServeConfig {
                 workers: 4,
                 batch: 4,
+                queue_cap: 256,
                 backend: ExecBackend::Host,
             },
         );
@@ -590,7 +635,169 @@ fn run_serve_workloads(smoke: bool, out: &mut Vec<Workload>) {
     }
 }
 
-fn run_workloads(smoke: bool, sim: bool, host: bool, serve: bool) -> Vec<Workload> {
+/// Simulated cycles of one warm SpMV under a pinned
+/// (dataflow, hardware, format) triple — the plan bind, format pack and
+/// reconfiguration are paid on a discarded cold call, so the number is
+/// the steady-state kernel cost the decision tree weighs.
+fn warm_cycles(
+    m: &CooMatrix,
+    x: &Frontier,
+    sw: SwConfig,
+    hw: HwConfig,
+    format: Option<FormatKind>,
+) -> u64 {
+    let mut rt = CoSparse::new(m, machine());
+    rt.set_policy(Policy::Fixed(sw, hw));
+    rt.set_format_override(format);
+    let _cold = rt.spmv(x).expect("sweep spmv");
+    rt.spmv(x).expect("sweep spmv").report.cycles
+}
+
+/// The crossover table: simulated cycles per SpMV for every storage
+/// format × dataflow over three matrix families and a frontier-density
+/// ramp. This is where the format axis earns its place in the decision
+/// tree — the banded family's bitmap column and the blocked family's
+/// BCSR column undercut both the COO stream and the OP/CSC merge on
+/// dense frontiers, while the uniform family stays cheapest on the
+/// paper's resident COO/CSC pair.
+fn format_crossover_table(smoke: bool) {
+    let n = if smoke { 512 } else { 2048 };
+    let families: [(&str, CooMatrix); 3] = [
+        ("uniform", synthetic(n, n * 8, 4)),
+        ("banded", banded(n)),
+        ("blocked", blocked(n)),
+    ];
+    println!(
+        "\nformat_sweep: simulated cycles per warm SpMV (family x density x format x dataflow)"
+    );
+    println!(
+        "  {:<8} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "family", "density", "IP/coo", "IP/bitmap", "IP/bcsr", "OP/csc"
+    );
+    let mut banded_dense = (0u64, 0u64); // (bitmap, csc) for the summary line
+    for (name, m) in &families {
+        for density in [0.01, 0.1, 1.0] {
+            let x = if density >= 1.0 {
+                Frontier::Dense(sparse::generate::random_dense_vector(n, 1))
+            } else {
+                Frontier::Sparse(
+                    sparse::generate::random_sparse_vector(n, density, 9).expect("valid density"),
+                )
+            };
+            let coo = warm_cycles(
+                m,
+                &x,
+                SwConfig::InnerProduct,
+                HwConfig::Sc,
+                Some(FormatKind::Coo),
+            );
+            let bitmap = warm_cycles(
+                m,
+                &x,
+                SwConfig::InnerProduct,
+                HwConfig::Sc,
+                Some(FormatKind::Bitmap),
+            );
+            let bcsr = warm_cycles(
+                m,
+                &x,
+                SwConfig::InnerProduct,
+                HwConfig::Sc,
+                Some(FormatKind::Bcsr),
+            );
+            let csc = warm_cycles(m, &x, SwConfig::OuterProduct, HwConfig::Pc, None);
+            println!("  {name:<8} {density:>8.2} {coo:>12} {bitmap:>12} {bcsr:>12} {csc:>12}");
+            if *name == "banded" && density >= 1.0 {
+                banded_dense = (bitmap, csc);
+            }
+        }
+    }
+    let (bitmap, csc) = banded_dense;
+    if bitmap > 0 {
+        println!(
+            "  crossover: banded/dense bitmap at {:.2}x the OP/CSC cycles \
+             ({} vs {} — the non-resident format wins the family)",
+            bitmap as f64 / csc.max(1) as f64,
+            bitmap,
+            csc,
+        );
+    }
+}
+
+/// The format-sweep workload section: the crossover table above, then
+/// throughput workloads pinning each format's kernel path on the matrix
+/// family its probe picks it for — `fmt_csc_banded_2048` is the CSC
+/// regression gate (`--check` fails it like any other workload), the
+/// bitmap/BCSR pairs cover both the simulate and host backends.
+fn run_format_workloads(smoke: bool, out: &mut Vec<Workload>) {
+    format_crossover_table(smoke);
+    let (warmup, repeats) = if smoke { (1, 3) } else { (4, 7) };
+    let calls = if smoke { 3 } else { 10 };
+    let host_calls = if smoke { 10 } else { 200 };
+    println!();
+
+    // 1. The OP/CSC merge on the banded family — the resident sparse
+    //    path the new formats have to beat, gated against regression.
+    {
+        let m = banded(2048);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+        let sv = sparse::generate::random_sparse_vector(2048, 0.02, 9).expect("valid density");
+        let x = Frontier::Sparse(sv);
+        let mut w = measure("fmt_csc_banded_2048", "spmv", warmup, repeats, || {
+            spmv_pass(&mut rt, &x, calls)
+        });
+        w.epochs = rt.cache_stats().epochs;
+        out.push(w);
+        print_cache_stats(&rt);
+    }
+
+    // 2/3. The bitmap kernel on the banded family, simulate + host.
+    for (name, backend) in [
+        ("fmt_bitmap_banded_2048", ExecBackend::Simulate),
+        ("host_fmt_bitmap_banded_2048", ExecBackend::Host),
+    ] {
+        let m = banded(2048);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_backend(backend);
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        rt.set_format_override(Some(FormatKind::Bitmap));
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(2048, 1));
+        let c = if backend == ExecBackend::Host {
+            host_calls
+        } else {
+            calls
+        };
+        let mut w = measure(name, "spmv", warmup, repeats, || spmv_pass(&mut rt, &x, c));
+        w.epochs = rt.cache_stats().epochs;
+        out.push(w);
+        print_cache_stats(&rt);
+    }
+
+    // 4/5. The BCSR kernel on the blocked family, simulate + host.
+    for (name, backend) in [
+        ("fmt_bcsr_blocked_2048", ExecBackend::Simulate),
+        ("host_fmt_bcsr_blocked_2048", ExecBackend::Host),
+    ] {
+        let m = blocked(2048);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_backend(backend);
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        rt.set_format_override(Some(FormatKind::Bcsr));
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(2048, 1));
+        let c = if backend == ExecBackend::Host {
+            host_calls
+        } else {
+            calls
+        };
+        let mut w = measure(name, "spmv", warmup, repeats, || spmv_pass(&mut rt, &x, c));
+        w.epochs = rt.cache_stats().epochs;
+        out.push(w);
+        print_cache_stats(&rt);
+    }
+}
+
+fn run_workloads(smoke: bool, sim: bool, host: bool, serve: bool, formats: bool) -> Vec<Workload> {
     let mut out = Vec::new();
     if sim {
         run_sim_workloads(smoke, &mut out);
@@ -600,6 +807,9 @@ fn run_workloads(smoke: bool, sim: bool, host: bool, serve: bool) -> Vec<Workloa
     }
     if serve {
         run_serve_workloads(smoke, &mut out);
+    }
+    if formats {
+        run_format_workloads(smoke, &mut out);
     }
     out
 }
@@ -727,13 +937,14 @@ fn main() {
     let host_only = args.iter().any(|a| a == "--host-only");
     let sim_only = args.iter().any(|a| a == "--sim-only");
     let serve_only = args.iter().any(|a| a == "--serve-only");
+    let formats_only = args.iter().any(|a| a == "--formats-only");
     assert!(
-        [host_only, sim_only, serve_only]
+        [host_only, sim_only, serve_only, formats_only]
             .iter()
             .filter(|b| **b)
             .count()
             <= 1,
-        "--host-only, --sim-only and --serve-only are mutually exclusive"
+        "--host-only, --sim-only, --serve-only and --formats-only are mutually exclusive"
     );
     let arg_value = |flag: &str| {
         args.iter()
@@ -752,13 +963,14 @@ fn main() {
     );
     let workloads = run_workloads(
         smoke,
-        !host_only && !serve_only,
-        !sim_only && !serve_only,
-        !sim_only && !host_only,
+        !host_only && !serve_only && !formats_only,
+        !sim_only && !serve_only && !formats_only,
+        !sim_only && !host_only && !formats_only,
+        !sim_only && !host_only && !serve_only,
     );
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"cosparse-perf/2\",");
+    let _ = writeln!(json, "  \"schema\": \"cosparse-perf/3\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

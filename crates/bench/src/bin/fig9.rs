@@ -79,6 +79,7 @@ fn main() {
             let decision = Decision {
                 software: sw,
                 hardware: hw,
+                format: cosparse::default_format(sw),
                 cvd: f64::NAN,
             };
             let report = rt

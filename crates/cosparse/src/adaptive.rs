@@ -12,13 +12,18 @@
 //!   CVD) both dataflows are tried once per bucket, then the observed
 //!   argmin wins;
 //! * the hardware sibling of the chosen dataflow (SC↔SCS, PC↔PS) is
-//!   always cheap to explore, so it is probed once per bucket too.
+//!   always cheap to explore, so it is probed once per bucket too;
+//! * when the tree proposes an alternate storage format (bitmap or
+//!   blocked — the third reconfiguration axis), the dataflow's default
+//!   resident format is kept as a fallback candidate, so a probe that
+//!   oversold the format gets corrected by observation.
 //!
 //! Iterative algorithms revisit the same density buckets many times
 //! (PageRank every iteration, BFS/SSSP on the ramp up and down), so a
 //! handful of probes amortizes quickly.
 
-use crate::heuristics::{Decision, SwConfig};
+use crate::heuristics::{default_format, Decision, SwConfig};
+use sparse::FormatKind;
 use std::collections::HashMap;
 use transmuter::HwConfig;
 
@@ -46,6 +51,9 @@ fn default_hw(sw: SwConfig) -> HwConfig {
     }
 }
 
+/// One explored configuration point: all three reconfiguration axes.
+type Config = (SwConfig, HwConfig, FormatKind);
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Observation {
     runs: u32,
@@ -64,7 +72,7 @@ impl Observation {
 /// Online cost observations per density bucket and configuration.
 #[derive(Debug, Clone, Default)]
 pub struct AdaptiveState {
-    buckets: HashMap<i32, HashMap<(SwConfig, HwConfig), Observation>>,
+    buckets: HashMap<i32, HashMap<Config, Observation>>,
 }
 
 impl AdaptiveState {
@@ -85,41 +93,51 @@ impl AdaptiveState {
             && prior.cvd > 0.0
             && (density / prior.cvd).max(prior.cvd / density.max(1e-12)) <= Self::EXPLORE_BAND;
 
-        // Candidate set: the prior, its hardware sibling, and — near the
-        // boundary — the other dataflow with its default hardware and
-        // sibling.
-        let mut candidates = vec![
-            (prior.software, prior.hardware),
-            (prior.software, sibling(prior.hardware)),
+        // Candidate set: the prior, its hardware sibling, the dataflow's
+        // resident format as a fallback when the tree proposed an
+        // alternate one, and — near the boundary — the other dataflow
+        // with its default hardware/format and sibling.
+        let mut candidates: Vec<Config> = vec![
+            (prior.software, prior.hardware, prior.format),
+            (prior.software, sibling(prior.hardware), prior.format),
         ];
+        if prior.format != default_format(prior.software) {
+            candidates.push((
+                prior.software,
+                prior.hardware,
+                default_format(prior.software),
+            ));
+        }
         if near_boundary {
             let other = match prior.software {
                 SwConfig::InnerProduct => SwConfig::OuterProduct,
                 SwConfig::OuterProduct => SwConfig::InnerProduct,
             };
-            candidates.push((other, default_hw(other)));
-            candidates.push((other, sibling(default_hw(other))));
+            candidates.push((other, default_hw(other), default_format(other)));
+            candidates.push((other, sibling(default_hw(other)), default_format(other)));
         }
 
         // Unexplored candidates first (in candidate order), then argmin.
         if let Some(obs) = bucket {
-            for &(sw, hw) in &candidates {
-                if !obs.contains_key(&(sw, hw)) {
+            for &(sw, hw, fmt) in &candidates {
+                if !obs.contains_key(&(sw, hw, fmt)) {
                     return Decision {
                         software: sw,
                         hardware: hw,
+                        format: fmt,
                         cvd: prior.cvd,
                     };
                 }
             }
             let best = candidates
                 .iter()
-                .filter_map(|&(sw, hw)| obs.get(&(sw, hw)).map(|o| ((sw, hw), o.mean_cycles)))
+                .filter_map(|&c| obs.get(&c).map(|o| (c, o.mean_cycles)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"));
-            if let Some(((sw, hw), _)) = best {
+            if let Some(((sw, hw, fmt), _)) = best {
                 return Decision {
                     software: sw,
                     hardware: hw,
+                    format: fmt,
                     cvd: prior.cvd,
                 };
             }
@@ -127,12 +145,20 @@ impl AdaptiveState {
         prior
     }
 
-    /// Records the observed cost of running `(sw, hw)` at `density`.
-    pub fn record(&mut self, density: f64, sw: SwConfig, hw: HwConfig, cycles: u64) {
+    /// Records the observed cost of running `(sw, hw, format)` at
+    /// `density`.
+    pub fn record(
+        &mut self,
+        density: f64,
+        sw: SwConfig,
+        hw: HwConfig,
+        format: FormatKind,
+        cycles: u64,
+    ) {
         self.buckets
             .entry(bucket_of(density))
             .or_default()
-            .entry((sw, hw))
+            .entry((sw, hw, format))
             .or_default()
             .record(cycles);
     }
@@ -142,15 +168,22 @@ impl AdaptiveState {
         self.buckets.values().map(|b| b.len()).sum()
     }
 
-    /// Mean observed cycles for `(sw, hw)` in `density`'s bucket, if any.
+    /// Mean observed cycles for `(sw, hw, format)` in `density`'s
+    /// bucket, if any.
     ///
     /// Exposes what [`AdaptiveState::choose`] compares, so tests and
     /// diagnostics can check that recorded costs are kernel-only (free
     /// of one-off reconfiguration/conversion charges).
-    pub fn mean_cycles(&self, density: f64, sw: SwConfig, hw: HwConfig) -> Option<f64> {
+    pub fn mean_cycles(
+        &self,
+        density: f64,
+        sw: SwConfig,
+        hw: HwConfig,
+        format: FormatKind,
+    ) -> Option<f64> {
         self.buckets
             .get(&bucket_of(density))
-            .and_then(|b| b.get(&(sw, hw)))
+            .and_then(|b| b.get(&(sw, hw, format)))
             .map(|o| o.mean_cycles)
     }
 }
@@ -163,8 +196,14 @@ mod tests {
         Decision {
             software: sw,
             hardware: hw,
+            format: default_format(sw),
             cvd,
         }
+    }
+
+    /// Shorthand: record under the dataflow's resident format.
+    fn rec(st: &mut AdaptiveState, d: f64, sw: SwConfig, hw: HwConfig, cycles: u64) {
+        st.record(d, sw, hw, default_format(sw), cycles);
     }
 
     #[test]
@@ -179,16 +218,16 @@ mod tests {
         let mut st = AdaptiveState::new();
         let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.001);
         let d = 0.5; // far from boundary: only IP candidates
-        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
         // Sibling unexplored → probe SCS next.
         let c = st.choose(d, p);
         assert_eq!(c.hardware, HwConfig::Scs);
         // SCS observed worse → settle on SC.
-        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 2000);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Scs, 2000);
         assert_eq!(st.choose(d, p).hardware, HwConfig::Sc);
         // New evidence can flip it.
         for _ in 0..8 {
-            st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 100);
+            rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Scs, 100);
         }
         assert_eq!(st.choose(d, p).hardware, HwConfig::Scs);
     }
@@ -198,20 +237,21 @@ mod tests {
         let mut st = AdaptiveState::new();
         let d = 0.02;
         let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.01); // within 4x
-        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
-        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 1200);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Scs, 1200);
         let c = st.choose(d, p);
         assert_eq!(
             c.software,
             SwConfig::OuterProduct,
             "should probe OP near the CVD"
         );
+        assert_eq!(c.format, FormatKind::Csc, "OP probes its resident format");
 
         // Far from the boundary the other dataflow is never probed.
         let mut st = AdaptiveState::new();
         let far = 0.9;
-        st.record(far, SwConfig::InnerProduct, HwConfig::Sc, 1000);
-        st.record(far, SwConfig::InnerProduct, HwConfig::Scs, 1200);
+        rec(&mut st, far, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        rec(&mut st, far, SwConfig::InnerProduct, HwConfig::Scs, 1200);
         let c = st.choose(far, prior(SwConfig::InnerProduct, HwConfig::Sc, 0.01));
         assert_eq!(c.software, SwConfig::InnerProduct);
     }
@@ -221,15 +261,67 @@ mod tests {
         let mut st = AdaptiveState::new();
         let d = 0.015;
         let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.02); // tree says IP
-        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 10_000);
-        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 11_000);
-        st.record(d, SwConfig::OuterProduct, HwConfig::Pc, 800);
-        st.record(d, SwConfig::OuterProduct, HwConfig::Ps, 900);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Sc, 10_000);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Scs, 11_000);
+        rec(&mut st, d, SwConfig::OuterProduct, HwConfig::Pc, 800);
+        rec(&mut st, d, SwConfig::OuterProduct, HwConfig::Ps, 900);
         let c = st.choose(d, p);
         assert_eq!(
             (c.software, c.hardware),
             (SwConfig::OuterProduct, HwConfig::Pc)
         );
+    }
+
+    #[test]
+    fn alternate_format_prior_keeps_resident_fallback() {
+        // The tree proposed bitmap; the resident COO pairing stays in
+        // the candidate set and wins once observed cheaper.
+        let mut st = AdaptiveState::new();
+        let d = 0.5;
+        let p = Decision {
+            software: SwConfig::InnerProduct,
+            hardware: HwConfig::Sc,
+            format: FormatKind::Bitmap,
+            cvd: 0.001,
+        };
+        st.record(
+            d,
+            SwConfig::InnerProduct,
+            HwConfig::Sc,
+            FormatKind::Bitmap,
+            5000,
+        );
+        st.record(
+            d,
+            SwConfig::InnerProduct,
+            HwConfig::Scs,
+            FormatKind::Bitmap,
+            5500,
+        );
+        // Third candidate: same pairing, resident format — unexplored.
+        let c = st.choose(d, p);
+        assert_eq!(c.format, FormatKind::Coo);
+        assert_eq!(c.hardware, HwConfig::Sc);
+        st.record(
+            d,
+            SwConfig::InnerProduct,
+            HwConfig::Sc,
+            FormatKind::Coo,
+            1000,
+        );
+        let c = st.choose(d, p);
+        assert_eq!(c.format, FormatKind::Coo, "observed cheaper, wins argmin");
+        // And the other way round: make bitmap cheapest again.
+        for _ in 0..8 {
+            st.record(
+                d,
+                SwConfig::InnerProduct,
+                HwConfig::Sc,
+                FormatKind::Bitmap,
+                100,
+            );
+        }
+        assert_eq!(st.choose(d, p).format, FormatKind::Bitmap);
     }
 
     #[test]
@@ -241,11 +333,11 @@ mod tests {
         let mut st = AdaptiveState::new();
         let d = 0.5;
         let p = prior(SwConfig::InnerProduct, HwConfig::Sc, 0.001);
-        st.record(d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
-        st.record(d, SwConfig::InnerProduct, HwConfig::Scs, 900);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Sc, 1000);
+        rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Scs, 900);
         assert_eq!(st.choose(d, p).hardware, HwConfig::Scs);
         assert_eq!(
-            st.mean_cycles(d, SwConfig::InnerProduct, HwConfig::Scs),
+            st.mean_cycles(d, SwConfig::InnerProduct, HwConfig::Scs, FormatKind::Coo),
             Some(900.0)
         );
     }
@@ -253,9 +345,9 @@ mod tests {
     #[test]
     fn buckets_are_independent() {
         let mut st = AdaptiveState::new();
-        st.record(0.5, SwConfig::InnerProduct, HwConfig::Sc, 100);
+        rec(&mut st, 0.5, SwConfig::InnerProduct, HwConfig::Sc, 100);
         assert_eq!(st.observations(), 1);
-        st.record(0.001, SwConfig::OuterProduct, HwConfig::Pc, 100);
+        rec(&mut st, 0.001, SwConfig::OuterProduct, HwConfig::Pc, 100);
         assert_eq!(st.observations(), 2);
         // Data at 0.5 does not leak into the 0.001 bucket's choice.
         let p = prior(SwConfig::OuterProduct, HwConfig::Pc, 0.02);

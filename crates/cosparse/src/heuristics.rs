@@ -12,8 +12,15 @@
 //!    evict/reload churn), SC when everything fits.
 //! 3. **Hardware for OP**: PS when the per-PE sorted list outgrows the
 //!    private L1 bank, PC when it fits (§III-C.3).
+//! 4. **Storage format** (an extension beyond the paper): OP always
+//!    merges CSC columns, but the IP stream can trade the paper's COO
+//!    triplets for a hierarchical-bitmap CSR (clustered rows: ~2 words
+//!    per entry instead of 4) or a blocked BCSR (block-structured rows:
+//!    index and mask loads amortized over whole register blocks),
+//!    driven by the [`FormatProbe`] carried in [`MatrixSummary`].
 
 use crate::ops::OpProfile;
+use sparse::{FormatKind, FormatProbe};
 use transmuter::{Geometry, HwConfig, MicroArch};
 
 /// The software-level dataflow choice.
@@ -48,8 +55,20 @@ pub struct Decision {
     pub software: SwConfig,
     /// Chosen memory configuration.
     pub hardware: HwConfig,
+    /// Chosen matrix storage format (the third reconfiguration axis).
+    pub format: FormatKind,
     /// The crossover vector density the software choice used.
     pub cvd: f64,
+}
+
+/// The storage format a dataflow uses when no probe argues otherwise:
+/// the paper's dual-resident pair — row-major COO for IP streaming, CSC
+/// for OP column merge (§III-D.2).
+pub fn default_format(software: SwConfig) -> FormatKind {
+    match software {
+        SwConfig::InnerProduct => FormatKind::Coo,
+        SwConfig::OuterProduct => FormatKind::Csc,
+    }
 }
 
 /// Structural summary of the operand matrix.
@@ -61,16 +80,54 @@ pub struct MatrixSummary {
     pub cols: usize,
     /// Stored nonzeros.
     pub nnz: usize,
+    /// Structural format probe, when the caller has one. `None` keeps
+    /// the decision tree on the paper's COO/CSC pair.
+    pub probe: Option<FormatProbe>,
 }
 
 impl MatrixSummary {
+    /// Summary without a format probe (the tree then never strays from
+    /// the paper's COO/CSC formats).
+    pub fn new(rows: usize, cols: usize, nnz: usize) -> Self {
+        MatrixSummary {
+            rows,
+            cols,
+            nnz,
+            probe: None,
+        }
+    }
+
+    /// [`MatrixSummary::new`] carrying a [`FormatProbe`].
+    pub fn with_probe(rows: usize, cols: usize, nnz: usize, probe: FormatProbe) -> Self {
+        MatrixSummary {
+            rows,
+            cols,
+            nnz,
+            probe: Some(probe),
+        }
+    }
+
     /// Matrix density `nnz / (rows*cols)`.
+    ///
+    /// The element count is formed exactly in `u128` before the single
+    /// rounding to `f64` — `rows as f64 * cols as f64` would round
+    /// twice, and for `rows * cols > 2^53` the double rounding can
+    /// differ from the true quotient in the last bit.
     pub fn density(&self) -> f64 {
         if self.rows == 0 || self.cols == 0 {
             0.0
         } else {
-            self.nnz as f64 / (self.rows as f64 * self.cols as f64)
+            self.nnz as f64 / (self.rows as u128 * self.cols as u128) as f64
         }
+    }
+
+    /// Reconstructs the frontier population from a density that itself
+    /// came from `count / cols`. Rounds instead of truncating: the
+    /// round-trip quotient is often a hair below the true count (e.g.
+    /// `513/65643 * 65643 < 513`), and `as usize` truncation would lose
+    /// the element that decides a list-fit boundary.
+    pub fn frontier_count(&self, vector_density: f64) -> usize {
+        (vector_density * self.cols as f64).round() as usize
     }
 
     /// Bytes of the streamed COO copy.
@@ -112,6 +169,19 @@ pub struct Thresholds {
     /// Fraction of the private L1 bank the per-PE sorted list may occupy
     /// before PS is preferred over PC.
     pub op_list_fit_fraction: f64,
+    /// Minimum blocked fill ratio ([`FormatProbe::block_fill`]) for the
+    /// IP stream to switch from COO to BCSR: below it the zero-filled
+    /// block slots cost more value traffic than the amortized index and
+    /// mask loads save.
+    pub bcsr_min_fill: f64,
+    /// Minimum entries per occupied 32-column segment
+    /// ([`FormatProbe::seg_occupancy`]) for the IP stream to switch from
+    /// COO to the hierarchical-bitmap CSR: each occupied segment pays a
+    /// descriptor walk and an l0 word on top of its packed values, so
+    /// near-uniform matrices (occupancy ~1-2) are cheaper as flat COO
+    /// triplets; the bitmap's 4-byte value stride only wins once
+    /// segments carry several entries each.
+    pub bitmap_min_seg_occupancy: f64,
 }
 
 impl Thresholds {
@@ -126,6 +196,8 @@ impl Thresholds {
             scs_min_tile_reuse: 2.0,
             scs_max_pes_per_tile: 8,
             op_list_fit_fraction: 1.0,
+            bcsr_min_fill: 0.5,
+            bitmap_min_seg_occupancy: 4.0,
         }
     }
 
@@ -158,7 +230,7 @@ impl Default for Thresholds {
 /// use cosparse::{decide, MatrixSummary, OpProfile, SwConfig, Thresholds};
 /// use transmuter::{Geometry, MicroArch};
 ///
-/// let m = MatrixSummary { rows: 1 << 17, cols: 1 << 17, nnz: 4_000_000 };
+/// let m = MatrixSummary::new(1 << 17, 1 << 17, 4_000_000);
 /// let d = decide(
 ///     m,
 ///     0.001, // a very sparse frontier
@@ -177,11 +249,7 @@ pub fn decide(
     thresholds: &Thresholds,
     profile: &OpProfile,
 ) -> Decision {
-    // Round (not truncate) when reconstructing the frontier size: with
-    // a density that came from `nnz / cols`, truncation can lose the
-    // last element to floating-point (e.g. 4097/10^6 * 10^6 < 4097) and
-    // flip the PS/PC list-fit decision at the boundary.
-    let frontier_nnz = (vector_density * matrix.cols as f64).round() as usize;
+    let frontier_nnz = matrix.frontier_count(vector_density);
     decide_tree(
         matrix,
         vector_density,
@@ -282,9 +350,22 @@ fn decide_tree(
             }
         }
     };
+    // Format: OP always merges CSC columns. For IP the probe can
+    // promote the stream from COO to a denser-per-entry format — BCSR
+    // when the matrix blocks well, else the hierarchical bitmap when
+    // entries cluster within 32-column segments.
+    let format = match software {
+        SwConfig::OuterProduct => FormatKind::Csc,
+        SwConfig::InnerProduct => match matrix.probe {
+            Some(p) if p.block_fill >= thresholds.bcsr_min_fill => FormatKind::Bcsr,
+            Some(p) if p.seg_occupancy >= thresholds.bitmap_min_seg_occupancy => FormatKind::Bitmap,
+            _ => FormatKind::Coo,
+        },
+    };
     Decision {
         software,
         hardware,
+        format,
         cvd,
     }
 }
@@ -294,11 +375,7 @@ mod tests {
     use super::*;
 
     fn summary(n: usize, nnz: usize) -> MatrixSummary {
-        MatrixSummary {
-            rows: n,
-            cols: n,
-            nnz,
-        }
+        MatrixSummary::new(n, n, nnz)
     }
 
     fn decide_default(m: MatrixSummary, vd: f64, g: Geometry) -> Decision {
@@ -447,11 +524,7 @@ mod tests {
         // entries → PC. Both the exact path and the rounding path must
         // say PS.
         let g = Geometry::new(4, 1);
-        let m = MatrixSummary {
-            rows: 65_643,
-            cols: 65_643,
-            nnz: 500_000,
-        };
+        let m = MatrixSummary::new(65_643, 65_643, 500_000);
         let nnz = 513usize;
         let density = nnz as f64 / m.cols as f64;
         assert!(
@@ -478,5 +551,89 @@ mod tests {
         let d = decide_default(summary(0, 0), 0.5, Geometry::new(2, 4));
         assert_eq!(d.software, SwConfig::InnerProduct);
         assert_eq!(d.hardware, HwConfig::Sc);
+        assert_eq!(d.format, FormatKind::Coo);
+    }
+
+    #[test]
+    fn frontier_count_rounds_instead_of_truncating() {
+        // The exact hazard flagged next to `decide`: 513/65643 * 65643
+        // lands a hair below 513, and truncation would reconstruct 512.
+        let m = MatrixSummary::new(65_643, 65_643, 500_000);
+        let density = 513.0 / 65_643.0;
+        assert!(density * 65_643.0 < 513.0, "premise: round-trip loses");
+        assert_eq!(m.frontier_count(density), 513);
+        // And 4097/10^6, the boundary case from the original comment.
+        let m = MatrixSummary::new(1 << 20, 1_000_000, 4_000_000);
+        assert_eq!(m.frontier_count(4097.0 / 1_000_000.0), 4097);
+    }
+
+    #[test]
+    fn density_is_single_rounded_for_huge_shapes() {
+        // rows * cols overflows 2^53: the u128 product rounds once; the
+        // old `rows as f64 * cols as f64` product rounded twice. Both
+        // must stay finite, positive and within one ulp of the true
+        // quotient.
+        let m = MatrixSummary::new(94_906_267, 94_906_267, 4_000_000_000);
+        let elems = 94_906_267u128 * 94_906_267u128;
+        let want = 4_000_000_000f64 / elems as f64;
+        assert!(m.density() > 0.0 && m.density().is_finite());
+        assert_eq!(m.density(), want);
+    }
+
+    #[test]
+    fn op_always_uses_csc_regardless_of_probe() {
+        let probe = FormatProbe {
+            seg_occupancy: 30.0,
+            block_fill: 1.0,
+            block_shape: (4, 4),
+        };
+        let m = MatrixSummary::with_probe(1 << 17, 1 << 17, 4_000_000, probe);
+        let d = decide_default(m, 0.001, Geometry::new(4, 8));
+        assert_eq!(d.software, SwConfig::OuterProduct);
+        assert_eq!(d.format, FormatKind::Csc);
+    }
+
+    #[test]
+    fn probe_steers_the_ip_format() {
+        let g = Geometry::new(4, 8);
+        let base = summary(1 << 17, 4_000_000);
+        // No probe: the paper's COO stream.
+        assert_eq!(decide_default(base, 0.5, g).format, FormatKind::Coo);
+        // Blocky matrix: BCSR wins even though segments are also full.
+        let blocky = MatrixSummary {
+            probe: Some(FormatProbe {
+                seg_occupancy: 8.0,
+                block_fill: 0.8,
+                block_shape: (4, 4),
+            }),
+            ..base
+        };
+        assert_eq!(decide_default(blocky, 0.5, g).format, FormatKind::Bcsr);
+        // Clustered but unblockable: bitmap.
+        let clustered = MatrixSummary {
+            probe: Some(FormatProbe {
+                seg_occupancy: 6.0,
+                block_fill: 0.2,
+                block_shape: (1, 1),
+            }),
+            ..base
+        };
+        assert_eq!(decide_default(clustered, 0.5, g).format, FormatKind::Bitmap);
+        // Scattered: stay on COO.
+        let scattered = MatrixSummary {
+            probe: Some(FormatProbe {
+                seg_occupancy: 1.05,
+                block_fill: 0.1,
+                block_shape: (1, 1),
+            }),
+            ..base
+        };
+        assert_eq!(decide_default(scattered, 0.5, g).format, FormatKind::Coo);
+    }
+
+    #[test]
+    fn default_formats_are_the_papers_resident_pair() {
+        assert_eq!(default_format(SwConfig::InnerProduct), FormatKind::Coo);
+        assert_eq!(default_format(SwConfig::OuterProduct), FormatKind::Csc);
     }
 }

@@ -20,7 +20,7 @@
 use crate::heuristics::SwConfig;
 use crate::ops::{GraphOp, Update};
 use sparse::partition::RowPartition;
-use sparse::{CscMatrix, CsrMatrix, Idx};
+use sparse::{BcsrMatrix, BitmapCsr, CscMatrix, CsrMatrix, Idx};
 
 /// Which execution backend a [`crate::CoSparse`] runtime answers with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +54,33 @@ fn worker_count(parts: usize) -> usize {
         .max(1)
 }
 
+/// The matrix structure the inner-product host path walks — the host
+/// side of the storage-format reconfiguration axis. All three walk each
+/// destination row's entries in ascending source order, so they are
+/// interchangeable bit-for-bit; they differ only in how the row is
+/// materialized in host memory.
+#[derive(Debug, Clone, Copy)]
+pub enum HostOperand<'a> {
+    /// Compressed sparse row (the default row loop).
+    Csr(&'a CsrMatrix),
+    /// Hierarchical-bitmap CSR: rows decoded segment by segment.
+    Bitmap(&'a BitmapCsr),
+    /// Blocked CSR: rows gathered from `r x c` blocks, mask-gated so
+    /// fill never contributes.
+    Bcsr(&'a BcsrMatrix),
+}
+
+impl HostOperand<'_> {
+    /// Number of columns of the operand matrix.
+    fn cols(&self) -> usize {
+        match self {
+            HostOperand::Csr(m) => m.cols(),
+            HostOperand::Bitmap(m) => m.cols(),
+            HostOperand::Bcsr(m) => m.cols(),
+        }
+    }
+}
+
 /// Per-step operands of one host SpMV: the sorted active `(source,
 /// frontier value)` pairs, the full per-vertex state, and the original
 /// graph's out-degrees — the same triple [`crate::ops::apply`] takes.
@@ -68,10 +95,11 @@ pub struct StepInputs<'a, V> {
 }
 
 /// One host SpMV step under the generalized [`GraphOp`] semiring,
-/// dispatched by dataflow: the inner-product path walks rows (CSR), the
-/// outer-product path walks the active columns (CSC). Both return the
-/// updates that passed [`GraphOp::is_update`], sorted by destination —
-/// bit-identical to [`crate::ops::apply`] on the same inputs.
+/// dispatched by dataflow: the inner-product path walks rows of the
+/// decided-format `operand` ([`HostOperand`]), the outer-product path
+/// walks the active columns (CSC). Both return the updates that passed
+/// [`GraphOp::is_update`], sorted by destination — bit-identical to
+/// [`crate::ops::apply`] on the same inputs.
 ///
 /// `partition` is the plan's per-worker row partitioning; each
 /// partition's rows are evaluated independently (on parallel host
@@ -84,7 +112,7 @@ pub struct StepInputs<'a, V> {
 pub fn execute<O: GraphOp>(
     op: &O,
     software: SwConfig,
-    csr: &CsrMatrix,
+    operand: HostOperand<'_>,
     csc: &CscMatrix,
     inputs: StepInputs<'_, O::Value>,
     partition: &RowPartition,
@@ -92,7 +120,7 @@ pub fn execute<O: GraphOp>(
     execute_with(
         op,
         software,
-        csr,
+        operand,
         csc,
         inputs,
         partition,
@@ -109,14 +137,14 @@ pub fn execute<O: GraphOp>(
 pub fn execute_with<O: GraphOp>(
     op: &O,
     software: SwConfig,
-    csr: &CsrMatrix,
+    operand: HostOperand<'_>,
     csc: &CscMatrix,
     inputs: StepInputs<'_, O::Value>,
     partition: &RowPartition,
     workers: usize,
 ) -> Vec<Update<O::Value>> {
     match software {
-        SwConfig::InnerProduct => dense_rows(op, csr, inputs, partition, workers),
+        SwConfig::InnerProduct => dense_rows(op, operand, inputs, partition, workers),
         SwConfig::OuterProduct => sparse_columns(op, csc, inputs, partition, workers),
     }
 }
@@ -161,14 +189,15 @@ where
     updates
 }
 
-/// Inner-product (dense) path: per-partition row loops over the CSR
-/// operand matrix. The frontier is scattered into a dense value/mask
-/// pair once, then every row reduces its active entries in ascending
-/// column (= source) order — the same per-destination reduce order as
-/// the golden model's active-major walk over sorted actives.
+/// Inner-product (dense) path: per-partition row loops over the operand
+/// matrix in whichever storage format was decided. The frontier is
+/// scattered into a dense value/mask pair once, then every row reduces
+/// its active entries in ascending column (= source) order — the same
+/// per-destination reduce order as the golden model's active-major walk
+/// over sorted actives, whichever format materializes the row.
 fn dense_rows<O: GraphOp>(
     op: &O,
-    csr: &CsrMatrix,
+    operand: HostOperand<'_>,
     inputs: StepInputs<'_, O::Value>,
     partition: &RowPartition,
     workers: usize,
@@ -183,24 +212,57 @@ fn dense_rows<O: GraphOp>(
     }
     // Scatter the frontier. The fill value is arbitrary (any copy of a
     // real value); slots whose mask bit is false are never read.
-    let mut fvals = vec![active[0].1; csr.cols()];
-    let mut mask = vec![false; csr.cols()];
+    let mut fvals = vec![active[0].1; operand.cols()];
+    let mut mask = vec![false; operand.cols()];
     for &(src, v) in active {
         fvals[src as usize] = v;
         mask[src as usize] = true;
     }
     fan_out(partition.len(), workers, |p, out| {
         for dst in partition.range(p) {
-            let (srcs, weights) = csr.row(dst);
             let mut acc: Option<O::Value> = None;
-            for (s, w) in srcs.iter().zip(weights) {
-                let si = *s as usize;
-                if mask[si] {
-                    let contrib = op.matrix_op(*w, fvals[si], state[dst], degrees[si]);
-                    acc = Some(match acc {
-                        Some(a) => op.reduce(a, contrib),
-                        None => contrib,
-                    });
+            {
+                // One reduce step per stored entry, shared by the three
+                // row walks below — the walks differ only in where the
+                // (column, weight) pairs come from.
+                let mut visit = |si: usize, w: f32| {
+                    if mask[si] {
+                        let contrib = op.matrix_op(w, fvals[si], state[dst], degrees[si]);
+                        acc = Some(match acc.take() {
+                            Some(a) => op.reduce(a, contrib),
+                            None => contrib,
+                        });
+                    }
+                };
+                match operand {
+                    HostOperand::Csr(csr) => {
+                        let (srcs, weights) = csr.row(dst);
+                        for (s, w) in srcs.iter().zip(weights) {
+                            visit(*s as usize, *w);
+                        }
+                    }
+                    HostOperand::Bitmap(m) => {
+                        for (col, w) in m.iter_row(dst) {
+                            visit(col as usize, w);
+                        }
+                    }
+                    HostOperand::Bcsr(m) => {
+                        let (br, bc) = m.block_shape();
+                        let brow = dst / br;
+                        let i = dst % br;
+                        // Blocks are ascending by block column, so the
+                        // masked cells of local row `i` come out in
+                        // ascending source order.
+                        for b in m.block_row_ptr()[brow]..m.block_row_ptr()[brow + 1] {
+                            let base_col = m.block_col()[b] as usize * bc;
+                            let bmask = m.mask()[b];
+                            for j in 0..bc {
+                                if bmask >> (i * bc + j) & 1 == 1 {
+                                    visit(base_col + j, m.values()[b * br * bc + i * bc + j]);
+                                }
+                            }
+                        }
+                    }
                 }
             }
             if let Some(reduced) = acc {
@@ -298,7 +360,7 @@ mod tests {
                 degrees: &degrees,
             };
             for sw in [SwConfig::InnerProduct, SwConfig::OuterProduct] {
-                let got = execute(&SpmvOp, sw, &csr, &csc, inputs, &parts);
+                let got = execute(&SpmvOp, sw, HostOperand::Csr(&csr), &csc, inputs, &parts);
                 assert_eq!(got.len(), want.len(), "{sw:?} x {active_n} actives");
                 for (g, w) in got.iter().zip(&want) {
                     assert_eq!(g.0, w.0);
@@ -319,7 +381,7 @@ mod tests {
             degrees: &degrees,
         };
         for sw in [SwConfig::InnerProduct, SwConfig::OuterProduct] {
-            assert!(execute(&SpmvOp, sw, &csr, &csc, inputs, &parts).is_empty());
+            assert!(execute(&SpmvOp, sw, HostOperand::Csr(&csr), &csc, inputs, &parts).is_empty());
         }
     }
 
@@ -350,8 +412,70 @@ mod tests {
             degrees: &degrees,
         };
         for sw in [SwConfig::InnerProduct, SwConfig::OuterProduct] {
-            let got = execute(&MinPlus, sw, &csr, &csc, inputs, &parts);
+            let got = execute(&MinPlus, sw, HostOperand::Csr(&csr), &csc, inputs, &parts);
             assert_eq!(got, want, "{sw:?}");
+        }
+    }
+
+    /// Every inner-product operand format walks rows in ascending
+    /// source order, so all three must be bit-identical to the golden
+    /// model — including a clustered matrix where bitmap segments and
+    /// BCSR blocks are non-trivial, and partitions that split blocks.
+    #[test]
+    fn format_operands_are_bit_identical_to_golden() {
+        use sparse::CooMatrix;
+        // A banded matrix (dense 2x2-blockable runs) plus scattered
+        // uniform entries merged in, so both structured and degenerate
+        // blocks occur.
+        let n = 257; // odd: the last BCSR block row is ragged
+        let mut ts = Vec::new();
+        for r in 0..n as u32 {
+            let base = (r / 2) * 2 % (n as u32 - 8);
+            for k in 0..8 {
+                ts.push((r, base + k, 0.5 + (r + k) as f32 * 0.25));
+            }
+        }
+        let coo = CooMatrix::from_triplets(n, n, ts).unwrap();
+        let csc = CscMatrix::from(&coo);
+        let csr = CsrMatrix::from(&coo);
+        let bitmap = BitmapCsr::from(&coo);
+        let bcsr = BcsrMatrix::from(&coo);
+        assert!(bcsr.block_shape().0 * bcsr.block_shape().1 > 1, "blocked");
+        let degrees: Vec<u32> = coo.col_counts().into_iter().map(|c| c as u32).collect();
+        let parts = RowPartition::nnz_balanced_csr(&csr, 8);
+        let state = vec![0.0f32; n];
+        for active_n in [1usize, 19, n] {
+            let active: Vec<(Idx, f32)> = (0..active_n)
+                .map(|i| ((i * n / active_n) as Idx, 1.0 + i as f32 * 0.125))
+                .collect();
+            let want = apply(&SpmvOp, &csc, &active, &state, &degrees);
+            let inputs = StepInputs {
+                active: &active,
+                state: &state,
+                degrees: &degrees,
+            };
+            for (name, operand) in [
+                ("csr", HostOperand::Csr(&csr)),
+                ("bitmap", HostOperand::Bitmap(&bitmap)),
+                ("bcsr", HostOperand::Bcsr(&bcsr)),
+            ] {
+                for workers in [1usize, 4] {
+                    let got = execute_with(
+                        &SpmvOp,
+                        SwConfig::InnerProduct,
+                        operand,
+                        &csc,
+                        inputs,
+                        &parts,
+                        workers,
+                    );
+                    assert_eq!(got.len(), want.len(), "{name} x {active_n} actives");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.0, w.0, "{name}");
+                        assert_eq!(g.1.to_bits(), w.1.to_bits(), "{name} bit-exact at {}", g.0);
+                    }
+                }
+            }
         }
     }
 
@@ -398,19 +522,50 @@ mod tests {
                     state: &inf_state,
                     degrees: &degrees,
                 };
-                let seq = execute_with(&SpmvOp, sw, &csr, &csc, spmv_inputs, &parts, 1);
-                let seq_min = execute_with(&MinPlus, sw, &csr, &csc, minplus_inputs, &parts, 1);
+                let seq = execute_with(
+                    &SpmvOp,
+                    sw,
+                    HostOperand::Csr(&csr),
+                    &csc,
+                    spmv_inputs,
+                    &parts,
+                    1,
+                );
+                let seq_min = execute_with(
+                    &MinPlus,
+                    sw,
+                    HostOperand::Csr(&csr),
+                    &csc,
+                    minplus_inputs,
+                    &parts,
+                    1,
+                );
                 let golden = apply(&SpmvOp, &csc, &active, &zero_state, &degrees);
                 for workers in [2usize, 4, 8] {
-                    let par = execute_with(&SpmvOp, sw, &csr, &csc, spmv_inputs, &parts, workers);
+                    let par = execute_with(
+                        &SpmvOp,
+                        sw,
+                        HostOperand::Csr(&csr),
+                        &csc,
+                        spmv_inputs,
+                        &parts,
+                        workers,
+                    );
                     assert_eq!(par.len(), seq.len(), "{sw:?} w={workers}");
                     for ((pd, pv), (sd, sv)) in par.iter().zip(&seq) {
                         assert_eq!(pd, sd);
                         assert_eq!(pv.to_bits(), sv.to_bits(), "dst {pd}, {sw:?} w={workers}");
                     }
                     assert_eq!(par, golden, "{sw:?} w={workers} vs golden model");
-                    let par_min =
-                        execute_with(&MinPlus, sw, &csr, &csc, minplus_inputs, &parts, workers);
+                    let par_min = execute_with(
+                        &MinPlus,
+                        sw,
+                        HostOperand::Csr(&csr),
+                        &csc,
+                        minplus_inputs,
+                        &parts,
+                        workers,
+                    );
                     assert_eq!(par_min, seq_min, "min-reduce {sw:?} w={workers}");
                 }
             }

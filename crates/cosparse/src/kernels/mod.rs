@@ -19,6 +19,7 @@
 //! drift.
 
 pub mod convert;
+pub mod formats;
 pub mod ip;
 pub mod op;
 

@@ -45,6 +45,12 @@ pub struct Layout {
     pub heap_base: Addr,
     /// Stride between consecutive PEs' heap regions.
     pub heap_stride: u64,
+    /// Packed alternate-format matrix image (bitmap CSR or BCSR) the
+    /// format kernels stream; zero-sized when the plan's format is one
+    /// of the always-resident COO/CSC pair.
+    pub fmt_base: Addr,
+    /// Bytes of the alternate-format image.
+    pub fmt_bytes: u64,
     /// Words per vector element (1 for scalar algorithms, K for CF).
     pub value_words: u64,
     /// Matrix rows the layout was sized for.
@@ -71,6 +77,19 @@ impl Layout {
         geometry: Geometry,
         value_words: usize,
     ) -> Self {
+        Layout::with_format_bytes(rows, cols, nnz, geometry, value_words, 0)
+    }
+
+    /// [`Layout::new`] with an extra `fmt_bytes`-sized region for an
+    /// alternate storage format's packed image (see [`Layout::fmt_base`]).
+    pub fn with_format_bytes(
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        geometry: Geometry,
+        value_words: usize,
+        fmt_bytes: usize,
+    ) -> Self {
         const LINE: u64 = 64;
         let align = |a: u64| a.div_ceil(LINE) * LINE;
         let value_words = value_words.max(1) as u64;
@@ -92,6 +111,8 @@ impl Layout {
         let fifo_base = take(fifo_stride * geometry.total_pes() as u64);
         let heap_stride = align(cols as u64 * HEAP_NODE_BYTES + LINE);
         let heap_base = take(heap_stride * geometry.total_pes() as u64);
+        let fmt_bytes = fmt_bytes as u64;
+        let fmt_base = take(fmt_bytes);
         Layout {
             coo_base,
             csc_ptr_base,
@@ -103,6 +124,8 @@ impl Layout {
             fifo_stride,
             heap_base,
             heap_stride,
+            fmt_base,
+            fmt_bytes,
             value_words,
             rows,
             cols,
@@ -135,6 +158,9 @@ impl Layout {
                 self.heap_base,
                 self.heap_stride * self.total_pes as u64,
             );
+        if self.fmt_bytes > 0 {
+            map.add("fmt", self.fmt_base, self.fmt_bytes);
+        }
         map
     }
 
@@ -173,6 +199,11 @@ impl Layout {
         self.fifo_base
             + pe as u64 * self.fifo_stride
             + (k as u64 * SV_ENTRY_BYTES) % self.fifo_stride
+    }
+
+    /// Address of word `w` of the alternate-format image.
+    pub fn fmt_word(&self, w: usize) -> Addr {
+        self.fmt_base + w as u64 * WORD
     }
 
     /// Address of spilled heap node `node` for global PE `pe`.
@@ -240,5 +271,20 @@ mod tests {
     fn zero_nnz_is_fine() {
         let l = Layout::new(4, 4, 0, Geometry::new(1, 1), 1);
         assert!(l.csc_ptr_base > l.coo_base);
+    }
+
+    #[test]
+    fn format_region_is_disjoint_and_strides_by_word() {
+        let g = Geometry::new(2, 4);
+        let l = Layout::with_format_bytes(1000, 1000, 5000, g, 1, 4096);
+        assert_eq!(l.fmt_bytes, 4096);
+        assert!(l.fmt_base >= l.heap_base + l.heap_stride * 8);
+        assert_eq!(l.fmt_word(3) - l.fmt_word(2), 4);
+        // Without format bytes the region is absent but layouts agree
+        // on everything before it.
+        let plain = Layout::new(1000, 1000, 5000, g, 1);
+        assert_eq!(plain.fmt_bytes, 0);
+        assert_eq!(plain.coo_base, l.coo_base);
+        assert_eq!(plain.heap_base, l.heap_base);
     }
 }

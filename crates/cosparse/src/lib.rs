@@ -61,13 +61,17 @@ pub mod serve;
 pub mod shared;
 pub mod verify;
 
-pub use heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
-pub use host::ExecBackend;
+pub use heuristics::{
+    decide, decide_exact, default_format, Decision, MatrixSummary, SwConfig, Thresholds,
+};
+pub use host::{ExecBackend, HostOperand};
 pub use layout::Layout;
 pub use ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 pub use runtime::{CacheStats, CoSparse, Frontier, Policy, SpmvOutcome, StepOutcome};
-pub use serve::{GraphService, ServeConfig, ServeStats, Ticket};
+pub use serve::{GraphService, ServeConfig, ServeError, ServeStats, Ticket};
 pub use shared::{SharedCacheStats, SharedGraph};
 pub use verify::{run_checked, VerifyReport};
-// Re-export so downstream crates name the hardware configs from here.
+// Re-export so downstream crates name the hardware configs and storage
+// formats from here.
+pub use sparse::FormatKind;
 pub use transmuter::HwConfig;

@@ -15,14 +15,16 @@
 
 use crate::adaptive::AdaptiveState;
 use crate::balance::Balancing;
-use crate::heuristics::{decide, decide_exact, Decision, MatrixSummary, SwConfig, Thresholds};
-use crate::host::{self, ExecBackend};
+use crate::heuristics::{
+    decide, decide_exact, default_format, Decision, MatrixSummary, SwConfig, Thresholds,
+};
+use crate::host::{self, ExecBackend, HostOperand};
 use crate::kernels::convert::{self, Direction};
-use crate::kernels::{ip, op};
+use crate::kernels::{formats, ip, op};
 use crate::ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 use crate::shared::{SharedCounters, SharedGraph, SharedPlan};
 use crate::verify::{run_checked, VerifyReport};
-use sparse::{CooMatrix, CscMatrix, DenseVector, Idx, SparseVector};
+use sparse::{CooMatrix, CscMatrix, DenseVector, FormatKind, Idx, SparseVector};
 use std::sync::Arc;
 use transmuter::{
     Analysis, EpochStats, HwConfig, Machine, MemoStats, ProgramBuilder, SimError, SimReport,
@@ -112,8 +114,10 @@ pub struct SpmvOutcome {
     pub software: SwConfig,
     /// Chosen memory configuration.
     pub hardware: HwConfig,
-    /// Simulated timing/energy (reconfiguration and any frontier
-    /// conversion included).
+    /// Chosen storage format (the third reconfiguration axis).
+    pub format: FormatKind,
+    /// Simulated timing/energy (reconfiguration, any frontier
+    /// conversion and any one-time format materialization included).
     pub report: SimReport,
     /// The product vector, in the representation the dataflow produces
     /// (dense for IP, sparse for OP).
@@ -127,6 +131,8 @@ pub struct StepOutcome<V> {
     pub software: SwConfig,
     /// Chosen memory configuration.
     pub hardware: HwConfig,
+    /// Chosen storage format (the third reconfiguration axis).
+    pub format: FormatKind,
     /// Simulated timing/energy.
     pub report: SimReport,
     /// State updates that passed [`GraphOp::is_update`], sorted by
@@ -236,6 +242,9 @@ pub struct CoSparse {
     thresholds: Thresholds,
     balancing: Balancing,
     policy: Policy,
+    /// When set, every decision's storage format is pinned to this
+    /// value (bench sweeps; see [`CoSparse::set_format_override`]).
+    format_override: Option<FormatKind>,
     prev_sw: Option<SwConfig>,
     adaptive: AdaptiveState,
     verify: bool,
@@ -297,6 +306,7 @@ impl CoSparse {
             thresholds: Thresholds::paper(),
             balancing: Balancing::NnzBalanced,
             policy: Policy::Auto,
+            format_override: None,
             prev_sw: None,
             adaptive: AdaptiveState::new(),
             verify: false,
@@ -419,16 +429,32 @@ impl CoSparse {
         self.adaptive = AdaptiveState::new();
     }
 
+    /// Pins (or unpins, with `None`) the storage format of every
+    /// subsequent decision, overriding the tree/policy choice on that
+    /// axis — the format analogue of [`Policy::Fixed`], used by the
+    /// bench sweeps to measure one format in isolation. The inner
+    /// dataflow honors `Coo`, `Bitmap` and `Bcsr`; the outer dataflow
+    /// always streams CSC regardless of the pin.
+    pub fn set_format_override(&mut self, format: Option<FormatKind>) {
+        self.format_override = format;
+    }
+
     /// Observations collected so far under [`Policy::Adaptive`].
     pub fn adaptive_observations(&self) -> usize {
         self.adaptive.observations()
     }
 
-    /// Mean kernel-only cycles recorded for `(sw, hw)` in `density`'s
-    /// adaptive bucket, if observed (see
+    /// Mean kernel-only cycles recorded for `(sw, hw, format)` in
+    /// `density`'s adaptive bucket, if observed (see
     /// [`AdaptiveState::mean_cycles`]).
-    pub fn adaptive_mean_cycles(&self, density: f64, sw: SwConfig, hw: HwConfig) -> Option<f64> {
-        self.adaptive.mean_cycles(density, sw, hw)
+    pub fn adaptive_mean_cycles(
+        &self,
+        density: f64,
+        sw: SwConfig,
+        hw: HwConfig,
+        format: FormatKind,
+    ) -> Option<f64> {
+        self.adaptive.mean_cycles(density, sw, hw, format)
     }
 
     /// The operand matrix (COO copy).
@@ -446,14 +472,17 @@ impl CoSparse {
         &self.machine
     }
 
-    /// Structural summary used by the decision tree.
+    /// Structural summary used by the decision tree, including the
+    /// cached format probe (computed once per graph), so the tree can
+    /// steer the storage-format axis.
     pub fn summary(&self) -> MatrixSummary {
         let coo = self.shared.matrix();
-        MatrixSummary {
-            rows: coo.rows(),
-            cols: coo.cols(),
-            nnz: coo.nnz(),
-        }
+        MatrixSummary::with_probe(
+            coo.rows(),
+            coo.cols(),
+            coo.nnz(),
+            *self.shared.format_probe(),
+        )
     }
 
     /// Runs the decision tree for a frontier of the given density
@@ -469,15 +498,20 @@ impl CoSparse {
                 profile,
             )
         };
-        match self.policy {
+        let mut d = match self.policy {
             Policy::Auto => tree(),
             Policy::Fixed(sw, hw) => Decision {
                 software: sw,
                 hardware: hw,
+                format: default_format(sw),
                 cvd: f64::NAN,
             },
             Policy::Adaptive => self.adaptive.choose(vector_density, tree()),
+        };
+        if let Some(f) = self.format_override {
+            d.format = f;
         }
+        d
     }
 
     /// [`CoSparse::decide`] with the frontier's exact active count.
@@ -497,11 +531,12 @@ impl CoSparse {
                 profile,
             )
         };
-        match self.policy {
+        let mut d = match self.policy {
             Policy::Auto => tree(),
             Policy::Fixed(sw, hw) => Decision {
                 software: sw,
                 hardware: hw,
+                format: default_format(sw),
                 cvd: f64::NAN,
             },
             Policy::Adaptive => {
@@ -512,23 +547,28 @@ impl CoSparse {
                 };
                 self.adaptive.choose(density, tree())
             }
+        };
+        if let Some(f) = self.format_override {
+            d.format = f;
         }
+        d
     }
 
     /// (Re)binds the session's [`Plan`] when none is bound or its key —
-    /// op profile + balancing scheme — no longer matches. The plan
-    /// itself comes from the shared graph's registry (built there on
-    /// the first request for the key, from any session); only the
-    /// builder scratch is per-session.
-    fn ensure_plan(&mut self, profile: &OpProfile) {
-        let stale = self
-            .plan
-            .as_ref()
-            .is_none_or(|p| p.shared.profile != *profile || p.shared.balancing != self.balancing);
+    /// op profile + balancing scheme + storage format — no longer
+    /// matches. The plan itself comes from the shared graph's registry
+    /// (built there on the first request for the key, from any
+    /// session); only the builder scratch is per-session.
+    fn ensure_plan(&mut self, profile: &OpProfile, format: FormatKind) {
+        let stale = self.plan.as_ref().is_none_or(|p| {
+            p.shared.profile != *profile
+                || p.shared.balancing != self.balancing
+                || p.shared.format != format
+        });
         if !stale {
             return;
         }
-        let shared = self.shared.plan_for(profile, self.balancing);
+        let shared = self.shared.plan_for(profile, self.balancing, format);
         self.plan = Some(Plan {
             shared,
             builder: ProgramBuilder::new(),
@@ -558,7 +598,7 @@ impl CoSparse {
         profile: &OpProfile,
     ) -> Result<SimReport, SimError> {
         if self.backend == ExecBackend::Host {
-            self.ensure_plan(profile);
+            self.ensure_plan(profile, decision.format);
             return Ok(self.host_report(0.0));
         }
         self.execute_timed(decision, active, profile)
@@ -594,7 +634,12 @@ impl CoSparse {
                 }],
             });
         }
-        self.ensure_plan(profile);
+        // Snapshot format coldness before the plan bind: building an
+        // alternate-format plan forces the image (to size its region),
+        // and the one-time pack charge below keys on whether it was
+        // already materialized when this invocation arrived.
+        let cold_format = !self.shared.format_is_materialized(decision.format);
+        self.ensure_plan(profile, decision.format);
         let reconfig_cost = self.machine.reconfigure(decision.hardware);
 
         // Frontier representation conversion (§III-D.2) when the
@@ -650,9 +695,161 @@ impl CoSparse {
             });
         }
 
+        // One-time storage-format materialization (§III-D.2 analogue on
+        // the format axis): the first invocation to land on a cold
+        // alternate format streams the COO triplets through the PEs and
+        // writes the packed image; every later invocation — from any
+        // session on the graph — finds it warm.
+        let mut pack_report = None;
+        if cold_format && matches!(decision.format, FormatKind::Bitmap | FormatKind::Bcsr) {
+            let plan = self.plan.as_mut().expect("plan ensured above");
+            let image_words = (plan.shared.layout.fmt_bytes / 4) as usize;
+            let nnz = self.shared.matrix().nnz();
+            pack_report = Some(if self.verify {
+                let streams =
+                    formats::pack_streams(&plan.shared.layout, geometry, nnz, image_words);
+                run_checked(
+                    &mut self.machine,
+                    streams,
+                    &plan.shared.regions,
+                    &mut self.verify_report,
+                )?
+            } else {
+                plan.builder.set_analysis(self.deep_analysis);
+                plan.builder
+                    .begin(geometry, decision.hardware, self.machine.uarch());
+                formats::build_pack(
+                    &plan.shared.layout,
+                    geometry,
+                    nnz,
+                    image_words,
+                    &mut plan.builder,
+                );
+                plan.scratch_key = None;
+                SharedCounters::bump(&self.shared.counters().conversion_builds);
+                let prog = plan.builder.finish();
+                self.last_analysis = prog.analysis().cloned();
+                self.machine.run_program(prog)?
+            });
+        }
+
         let sw_idx = sw_index(decision.software);
         let hw_idx = hw_index(decision.hardware);
         let mut report = match decision.software {
+            SwConfig::InnerProduct
+                if matches!(decision.format, FormatKind::Bitmap | FormatKind::Bcsr) =>
+            {
+                // Format-streaming IP kernels (the third axis): same
+                // dataflow contract as the COO path, different matrix
+                // stream. Dense frontiers run the plan's shared compiled
+                // program (one per hardware slot, format-specific since
+                // the plan is format-keyed); masked frontiers go through
+                // the session builder scratch.
+                let dense = active.len() >= self.shared.matrix().cols();
+                if !dense {
+                    for &i in active {
+                        self.mask_buf[i as usize] = true;
+                    }
+                }
+                let plan = self.plan.as_mut().expect("plan ensured above");
+                let mask: Option<&[bool]> = if dense { None } else { Some(&self.mask_buf) };
+                let params = formats::FmtParams {
+                    layout: &plan.shared.layout,
+                    partition: &plan.shared.ip_partition,
+                    active: mask,
+                    profile: *profile,
+                };
+                let result = if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
+                    let streams = match decision.format {
+                        FormatKind::Bitmap => {
+                            formats::bitmap_streams(self.shared.bitmap(), geometry, params)
+                        }
+                        _ => formats::bcsr_streams(self.shared.bcsr(), geometry, params),
+                    };
+                    let run = run_checked(
+                        &mut self.machine,
+                        streams,
+                        &plan.shared.regions,
+                        &mut self.verify_report,
+                    );
+                    if run.is_ok() {
+                        plan.shared.mark_verified(sw_idx, hw_idx);
+                    }
+                    run
+                } else if dense {
+                    let uarch = self.machine.uarch();
+                    let shared = &self.shared;
+                    let prog = plan
+                        .shared
+                        .dense_program(hw_idx, self.shared.counters(), || {
+                            let mut builder = ProgramBuilder::new();
+                            builder.set_analysis(true);
+                            builder.begin(geometry, decision.hardware, uarch);
+                            match decision.format {
+                                FormatKind::Bitmap => formats::build_bitmap(
+                                    shared.bitmap(),
+                                    geometry,
+                                    params,
+                                    &mut builder,
+                                ),
+                                _ => formats::build_bcsr(
+                                    shared.bcsr(),
+                                    geometry,
+                                    params,
+                                    &mut builder,
+                                ),
+                            }
+                            builder.finish().clone()
+                        });
+                    self.last_analysis = prog.analysis().cloned();
+                    let run = self.machine.run_program(prog);
+                    if self.verify && run.is_ok() {
+                        self.verify_report.runs += 1;
+                    }
+                    run
+                } else {
+                    if plan.scratch_key != Some((sw_idx, hw_idx))
+                        || plan.scratch_frontier != *active
+                    {
+                        plan.builder.set_analysis(self.deep_analysis);
+                        plan.builder
+                            .begin(geometry, decision.hardware, self.machine.uarch());
+                        match decision.format {
+                            FormatKind::Bitmap => formats::build_bitmap(
+                                self.shared.bitmap(),
+                                geometry,
+                                params,
+                                &mut plan.builder,
+                            ),
+                            _ => formats::build_bcsr(
+                                self.shared.bcsr(),
+                                geometry,
+                                params,
+                                &mut plan.builder,
+                            ),
+                        }
+                        plan.builder.finish();
+                        plan.scratch_key = Some((sw_idx, hw_idx));
+                        plan.scratch_frontier.clear();
+                        plan.scratch_frontier.extend_from_slice(active);
+                        SharedCounters::bump(&self.shared.counters().scratch_program_builds);
+                    } else {
+                        SharedCounters::bump(&self.shared.counters().scratch_program_hits);
+                    }
+                    self.last_analysis = plan.builder.program().analysis().cloned();
+                    let run = self.machine.run_program(plan.builder.program());
+                    if self.verify && run.is_ok() {
+                        self.verify_report.runs += 1;
+                    }
+                    run
+                };
+                if !dense {
+                    for &i in active {
+                        self.mask_buf[i as usize] = false;
+                    }
+                }
+                result?
+            }
             SwConfig::InnerProduct => {
                 let use_spm = decision.hardware == HwConfig::Scs;
                 if active.len() >= self.shared.matrix().cols() {
@@ -840,16 +1037,19 @@ impl CoSparse {
         // that the frontier representation already switched.
         self.prev_sw = Some(decision.software);
 
-        // Kernel-only cycles: when a conversion ran, it absorbed the
-        // reconfiguration carry and the kernel report is already clean;
-        // otherwise the carry landed on the kernel run.
-        let kernel_cycles = if conversion_report.is_some() {
+        // Kernel-only cycles: when a conversion or format pack ran, it
+        // absorbed the reconfiguration carry and the kernel report is
+        // already clean; otherwise the carry landed on the kernel run.
+        let kernel_cycles = if conversion_report.is_some() || pack_report.is_some() {
             report.cycles
         } else {
             report.cycles.saturating_sub(reconfig_cost)
         };
         if let Some(conv) = conversion_report {
             report.accumulate(&conv);
+        }
+        if let Some(pack) = pack_report {
+            report.accumulate(&pack);
         }
         Ok((report, kernel_cycles))
     }
@@ -869,8 +1069,9 @@ impl CoSparse {
     }
 
     /// One host-backend step: ensures the plan (for its row
-    /// partitioning) and the shared CSR copy, then evaluates the decided
-    /// dataflow natively. Returns the updates and a wall-clock report.
+    /// partitioning) and the decided format's host structure, then
+    /// evaluates the decided dataflow natively. Returns the updates and
+    /// a wall-clock report.
     fn host_step<O: GraphOp>(
         &mut self,
         op: &O,
@@ -879,14 +1080,22 @@ impl CoSparse {
         state: &[O::Value],
         profile: &OpProfile,
     ) -> (Vec<Update<O::Value>>, SimReport) {
-        self.ensure_plan(profile);
+        self.ensure_plan(profile, decision.format);
         let plan = self.plan.as_ref().expect("plan ensured above");
-        let csr = self.shared.csr();
+        // The inner dataflow walks the decided format natively; the
+        // outer dataflow always merges CSC columns.
+        let operand = match (decision.software, decision.format) {
+            (SwConfig::InnerProduct, FormatKind::Bitmap) => {
+                HostOperand::Bitmap(self.shared.bitmap())
+            }
+            (SwConfig::InnerProduct, FormatKind::Bcsr) => HostOperand::Bcsr(self.shared.bcsr()),
+            _ => HostOperand::Csr(self.shared.csr()),
+        };
         let t0 = std::time::Instant::now();
         let updates = host::execute(
             op,
             decision.software,
-            csr,
+            operand,
             self.shared.matrix_csc(),
             host::StepInputs {
                 active,
@@ -945,6 +1154,7 @@ impl CoSparse {
             return Ok(SpmvOutcome {
                 software: decision.software,
                 hardware: decision.hardware,
+                format: decision.format,
                 report,
                 result,
             });
@@ -962,8 +1172,13 @@ impl CoSparse {
             }
         };
         if self.policy == Policy::Adaptive {
-            self.adaptive
-                .record(density, decision.software, decision.hardware, kernel_cycles);
+            self.adaptive.record(
+                density,
+                decision.software,
+                decision.hardware,
+                decision.format,
+                kernel_cycles,
+            );
         }
 
         // Functional product (golden model).
@@ -984,6 +1199,7 @@ impl CoSparse {
         Ok(SpmvOutcome {
             software: decision.software,
             hardware: decision.hardware,
+            format: decision.format,
             report,
             result,
         })
@@ -1014,6 +1230,7 @@ impl CoSparse {
             return Ok(StepOutcome {
                 software: decision.software,
                 hardware: decision.hardware,
+                format: decision.format,
                 report,
                 updates,
             });
@@ -1025,8 +1242,13 @@ impl CoSparse {
         self.indices_buf = indices;
         let (report, kernel_cycles) = executed?;
         if self.policy == Policy::Adaptive {
-            self.adaptive
-                .record(density, decision.software, decision.hardware, kernel_cycles);
+            self.adaptive.record(
+                density,
+                decision.software,
+                decision.hardware,
+                decision.format,
+                kernel_cycles,
+            );
         }
         let graph = Arc::clone(&self.shared);
         let updates = apply(op, graph.matrix_csc(), active, state, graph.degrees());
@@ -1037,6 +1259,7 @@ impl CoSparse {
         Ok(StepOutcome {
             software: decision.software,
             hardware: decision.hardware,
+            format: decision.format,
             report,
             updates,
         })
@@ -1341,6 +1564,7 @@ mod frontier_tests {
         let decision = |sw, hw| Decision {
             software: sw,
             hardware: hw,
+            format: default_format(sw),
             cvd: f64::NAN,
         };
         let m = sparse::generate::uniform(256, 256, 2000, 13).unwrap();
@@ -1407,7 +1631,7 @@ mod frontier_tests {
         // but the recorded cost must be kernel-only — strictly below the
         // switch-inclusive report.
         let mean = rt
-            .adaptive_mean_cycles(density, second.software, second.hardware)
+            .adaptive_mean_cycles(density, second.software, second.hardware, second.format)
             .unwrap();
         assert!(
             mean < second.report.cycles as f64,
@@ -1417,7 +1641,7 @@ mod frontier_tests {
         // With both configs observed at kernel-only cost, the third call
         // picks the bucket's argmin.
         let first_mean = rt
-            .adaptive_mean_cycles(density, first.software, first.hardware)
+            .adaptive_mean_cycles(density, first.software, first.hardware, first.format)
             .unwrap();
         let third = rt.spmv(&x).unwrap();
         let want_hw = if first_mean <= mean {

@@ -63,7 +63,8 @@ struct QueueState<T> {
 /// consistent once the submitting threads have joined).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Queries accepted by [`GraphService::submit`].
+    /// Queries accepted by [`GraphService::submit`] or
+    /// [`GraphService::try_submit`].
     pub submitted: u64,
     /// Queries whose closure ran to completion on a worker.
     pub completed: u64,
@@ -71,6 +72,9 @@ pub struct ServeStats {
     /// one warm session. `completed / batches` is the achieved batching
     /// factor.
     pub batches: u64,
+    /// Queries shed by [`GraphService::try_submit`] because the queue
+    /// sat at [`ServeConfig::queue_cap`].
+    pub rejected: u64,
 }
 
 #[derive(Default)]
@@ -78,13 +82,37 @@ struct ServeCounters {
     submitted: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
+    rejected: AtomicU64,
 }
 
 struct ServeShared<T> {
     state: Mutex<QueueState<T>>,
     available: Condvar,
+    /// Signalled whenever a drain frees queue slots; blocking
+    /// [`GraphService::submit`] callers wait here under backpressure.
+    space: Condvar,
+    queue_cap: usize,
     counters: ServeCounters,
 }
+
+/// Why a non-blocking submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The queue already holds [`ServeConfig::queue_cap`] undrained
+    /// queries; the caller should back off, retry, or fall back to the
+    /// blocking [`GraphService::submit`].
+    Overloaded,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "service queue is at capacity"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Locks the queue, recovering from poison: the queue state is a plain
 /// job list that is never left half-mutated by the panicking sections
@@ -105,6 +133,11 @@ pub struct ServeConfig {
     /// Maximum queries a worker drains per queue lock acquisition.
     /// Default 16.
     pub batch: usize,
+    /// Maximum undrained queries the queue holds before backpressure
+    /// kicks in: [`GraphService::submit`] blocks for a slot,
+    /// [`GraphService::try_submit`] sheds the query with
+    /// [`ServeError::Overloaded`]. Default 256.
+    pub queue_cap: usize,
     /// Backend every worker session runs under. Default
     /// [`ExecBackend::Host`] — the serving layer exists to answer real
     /// queries fast; pick [`ExecBackend::Simulate`] to serve simulated
@@ -122,6 +155,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers,
             batch: 16,
+            queue_cap: 256,
             backend: ExecBackend::Host,
         }
     }
@@ -185,6 +219,8 @@ impl<T: Send + 'static> GraphService<T> {
                 shutdown: false,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
+            queue_cap: config.queue_cap.max(1),
             counters: ServeCounters::default(),
         });
         let handles = (0..workers)
@@ -210,6 +246,12 @@ impl<T: Send + 'static> GraphService<T> {
     /// session state it needs (policy, thresholds, verification) and
     /// runs steps/SpMVs; session scratch persists across queries on the
     /// same worker, shared artifacts across all of them.
+    ///
+    /// When the queue sits at [`ServeConfig::queue_cap`] this call
+    /// *blocks* until a worker drain frees a slot — backpressure
+    /// propagates to the submitting thread instead of letting the queue
+    /// grow without bound. Use [`GraphService::try_submit`] to shed
+    /// load instead of waiting.
     pub fn submit<F>(&self, query: F) -> Ticket<T>
     where
         F: FnOnce(&mut CoSparse) -> T + Send + 'static,
@@ -217,6 +259,13 @@ impl<T: Send + 'static> GraphService<T> {
         let (tx, rx) = mpsc::channel();
         {
             let mut state = lock_queue(&self.shared.state);
+            while state.jobs.len() >= self.shared.queue_cap && !state.shutdown {
+                state = self
+                    .shared
+                    .space
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
             assert!(!state.shutdown, "submit after GraphService::shutdown");
             state.jobs.push_back(Job {
                 run: Box::new(query),
@@ -229,6 +278,39 @@ impl<T: Send + 'static> GraphService<T> {
             .fetch_add(1, Ordering::Relaxed);
         self.shared.available.notify_one();
         Ticket { rx }
+    }
+
+    /// Non-blocking [`GraphService::submit`]: enqueues the query if the
+    /// queue has room, otherwise returns [`ServeError::Overloaded`]
+    /// immediately (counted in [`ServeStats::rejected`]) so the caller
+    /// can shed or defer the work.
+    pub fn try_submit<F>(&self, query: F) -> Result<Ticket<T>, ServeError>
+    where
+        F: FnOnce(&mut CoSparse) -> T + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = lock_queue(&self.shared.state);
+            assert!(!state.shutdown, "submit after GraphService::shutdown");
+            if state.jobs.len() >= self.shared.queue_cap {
+                drop(state);
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded);
+            }
+            state.jobs.push_back(Job {
+                run: Box::new(query),
+                reply: tx,
+            });
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.available.notify_one();
+        Ok(Ticket { rx })
     }
 
     /// The shared graph the workers serve.
@@ -248,6 +330,7 @@ impl<T: Send + 'static> GraphService<T> {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -272,6 +355,9 @@ impl<T: Send + 'static> GraphService<T> {
         state.shutdown = true;
         drop(state);
         self.shared.available.notify_all();
+        // Submitters blocked on a full queue wake into the
+        // submit-after-shutdown panic rather than hanging forever.
+        self.shared.space.notify_all();
     }
 }
 
@@ -312,6 +398,9 @@ fn worker_loop<T: Send + 'static>(mut session: CoSparse, shared: &ServeShared<T>
             if !state.jobs.is_empty() {
                 shared.available.notify_one();
             }
+            // The drain freed `take` slots; wake every submitter blocked
+            // on backpressure (they re-check capacity under the lock).
+            shared.space.notify_all();
         }
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
         for job in drained.drain(..) {
@@ -338,6 +427,7 @@ mod tests {
         ServeConfig {
             workers,
             batch: 4,
+            queue_cap: 256,
             backend,
         }
     }
@@ -396,6 +486,81 @@ mod tests {
             GraphService::start(Arc::clone(&g), config(1, ExecBackend::Host));
         service.begin_shutdown();
         let _ = service.submit(|_| 1);
+    }
+
+    #[test]
+    fn try_submit_sheds_when_full_and_recovers() {
+        let g = graph(64, 300);
+        let service: GraphService<usize> = GraphService::start(
+            Arc::clone(&g),
+            ServeConfig {
+                workers: 1,
+                batch: 1,
+                queue_cap: 2,
+                backend: ExecBackend::Host,
+            },
+        );
+        // Park the lone worker inside a gated query; once `batches`
+        // ticks the queue itself is empty again.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = service.submit(move |_| {
+            gate_rx.recv().unwrap();
+            0usize
+        });
+        while service.stats().batches == 0 {
+            std::thread::yield_now();
+        }
+        let q1 = service.try_submit(|s| s.matrix().nnz()).expect("slot 1");
+        let q2 = service.try_submit(|s| s.matrix().nnz()).expect("slot 2");
+        let overflow = service.try_submit(|_| 0usize);
+        assert_eq!(overflow.unwrap_err(), ServeError::Overloaded);
+        gate_tx.send(()).unwrap();
+        assert_eq!(blocker.wait(), 0);
+        assert_eq!(q1.wait(), 300);
+        assert_eq!(q2.wait(), 300);
+        // The queue drained; capacity is available again.
+        let q3 = service.try_submit(|s| s.matrix().nnz()).expect("recovered");
+        assert_eq!(q3.wait(), 300);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space() {
+        let g = graph(64, 300);
+        let service: GraphService<usize> = GraphService::start(
+            Arc::clone(&g),
+            ServeConfig {
+                workers: 1,
+                batch: 1,
+                queue_cap: 1,
+                backend: ExecBackend::Host,
+            },
+        );
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = service.submit(move |_| {
+            gate_rx.recv().unwrap();
+            1usize
+        });
+        while service.stats().batches == 0 {
+            std::thread::yield_now();
+        }
+        // Fill the single slot, then submit from another thread: it
+        // must block (not panic, not shed) until the worker drains.
+        let filler = service.try_submit(|_| 2usize).expect("slot");
+        std::thread::scope(|s| {
+            let late = s.spawn(|| service.submit(|_| 3usize).wait());
+            gate_tx.send(()).unwrap();
+            assert_eq!(late.join().expect("late submitter"), 3);
+        });
+        assert_eq!(blocker.wait(), 1);
+        assert_eq!(filler.wait(), 2);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.rejected, 0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::layout::Layout;
 use crate::ops::OpProfile;
 use crate::runtime::CoSparse;
 use sparse::partition::{RowPartition, VBlocks};
-use sparse::{CooMatrix, CscMatrix, CsrMatrix};
+use sparse::{BcsrMatrix, BitmapCsr, CooMatrix, CscMatrix, CsrMatrix, FormatKind, FormatProbe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use transmuter::verify::RegionMap;
@@ -62,6 +62,9 @@ pub struct SharedCacheStats {
     /// Conversion-kernel builder emissions (dataflow switches), summed
     /// over all sessions.
     pub conversion_builds: u64,
+    /// Alternate-format matrix images (bitmap CSR / BCSR) materialized,
+    /// at most one per format per graph — later sessions reuse them.
+    pub format_builds: u64,
 }
 
 /// Graph-level cache counters, updated with relaxed atomics from every
@@ -75,6 +78,7 @@ pub(crate) struct SharedCounters {
     pub(crate) scratch_program_builds: AtomicU64,
     pub(crate) scratch_program_hits: AtomicU64,
     pub(crate) conversion_builds: AtomicU64,
+    pub(crate) format_builds: AtomicU64,
 }
 
 impl SharedCounters {
@@ -87,6 +91,7 @@ impl SharedCounters {
             scratch_program_builds: self.scratch_program_builds.load(Ordering::Relaxed),
             scratch_program_hits: self.scratch_program_hits.load(Ordering::Relaxed),
             conversion_builds: self.conversion_builds.load(Ordering::Relaxed),
+            format_builds: self.format_builds.load(Ordering::Relaxed),
         }
     }
 
@@ -96,8 +101,9 @@ impl SharedCounters {
 }
 
 /// One immutable tuning plan over the shared matrix, keyed by
-/// `(op profile, balancing scheme)` — the OSKI-style memo that used to
-/// live inside each runtime, now built once per graph and shared.
+/// `(op profile, balancing scheme, storage format)` — the OSKI-style
+/// memo that used to live inside each runtime, now built once per graph
+/// and shared.
 ///
 /// The geometry-derived members (layout, partitions, vblocks) are plain
 /// immutable data; the dense-IP programs and OP sub-run bounds are
@@ -109,6 +115,7 @@ impl SharedCounters {
 pub(crate) struct SharedPlan {
     pub(crate) profile: OpProfile,
     pub(crate) balancing: Balancing,
+    pub(crate) format: FormatKind,
     pub(crate) layout: Layout,
     pub(crate) regions: RegionMap,
     pub(crate) ip_partition: RowPartition,
@@ -129,14 +136,28 @@ pub(crate) struct SharedPlan {
 }
 
 impl SharedPlan {
-    fn build(graph: &SharedGraph, profile: &OpProfile, balancing: Balancing) -> Self {
+    fn build(
+        graph: &SharedGraph,
+        profile: &OpProfile,
+        balancing: Balancing,
+        format: FormatKind,
+    ) -> Self {
         let geometry = graph.geometry;
-        let layout = Layout::new(
+        // Alternate formats get a packed image region sized from the
+        // materialized structure (forcing it now, under the registry
+        // lock, so the plan's layout is stable).
+        let fmt_bytes = match format {
+            FormatKind::Bitmap => crate::kernels::formats::bitmap_image_bytes(graph.bitmap()),
+            FormatKind::Bcsr => crate::kernels::formats::bcsr_image_bytes(graph.bcsr()),
+            _ => 0,
+        };
+        let layout = Layout::with_format_bytes(
             graph.coo.rows(),
             graph.coo.cols(),
             graph.coo.nnz(),
             geometry,
             profile.value_words,
+            fmt_bytes,
         );
         let regions = layout.regions();
         let ip_partition = balance::ip_partitions(&graph.row_counts, geometry, balancing);
@@ -153,6 +174,7 @@ impl SharedPlan {
         SharedPlan {
             profile: *profile,
             balancing,
+            format,
             layout,
             regions,
             ip_partition,
@@ -239,6 +261,15 @@ pub struct SharedGraph {
     /// CSR copy, built by the first host-backend invocation from any
     /// session (simulate-only graphs never pay for it).
     csr: OnceLock<CsrMatrix>,
+    /// Hierarchical-bitmap CSR image, built by the first session whose
+    /// decision picks [`FormatKind::Bitmap`].
+    bitmap: OnceLock<BitmapCsr>,
+    /// Blocked-CSR image, built by the first session whose decision
+    /// picks [`FormatKind::Bcsr`].
+    bcsr: OnceLock<BcsrMatrix>,
+    /// Structural format probe feeding the decision tree, computed once
+    /// per graph on first summary.
+    probe: OnceLock<FormatProbe>,
     /// Out-degree of each frontier index in the original graph
     /// (= column counts of the operand matrix).
     degrees: Vec<u32>,
@@ -273,6 +304,9 @@ impl SharedGraph {
             coo: matrix.clone(),
             csc,
             csr: OnceLock::new(),
+            bitmap: OnceLock::new(),
+            bcsr: OnceLock::new(),
+            probe: OnceLock::new(),
             degrees,
             row_counts,
             geometry,
@@ -334,6 +368,41 @@ impl SharedGraph {
         self.csr.get_or_init(|| CsrMatrix::from(&self.coo))
     }
 
+    /// The hierarchical-bitmap CSR image, built on first use; the build
+    /// (at most one per graph) is counted in
+    /// [`SharedCacheStats::format_builds`].
+    pub(crate) fn bitmap(&self) -> &BitmapCsr {
+        self.bitmap.get_or_init(|| {
+            SharedCounters::bump(&self.counters.format_builds);
+            BitmapCsr::from(&self.coo)
+        })
+    }
+
+    /// The blocked-CSR image, built on first use (shape from the fill
+    /// probe); counted like [`SharedGraph::bitmap`].
+    pub(crate) fn bcsr(&self) -> &BcsrMatrix {
+        self.bcsr.get_or_init(|| {
+            SharedCounters::bump(&self.counters.format_builds);
+            BcsrMatrix::from(&self.coo)
+        })
+    }
+
+    /// Whether `format`'s matrix image is already materialized (without
+    /// forcing it). COO/CSC/CSR are the resident/base formats and count
+    /// as always present once built by their own paths.
+    pub(crate) fn format_is_materialized(&self, format: FormatKind) -> bool {
+        match format {
+            FormatKind::Bitmap => self.bitmap.get().is_some(),
+            FormatKind::Bcsr => self.bcsr.get().is_some(),
+            _ => true,
+        }
+    }
+
+    /// The structural format probe, computed once per graph in `O(nnz)`.
+    pub(crate) fn format_probe(&self) -> &FormatProbe {
+        self.probe.get_or_init(|| FormatProbe::of(&self.coo))
+    }
+
     /// Out-degrees of the original graph's vertices.
     pub(crate) fn degrees(&self) -> &[u32] {
         &self.degrees
@@ -348,15 +417,20 @@ impl SharedGraph {
         &self.counters
     }
 
-    /// The shared plan for `(profile, balancing)`, building it under
-    /// the registry lock on the first request. Sessions cache the
+    /// The shared plan for `(profile, balancing, format)`, building it
+    /// under the registry lock on the first request. Sessions cache the
     /// returned `Arc` and only come back here when their key changes,
     /// so the steady state never touches the lock.
-    pub(crate) fn plan_for(&self, profile: &OpProfile, balancing: Balancing) -> Arc<SharedPlan> {
+    pub(crate) fn plan_for(
+        &self,
+        profile: &OpProfile,
+        balancing: Balancing,
+        format: FormatKind,
+    ) -> Arc<SharedPlan> {
         let mut plans = self.plans.lock().expect("plan registry poisoned");
         if let Some(plan) = plans
             .iter()
-            .find(|p| p.profile == *profile && p.balancing == balancing)
+            .find(|p| p.profile == *profile && p.balancing == balancing && p.format == format)
         {
             SharedCounters::bump(&self.counters.plan_hits);
             return Arc::clone(plan);
@@ -364,7 +438,7 @@ impl SharedGraph {
         // Built under the lock: plan construction is the expensive
         // per-matrix setup, and holding the lock guarantees concurrent
         // cold sessions build it exactly once.
-        let plan = Arc::new(SharedPlan::build(self, profile, balancing));
+        let plan = Arc::new(SharedPlan::build(self, profile, balancing, format));
         SharedCounters::bump(&self.counters.plan_builds);
         plans.push(Arc::clone(&plan));
         plan
@@ -384,20 +458,49 @@ mod tests {
     fn plan_registry_builds_once_per_key() {
         let g = graph(256, 2000);
         let scalar = OpProfile::scalar();
-        let a = g.plan_for(&scalar, Balancing::NnzBalanced);
-        let b = g.plan_for(&scalar, Balancing::NnzBalanced);
+        let a = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Coo);
+        let b = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Coo);
         assert!(Arc::ptr_eq(&a, &b), "same key must share one plan");
-        let c = g.plan_for(&scalar, Balancing::EqualRows);
+        let c = g.plan_for(&scalar, Balancing::EqualRows, FormatKind::Coo);
         assert!(!Arc::ptr_eq(&a, &c), "different balancing, new plan");
+        let d = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Bitmap);
+        assert!(!Arc::ptr_eq(&a, &d), "different format, new plan");
         let cs = g.cache_stats();
-        assert_eq!(cs.plan_builds, 2);
+        assert_eq!(cs.plan_builds, 3);
         assert_eq!(cs.plan_hits, 1);
+        // The bitmap-format plan forced the image exactly once and
+        // sized a packed region for it.
+        assert_eq!(cs.format_builds, 1);
+        assert_eq!(
+            d.layout.fmt_bytes as usize,
+            crate::kernels::formats::bitmap_image_bytes(g.bitmap())
+        );
+        assert_eq!(a.layout.fmt_bytes, 0);
+    }
+
+    #[test]
+    fn format_images_build_once_and_report_materialization() {
+        let g = graph(128, 900);
+        assert!(!g.format_is_materialized(FormatKind::Bcsr));
+        assert!(g.format_is_materialized(FormatKind::Coo));
+        let a = g.bcsr() as *const BcsrMatrix;
+        let b = g.bcsr() as *const BcsrMatrix;
+        assert_eq!(a, b, "BCSR derived once per graph");
+        assert!(g.format_is_materialized(FormatKind::Bcsr));
+        assert_eq!(g.cache_stats().format_builds, 1);
+        // The probe is cached too, and consistent with the image.
+        let p = *g.format_probe();
+        assert_eq!(p, *g.format_probe());
     }
 
     #[test]
     fn dense_program_slot_counts_builds_and_hits_exactly() {
         let g = graph(128, 800);
-        let plan = g.plan_for(&OpProfile::scalar(), Balancing::NnzBalanced);
+        let plan = g.plan_for(
+            &OpProfile::scalar(),
+            Balancing::NnzBalanced,
+            FormatKind::Coo,
+        );
         let build = || {
             let mut b = transmuter::ProgramBuilder::new();
             b.begin(g.geometry(), HwConfig::Sc, g.uarch());

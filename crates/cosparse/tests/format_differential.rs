@@ -1,0 +1,132 @@
+//! Format axis under [`ExecBackend::Differential`]: every storage
+//! format, on every engine that accepts it, must produce bit-identical
+//! results — the backend cross-checks the native host walk against the
+//! simulator's golden model on every invocation, and this suite
+//! additionally cross-checks the formats against each other.
+
+use cosparse::{
+    CoSparse, ExecBackend, FormatKind, Frontier, HwConfig, Policy, SharedGraph, SwConfig,
+};
+use sparse::{CooMatrix, DenseVector, Idx};
+use std::sync::Arc;
+use transmuter::{Geometry, Machine, MicroArch};
+
+const N: usize = 384;
+
+/// A banded matrix — 24-entry dense runs per row — whose clustered
+/// columns make the probe pick the hierarchical bitmap, and whose
+/// aligned 4x4 neighborhoods give BCSR real blocks to find.
+fn banded(n: usize) -> CooMatrix {
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        let base = (r / 4) * 4 % (n - 24);
+        for k in 0..24 {
+            let c = base + k;
+            triplets.push((
+                r as Idx,
+                c as Idx,
+                ((r * 31 + c * 7) % 13) as f32 * 0.25 + 0.5,
+            ));
+        }
+    }
+    CooMatrix::from_triplets(n, n, triplets).expect("banded in bounds")
+}
+
+fn session(graph: &Arc<SharedGraph>) -> CoSparse {
+    let machine = Machine::new(Geometry::new(2, 4), MicroArch::paper());
+    let mut s = CoSparse::with_shared(Arc::clone(graph), machine);
+    s.set_backend(ExecBackend::Differential);
+    s
+}
+
+/// Result bits in a representation-independent form: sparse results
+/// (the OP engine's native output) scatter onto +0.0 before comparison.
+fn dense_bits(frontier: &Frontier) -> Vec<u32> {
+    match frontier {
+        Frontier::Dense(y) => y.iter().map(|v| v.to_bits()).collect(),
+        Frontier::Sparse(y) => {
+            let mut full = vec![0.0f32; y.dim()];
+            for (i, v) in y.iter() {
+                full[i as usize] = v;
+            }
+            full.iter().map(|v| v.to_bits()).collect()
+        }
+    }
+}
+
+/// Every IP format on both IP hardware slots, differentially checked,
+/// then compared bit-for-bit against each other and the OP/CSC answer.
+#[test]
+fn all_formats_and_engines_agree_bit_exactly() {
+    let m = banded(N);
+    let graph = SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper());
+    let x = Frontier::Dense(sparse::generate::random_dense_vector(N, 41));
+
+    let mut answers: Vec<(String, Vec<u32>)> = Vec::new();
+    for hw in [HwConfig::Sc, HwConfig::Scs] {
+        for format in [FormatKind::Coo, FormatKind::Bitmap, FormatKind::Bcsr] {
+            let mut s = session(&graph);
+            s.set_policy(Policy::Fixed(SwConfig::InnerProduct, hw));
+            s.set_format_override(Some(format));
+            let out = s.spmv(&x).expect("differential ip spmv");
+            assert_eq!(out.format, format, "override must reach the outcome");
+            answers.push((format!("IP/{hw}/{format}"), dense_bits(&out.result)));
+        }
+    }
+    // The OP engine always streams CSC; a sparse frontier covering a
+    // slice of the columns keeps its merge path honest.
+    let active: Vec<(Idx, f32)> = (0..N as Idx).step_by(3).map(|i| (i, 1.0)).collect();
+    let sparse_x = {
+        let mut v = DenseVector::filled(N, 0.0f32);
+        for &(i, w) in &active {
+            v[i as usize] = w;
+        }
+        Frontier::Dense(v)
+    };
+    for (label, bits) in &answers {
+        assert_eq!(
+            bits, &answers[0].1,
+            "{label} diverged from {}",
+            answers[0].0
+        );
+    }
+    let mut op = session(&graph);
+    op.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+    let op_out = op.spmv(&sparse_x).expect("differential op spmv");
+    assert_eq!(op_out.format, FormatKind::Csc);
+    let mut ip = session(&graph);
+    ip.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+    ip.set_format_override(Some(FormatKind::Bitmap));
+    let ip_out = ip.spmv(&sparse_x).expect("differential ip spmv");
+    assert_eq!(
+        dense_bits(&op_out.result),
+        dense_bits(&ip_out.result),
+        "OP/CSC and IP/bitmap disagree on the sparse frontier"
+    );
+}
+
+/// Auto policy end to end on the clustered matrix: the probe steers the
+/// dense-frontier decision to a non-COO format, the differential
+/// backend validates the resulting native path, and the outcome is
+/// bit-identical to the forced-COO answer.
+#[test]
+fn auto_policy_picks_probed_format_and_stays_bit_exact() {
+    let m = banded(N);
+    let graph = SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper());
+    let x = Frontier::Dense(sparse::generate::random_dense_vector(N, 43));
+
+    let mut auto = session(&graph);
+    let out = auto.spmv(&x).expect("differential auto spmv");
+    assert_eq!(out.software, SwConfig::InnerProduct);
+    assert_ne!(
+        out.format,
+        FormatKind::Coo,
+        "the banded matrix's probe must steer IP off the COO stream"
+    );
+
+    let mut coo = session(&graph);
+    coo.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+    coo.set_format_override(Some(FormatKind::Coo));
+    let baseline = coo.spmv(&x).expect("differential coo spmv");
+    assert_eq!(dense_bits(&out.result), dense_bits(&baseline.result));
+}

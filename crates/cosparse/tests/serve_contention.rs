@@ -43,6 +43,7 @@ fn contended_service_counts_exactly() {
         ServeConfig {
             workers: 4,
             batch: 4,
+            queue_cap: 256,
             backend: ExecBackend::Simulate,
         },
     );
@@ -111,6 +112,71 @@ fn contended_service_counts_exactly() {
     assert_eq!(cs.scratch_program_builds, 0);
     assert_eq!(cs.scratch_program_hits, 0);
     assert_eq!(cs.conversion_builds, 0);
+}
+
+/// Backpressure bookkeeping under contention: many clients hammering
+/// `try_submit` against a tiny queue must leave `submitted + rejected`
+/// exactly equal to the attempts, every accepted query completed, and
+/// every delivered answer bit-identical — shedding load never corrupts
+/// results or loses a counter.
+#[test]
+fn overloaded_service_sheds_load_with_exact_counters() {
+    const ATTEMPTS_PER_CLIENT: usize = 16;
+    let m = sparse::generate::uniform(N, N, 6000, 31).unwrap();
+    let graph = SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper());
+    let service = GraphService::start(
+        Arc::clone(&graph),
+        ServeConfig {
+            workers: 2,
+            batch: 2,
+            queue_cap: 3,
+            backend: ExecBackend::Simulate,
+        },
+    );
+    let service = Arc::new(service);
+
+    let (answers, shed): (Vec<Vec<u32>>, u64) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut shed = 0u64;
+                    for _ in 0..ATTEMPTS_PER_CLIENT {
+                        match service.try_submit(query(HwConfig::Sc)) {
+                            Ok(ticket) => got.push(ticket.wait()),
+                            Err(cosparse::ServeError::Overloaded) => shed += 1,
+                        }
+                    }
+                    (got, shed)
+                })
+            })
+            .collect();
+        let mut answers = Vec::new();
+        let mut shed = 0;
+        for h in handles {
+            let (got, s) = h.join().expect("client thread");
+            answers.extend(got);
+            shed += s;
+        }
+        (answers, shed)
+    });
+
+    for a in &answers {
+        assert_eq!(a, &answers[0], "shed load must not perturb answers");
+    }
+
+    let service = Arc::into_inner(service).expect("all clients joined");
+    let stats = service.shutdown();
+    let attempts = (CLIENTS * ATTEMPTS_PER_CLIENT) as u64;
+    assert_eq!(stats.submitted, answers.len() as u64);
+    assert_eq!(stats.rejected, shed);
+    assert_eq!(
+        stats.submitted + stats.rejected,
+        attempts,
+        "every attempt either accepted or shed, never both or neither"
+    );
+    assert_eq!(stats.completed, stats.submitted);
 }
 
 #[test]

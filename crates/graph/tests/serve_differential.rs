@@ -86,6 +86,7 @@ fn service_answers(adj: &CooMatrix, backend: ExecBackend) -> Vec<QueryAnswer> {
         ServeConfig {
             workers: 2,
             batch: 4,
+            queue_cap: 256,
             backend,
         },
     );
@@ -155,6 +156,7 @@ fn concurrent_clients_get_bit_identical_answers() {
         ServeConfig {
             workers: 4,
             batch: 4,
+            queue_cap: 256,
             backend: ExecBackend::Host,
         },
     );

@@ -45,15 +45,24 @@ mod csr;
 mod error;
 mod vector;
 
+/// OSKI-style blocked CSR storage.
+pub mod bcsr;
+/// SMASH-style hierarchical-bitmap CSR storage.
+pub mod bitmap;
+/// The [`FormatKind`]/[`StoredMatrix`] storage-format axis.
+pub mod format;
 pub mod generate;
 pub mod io;
 pub mod partition;
 pub mod stats;
 
+pub use bcsr::BcsrMatrix;
+pub use bitmap::BitmapCsr;
 pub use coo::{CooMatrix, Triplet};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use format::{FormatKind, FormatProbe, StoredMatrix};
 pub use vector::{DenseVector, SparseVector};
 
 /// Index type used for rows and columns throughout the workspace.

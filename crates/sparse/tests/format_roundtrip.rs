@@ -1,0 +1,140 @@
+//! Format-conversion properties: every storage format behind
+//! [`StoredMatrix`] must be a lossless re-encoding of the canonical COO
+//! matrix, and its dense SpMV must be bit-identical to the COO golden
+//! reduction — format choice is a performance decision, never a
+//! numerical one.
+
+use proptest::prelude::*;
+use sparse::{CooMatrix, DenseVector, FormatKind, Idx, StoredMatrix};
+
+/// Values that exercise the representational corners: exact zero
+/// (pattern entries must survive), negatives, subnormal-adjacent
+/// magnitudes, and values whose sums are order-sensitive in f32.
+const VALUES: [f32; 8] = [
+    0.0,
+    1.0,
+    -1.5,
+    0.25,
+    3.7e-3,
+    -2.5e4,
+    f32::MIN_POSITIVE,
+    1.000_000_1,
+];
+
+/// An arbitrary small matrix: shape plus raw triplets (duplicates are
+/// summed by the COO constructor, making it canonical), and a seed for
+/// the input vector.
+fn arb_case() -> impl Strategy<Value = (CooMatrix, u64)> {
+    (1usize..40, 1usize..40, 0u64..1000).prop_flat_map(|(rows, cols, seed)| {
+        proptest::collection::vec((0..rows, 0..cols, 0usize..VALUES.len()), 0..120).prop_map(
+            move |raw| {
+                let triplets = raw
+                    .into_iter()
+                    .map(|(r, c, v)| (r as Idx, c as Idx, VALUES[v]))
+                    .collect();
+                let coo = CooMatrix::from_triplets(rows, cols, triplets).expect("in-bounds");
+                (coo, seed)
+            },
+        )
+    })
+}
+
+fn assert_roundtrip(coo: &CooMatrix, kind: FormatKind) -> Result<(), TestCaseError> {
+    let stored = StoredMatrix::from_coo(coo, kind);
+    prop_assert_eq!(stored.kind(), kind);
+    prop_assert_eq!(stored.rows(), coo.rows());
+    prop_assert_eq!(stored.cols(), coo.cols());
+    prop_assert_eq!(stored.nnz(), coo.nnz());
+    let back = stored.to_coo();
+    prop_assert_eq!(back.rows(), coo.rows());
+    prop_assert_eq!(back.cols(), coo.cols());
+    let got: Vec<(Idx, Idx, u32)> = back.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+    let want: Vec<(Idx, Idx, u32)> = coo.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+    prop_assert_eq!(got, want, "{} -> COO lost or perturbed entries", kind);
+    Ok(())
+}
+
+fn assert_spmv_matches_golden(
+    coo: &CooMatrix,
+    kind: FormatKind,
+    x: &DenseVector<f32>,
+) -> Result<(), TestCaseError> {
+    let stored = StoredMatrix::from_coo(coo, kind);
+    let want = coo.spmv_dense(x).expect("golden spmv");
+    let got = stored.spmv_dense(x).expect("format spmv");
+    prop_assert_eq!(got.len(), want.len());
+    for r in 0..want.len() {
+        prop_assert_eq!(
+            got[r].to_bits(),
+            want[r].to_bits(),
+            "{} row {}: {} vs {}",
+            kind,
+            r,
+            got[r],
+            want[r]
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// COO -> {CSC, CSR, bitmap, BCSR} -> COO is the identity on the
+    /// canonical triplet list, bit-exact values included.
+    #[test]
+    fn every_format_roundtrips_losslessly(case in arb_case()) {
+        let (coo, _) = case;
+        for kind in FormatKind::ALL {
+            assert_roundtrip(&coo, kind)?;
+        }
+    }
+
+    /// Dense SpMV through every format reduces each destination row in
+    /// ascending source order, so the result is `to_bits`-identical to
+    /// the COO golden model.
+    #[test]
+    fn every_format_spmv_is_bit_identical_to_coo(case in arb_case()) {
+        let (coo, seed) = case;
+        let x = sparse::generate::random_dense_vector(coo.cols(), seed);
+        for kind in FormatKind::ALL {
+            assert_spmv_matches_golden(&coo, kind, &x)?;
+        }
+    }
+}
+
+/// The degenerate shapes proptest reaches only by luck, pinned: fully
+/// empty, single entry in the far corner (everything before it is an
+/// empty row/column), a lone explicit zero, and a matrix whose only
+/// occupied column leaves every other column empty.
+#[test]
+fn degenerate_shapes_roundtrip_and_multiply() {
+    let cases: Vec<CooMatrix> = vec![
+        CooMatrix::new(5, 7),
+        CooMatrix::from_triplets(9, 9, vec![(8, 8, 2.5)]).unwrap(),
+        CooMatrix::from_triplets(4, 4, vec![(2, 1, 0.0)]).unwrap(),
+        CooMatrix::from_triplets(6, 33, vec![(0, 32, 1.0), (3, 32, -2.0), (5, 32, 0.5)]).unwrap(),
+        CooMatrix::from_triplets(1, 1, vec![(0, 0, -0.0)]).unwrap(),
+    ];
+    for coo in &cases {
+        let x = sparse::generate::random_dense_vector(coo.cols(), 17);
+        let want = coo.spmv_dense(&x).unwrap();
+        for kind in FormatKind::ALL {
+            let stored = StoredMatrix::from_coo(coo, kind);
+            let back = stored.to_coo();
+            let got: Vec<_> = back.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+            let exp: Vec<_> = coo.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+            assert_eq!(
+                got,
+                exp,
+                "{kind} round-trip on {}x{}",
+                coo.rows(),
+                coo.cols()
+            );
+            let y = stored.spmv_dense(&x).unwrap();
+            for r in 0..want.len() {
+                assert_eq!(y[r].to_bits(), want[r].to_bits(), "{kind} spmv row {r}");
+            }
+        }
+    }
+}
