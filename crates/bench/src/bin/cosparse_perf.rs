@@ -20,7 +20,8 @@
 //! the same host and build measure the same work.
 //!
 //! Usage:
-//!   cosparse-perf [--smoke] [--sim-only|--host-only|--serve-only|--formats-only]
+//!   cosparse-perf [--smoke]
+//!                 [--sim-only|--host-only|--serve-only|--formats-only|--reorder-only]
 //!                 [--out PATH] [--baseline PATH] [--check PATH]
 //!
 //! Workloads come in four sections: the simulate-backend ones
@@ -35,8 +36,13 @@
 //! (matrix family × frontier density × storage format × dataflow) plus
 //! throughput workloads pinning each storage format's kernel path on
 //! the matrix family its probe picks it for, in both backends.
-//! `--sim-only` / `--host-only` / `--serve-only` / `--formats-only`
-//! select a section, letting CI gate
+//! The `reorder_`-prefixed section is the locality sweep: a
+//! reorder × format crossover table of simulated cycles, L1 misses and
+//! bank-conflict cycles per [`cosparse::ReorderKind`] on RMAT and
+//! power-law families, plus throughput workloads with a pinned
+//! reordering gating the vector-permute entry cost in both backends.
+//! `--sim-only` / `--host-only` / `--serve-only` / `--formats-only` /
+//! `--reorder-only` select a section, letting CI gate
 //! them separately. `--smoke` shrinks repeats for CI artifacts;
 //! `--baseline` embeds a previous report's `workloads` as `"baseline"`
 //! in the output (used to commit before/after numbers in the same
@@ -58,7 +64,9 @@
 //! report (schema `cosparse-perf/3`).
 
 use cosparse::balance::Balancing;
-use cosparse::{CoSparse, ExecBackend, FormatKind, Frontier, Policy, ServeConfig, SwConfig};
+use cosparse::{
+    CoSparse, ExecBackend, FormatKind, Frontier, Policy, ReorderKind, ServeConfig, SwConfig,
+};
 use graph::serve::{start_service, GraphQuery};
 use graph::{pagerank::PageRank, sssp::Sssp, Engine};
 use sparse::CooMatrix;
@@ -646,11 +654,27 @@ fn warm_cycles(
     hw: HwConfig,
     format: Option<FormatKind>,
 ) -> u64 {
+    warm_report(m, x, sw, hw, format, None).cycles
+}
+
+/// Full [`transmuter::SimReport`] of one warm SpMV under a pinned
+/// (dataflow, hardware, format, reorder) quadruple — the reorder sweep
+/// reads `stats.l1_misses` and `stats.conflict_cycles` off this, not
+/// just the cycle count.
+fn warm_report(
+    m: &CooMatrix,
+    x: &Frontier,
+    sw: SwConfig,
+    hw: HwConfig,
+    format: Option<FormatKind>,
+    reorder: Option<ReorderKind>,
+) -> transmuter::SimReport {
     let mut rt = CoSparse::new(m, machine());
     rt.set_policy(Policy::Fixed(sw, hw));
     rt.set_format_override(format);
+    rt.set_reorder_override(reorder);
     let _cold = rt.spmv(x).expect("sweep spmv");
-    rt.spmv(x).expect("sweep spmv").report.cycles
+    rt.spmv(x).expect("sweep spmv").report
 }
 
 /// The crossover table: simulated cycles per SpMV for every storage
@@ -797,7 +821,188 @@ fn run_format_workloads(smoke: bool, out: &mut Vec<Workload>) {
     }
 }
 
-fn run_workloads(smoke: bool, sim: bool, host: bool, serve: bool, formats: bool) -> Vec<Workload> {
+/// The reorder × format crossover table: simulated cycles, L1 misses
+/// and bank-conflict cycles of a warm SpMV under every [`ReorderKind`],
+/// for the IP/COO stream (dense frontier) and the OP/CSC merge (sparse
+/// frontier), on an RMAT and a power-law family. This is the
+/// evaluation harness for the fourth reconfiguration axis: the summary
+/// line reports the best locality win each family shows over arrival
+/// order, which is what the acceptance criterion gates on.
+fn reorder_crossover_table(smoke: bool) {
+    let families: [(&str, CooMatrix); 2] = if smoke {
+        [
+            (
+                "rmat",
+                sparse::generate::rmat(11, 30_000, Default::default(), 0xC0).unwrap(),
+            ),
+            ("power_law", pokec_like(2048, 16_000)),
+        ]
+    } else {
+        [
+            (
+                "rmat",
+                sparse::generate::rmat(14, 240_000, Default::default(), 0xC0).unwrap(),
+            ),
+            (
+                "power_law",
+                sparse::generate::power_law(16384, 16384, 240_000, 1.1, 42).unwrap(),
+            ),
+        ]
+    };
+    println!("\nreorder_sweep: simulated warm SpMV (family x format x reorder)");
+    println!(
+        "  {:<10} {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "family", "reorder", "IP/coo cyc", "IP l1_miss", "OP/csc cyc", "OP l1_miss", "OP conflict"
+    );
+    for (name, m) in &families {
+        let n = m.cols();
+        let dense = Frontier::Dense(sparse::generate::random_dense_vector(n, 1));
+        let sv = sparse::generate::random_sparse_vector(n, 0.02, 9).expect("valid density");
+        let sparse_x = Frontier::Sparse(sv);
+        // (l1_misses under IP, conflict_cycles under OP) per kind, for
+        // the summary reduction below.
+        let mut ip_miss = [0u64; 4];
+        let mut op_conflict = [0u64; 4];
+        let mut op_miss = [0u64; 4];
+        for (slot, kind) in ReorderKind::ALL.into_iter().enumerate() {
+            let ip = warm_report(
+                m,
+                &dense,
+                SwConfig::InnerProduct,
+                HwConfig::Sc,
+                Some(FormatKind::Coo),
+                Some(kind),
+            );
+            let op = warm_report(
+                m,
+                &sparse_x,
+                SwConfig::OuterProduct,
+                HwConfig::Pc,
+                None,
+                Some(kind),
+            );
+            ip_miss[slot] = ip.stats.l1_misses;
+            op_miss[slot] = op.stats.l1_misses;
+            op_conflict[slot] = op.stats.conflict_cycles;
+            println!(
+                "  {name:<10} {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                kind.name(),
+                ip.cycles,
+                ip.stats.l1_misses,
+                op.cycles,
+                op.stats.l1_misses,
+                op.stats.conflict_cycles,
+            );
+        }
+        // The acceptance line: best candidate's miss/conflict reduction
+        // against arrival order.
+        let best = |xs: &[u64; 4]| {
+            ReorderKind::ALL[1..]
+                .iter()
+                .zip(&xs[1..])
+                .min_by_key(|&(_, v)| *v)
+                .map(|(k, &v)| (k.name(), v))
+                .expect("three candidates")
+        };
+        let (ip_kind, ip_best) = best(&ip_miss);
+        let (op_kind, op_best) = best(&op_conflict);
+        let pct = |arrival: u64, v: u64| {
+            if arrival == 0 {
+                0.0
+            } else {
+                100.0 * (arrival as f64 - v as f64) / arrival as f64
+            }
+        };
+        println!(
+            "  locality: {name} IP l1-miss {:+.1}% ({ip_kind} vs arrival), \
+             OP conflict-cycles {:+.1}% ({op_kind} vs arrival)",
+            pct(ip_miss[0], ip_best),
+            pct(op_conflict[0], op_best),
+        );
+    }
+}
+
+/// The reorder workload section: the crossover table above, then
+/// throughput workloads with a pinned reordering so the vector-permute
+/// entry cost and the reordered-operand cache stay under the `--check`
+/// regression gate in both backends.
+fn run_reorder_workloads(smoke: bool, out: &mut Vec<Workload>) {
+    reorder_crossover_table(smoke);
+    let (warmup, repeats) = if smoke { (1, 3) } else { (4, 7) };
+    let calls = if smoke { 3 } else { 10 };
+    let host_calls = if smoke { 10 } else { 200 };
+    println!();
+
+    // 1. RCM-pinned IP/COO stream on the power-law family, simulate:
+    //    gates the reordered image build + permuted dense stream.
+    {
+        let m = pokec_like(2048, 16_000);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        rt.set_reorder_override(Some(ReorderKind::Rcm));
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(2048, 1));
+        let mut w = measure("reorder_rcm_ip_pokec_2048", "spmv", warmup, repeats, || {
+            spmv_pass(&mut rt, &x, calls)
+        });
+        w.epochs = rt.cache_stats().epochs;
+        out.push(w);
+        print_cache_stats(&rt);
+    }
+
+    // 2. Window-cluster-pinned OP/CSC merge with a sparse frontier,
+    //    simulate: gates the active-list permutation on the hot path
+    //    (every call maps and re-sorts the frontier's indices).
+    {
+        let m = pokec_like(2048, 16_000);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_policy(Policy::Fixed(SwConfig::OuterProduct, HwConfig::Pc));
+        rt.set_reorder_override(Some(ReorderKind::WindowCluster));
+        let sv = sparse::generate::random_sparse_vector(2048, 0.02, 9).expect("valid density");
+        let x = Frontier::Sparse(sv);
+        let mut w = measure(
+            "reorder_window_op_pokec_2048",
+            "spmv",
+            warmup,
+            repeats,
+            || spmv_pass(&mut rt, &x, calls),
+        );
+        w.epochs = rt.cache_stats().epochs;
+        out.push(w);
+        print_cache_stats(&rt);
+    }
+
+    // 3. RCM-pinned host-backend SpMV: the host path computes in the
+    //    original index space, so this workload gates the pure
+    //    plan-rekey + permute overhead a reordering adds to real
+    //    answers.
+    {
+        let m = pokec_like(2048, 16_000);
+        let mut rt = CoSparse::new(&m, machine());
+        rt.set_backend(ExecBackend::Host);
+        rt.set_policy(Policy::Fixed(SwConfig::InnerProduct, HwConfig::Sc));
+        rt.set_reorder_override(Some(ReorderKind::Rcm));
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(2048, 1));
+        let w = measure(
+            "host_reorder_rcm_pokec_2048",
+            "spmv",
+            warmup,
+            repeats,
+            || spmv_pass(&mut rt, &x, host_calls),
+        );
+        out.push(w);
+        print_cache_stats(&rt);
+    }
+}
+
+#[allow(clippy::fn_params_excessive_bools)]
+fn run_workloads(
+    smoke: bool,
+    sim: bool,
+    host: bool,
+    serve: bool,
+    formats: bool,
+    reorder: bool,
+) -> Vec<Workload> {
     let mut out = Vec::new();
     if sim {
         run_sim_workloads(smoke, &mut out);
@@ -810,6 +1015,9 @@ fn run_workloads(smoke: bool, sim: bool, host: bool, serve: bool, formats: bool)
     }
     if formats {
         run_format_workloads(smoke, &mut out);
+    }
+    if reorder {
+        run_reorder_workloads(smoke, &mut out);
     }
     out
 }
@@ -938,13 +1146,15 @@ fn main() {
     let sim_only = args.iter().any(|a| a == "--sim-only");
     let serve_only = args.iter().any(|a| a == "--serve-only");
     let formats_only = args.iter().any(|a| a == "--formats-only");
+    let reorder_only = args.iter().any(|a| a == "--reorder-only");
     assert!(
-        [host_only, sim_only, serve_only, formats_only]
+        [host_only, sim_only, serve_only, formats_only, reorder_only]
             .iter()
             .filter(|b| **b)
             .count()
             <= 1,
-        "--host-only, --sim-only, --serve-only and --formats-only are mutually exclusive"
+        "--host-only, --sim-only, --serve-only, --formats-only and --reorder-only \
+         are mutually exclusive"
     );
     let arg_value = |flag: &str| {
         args.iter()
@@ -963,10 +1173,11 @@ fn main() {
     );
     let workloads = run_workloads(
         smoke,
-        !host_only && !serve_only && !formats_only,
-        !sim_only && !serve_only && !formats_only,
-        !sim_only && !host_only && !formats_only,
-        !sim_only && !host_only && !serve_only,
+        !host_only && !serve_only && !formats_only && !reorder_only,
+        !sim_only && !serve_only && !formats_only && !reorder_only,
+        !sim_only && !host_only && !formats_only && !reorder_only,
+        !sim_only && !host_only && !serve_only && !reorder_only,
+        !sim_only && !host_only && !serve_only && !formats_only,
     );
 
     let mut json = String::from("{\n");

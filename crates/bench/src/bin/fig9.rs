@@ -80,6 +80,7 @@ fn main() {
                 software: sw,
                 hardware: hw,
                 format: cosparse::default_format(sw),
+                reorder: cosparse::ReorderKind::None,
                 cvd: f64::NAN,
             };
             let report = rt

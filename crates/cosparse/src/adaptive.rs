@@ -16,14 +16,17 @@
 //! * when the tree proposes an alternate storage format (bitmap or
 //!   blocked — the third reconfiguration axis), the dataflow's default
 //!   resident format is kept as a fallback candidate, so a probe that
-//!   oversold the format gets corrected by observation.
+//!   oversold the format gets corrected by observation;
+//! * likewise on the reordering axis (the fourth): when the tree
+//!   proposes a locality-aware permutation, arrival order stays in the
+//!   candidate set, so an oversold reordering is corrected too.
 //!
 //! Iterative algorithms revisit the same density buckets many times
 //! (PageRank every iteration, BFS/SSSP on the ramp up and down), so a
 //! handful of probes amortizes quickly.
 
 use crate::heuristics::{default_format, Decision, SwConfig};
-use sparse::FormatKind;
+use sparse::{FormatKind, ReorderKind};
 use std::collections::HashMap;
 use transmuter::HwConfig;
 
@@ -51,8 +54,8 @@ fn default_hw(sw: SwConfig) -> HwConfig {
     }
 }
 
-/// One explored configuration point: all three reconfiguration axes.
-type Config = (SwConfig, HwConfig, FormatKind);
+/// One explored configuration point: all four reconfiguration axes.
+type Config = (SwConfig, HwConfig, FormatKind, ReorderKind);
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Observation {
@@ -95,17 +98,32 @@ impl AdaptiveState {
 
         // Candidate set: the prior, its hardware sibling, the dataflow's
         // resident format as a fallback when the tree proposed an
-        // alternate one, and — near the boundary — the other dataflow
-        // with its default hardware/format and sibling.
+        // alternate one, arrival order as a fallback when the tree
+        // proposed a reordering, and — near the boundary — the other
+        // dataflow with its default hardware/format and sibling.
         let mut candidates: Vec<Config> = vec![
-            (prior.software, prior.hardware, prior.format),
-            (prior.software, sibling(prior.hardware), prior.format),
+            (prior.software, prior.hardware, prior.format, prior.reorder),
+            (
+                prior.software,
+                sibling(prior.hardware),
+                prior.format,
+                prior.reorder,
+            ),
         ];
         if prior.format != default_format(prior.software) {
             candidates.push((
                 prior.software,
                 prior.hardware,
                 default_format(prior.software),
+                prior.reorder,
+            ));
+        }
+        if prior.reorder != ReorderKind::None {
+            candidates.push((
+                prior.software,
+                prior.hardware,
+                prior.format,
+                ReorderKind::None,
             ));
         }
         if near_boundary {
@@ -113,18 +131,29 @@ impl AdaptiveState {
                 SwConfig::InnerProduct => SwConfig::OuterProduct,
                 SwConfig::OuterProduct => SwConfig::InnerProduct,
             };
-            candidates.push((other, default_hw(other), default_format(other)));
-            candidates.push((other, sibling(default_hw(other)), default_format(other)));
+            candidates.push((
+                other,
+                default_hw(other),
+                default_format(other),
+                prior.reorder,
+            ));
+            candidates.push((
+                other,
+                sibling(default_hw(other)),
+                default_format(other),
+                prior.reorder,
+            ));
         }
 
         // Unexplored candidates first (in candidate order), then argmin.
         if let Some(obs) = bucket {
-            for &(sw, hw, fmt) in &candidates {
-                if !obs.contains_key(&(sw, hw, fmt)) {
+            for &(sw, hw, fmt, ro) in &candidates {
+                if !obs.contains_key(&(sw, hw, fmt, ro)) {
                     return Decision {
                         software: sw,
                         hardware: hw,
                         format: fmt,
+                        reorder: ro,
                         cvd: prior.cvd,
                     };
                 }
@@ -133,11 +162,12 @@ impl AdaptiveState {
                 .iter()
                 .filter_map(|&c| obs.get(&c).map(|o| (c, o.mean_cycles)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"));
-            if let Some(((sw, hw, fmt), _)) = best {
+            if let Some(((sw, hw, fmt, ro), _)) = best {
                 return Decision {
                     software: sw,
                     hardware: hw,
                     format: fmt,
+                    reorder: ro,
                     cvd: prior.cvd,
                 };
             }
@@ -145,20 +175,21 @@ impl AdaptiveState {
         prior
     }
 
-    /// Records the observed cost of running `(sw, hw, format)` at
-    /// `density`.
+    /// Records the observed cost of running `(sw, hw, format, reorder)`
+    /// at `density`.
     pub fn record(
         &mut self,
         density: f64,
         sw: SwConfig,
         hw: HwConfig,
         format: FormatKind,
+        reorder: ReorderKind,
         cycles: u64,
     ) {
         self.buckets
             .entry(bucket_of(density))
             .or_default()
-            .entry((sw, hw, format))
+            .entry((sw, hw, format, reorder))
             .or_default()
             .record(cycles);
     }
@@ -168,8 +199,8 @@ impl AdaptiveState {
         self.buckets.values().map(|b| b.len()).sum()
     }
 
-    /// Mean observed cycles for `(sw, hw, format)` in `density`'s
-    /// bucket, if any.
+    /// Mean observed cycles for `(sw, hw, format, reorder)` in
+    /// `density`'s bucket, if any.
     ///
     /// Exposes what [`AdaptiveState::choose`] compares, so tests and
     /// diagnostics can check that recorded costs are kernel-only (free
@@ -180,10 +211,11 @@ impl AdaptiveState {
         sw: SwConfig,
         hw: HwConfig,
         format: FormatKind,
+        reorder: ReorderKind,
     ) -> Option<f64> {
         self.buckets
             .get(&bucket_of(density))
-            .and_then(|b| b.get(&(sw, hw, format)))
+            .and_then(|b| b.get(&(sw, hw, format, reorder)))
             .map(|o| o.mean_cycles)
     }
 }
@@ -197,13 +229,15 @@ mod tests {
             software: sw,
             hardware: hw,
             format: default_format(sw),
+            reorder: ReorderKind::None,
             cvd,
         }
     }
 
-    /// Shorthand: record under the dataflow's resident format.
+    /// Shorthand: record under the dataflow's resident format, arrival
+    /// order.
     fn rec(st: &mut AdaptiveState, d: f64, sw: SwConfig, hw: HwConfig, cycles: u64) {
-        st.record(d, sw, hw, default_format(sw), cycles);
+        st.record(d, sw, hw, default_format(sw), ReorderKind::None, cycles);
     }
 
     #[test]
@@ -282,6 +316,7 @@ mod tests {
             software: SwConfig::InnerProduct,
             hardware: HwConfig::Sc,
             format: FormatKind::Bitmap,
+            reorder: ReorderKind::None,
             cvd: 0.001,
         };
         st.record(
@@ -289,6 +324,7 @@ mod tests {
             SwConfig::InnerProduct,
             HwConfig::Sc,
             FormatKind::Bitmap,
+            ReorderKind::None,
             5000,
         );
         st.record(
@@ -296,6 +332,7 @@ mod tests {
             SwConfig::InnerProduct,
             HwConfig::Scs,
             FormatKind::Bitmap,
+            ReorderKind::None,
             5500,
         );
         // Third candidate: same pairing, resident format — unexplored.
@@ -307,6 +344,7 @@ mod tests {
             SwConfig::InnerProduct,
             HwConfig::Sc,
             FormatKind::Coo,
+            ReorderKind::None,
             1000,
         );
         let c = st.choose(d, p);
@@ -318,10 +356,67 @@ mod tests {
                 SwConfig::InnerProduct,
                 HwConfig::Sc,
                 FormatKind::Bitmap,
+                ReorderKind::None,
                 100,
             );
         }
         assert_eq!(st.choose(d, p).format, FormatKind::Bitmap);
+    }
+
+    #[test]
+    fn reordered_prior_keeps_arrival_fallback() {
+        // The tree proposed RCM; arrival order stays in the candidate
+        // set and wins once observed cheaper.
+        let mut st = AdaptiveState::new();
+        let d = 0.5;
+        let p = Decision {
+            software: SwConfig::InnerProduct,
+            hardware: HwConfig::Sc,
+            format: FormatKind::Coo,
+            reorder: ReorderKind::Rcm,
+            cvd: 0.001,
+        };
+        st.record(
+            d,
+            SwConfig::InnerProduct,
+            HwConfig::Sc,
+            FormatKind::Coo,
+            ReorderKind::Rcm,
+            5000,
+        );
+        st.record(
+            d,
+            SwConfig::InnerProduct,
+            HwConfig::Scs,
+            FormatKind::Coo,
+            ReorderKind::Rcm,
+            5500,
+        );
+        // Fallback candidate: same pairing, arrival order — unexplored.
+        let c = st.choose(d, p);
+        assert_eq!(c.reorder, ReorderKind::None);
+        assert_eq!(c.hardware, HwConfig::Sc);
+        st.record(
+            d,
+            SwConfig::InnerProduct,
+            HwConfig::Sc,
+            FormatKind::Coo,
+            ReorderKind::None,
+            1000,
+        );
+        assert_eq!(st.choose(d, p).reorder, ReorderKind::None);
+        // New evidence flips it back to the reordered operands.
+        for _ in 0..8 {
+            st.record(
+                d,
+                SwConfig::InnerProduct,
+                HwConfig::Sc,
+                FormatKind::Coo,
+                ReorderKind::Rcm,
+                100,
+            );
+        }
+        assert_eq!(st.choose(d, p).reorder, ReorderKind::Rcm);
     }
 
     #[test]
@@ -337,7 +432,13 @@ mod tests {
         rec(&mut st, d, SwConfig::InnerProduct, HwConfig::Scs, 900);
         assert_eq!(st.choose(d, p).hardware, HwConfig::Scs);
         assert_eq!(
-            st.mean_cycles(d, SwConfig::InnerProduct, HwConfig::Scs, FormatKind::Coo),
+            st.mean_cycles(
+                d,
+                SwConfig::InnerProduct,
+                HwConfig::Scs,
+                FormatKind::Coo,
+                ReorderKind::None
+            ),
             Some(900.0)
         );
     }

@@ -117,8 +117,11 @@ fn check_combo(matrix: &CooMatrix, sw: SwConfig, hw: HwConfig, opts: &Opts) -> b
         Ok(out) => {
             let report = rt.verification();
             let clean = report.is_clean();
+            // The header names all four chosen axes: dataflow, hardware,
+            // storage format, and locality reordering.
+            let label = format!("{label} [{}/{}]", out.format, out.reorder);
             println!(
-                "{:24} {:>12} cycles  {} warning(s)  {} race(s){}",
+                "{:36} {:>12} cycles  {} warning(s)  {} race(s){}",
                 label,
                 out.report.cycles,
                 report.warnings.len(),

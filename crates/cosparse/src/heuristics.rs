@@ -18,9 +18,14 @@
 //!    per entry instead of 4) or a blocked BCSR (block-structured rows:
 //!    index and mask loads amortized over whole register blocks),
 //!    driven by the [`FormatProbe`] carried in [`MatrixSummary`].
+//! 5. **Reordering** (the fourth axis): a [`ReorderProbe`] samples the
+//!    matrix bandwidth and segment occupancy under each candidate
+//!    permutation; when one improves either statistic by more than
+//!    [`Thresholds::reorder_min_gain`], the plan streams the permuted
+//!    matrix image instead of the arrival order.
 
 use crate::ops::OpProfile;
-use sparse::{FormatKind, FormatProbe};
+use sparse::{FormatKind, FormatProbe, ReorderKind, ReorderProbe};
 use transmuter::{Geometry, HwConfig, MicroArch};
 
 /// The software-level dataflow choice.
@@ -57,6 +62,8 @@ pub struct Decision {
     pub hardware: HwConfig,
     /// Chosen matrix storage format (the third reconfiguration axis).
     pub format: FormatKind,
+    /// Chosen matrix reordering (the fourth reconfiguration axis).
+    pub reorder: ReorderKind,
     /// The crossover vector density the software choice used.
     pub cvd: f64,
 }
@@ -83,6 +90,9 @@ pub struct MatrixSummary {
     /// Structural format probe, when the caller has one. `None` keeps
     /// the decision tree on the paper's COO/CSC pair.
     pub probe: Option<FormatProbe>,
+    /// Locality probe, when the caller has one. `None` keeps the
+    /// decision tree on the arrival ordering.
+    pub reorder_probe: Option<ReorderProbe>,
 }
 
 impl MatrixSummary {
@@ -94,6 +104,7 @@ impl MatrixSummary {
             cols,
             nnz,
             probe: None,
+            reorder_probe: None,
         }
     }
 
@@ -104,7 +115,15 @@ impl MatrixSummary {
             cols,
             nnz,
             probe: Some(probe),
+            reorder_probe: None,
         }
+    }
+
+    /// `self` additionally carrying a [`ReorderProbe`], unlocking the
+    /// fourth axis of the decision tree.
+    pub fn with_reorder_probe(mut self, probe: ReorderProbe) -> Self {
+        self.reorder_probe = Some(probe);
+        self
     }
 
     /// Matrix density `nnz / (rows*cols)`.
@@ -182,6 +201,13 @@ pub struct Thresholds {
     /// triplets; the bitmap's 4-byte value stride only wins once
     /// segments carry several entries each.
     pub bitmap_min_seg_occupancy: f64,
+    /// Minimum [`ReorderProbe::gain`] — bandwidth shrinkage or segment
+    /// occupancy growth, whichever is larger — for the plan to stream a
+    /// permuted matrix image instead of the arrival order. Reordering
+    /// pays a one-time permuted-image build and makes the plan key
+    /// wider, so the bar is deliberately high: near-uniform matrices
+    /// (gain ≈ 1) must stay on the arrival ordering.
+    pub reorder_min_gain: f64,
 }
 
 impl Thresholds {
@@ -198,6 +224,7 @@ impl Thresholds {
             op_list_fit_fraction: 1.0,
             bcsr_min_fill: 0.5,
             bitmap_min_seg_occupancy: 4.0,
+            reorder_min_gain: 1.5,
         }
     }
 
@@ -362,10 +389,25 @@ fn decide_tree(
             _ => FormatKind::Coo,
         },
     };
+    // Reordering: only when the locality probe shows a candidate
+    // permutation substantially tightening the bandwidth or packing the
+    // segments — otherwise the arrival order keeps the plan key narrow.
+    let reorder = match matrix.reorder_probe {
+        Some(p) => {
+            let (kind, gain) = p.best();
+            if gain >= thresholds.reorder_min_gain {
+                kind
+            } else {
+                ReorderKind::None
+            }
+        }
+        None => ReorderKind::None,
+    };
     Decision {
         software,
         hardware,
         format,
+        reorder,
         cvd,
     }
 }
@@ -635,5 +677,59 @@ mod tests {
     fn default_formats_are_the_papers_resident_pair() {
         assert_eq!(default_format(SwConfig::InnerProduct), FormatKind::Coo);
         assert_eq!(default_format(SwConfig::OuterProduct), FormatKind::Csc);
+    }
+
+    #[test]
+    fn no_reorder_probe_keeps_arrival_order() {
+        let d = decide_default(summary(1 << 17, 4_000_000), 0.5, Geometry::new(4, 8));
+        assert_eq!(d.reorder, ReorderKind::None);
+    }
+
+    #[test]
+    fn reorder_probe_gain_gates_the_fourth_axis() {
+        let g = Geometry::new(4, 8);
+        let base = summary(1 << 17, 4_000_000);
+        // RCM slashing the bandwidth by 3x clears the 1.5x gate.
+        let good = ReorderProbe {
+            arrival_bandwidth: 30_000.0,
+            arrival_occupancy: 1.2,
+            bandwidth: [25_000.0, 10_000.0, 24_000.0],
+            occupancy: [1.3, 1.4, 1.5],
+        };
+        let d = decide_default(base.with_reorder_probe(good), 0.5, g);
+        assert_eq!(d.reorder, ReorderKind::Rcm);
+        // Marginal improvements everywhere: stay on arrival order.
+        let marginal = ReorderProbe {
+            arrival_bandwidth: 30_000.0,
+            arrival_occupancy: 1.2,
+            bandwidth: [28_000.0, 26_000.0, 29_000.0],
+            occupancy: [1.25, 1.3, 1.2],
+        };
+        let d = decide_default(base.with_reorder_probe(marginal), 0.5, g);
+        assert_eq!(d.reorder, ReorderKind::None);
+        // Occupancy growth alone can also clear the gate (the window
+        // heuristic's signature win).
+        let packed = ReorderProbe {
+            arrival_bandwidth: 30_000.0,
+            arrival_occupancy: 1.2,
+            bandwidth: [30_000.0, 30_000.0, 30_000.0],
+            occupancy: [1.3, 1.3, 2.4],
+        };
+        let d = decide_default(base.with_reorder_probe(packed), 0.5, g);
+        assert_eq!(d.reorder, ReorderKind::WindowCluster);
+    }
+
+    #[test]
+    fn reorder_gate_applies_to_both_dataflows() {
+        let good = ReorderProbe {
+            arrival_bandwidth: 30_000.0,
+            arrival_occupancy: 1.2,
+            bandwidth: [25_000.0, 10_000.0, 24_000.0],
+            occupancy: [1.3, 1.4, 1.5],
+        };
+        let m = summary(1 << 17, 4_000_000).with_reorder_probe(good);
+        let op = decide_default(m, 0.001, Geometry::new(4, 8));
+        assert_eq!(op.software, SwConfig::OuterProduct);
+        assert_eq!(op.reorder, ReorderKind::Rcm, "OP streams permuted CSC too");
     }
 }

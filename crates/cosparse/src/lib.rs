@@ -71,7 +71,7 @@ pub use runtime::{CacheStats, CoSparse, Frontier, Policy, SpmvOutcome, StepOutco
 pub use serve::{GraphService, ServeConfig, ServeError, ServeStats, Ticket};
 pub use shared::{SharedCacheStats, SharedGraph};
 pub use verify::{run_checked, VerifyReport};
-// Re-export so downstream crates name the hardware configs and storage
-// formats from here.
-pub use sparse::FormatKind;
+// Re-export so downstream crates name the hardware configs, storage
+// formats and locality reorderings from here.
+pub use sparse::{FormatKind, ReorderKind};
 pub use transmuter::HwConfig;

@@ -24,7 +24,7 @@ use crate::kernels::{formats, ip, op};
 use crate::ops::{apply, GraphOp, OpProfile, SpmvOp, Update};
 use crate::shared::{SharedCounters, SharedGraph, SharedPlan};
 use crate::verify::{run_checked, VerifyReport};
-use sparse::{CooMatrix, CscMatrix, DenseVector, FormatKind, Idx, SparseVector};
+use sparse::{CooMatrix, CscMatrix, DenseVector, FormatKind, Idx, ReorderKind, SparseVector};
 use std::sync::Arc;
 use transmuter::{
     Analysis, EpochStats, HwConfig, Machine, MemoStats, ProgramBuilder, SimError, SimReport,
@@ -116,6 +116,10 @@ pub struct SpmvOutcome {
     pub hardware: HwConfig,
     /// Chosen storage format (the third reconfiguration axis).
     pub format: FormatKind,
+    /// Chosen locality reordering (the fourth reconfiguration axis).
+    /// Purely a simulated-access-pattern choice: the functional
+    /// `result` is always in the original index space.
+    pub reorder: ReorderKind,
     /// Simulated timing/energy (reconfiguration, any frontier
     /// conversion and any one-time format materialization included).
     pub report: SimReport,
@@ -133,6 +137,9 @@ pub struct StepOutcome<V> {
     pub hardware: HwConfig,
     /// Chosen storage format (the third reconfiguration axis).
     pub format: FormatKind,
+    /// Chosen locality reordering (the fourth reconfiguration axis);
+    /// `updates` are always in the original index space.
+    pub reorder: ReorderKind,
     /// Simulated timing/energy.
     pub report: SimReport,
     /// State updates that passed [`GraphOp::is_update`], sorted by
@@ -245,6 +252,9 @@ pub struct CoSparse {
     /// When set, every decision's storage format is pinned to this
     /// value (bench sweeps; see [`CoSparse::set_format_override`]).
     format_override: Option<FormatKind>,
+    /// When set, every decision's locality reordering is pinned to this
+    /// value (see [`CoSparse::set_reorder_override`]).
+    reorder_override: Option<ReorderKind>,
     prev_sw: Option<SwConfig>,
     adaptive: AdaptiveState,
     verify: bool,
@@ -256,6 +266,11 @@ pub struct CoSparse {
     mask_buf: Vec<bool>,
     /// Reusable staging for the active index list.
     indices_buf: Vec<Idx>,
+    /// Reusable staging for the permuted active index list (the
+    /// vector-permute contract: when the bound plan carries a
+    /// reordering, kernels see the frontier's indices mapped through it
+    /// — see [`CoSparse::execute_timed`]).
+    perm_buf: Vec<Idx>,
     /// Reusable staging for the active `(index, value)` entries.
     entries_buf: Vec<(Idx, f32)>,
     /// Analyzer verdict of the most recently executed program (cloned
@@ -307,12 +322,14 @@ impl CoSparse {
             balancing: Balancing::NnzBalanced,
             policy: Policy::Auto,
             format_override: None,
+            reorder_override: None,
             prev_sw: None,
             adaptive: AdaptiveState::new(),
             verify: false,
             verify_report: VerifyReport::default(),
             plan: None,
             indices_buf: Vec::new(),
+            perm_buf: Vec::new(),
             entries_buf: Vec::new(),
             last_analysis: None,
             deep_analysis: false,
@@ -439,13 +456,24 @@ impl CoSparse {
         self.format_override = format;
     }
 
+    /// Pins (or unpins, with `None`) the locality reordering of every
+    /// subsequent decision — the fourth-axis analogue of
+    /// [`CoSparse::set_format_override`], used by the bench sweeps and
+    /// the reorder differential tests. The pinned permutation shapes
+    /// the *simulated* address stream only: functional results are
+    /// computed in the original index space and are bit-identical to an
+    /// unpinned run.
+    pub fn set_reorder_override(&mut self, reorder: Option<ReorderKind>) {
+        self.reorder_override = reorder;
+    }
+
     /// Observations collected so far under [`Policy::Adaptive`].
     pub fn adaptive_observations(&self) -> usize {
         self.adaptive.observations()
     }
 
-    /// Mean kernel-only cycles recorded for `(sw, hw, format)` in
-    /// `density`'s adaptive bucket, if observed (see
+    /// Mean kernel-only cycles recorded for `(sw, hw, format, reorder)`
+    /// in `density`'s adaptive bucket, if observed (see
     /// [`AdaptiveState::mean_cycles`]).
     pub fn adaptive_mean_cycles(
         &self,
@@ -453,8 +481,9 @@ impl CoSparse {
         sw: SwConfig,
         hw: HwConfig,
         format: FormatKind,
+        reorder: ReorderKind,
     ) -> Option<f64> {
-        self.adaptive.mean_cycles(density, sw, hw, format)
+        self.adaptive.mean_cycles(density, sw, hw, format, reorder)
     }
 
     /// The operand matrix (COO copy).
@@ -473,8 +502,8 @@ impl CoSparse {
     }
 
     /// Structural summary used by the decision tree, including the
-    /// cached format probe (computed once per graph), so the tree can
-    /// steer the storage-format axis.
+    /// cached format and locality probes (computed once per graph), so
+    /// the tree can steer the storage-format and reordering axes.
     pub fn summary(&self) -> MatrixSummary {
         let coo = self.shared.matrix();
         MatrixSummary::with_probe(
@@ -483,6 +512,7 @@ impl CoSparse {
             coo.nnz(),
             *self.shared.format_probe(),
         )
+        .with_reorder_probe(*self.shared.reorder_probe())
     }
 
     /// Runs the decision tree for a frontier of the given density
@@ -504,12 +534,16 @@ impl CoSparse {
                 software: sw,
                 hardware: hw,
                 format: default_format(sw),
+                reorder: ReorderKind::None,
                 cvd: f64::NAN,
             },
             Policy::Adaptive => self.adaptive.choose(vector_density, tree()),
         };
         if let Some(f) = self.format_override {
             d.format = f;
+        }
+        if let Some(r) = self.reorder_override {
+            d.reorder = r;
         }
         d
     }
@@ -537,6 +571,7 @@ impl CoSparse {
                 software: sw,
                 hardware: hw,
                 format: default_format(sw),
+                reorder: ReorderKind::None,
                 cvd: f64::NAN,
             },
             Policy::Adaptive => {
@@ -551,24 +586,30 @@ impl CoSparse {
         if let Some(f) = self.format_override {
             d.format = f;
         }
+        if let Some(r) = self.reorder_override {
+            d.reorder = r;
+        }
         d
     }
 
     /// (Re)binds the session's [`Plan`] when none is bound or its key —
-    /// op profile + balancing scheme + storage format — no longer
-    /// matches. The plan itself comes from the shared graph's registry
-    /// (built there on the first request for the key, from any
+    /// op profile + balancing scheme + storage format + reordering — no
+    /// longer matches. The plan itself comes from the shared graph's
+    /// registry (built there on the first request for the key, from any
     /// session); only the builder scratch is per-session.
-    fn ensure_plan(&mut self, profile: &OpProfile, format: FormatKind) {
+    fn ensure_plan(&mut self, profile: &OpProfile, format: FormatKind, reorder: ReorderKind) {
         let stale = self.plan.as_ref().is_none_or(|p| {
             p.shared.profile != *profile
                 || p.shared.balancing != self.balancing
                 || p.shared.format != format
+                || p.shared.reorder != reorder
         });
         if !stale {
             return;
         }
-        let shared = self.shared.plan_for(profile, self.balancing, format);
+        let shared = self
+            .shared
+            .plan_for(profile, self.balancing, format, reorder);
         self.plan = Some(Plan {
             shared,
             builder: ProgramBuilder::new(),
@@ -598,7 +639,7 @@ impl CoSparse {
         profile: &OpProfile,
     ) -> Result<SimReport, SimError> {
         if self.backend == ExecBackend::Host {
-            self.ensure_plan(profile, decision.format);
+            self.ensure_plan(profile, decision.format, decision.reorder);
             return Ok(self.host_report(0.0));
         }
         self.execute_timed(decision, active, profile)
@@ -638,8 +679,32 @@ impl CoSparse {
         // alternate-format plan forces the image (to size its region),
         // and the one-time pack charge below keys on whether it was
         // already materialized when this invocation arrived.
-        let cold_format = !self.shared.format_is_materialized(decision.format);
-        self.ensure_plan(profile, decision.format);
+        let cold_format = !self
+            .shared
+            .format_is_materialized(decision.format, decision.reorder);
+        self.ensure_plan(profile, decision.format, decision.reorder);
+        // The vector-permute contract (fourth axis): when the bound plan
+        // streams reordered operands, the kernels must see the
+        // frontier's indices mapped into the permuted space too —
+        // otherwise mask and frontier would address the wrong columns
+        // of the permuted image. The mapping is confined to this
+        // method: callers hand in original-space indices, and every
+        // functional result is computed in the original space, so
+        // reordering is invisible outside the simulated address stream.
+        let mut perm_buf = std::mem::take(&mut self.perm_buf);
+        let active: &[Idx] = match self
+            .plan
+            .as_ref()
+            .expect("plan ensured above")
+            .shared
+            .perm()
+        {
+            Some(p) => {
+                p.permute_active(active, &mut perm_buf);
+                &perm_buf
+            }
+            None => active,
+        };
         let reconfig_cost = self.machine.reconfigure(decision.hardware);
 
         // Frontier representation conversion (§III-D.2) when the
@@ -761,10 +826,14 @@ impl CoSparse {
                 };
                 let result = if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
                     let streams = match decision.format {
-                        FormatKind::Bitmap => {
-                            formats::bitmap_streams(self.shared.bitmap(), geometry, params)
+                        FormatKind::Bitmap => formats::bitmap_streams(
+                            plan.shared.bitmap(&self.shared),
+                            geometry,
+                            params,
+                        ),
+                        _ => {
+                            formats::bcsr_streams(plan.shared.bcsr(&self.shared), geometry, params)
                         }
-                        _ => formats::bcsr_streams(self.shared.bcsr(), geometry, params),
                     };
                     let run = run_checked(
                         &mut self.machine,
@@ -778,22 +847,24 @@ impl CoSparse {
                     run
                 } else if dense {
                     let uarch = self.machine.uarch();
-                    let shared = &self.shared;
+                    // Resolve the image for this plan's (format, reorder)
+                    // pairing up front, so the build closure captures a
+                    // plain reference.
+                    let bitmap = matches!(decision.format, FormatKind::Bitmap)
+                        .then(|| plan.shared.bitmap(&self.shared));
+                    let bcsr = bitmap.is_none().then(|| plan.shared.bcsr(&self.shared));
                     let prog = plan
                         .shared
                         .dense_program(hw_idx, self.shared.counters(), || {
                             let mut builder = ProgramBuilder::new();
                             builder.set_analysis(true);
                             builder.begin(geometry, decision.hardware, uarch);
-                            match decision.format {
-                                FormatKind::Bitmap => formats::build_bitmap(
-                                    shared.bitmap(),
-                                    geometry,
-                                    params,
-                                    &mut builder,
-                                ),
-                                _ => formats::build_bcsr(
-                                    shared.bcsr(),
+                            match bitmap {
+                                Some(bitmap) => {
+                                    formats::build_bitmap(bitmap, geometry, params, &mut builder)
+                                }
+                                None => formats::build_bcsr(
+                                    bcsr.expect("one image resolved"),
                                     geometry,
                                     params,
                                     &mut builder,
@@ -816,13 +887,13 @@ impl CoSparse {
                             .begin(geometry, decision.hardware, self.machine.uarch());
                         match decision.format {
                             FormatKind::Bitmap => formats::build_bitmap(
-                                self.shared.bitmap(),
+                                plan.shared.bitmap(&self.shared),
                                 geometry,
                                 params,
                                 &mut plan.builder,
                             ),
                             _ => formats::build_bcsr(
-                                self.shared.bcsr(),
+                                plan.shared.bcsr(&self.shared),
                                 geometry,
                                 params,
                                 &mut plan.builder,
@@ -872,7 +943,7 @@ impl CoSparse {
                         profile: *profile,
                     };
                     if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
-                        let compiled = ip::compile(self.shared.matrix(), geometry, params);
+                        let compiled = ip::compile(plan.shared.coo(&self.shared), geometry, params);
                         let streams = ip::replay(&compiled, geometry);
                         let run = run_checked(
                             &mut self.machine,
@@ -891,7 +962,7 @@ impl CoSparse {
                         // The shared program keeps one id, so each
                         // machine's steady-state memo sees the same
                         // recurring program every iteration.
-                        let coo = self.shared.matrix();
+                        let coo = plan.shared.coo(&self.shared);
                         let uarch = self.machine.uarch();
                         let prog =
                             plan.shared
@@ -930,7 +1001,7 @@ impl CoSparse {
                         profile: *profile,
                     };
                     let result = if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
-                        let compiled = ip::compile(self.shared.matrix(), geometry, params);
+                        let compiled = ip::compile(plan.shared.coo(&self.shared), geometry, params);
                         let streams = ip::replay(&compiled, geometry);
                         let run = run_checked(
                             &mut self.machine,
@@ -954,7 +1025,12 @@ impl CoSparse {
                             plan.builder.set_analysis(self.deep_analysis);
                             plan.builder
                                 .begin(geometry, decision.hardware, self.machine.uarch());
-                            ip::build(self.shared.matrix(), geometry, params, &mut plan.builder);
+                            ip::build(
+                                plan.shared.coo(&self.shared),
+                                geometry,
+                                params,
+                                &mut plan.builder,
+                            );
                             plan.builder.finish();
                             plan.scratch_key = Some((sw_idx, hw_idx));
                             plan.scratch_frontier.clear();
@@ -991,7 +1067,7 @@ impl CoSparse {
                     profile: *profile,
                 };
                 if self.verify && !plan.shared.is_verified(sw_idx, hw_idx) {
-                    let streams = op::streams(self.shared.matrix_csc(), geometry, params);
+                    let streams = op::streams(plan.shared.csc(&self.shared), geometry, params);
                     let run = run_checked(
                         &mut self.machine,
                         streams,
@@ -1004,12 +1080,12 @@ impl CoSparse {
                     if plan.scratch_key != Some((sw_idx, hw_idx))
                         || plan.scratch_frontier != *active
                     {
-                        let sub = plan.shared.subruns(self.shared.matrix_csc());
+                        let sub = plan.shared.subruns(plan.shared.csc(&self.shared));
                         plan.builder.set_analysis(self.deep_analysis);
                         plan.builder
                             .begin(geometry, decision.hardware, self.machine.uarch());
                         op::build(
-                            self.shared.matrix_csc(),
+                            plan.shared.csc(&self.shared),
                             geometry,
                             params,
                             sub,
@@ -1032,6 +1108,9 @@ impl CoSparse {
                 }
             }
         };
+        // Return the permuted-frontier staging for reuse (error paths
+        // above simply drop it; the next call re-grows it).
+        self.perm_buf = perm_buf;
         // Only remember the dataflow once its kernel actually ran: a
         // rejected or failed invocation must not convince the next call
         // that the frontier representation already switched.
@@ -1080,10 +1159,12 @@ impl CoSparse {
         state: &[O::Value],
         profile: &OpProfile,
     ) -> (Vec<Update<O::Value>>, SimReport) {
-        self.ensure_plan(profile, decision.format);
+        self.ensure_plan(profile, decision.format, decision.reorder);
         let plan = self.plan.as_ref().expect("plan ensured above");
-        // The inner dataflow walks the decided format natively; the
-        // outer dataflow always merges CSC columns.
+        // The inner dataflow walks the decided format natively against
+        // the *original-order* images (the reordering axis shapes the
+        // simulated address stream only); the outer dataflow always
+        // merges CSC columns.
         let operand = match (decision.software, decision.format) {
             (SwConfig::InnerProduct, FormatKind::Bitmap) => {
                 HostOperand::Bitmap(self.shared.bitmap())
@@ -1155,6 +1236,7 @@ impl CoSparse {
                 software: decision.software,
                 hardware: decision.hardware,
                 format: decision.format,
+                reorder: decision.reorder,
                 report,
                 result,
             });
@@ -1177,6 +1259,7 @@ impl CoSparse {
                 decision.software,
                 decision.hardware,
                 decision.format,
+                decision.reorder,
                 kernel_cycles,
             );
         }
@@ -1200,6 +1283,7 @@ impl CoSparse {
             software: decision.software,
             hardware: decision.hardware,
             format: decision.format,
+            reorder: decision.reorder,
             report,
             result,
         })
@@ -1231,6 +1315,7 @@ impl CoSparse {
                 software: decision.software,
                 hardware: decision.hardware,
                 format: decision.format,
+                reorder: decision.reorder,
                 report,
                 updates,
             });
@@ -1247,6 +1332,7 @@ impl CoSparse {
                 decision.software,
                 decision.hardware,
                 decision.format,
+                decision.reorder,
                 kernel_cycles,
             );
         }
@@ -1260,6 +1346,7 @@ impl CoSparse {
             software: decision.software,
             hardware: decision.hardware,
             format: decision.format,
+            reorder: decision.reorder,
             report,
             updates,
         })
@@ -1565,6 +1652,7 @@ mod frontier_tests {
             software: sw,
             hardware: hw,
             format: default_format(sw),
+            reorder: ReorderKind::None,
             cvd: f64::NAN,
         };
         let m = sparse::generate::uniform(256, 256, 2000, 13).unwrap();
@@ -1631,7 +1719,13 @@ mod frontier_tests {
         // but the recorded cost must be kernel-only — strictly below the
         // switch-inclusive report.
         let mean = rt
-            .adaptive_mean_cycles(density, second.software, second.hardware, second.format)
+            .adaptive_mean_cycles(
+                density,
+                second.software,
+                second.hardware,
+                second.format,
+                second.reorder,
+            )
             .unwrap();
         assert!(
             mean < second.report.cycles as f64,
@@ -1641,7 +1735,13 @@ mod frontier_tests {
         // With both configs observed at kernel-only cost, the third call
         // picks the bucket's argmin.
         let first_mean = rt
-            .adaptive_mean_cycles(density, first.software, first.hardware, first.format)
+            .adaptive_mean_cycles(
+                density,
+                first.software,
+                first.hardware,
+                first.format,
+                first.reorder,
+            )
             .unwrap();
         let third = rt.spmv(&x).unwrap();
         let want_hw = if first_mean <= mean {
@@ -1650,6 +1750,50 @@ mod frontier_tests {
             second.hardware
         };
         assert_eq!(third.hardware, want_hw);
+    }
+
+    #[test]
+    fn reorder_override_is_bit_identical_and_rekeys_the_plan() {
+        let m = sparse::generate::uniform(512, 512, 8000, 21).unwrap();
+        let machine = || {
+            Machine::new(
+                transmuter::Geometry::new(2, 4),
+                transmuter::MicroArch::paper(),
+            )
+        };
+        let x = Frontier::Dense(sparse::generate::random_dense_vector(512, 3));
+        let mut plain = CoSparse::new(&m, machine());
+        let want = plain.spmv(&x).unwrap();
+        assert_eq!(want.reorder, ReorderKind::None);
+
+        let mut rt = CoSparse::new(&m, machine());
+        // Differential backend: the host result cross-checks the golden
+        // model on every call, reordering pinned or not.
+        rt.set_backend(ExecBackend::Differential);
+        rt.set_reorder_override(Some(ReorderKind::Rcm));
+        let out = rt.spmv(&x).unwrap();
+        assert_eq!(out.reorder, ReorderKind::Rcm);
+        // Functional results never see the permutation.
+        assert_eq!(out.result, want.result);
+        // Pinning back to arrival order rekeys the plan.
+        rt.set_reorder_override(None);
+        let back = rt.spmv(&x).unwrap();
+        assert_eq!(back.reorder, ReorderKind::None);
+        assert_eq!(back.result, want.result);
+        let cs = rt.cache_stats();
+        assert_eq!(cs.plan_builds, 2);
+        assert_eq!(rt.shared().cache_stats().reorder_builds, 1);
+
+        // The sparse-frontier (OP) path agrees too.
+        let sv = sparse::generate::random_sparse_vector(512, 0.01, 7).unwrap();
+        let mut op_plain = CoSparse::new(&m, machine());
+        let op_want = op_plain.spmv(&Frontier::Sparse(sv.clone())).unwrap();
+        let mut op_rt = CoSparse::new(&m, machine());
+        op_rt.set_backend(ExecBackend::Differential);
+        op_rt.set_reorder_override(Some(ReorderKind::WindowCluster));
+        let op_out = op_rt.spmv(&Frontier::Sparse(sv)).unwrap();
+        assert_eq!(op_out.reorder, ReorderKind::WindowCluster);
+        assert_eq!(op_out.result, op_want.result);
     }
 
     #[test]

@@ -40,7 +40,7 @@
 use crate::host::ExecBackend;
 use crate::runtime::CoSparse;
 use crate::shared::SharedGraph;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -75,6 +75,10 @@ pub struct ServeStats {
     /// Queries shed by [`GraphService::try_submit`] because the queue
     /// sat at [`ServeConfig::queue_cap`].
     pub rejected: u64,
+    /// [`GraphService::submit_cached`] submissions answered from the
+    /// same-source memo without running on a worker (counted in
+    /// `submitted`, never in `completed` or `batches`).
+    pub cache_hits: u64,
 }
 
 #[derive(Default)]
@@ -83,6 +87,25 @@ struct ServeCounters {
     completed: AtomicU64,
     batches: AtomicU64,
     rejected: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+/// The same-source query memo behind [`GraphService::submit_cached`]:
+/// answers keyed by the caller's query key, valid for exactly one graph
+/// content epoch — the whole map is dropped the first time an access
+/// sees a newer [`SharedGraph::epoch`].
+struct QueryCache<T> {
+    epoch: u64,
+    answers: HashMap<u64, T>,
+}
+
+impl<T> Default for QueryCache<T> {
+    fn default() -> Self {
+        QueryCache {
+            epoch: 0,
+            answers: HashMap::new(),
+        }
+    }
 }
 
 struct ServeShared<T> {
@@ -93,6 +116,7 @@ struct ServeShared<T> {
     space: Condvar,
     queue_cap: usize,
     counters: ServeCounters,
+    cache: Mutex<QueryCache<T>>,
 }
 
 /// Why a non-blocking submission was refused.
@@ -119,6 +143,14 @@ impl std::error::Error for ServeError {}
 /// (a submit assert, a query closure), so the service keeps draining
 /// and shutting down cleanly after a client panic.
 fn lock_queue<T>(mutex: &Mutex<QueueState<T>>) -> std::sync::MutexGuard<'_, QueueState<T>> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Locks the query memo, recovering from poison for the same reason as
+/// [`lock_queue`]: a clone/insert never leaves the map half-mutated.
+fn lock_cache<T>(mutex: &Mutex<QueryCache<T>>) -> std::sync::MutexGuard<'_, QueryCache<T>> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -222,6 +254,7 @@ impl<T: Send + 'static> GraphService<T> {
             space: Condvar::new(),
             queue_cap: config.queue_cap.max(1),
             counters: ServeCounters::default(),
+            cache: Mutex::new(QueryCache::default()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -313,6 +346,56 @@ impl<T: Send + 'static> GraphService<T> {
         Ok(Ticket { rx })
     }
 
+    /// [`GraphService::submit`] with a same-source memo: submissions
+    /// sharing `key` on the same graph content epoch run once — later
+    /// ones are answered from the cached value without touching a
+    /// worker, resolving the [`Ticket`] immediately. The caller
+    /// guarantees `key` fully identifies the query's answer over the
+    /// current graph (deterministic closure, key covering every input);
+    /// a [`SharedGraph::bump_epoch`] invalidates every cached answer.
+    ///
+    /// Hits count in [`ServeStats::submitted`] and
+    /// [`ServeStats::cache_hits`] but not in [`ServeStats::completed`]
+    /// or [`ServeStats::batches`] — no query ran. Concurrent misses on
+    /// one key may each run the query (a memo, not a deduplicator);
+    /// last completion wins the cache slot.
+    pub fn submit_cached<F>(&self, key: u64, query: F) -> Ticket<T>
+    where
+        T: Clone,
+        F: FnOnce(&mut CoSparse) -> T + Send + 'static,
+    {
+        let epoch = self.graph.epoch();
+        {
+            let cache = lock_cache(&self.shared.cache);
+            if cache.epoch == epoch {
+                if let Some(answer) = cache.answers.get(&key) {
+                    let answer = answer.clone();
+                    drop(cache);
+                    let c = &self.shared.counters;
+                    c.submitted.fetch_add(1, Ordering::Relaxed);
+                    c.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    // Resolve the ticket directly: the cached answer
+                    // travels on a fresh channel, no worker involved.
+                    let (tx, rx) = mpsc::channel();
+                    tx.send(answer).expect("receiver held");
+                    return Ticket { rx };
+                }
+            }
+        }
+        let shared = Arc::clone(&self.shared);
+        self.submit(move |session| {
+            let answer = query(session);
+            let epoch = session.shared().epoch();
+            let mut cache = lock_cache(&shared.cache);
+            if cache.epoch != epoch {
+                cache.answers.clear();
+                cache.epoch = epoch;
+            }
+            cache.answers.insert(key, answer.clone());
+            answer
+        })
+    }
+
     /// The shared graph the workers serve.
     pub fn graph(&self) -> &Arc<SharedGraph> {
         &self.graph
@@ -331,6 +414,7 @@ impl<T: Send + 'static> GraphService<T> {
             completed: c.completed.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -561,6 +645,36 @@ mod tests {
         assert_eq!(stats.submitted, 3);
         assert_eq!(stats.completed, 3);
         assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn submit_cached_memoizes_per_epoch() {
+        let g = graph(256, 2000);
+        let service: GraphService<usize> =
+            GraphService::start(Arc::clone(&g), config(2, ExecBackend::Host));
+        let ran = Arc::new(AtomicU64::new(0));
+        let run = |ran: &Arc<AtomicU64>| {
+            let ran = Arc::clone(ran);
+            move |s: &mut CoSparse| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                s.matrix().nnz()
+            }
+        };
+        assert_eq!(service.submit_cached(7, run(&ran)).wait(), 2000);
+        for _ in 0..5 {
+            assert_eq!(service.submit_cached(7, run(&ran)).wait(), 2000);
+        }
+        // A different key misses.
+        assert_eq!(service.submit_cached(8, run(&ran)).wait(), 2000);
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "two keys, two runs");
+        // Bumping the content epoch invalidates every cached answer.
+        g.bump_epoch();
+        assert_eq!(service.submit_cached(7, run(&ran)).wait(), 2000);
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 3, "hits never reach a worker");
+        assert_eq!(stats.cache_hits, 5);
     }
 
     #[test]

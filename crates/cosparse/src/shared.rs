@@ -30,7 +30,10 @@ use crate::layout::Layout;
 use crate::ops::OpProfile;
 use crate::runtime::CoSparse;
 use sparse::partition::{RowPartition, VBlocks};
-use sparse::{BcsrMatrix, BitmapCsr, CooMatrix, CscMatrix, CsrMatrix, FormatKind, FormatProbe};
+use sparse::{
+    BcsrMatrix, BitmapCsr, CooMatrix, CscMatrix, CsrMatrix, FormatKind, FormatProbe, Permutation,
+    ReorderKind, ReorderProbe,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use transmuter::verify::RegionMap;
@@ -63,8 +66,12 @@ pub struct SharedCacheStats {
     /// over all sessions.
     pub conversion_builds: u64,
     /// Alternate-format matrix images (bitmap CSR / BCSR) materialized,
-    /// at most one per format per graph — later sessions reuse them.
+    /// at most one per format per (graph, reordering) — later sessions
+    /// reuse them.
     pub format_builds: u64,
+    /// Reordered matrix operand sets (permutation + permuted COO/CSC)
+    /// materialized, at most one per [`ReorderKind`] per graph.
+    pub reorder_builds: u64,
 }
 
 /// Graph-level cache counters, updated with relaxed atomics from every
@@ -79,6 +86,7 @@ pub(crate) struct SharedCounters {
     pub(crate) scratch_program_hits: AtomicU64,
     pub(crate) conversion_builds: AtomicU64,
     pub(crate) format_builds: AtomicU64,
+    pub(crate) reorder_builds: AtomicU64,
 }
 
 impl SharedCounters {
@@ -92,6 +100,7 @@ impl SharedCounters {
             scratch_program_hits: self.scratch_program_hits.load(Ordering::Relaxed),
             conversion_builds: self.conversion_builds.load(Ordering::Relaxed),
             format_builds: self.format_builds.load(Ordering::Relaxed),
+            reorder_builds: self.reorder_builds.load(Ordering::Relaxed),
         }
     }
 
@@ -100,10 +109,65 @@ impl SharedCounters {
     }
 }
 
+/// A permuted view of the shared matrix under one [`ReorderKind`]: the
+/// exact [`Permutation`] plus the permuted COO/CSC operand images (and
+/// lazily their bitmap/BCSR encodings). Built at most once per kind per
+/// graph and shared by every plan keyed on that reordering.
+///
+/// These images drive the *simulated address stream only*: the
+/// functional results of every backend are computed in the original
+/// index space (see the vector-permute contract in the runtime), so a
+/// reordered plan is bit-identical to an arrival-order plan by
+/// construction.
+#[derive(Debug)]
+pub(crate) struct ReorderedGraph {
+    pub(crate) perm: Permutation,
+    pub(crate) coo: CooMatrix,
+    pub(crate) csc: CscMatrix,
+    pub(crate) row_counts: Vec<usize>,
+    bitmap: OnceLock<BitmapCsr>,
+    bcsr: OnceLock<BcsrMatrix>,
+}
+
+impl ReorderedGraph {
+    fn build(kind: ReorderKind, base: &CooMatrix) -> Self {
+        let perm = sparse::reorder::compute(kind, base);
+        let coo = perm.apply_coo(base);
+        let csc = CscMatrix::from(&coo);
+        let row_counts = coo.row_counts();
+        ReorderedGraph {
+            perm,
+            coo,
+            csc,
+            row_counts,
+            bitmap: OnceLock::new(),
+            bcsr: OnceLock::new(),
+        }
+    }
+
+    /// Bitmap image of the permuted matrix, built on first use and
+    /// counted in [`SharedCacheStats::format_builds`].
+    pub(crate) fn bitmap(&self, counters: &SharedCounters) -> &BitmapCsr {
+        self.bitmap.get_or_init(|| {
+            SharedCounters::bump(&counters.format_builds);
+            BitmapCsr::from(&self.coo)
+        })
+    }
+
+    /// BCSR image of the permuted matrix, counted like
+    /// [`ReorderedGraph::bitmap`].
+    pub(crate) fn bcsr(&self, counters: &SharedCounters) -> &BcsrMatrix {
+        self.bcsr.get_or_init(|| {
+            SharedCounters::bump(&counters.format_builds);
+            BcsrMatrix::from(&self.coo)
+        })
+    }
+}
+
 /// One immutable tuning plan over the shared matrix, keyed by
-/// `(op profile, balancing scheme, storage format)` — the OSKI-style
-/// memo that used to live inside each runtime, now built once per graph
-/// and shared.
+/// `(op profile, balancing scheme, storage format, reordering)` — the
+/// OSKI-style memo that used to live inside each runtime, now built
+/// once per graph and shared.
 ///
 /// The geometry-derived members (layout, partitions, vblocks) are plain
 /// immutable data; the dense-IP programs and OP sub-run bounds are
@@ -116,6 +180,10 @@ pub(crate) struct SharedPlan {
     pub(crate) profile: OpProfile,
     pub(crate) balancing: Balancing,
     pub(crate) format: FormatKind,
+    pub(crate) reorder: ReorderKind,
+    /// The reordered operand set this plan streams; `None` keeps the
+    /// graph's arrival-order operands.
+    operands: Option<Arc<ReorderedGraph>>,
     pub(crate) layout: Layout,
     pub(crate) regions: RegionMap,
     pub(crate) ip_partition: RowPartition,
@@ -141,14 +209,35 @@ impl SharedPlan {
         profile: &OpProfile,
         balancing: Balancing,
         format: FormatKind,
+        reorder: ReorderKind,
     ) -> Self {
         let geometry = graph.geometry;
+        let operands = match reorder {
+            ReorderKind::None => None,
+            kind => Some(graph.reordered(kind)),
+        };
+        // Partitions balance over the row distribution the plan
+        // actually streams — the permuted one when reordered.
+        let row_counts = match &operands {
+            Some(ops) => &ops.row_counts,
+            None => &graph.row_counts,
+        };
         // Alternate formats get a packed image region sized from the
         // materialized structure (forcing it now, under the registry
-        // lock, so the plan's layout is stable).
-        let fmt_bytes = match format {
-            FormatKind::Bitmap => crate::kernels::formats::bitmap_image_bytes(graph.bitmap()),
-            FormatKind::Bcsr => crate::kernels::formats::bcsr_image_bytes(graph.bcsr()),
+        // lock, so the plan's layout is stable). The image — and hence
+        // its byte size — is per-(reorder, format): permuting changes
+        // the segment/block population.
+        let fmt_bytes = match (format, &operands) {
+            (FormatKind::Bitmap, None) => {
+                crate::kernels::formats::bitmap_image_bytes(graph.bitmap())
+            }
+            (FormatKind::Bcsr, None) => crate::kernels::formats::bcsr_image_bytes(graph.bcsr()),
+            (FormatKind::Bitmap, Some(ops)) => {
+                crate::kernels::formats::bitmap_image_bytes(ops.bitmap(&graph.counters))
+            }
+            (FormatKind::Bcsr, Some(ops)) => {
+                crate::kernels::formats::bcsr_image_bytes(ops.bcsr(&graph.counters))
+            }
             _ => 0,
         };
         let layout = Layout::with_format_bytes(
@@ -160,8 +249,8 @@ impl SharedPlan {
             fmt_bytes,
         );
         let regions = layout.regions();
-        let ip_partition = balance::ip_partitions(&graph.row_counts, geometry, balancing);
-        let op_tile_parts = balance::op_tile_partitions(&graph.row_counts, geometry, balancing);
+        let ip_partition = balance::ip_partitions(row_counts, geometry, balancing);
+        let op_tile_parts = balance::op_tile_partitions(row_counts, geometry, balancing);
         let vblocks_sc = ip_vblocks(graph, false, profile);
         // SCS needs ≥2 PEs per tile (there are no SPM banks otherwise)
         // and the runtime never executes it on smaller tiles, so reuse
@@ -175,6 +264,8 @@ impl SharedPlan {
             profile: *profile,
             balancing,
             format,
+            reorder,
+            operands,
             layout,
             regions,
             ip_partition,
@@ -227,6 +318,45 @@ impl SharedPlan {
     pub(crate) fn mark_verified(&self, sw_idx: usize, hw_idx: usize) {
         self.verified[sw_idx][hw_idx].store(true, Ordering::Release);
     }
+
+    /// The permutation this plan streams under, when reordered.
+    pub(crate) fn perm(&self) -> Option<&Permutation> {
+        self.operands.as_ref().map(|ops| &ops.perm)
+    }
+
+    /// The COO image the plan's kernels stream: the permuted copy when
+    /// reordered, the graph's arrival-order copy otherwise.
+    pub(crate) fn coo<'a>(&'a self, graph: &'a SharedGraph) -> &'a CooMatrix {
+        match &self.operands {
+            Some(ops) => &ops.coo,
+            None => graph.matrix(),
+        }
+    }
+
+    /// The CSC image the plan's OP kernel merges (see
+    /// [`SharedPlan::coo`]).
+    pub(crate) fn csc<'a>(&'a self, graph: &'a SharedGraph) -> &'a CscMatrix {
+        match &self.operands {
+            Some(ops) => &ops.csc,
+            None => graph.matrix_csc(),
+        }
+    }
+
+    /// The bitmap image for this plan's (reorder, format) pairing.
+    pub(crate) fn bitmap<'a>(&'a self, graph: &'a SharedGraph) -> &'a BitmapCsr {
+        match &self.operands {
+            Some(ops) => ops.bitmap(&graph.counters),
+            None => graph.bitmap(),
+        }
+    }
+
+    /// The BCSR image for this plan's (reorder, format) pairing.
+    pub(crate) fn bcsr<'a>(&'a self, graph: &'a SharedGraph) -> &'a BcsrMatrix {
+        match &self.operands {
+            Some(ops) => ops.bcsr(&graph.counters),
+            None => graph.bcsr(),
+        }
+    }
 }
 
 /// Picks the vblock width for an IP pass: the SPM capacity per tile in
@@ -270,6 +400,16 @@ pub struct SharedGraph {
     /// Structural format probe feeding the decision tree, computed once
     /// per graph on first summary.
     probe: OnceLock<FormatProbe>,
+    /// Locality probe feeding the reorder axis, computed once per graph
+    /// on first summary (candidate permutations evaluated transiently).
+    reorder_probe: OnceLock<ReorderProbe>,
+    /// Reordered operand sets, one slot per [`ReorderKind::CANDIDATES`]
+    /// entry, built by the first plan keyed on that reordering.
+    reordered: [OnceLock<Arc<ReorderedGraph>>; 3],
+    /// Monotone graph-content epoch. Static graphs stay at 0; mutation
+    /// paths (future dynamic-graph support) bump it, invalidating
+    /// epoch-keyed derived state such as the serve-layer result cache.
+    epoch: AtomicU64,
     /// Out-degree of each frontier index in the original graph
     /// (= column counts of the operand matrix).
     degrees: Vec<u32>,
@@ -307,6 +447,9 @@ impl SharedGraph {
             bitmap: OnceLock::new(),
             bcsr: OnceLock::new(),
             probe: OnceLock::new(),
+            reorder_probe: OnceLock::new(),
+            reordered: std::array::from_fn(|_| OnceLock::new()),
+            epoch: AtomicU64::new(0),
             degrees,
             row_counts,
             geometry,
@@ -387,20 +530,71 @@ impl SharedGraph {
         })
     }
 
-    /// Whether `format`'s matrix image is already materialized (without
-    /// forcing it). COO/CSC/CSR are the resident/base formats and count
-    /// as always present once built by their own paths.
-    pub(crate) fn format_is_materialized(&self, format: FormatKind) -> bool {
-        match format {
-            FormatKind::Bitmap => self.bitmap.get().is_some(),
-            FormatKind::Bcsr => self.bcsr.get().is_some(),
-            _ => true,
+    /// Whether the matrix image for `(format, reorder)` is already
+    /// materialized (without forcing it). COO/CSC/CSR are the
+    /// resident/base formats and count as always present once built by
+    /// their own paths; under a reordering, even those are cold until
+    /// the permuted operand set exists.
+    pub(crate) fn format_is_materialized(&self, format: FormatKind, reorder: ReorderKind) -> bool {
+        let Some(slot) = reorder.candidate_index() else {
+            return match format {
+                FormatKind::Bitmap => self.bitmap.get().is_some(),
+                FormatKind::Bcsr => self.bcsr.get().is_some(),
+                _ => true,
+            };
+        };
+        match self.reordered[slot].get() {
+            None => false,
+            Some(ops) => match format {
+                FormatKind::Bitmap => ops.bitmap.get().is_some(),
+                FormatKind::Bcsr => ops.bcsr.get().is_some(),
+                _ => true,
+            },
         }
     }
 
     /// The structural format probe, computed once per graph in `O(nnz)`.
     pub(crate) fn format_probe(&self) -> &FormatProbe {
         self.probe.get_or_init(|| FormatProbe::of(&self.coo))
+    }
+
+    /// The locality probe, computed once per graph (the first summary
+    /// pays the candidate-permutation sampling; everyone else reads the
+    /// cached statistics lock-free).
+    pub(crate) fn reorder_probe(&self) -> &ReorderProbe {
+        self.reorder_probe
+            .get_or_init(|| ReorderProbe::of(&self.coo))
+    }
+
+    /// The reordered operand set for `kind`, materialized at most once
+    /// per graph and counted in [`SharedCacheStats::reorder_builds`].
+    ///
+    /// # Panics
+    ///
+    /// `kind` must not be [`ReorderKind::None`] — arrival order has no
+    /// reordered operand set.
+    pub(crate) fn reordered(&self, kind: ReorderKind) -> Arc<ReorderedGraph> {
+        let slot = kind
+            .candidate_index()
+            .expect("ReorderKind::None has no reordered operands");
+        Arc::clone(self.reordered[slot].get_or_init(|| {
+            SharedCounters::bump(&self.counters.reorder_builds);
+            Arc::new(ReorderedGraph::build(kind, &self.coo))
+        }))
+    }
+
+    /// The graph-content epoch: 0 for a freshly built (static) graph,
+    /// bumped by mutation paths. Epoch-keyed derived state (e.g. the
+    /// serve-layer query cache) is invalidated by a bump.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the graph-content epoch, returning the new value.
+    /// Callers mutating graph-adjacent state (or tests simulating a
+    /// dynamic update) use this to invalidate epoch-keyed caches.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Out-degrees of the original graph's vertices.
@@ -417,28 +611,31 @@ impl SharedGraph {
         &self.counters
     }
 
-    /// The shared plan for `(profile, balancing, format)`, building it
-    /// under the registry lock on the first request. Sessions cache the
-    /// returned `Arc` and only come back here when their key changes,
-    /// so the steady state never touches the lock.
+    /// The shared plan for `(profile, balancing, format, reorder)`,
+    /// building it under the registry lock on the first request.
+    /// Sessions cache the returned `Arc` and only come back here when
+    /// their key changes, so the steady state never touches the lock.
     pub(crate) fn plan_for(
         &self,
         profile: &OpProfile,
         balancing: Balancing,
         format: FormatKind,
+        reorder: ReorderKind,
     ) -> Arc<SharedPlan> {
         let mut plans = self.plans.lock().expect("plan registry poisoned");
-        if let Some(plan) = plans
-            .iter()
-            .find(|p| p.profile == *profile && p.balancing == balancing && p.format == format)
-        {
+        if let Some(plan) = plans.iter().find(|p| {
+            p.profile == *profile
+                && p.balancing == balancing
+                && p.format == format
+                && p.reorder == reorder
+        }) {
             SharedCounters::bump(&self.counters.plan_hits);
             return Arc::clone(plan);
         }
         // Built under the lock: plan construction is the expensive
         // per-matrix setup, and holding the lock guarantees concurrent
         // cold sessions build it exactly once.
-        let plan = Arc::new(SharedPlan::build(self, profile, balancing, format));
+        let plan = Arc::new(SharedPlan::build(self, profile, balancing, format, reorder));
         SharedCounters::bump(&self.counters.plan_builds);
         plans.push(Arc::clone(&plan));
         plan
@@ -458,12 +655,13 @@ mod tests {
     fn plan_registry_builds_once_per_key() {
         let g = graph(256, 2000);
         let scalar = OpProfile::scalar();
-        let a = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Coo);
-        let b = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Coo);
+        let none = ReorderKind::None;
+        let a = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Coo, none);
+        let b = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Coo, none);
         assert!(Arc::ptr_eq(&a, &b), "same key must share one plan");
-        let c = g.plan_for(&scalar, Balancing::EqualRows, FormatKind::Coo);
+        let c = g.plan_for(&scalar, Balancing::EqualRows, FormatKind::Coo, none);
         assert!(!Arc::ptr_eq(&a, &c), "different balancing, new plan");
-        let d = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Bitmap);
+        let d = g.plan_for(&scalar, Balancing::NnzBalanced, FormatKind::Bitmap, none);
         assert!(!Arc::ptr_eq(&a, &d), "different format, new plan");
         let cs = g.cache_stats();
         assert_eq!(cs.plan_builds, 3);
@@ -481,12 +679,13 @@ mod tests {
     #[test]
     fn format_images_build_once_and_report_materialization() {
         let g = graph(128, 900);
-        assert!(!g.format_is_materialized(FormatKind::Bcsr));
-        assert!(g.format_is_materialized(FormatKind::Coo));
+        let none = ReorderKind::None;
+        assert!(!g.format_is_materialized(FormatKind::Bcsr, none));
+        assert!(g.format_is_materialized(FormatKind::Coo, none));
         let a = g.bcsr() as *const BcsrMatrix;
         let b = g.bcsr() as *const BcsrMatrix;
         assert_eq!(a, b, "BCSR derived once per graph");
-        assert!(g.format_is_materialized(FormatKind::Bcsr));
+        assert!(g.format_is_materialized(FormatKind::Bcsr, none));
         assert_eq!(g.cache_stats().format_builds, 1);
         // The probe is cached too, and consistent with the image.
         let p = *g.format_probe();
@@ -500,6 +699,7 @@ mod tests {
             &OpProfile::scalar(),
             Balancing::NnzBalanced,
             FormatKind::Coo,
+            ReorderKind::None,
         );
         let build = || {
             let mut b = transmuter::ProgramBuilder::new();
@@ -521,5 +721,72 @@ mod tests {
         let a = g.csr() as *const CsrMatrix;
         let b = g.csr() as *const CsrMatrix;
         assert_eq!(a, b, "CSR derived once per graph");
+    }
+
+    #[test]
+    fn reordered_operands_build_once_and_key_plans() {
+        let g = graph(256, 2000);
+        let scalar = OpProfile::scalar();
+        let plain = g.plan_for(
+            &scalar,
+            Balancing::NnzBalanced,
+            FormatKind::Coo,
+            ReorderKind::None,
+        );
+        let rcm = g.plan_for(
+            &scalar,
+            Balancing::NnzBalanced,
+            FormatKind::Coo,
+            ReorderKind::Rcm,
+        );
+        assert!(!Arc::ptr_eq(&plain, &rcm), "reorder widens the plan key");
+        assert_eq!(rcm.reorder, ReorderKind::Rcm);
+        assert!(rcm.perm().is_some() && plain.perm().is_none());
+        // A second plan on the same reordering shares the operand set.
+        let rcm_bitmap = g.plan_for(
+            &scalar,
+            Balancing::NnzBalanced,
+            FormatKind::Bitmap,
+            ReorderKind::Rcm,
+        );
+        let cs = g.cache_stats();
+        assert_eq!(cs.plan_builds, 3);
+        assert_eq!(cs.reorder_builds, 1, "one operand set per ReorderKind");
+        // The reordered bitmap image is distinct from the base one and
+        // sized into the plan's layout.
+        assert_eq!(
+            rcm_bitmap.layout.fmt_bytes as usize,
+            crate::kernels::formats::bitmap_image_bytes(rcm_bitmap.bitmap(&g))
+        );
+        // Reordered operands are a pure re-indexing: same shape and nnz.
+        let coo = rcm.coo(&g);
+        assert_eq!(coo.rows(), g.matrix().rows());
+        assert_eq!(coo.nnz(), g.matrix().nnz());
+        assert_ne!(coo.entries(), g.matrix().entries(), "rcm must permute");
+    }
+
+    #[test]
+    fn materialization_is_tracked_per_reordering() {
+        let g = graph(128, 900);
+        assert!(!g.format_is_materialized(FormatKind::Coo, ReorderKind::DegreeSort));
+        let ops = g.reordered(ReorderKind::DegreeSort);
+        assert!(g.format_is_materialized(FormatKind::Coo, ReorderKind::DegreeSort));
+        assert!(!g.format_is_materialized(FormatKind::Bcsr, ReorderKind::DegreeSort));
+        ops.bcsr(g.counters());
+        assert!(g.format_is_materialized(FormatKind::Bcsr, ReorderKind::DegreeSort));
+        // The base graph's BCSR is still cold: images are per-pairing.
+        assert!(!g.format_is_materialized(FormatKind::Bcsr, ReorderKind::None));
+        let again = g.reordered(ReorderKind::DegreeSort);
+        assert!(Arc::ptr_eq(&ops, &again));
+        assert_eq!(g.cache_stats().reorder_builds, 1);
+    }
+
+    #[test]
+    fn epoch_starts_at_zero_and_bumps_monotonically() {
+        let g = graph(64, 400);
+        assert_eq!(g.epoch(), 0);
+        assert_eq!(g.bump_epoch(), 1);
+        assert_eq!(g.bump_epoch(), 2);
+        assert_eq!(g.epoch(), 2);
     }
 }

@@ -179,6 +179,58 @@ fn overloaded_service_sheds_load_with_exact_counters() {
     assert_eq!(stats.completed, stats.submitted);
 }
 
+/// Same-source query memo under contention: after one warm run, every
+/// concurrent identical submission must be a cache hit — exactly one
+/// query ever reaches a worker, and every hit's answer is bit-identical
+/// to the worker-computed one.
+#[test]
+fn cached_queries_count_and_answer_exactly_under_contention() {
+    const KEY: u64 = 0xC05;
+    let m = sparse::generate::uniform(N, N, 6000, 37).unwrap();
+    let graph = SharedGraph::new(&m, Geometry::new(2, 4), MicroArch::paper());
+    let service = GraphService::start(
+        Arc::clone(&graph),
+        ServeConfig {
+            workers: 4,
+            batch: 4,
+            queue_cap: 256,
+            backend: ExecBackend::Simulate,
+        },
+    );
+    let service = Arc::new(service);
+
+    // Warm the memo with one completed run before any client races.
+    let want = service.submit_cached(KEY, query(HwConfig::Sc)).wait();
+
+    let answers: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    (0..QUERIES_PER_CLIENT)
+                        .map(|_| service.submit_cached(KEY, query(HwConfig::Sc)).wait())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for a in &answers {
+        assert_eq!(a, &want, "cached answers must be bit-identical");
+    }
+
+    let service = Arc::into_inner(service).expect("all clients joined");
+    let stats = service.shutdown();
+    let hits = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+    assert_eq!(stats.submitted, hits + 1);
+    assert_eq!(stats.completed, 1, "only the warm run reached a worker");
+    assert_eq!(stats.cache_hits, hits);
+}
+
 #[test]
 fn contended_sessions_without_service_count_exactly() {
     // Same counting contract with raw sessions (no queue in between):

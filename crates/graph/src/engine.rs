@@ -65,6 +65,9 @@ pub struct IterationRecord {
     pub software: cosparse::SwConfig,
     /// Memory configuration the runtime chose.
     pub hardware: HwConfig,
+    /// Locality reordering the runtime chose (simulated address stream
+    /// only; `state` is always in the original vertex space).
+    pub reorder: cosparse::ReorderKind,
     /// Simulated cost of the iteration.
     pub report: SimReport,
     /// Number of state updates produced.
@@ -248,6 +251,7 @@ pub fn run_algorithm<A: Algorithm>(
             frontier_density: density,
             software: out.software,
             hardware: out.hardware,
+            reorder: out.reorder,
             report: out.report,
             updates: update_count,
         });
@@ -327,6 +331,7 @@ mod tests {
             frontier_density: density,
             software,
             hardware: HwConfig::Sc,
+            reorder: cosparse::ReorderKind::None,
             report,
             updates: 0,
         }

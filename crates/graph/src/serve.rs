@@ -107,6 +107,32 @@ impl GraphQuery {
     pub fn into_job(self) -> impl FnOnce(&mut CoSparse) -> Answer + Send + 'static {
         move |session| self.run(session)
     }
+
+    /// A key identifying this query's answer over one graph content
+    /// epoch, for [`GraphService::submit_cached`]: the variant tag and
+    /// every query input bit-packed into a `u64`. Two queries share a
+    /// key iff they are the same request, so a cached answer is always
+    /// bit-identical to a fresh run (the engines are deterministic).
+    pub fn cache_key(self) -> u64 {
+        match self {
+            GraphQuery::Bfs { source } => (1 << 60) | u64::from(source),
+            GraphQuery::Sssp { source } => (2 << 60) | u64::from(source),
+            GraphQuery::PageRank {
+                damping,
+                iterations,
+            } => {
+                // 4 bits tag | 32 bits damping | 28 bits iterations.
+                (3 << 60) | (u64::from(damping.to_bits()) << 28) | (iterations as u64 & 0xFFF_FFFF)
+            }
+        }
+    }
+
+    /// Submits this query through the service's same-source memo:
+    /// identical queries on an unchanged graph are answered from cache
+    /// (see [`GraphService::submit_cached`] for the counting contract).
+    pub fn submit_cached(self, service: &GraphService<Answer>) -> cosparse::Ticket<Answer> {
+        service.submit_cached(self.cache_key(), self.into_job())
+    }
 }
 
 /// Starts a [`GraphService`] answering [`GraphQuery`]s over `graph`

@@ -1,0 +1,162 @@
+//! Reordering transparency at the algorithm level: pinning any
+//! [`ReorderKind`] on the runtime must be invisible in every engine's
+//! answer. Reordering only changes the simulated address stream — the
+//! functional result stays in the original index space — so BFS
+//! parents, SSSP distances and PageRank scores must be bit-identical
+//! to an arrival-order run under every execution backend. The
+//! Differential backend additionally cross-checks host against the
+//! simulate golden model on every SpMV step while the reordered image
+//! is streaming.
+
+use cosparse::{ExecBackend, ReorderKind};
+use graph::bfs::Bfs;
+use graph::pagerank::PageRank;
+use graph::sssp::Sssp;
+use graph::{Algorithm, Engine, RunResult, Value};
+use sparse::CooMatrix;
+use transmuter::{Geometry, Machine, MicroArch};
+
+fn machine() -> Machine {
+    Machine::new(Geometry::new(2, 4), MicroArch::paper())
+}
+
+/// A skewed RMAT graph and a power-law one: both have enough hub
+/// structure that every reordering heuristic produces a non-identity
+/// permutation, so the pinned runs genuinely stream a permuted image.
+fn matrices() -> Vec<(&'static str, CooMatrix)> {
+    vec![
+        (
+            "rmat_9",
+            sparse::generate::rmat(9, 4_000, Default::default(), 42).unwrap(),
+        ),
+        (
+            "power_law_512",
+            sparse::generate::power_law(512, 512, 6_000, 2.2, 11).unwrap(),
+        ),
+    ]
+}
+
+fn run_pinned<A: Algorithm>(
+    adj: &CooMatrix,
+    alg: &A,
+    backend: ExecBackend,
+    reorder: Option<ReorderKind>,
+) -> RunResult<Value<A>> {
+    let mut engine = Engine::new(adj, machine());
+    engine.set_backend(backend);
+    engine.runtime_mut().set_reorder_override(reorder);
+    engine.run(alg).unwrap()
+}
+
+/// Every (reorder, backend) pairing reproduces the arrival-order
+/// simulate run: same iteration count, same final state. `PartialEq`
+/// on `u32` states is exact; float engines get a separate `to_bits`
+/// check below.
+fn check_transparent<A: Algorithm>(alg: &A) {
+    for (name, adj) in matrices() {
+        let want = run_pinned(&adj, alg, ExecBackend::Simulate, None);
+        for kind in ReorderKind::ALL {
+            for backend in [
+                ExecBackend::Simulate,
+                ExecBackend::Host,
+                ExecBackend::Differential,
+            ] {
+                let got = run_pinned(&adj, alg, backend, Some(kind));
+                assert_eq!(
+                    want.iterations.len(),
+                    got.iterations.len(),
+                    "{}/{name}: {kind}/{backend:?} changed the iteration count",
+                    alg.name()
+                );
+                assert_eq!(
+                    want.state,
+                    got.state,
+                    "{}/{name}: {kind}/{backend:?} perturbed the final state",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bfs_is_reorder_transparent() {
+    check_transparent(&Bfs::new(0));
+}
+
+#[test]
+fn sssp_is_reorder_transparent() {
+    check_transparent(&Sssp::new(0));
+}
+
+#[test]
+fn pagerank_is_reorder_transparent() {
+    check_transparent(&PageRank::new(0.85, 10));
+}
+
+/// The float engines' transparency pinned `to_bits`-exact: a reordered
+/// host run and a reordered differential run must not move a single ULP
+/// relative to the arrival-order simulate run.
+#[test]
+fn float_states_are_bit_exact_under_every_reordering() {
+    for (name, adj) in matrices() {
+        let want = run_pinned(&adj, &Sssp::new(0), ExecBackend::Simulate, None);
+        for kind in ReorderKind::CANDIDATES {
+            for backend in [ExecBackend::Host, ExecBackend::Differential] {
+                let got = run_pinned(&adj, &Sssp::new(0), backend, Some(kind));
+                for (v, (a, b)) in want.state.iter().zip(&got.state).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "sssp/{name} {kind}/{backend:?} vertex {v}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+        let want = run_pinned(&adj, &PageRank::new(0.85, 10), ExecBackend::Simulate, None);
+        for kind in ReorderKind::CANDIDATES {
+            let got = run_pinned(
+                &adj,
+                &PageRank::new(0.85, 10),
+                ExecBackend::Differential,
+                Some(kind),
+            );
+            for (v, (a, b)) in want.state.iter().zip(&got.state).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "pr/{name} {kind} vertex {v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+/// The pinned runs really do re-key the plan per reordering: a shared
+/// graph serving one engine per kind builds one reordered operand set
+/// per non-trivial kind, and reports the kind in every outcome.
+#[test]
+fn pinned_reorderings_rekey_plans_and_report_the_kind() {
+    let (_, adj) = matrices().remove(1);
+    let graph = Engine::shared_graph(&adj, Geometry::new(2, 4), MicroArch::paper());
+    let want = {
+        let mut engine = Engine::with_shared(&graph, machine());
+        engine.run(&Bfs::new(0)).unwrap().state
+    };
+    for kind in ReorderKind::CANDIDATES {
+        let mut engine = Engine::with_shared(&graph, machine());
+        engine.runtime_mut().set_reorder_override(Some(kind));
+        let run = engine.run(&Bfs::new(0)).unwrap();
+        assert_eq!(run.state, want, "{kind}: state diverged on shared graph");
+        assert!(
+            run.iterations.iter().all(|it| it.reorder == kind),
+            "{kind}: outcome did not report the pinned kind"
+        );
+    }
+    let cs = graph.cache_stats();
+    assert_eq!(
+        cs.reorder_builds,
+        ReorderKind::CANDIDATES.len() as u64,
+        "one reordered operand build per non-trivial kind"
+    );
+}

@@ -198,6 +198,54 @@ fn concurrent_clients_get_bit_identical_answers() {
     }
 }
 
+/// The same-source memo must be invisible in the answers: every cached
+/// query resolves bit-identically to a fresh `submit` of the same
+/// query, and bumping the graph's content epoch invalidates the memo so
+/// the next submission recomputes (observable through `cache_hits`).
+#[test]
+fn cached_answers_are_bit_identical_and_epoch_scoped() {
+    let adj = adjacency();
+    let graph = Engine::shared_graph(&adj, geometry(), MicroArch::paper());
+    let service = start_service(
+        Arc::clone(&graph),
+        ServeConfig {
+            workers: 2,
+            batch: 4,
+            queue_cap: 256,
+            backend: ExecBackend::Differential,
+        },
+    );
+
+    // Fresh answers through the plain path.
+    let fresh: Vec<QueryAnswer> = queries()
+        .into_iter()
+        .map(|q| service.submit(q.into_job()).wait().expect("query failed"))
+        .collect();
+
+    // First cached round warms the memo, second round must hit it.
+    for round in 0..2 {
+        let got: Vec<QueryAnswer> = queries()
+            .into_iter()
+            .map(|q| q.submit_cached(&service).wait().expect("query failed"))
+            .collect();
+        for (i, (g, w)) in got.iter().zip(&fresh).enumerate() {
+            assert_bits_eq(g, w, &format!("cached round {round} query {i}"));
+        }
+    }
+    let warm = queries().len() as u64;
+    assert_eq!(service.stats().cache_hits, warm, "second round all hits");
+
+    // An epoch bump (graph content changed) empties the memo: the next
+    // cached submission recomputes instead of hitting.
+    graph.bump_epoch();
+    let q = GraphQuery::Bfs { source: 0 };
+    let recomputed = q.submit_cached(&service).wait().expect("query failed");
+    assert_bits_eq(&recomputed, &fresh[0], "post-epoch recompute");
+    let stats = service.shutdown();
+    assert_eq!(stats.cache_hits, warm, "epoch bump forced a recompute");
+    assert_eq!(stats.completed, stats.submitted - warm);
+}
+
 /// Satellite check for the shared-handle constructor: N engines over
 /// one `SharedGraph` build layout, CSC and every plan exactly once —
 /// `cache_stats()` shows zero additional plan builds after the first

@@ -48,6 +48,8 @@ pub enum SparseError {
     /// A generator was asked for an impossible configuration
     /// (e.g. more nonzeros than cells).
     InvalidGenerator(String),
+    /// A row/column permutation was not a bijection on its index range.
+    InvalidPermutation(String),
 }
 
 impl fmt::Display for SparseError {
@@ -86,6 +88,7 @@ impl fmt::Display for SparseError {
             }
             SparseError::Io(e) => write!(f, "io error: {e}"),
             SparseError::InvalidGenerator(msg) => write!(f, "invalid generator request: {msg}"),
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
         }
     }
 }

@@ -54,6 +54,8 @@ pub mod format;
 pub mod generate;
 pub mod io;
 pub mod partition;
+/// Locality-aware row/column reordering — the fourth reconfiguration axis.
+pub mod reorder;
 pub mod stats;
 
 pub use bcsr::BcsrMatrix;
@@ -63,6 +65,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use format::{FormatKind, FormatProbe, StoredMatrix};
+pub use reorder::{Permutation, ReorderKind, ReorderProbe};
 pub use vector::{DenseVector, SparseVector};
 
 /// Index type used for rows and columns throughout the workspace.

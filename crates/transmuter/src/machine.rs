@@ -22,7 +22,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Errors surfaced by a simulation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum SimError {
     /// A worker issued an SPM op while the configuration exposes no SPM.
